@@ -1,0 +1,178 @@
+// Command gofmm mirrors the paper's artifact driver (run_gofmm_*): it
+// generates (or loads) an SPD test matrix, runs the iterative neighbor
+// search, the metric-tree compression and the fast matvec, then reports
+// runtime, total flops and the accuracy ε₂ of the first 10 entries plus the
+// average over 100 sampled entries — the same output contract as §5.6 of
+// the paper.
+//
+// Usage:
+//
+//	gofmm -matrix K02 -n 1024 -m 128 -s 128 -tol 1e-5 -k 32 \
+//	      -budget 0.03 -dist angle -exec dynamic -workers 4 -r 16
+//
+// -matrix accepts any of the problems in internal/spdmat (K02–K18, G01–G05,
+// COVTYPE, HIGGS, MNIST).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"math/rand"
+	"os"
+	"strings"
+
+	"gofmm/internal/core"
+	"gofmm/internal/linalg"
+	"gofmm/internal/spdmat"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("gofmm: ")
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// run executes the driver with the given arguments, writing the report to
+// out (separated from main for testability).
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("gofmm", flag.ContinueOnError)
+	var (
+		matrix    = fs.String("matrix", "K02", "problem name ("+strings.Join(spdmat.Names(), ", ")+")")
+		n         = fs.Int("n", 1024, "matrix dimension (grid problems round down)")
+		m         = fs.Int("m", 128, "leaf size")
+		s         = fs.Int("s", 128, "maximum rank")
+		tol       = fs.Float64("tol", 1e-5, "adaptive tolerance τ")
+		kappa     = fs.Int("k", 32, "number of nearest neighbors κ")
+		budget    = fs.Float64("budget", 0.03, "direct-evaluation budget (0 = HSS)")
+		dist      = fs.String("dist", "angle", "distance: angle|kernel|geometric|lexicographic|random")
+		exec      = fs.String("exec", "dynamic", "executor: dynamic|level|taskdep|seq")
+		workers   = fs.Int("workers", 4, "worker pool size")
+		r         = fs.Int("r", 16, "number of right-hand sides")
+		seed      = fs.Int64("seed", 1, "RNG seed")
+		nocache   = fs.Bool("nocache", false, "disable near/far block caching")
+		structure = fs.Bool("structure", false, "print the leaf-level block structure (Figure 2 style)")
+		dotFile   = fs.String("dot", "", "write the evaluation dependency DAG (Figure 3) to this file in DOT format")
+		saveFile  = fs.String("save", "", "serialize the compressed form to this file after compression")
+		loadFile  = fs.String("load", "", "load a previously saved compression instead of compressing")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	p, err := spdmat.Generate(*matrix, *n, *seed)
+	if err != nil {
+		return err
+	}
+	dim := p.K.Dim()
+	fmt.Fprintf(out, "matrix %s: %s (N = %d)\n", p.Name, p.Desc, dim)
+
+	cfg := core.Config{
+		LeafSize: *m, MaxRank: *s, Tol: *tol, Kappa: *kappa, Budget: *budget,
+		NumWorkers: *workers, Seed: *seed, CacheBlocks: !*nocache,
+		Points: p.Points,
+	}
+	switch *dist {
+	case "angle":
+		cfg.Distance = core.Angle
+	case "kernel":
+		cfg.Distance = core.Kernel
+	case "geometric":
+		cfg.Distance = core.Geometric
+	case "lexicographic":
+		cfg.Distance = core.Lexicographic
+	case "random":
+		cfg.Distance = core.RandomPerm
+	default:
+		return fmt.Errorf("unknown distance %q", *dist)
+	}
+	switch *exec {
+	case "dynamic":
+		cfg.Exec = core.Dynamic
+	case "level":
+		cfg.Exec = core.LevelByLevel
+	case "taskdep":
+		cfg.Exec = core.TaskDepend
+	case "seq":
+		cfg.Exec = core.Sequential
+	default:
+		return fmt.Errorf("unknown executor %q", *exec)
+	}
+
+	var h *core.Hierarchical
+	if *loadFile != "" {
+		f, ferr := os.Open(*loadFile)
+		if ferr != nil {
+			return ferr
+		}
+		h, err = core.ReadFrom(f, p.K)
+		f.Close()
+		if err != nil {
+			return err
+		}
+		h.Cfg.Exec = cfg.Exec
+		h.Cfg.NumWorkers = cfg.NumWorkers
+		fmt.Fprintf(out, "loaded compressed form from %s\n", *loadFile)
+	} else {
+		h, err = core.Compress(p.K, cfg)
+		if err != nil {
+			return err
+		}
+	}
+	if *saveFile != "" {
+		f, ferr := os.Create(*saveFile)
+		if ferr != nil {
+			return ferr
+		}
+		if _, err := h.WriteTo(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "saved compressed form to %s\n", *saveFile)
+	}
+	if *structure {
+		fmt.Fprintln(out, "block structure ('#' dense/near, letters = far level):")
+		fmt.Fprint(out, h.StructureString())
+	}
+	if *dotFile != "" {
+		f, err := os.Create(*dotFile)
+		if err != nil {
+			return err
+		}
+		if err := h.EvalGraphDOT(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "wrote evaluation DAG to %s\n", *dotFile)
+	}
+	st := h.Stats
+	fmt.Fprintf(out, "compression: %.3fs (ann %.3fs, tree %.3fs, lists %.3fs, skel %.3fs, cache %.3fs)\n",
+		st.CompressTime, st.ANNTime, st.TreeTime, st.ListsTime, st.SkelTime, st.CacheTime)
+	fmt.Fprintf(out, "  total %.2f GFLOP, %.2f GFLOPS | avg rank %.1f | max near %d | direct %.2f%%\n",
+		st.CompressFlops/1e9, st.CompressFlops/st.CompressTime/1e9, st.AvgRank, st.MaxNear, 100*st.DirectFrac)
+
+	rng := rand.New(rand.NewSource(*seed + 7))
+	W := linalg.GaussianMatrix(rng, dim, *r)
+	U := h.Matvec(W)
+	st = h.Stats
+	fmt.Fprintf(out, "evaluation (%d rhs): %.4fs, %.2f GFLOP, %.2f GFLOPS\n",
+		*r, st.EvalTime, st.EvalFlops/1e9, st.EvalFlops/st.EvalTime/1e9)
+
+	entry := h.EntryErrors(W, U, 10)
+	fmt.Fprintf(out, "per-entry relative error (first 10): ")
+	for _, e := range entry {
+		fmt.Fprintf(out, "%.1e ", e)
+	}
+	fmt.Fprintln(out)
+	fmt.Fprintf(out, "sampled relative error ε₂ (100 rows): %.3e\n", h.SampleRelErr(W, U, 100, *seed+9))
+	return nil
+}

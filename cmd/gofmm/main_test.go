@@ -1,0 +1,90 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunSmoke(t *testing.T) {
+	var sb strings.Builder
+	err := run([]string{"-matrix", "K10", "-n", "200", "-m", "32", "-s", "32", "-r", "2", "-exec", "seq"}, &sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"matrix K10", "compression:", "evaluation (2 rhs)", "sampled relative error"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunStructureFlag(t *testing.T) {
+	var sb strings.Builder
+	err := run([]string{"-matrix", "G03", "-n", "128", "-m", "32", "-s", "32", "-r", "1",
+		"-budget", "0.3", "-structure", "-exec", "seq"}, &sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "block structure") {
+		t.Fatalf("structure block missing:\n%s", sb.String())
+	}
+	if !strings.Contains(sb.String(), "#") {
+		t.Fatal("structure grid missing dense marker")
+	}
+}
+
+func TestRunAllDistancesAndExecutors(t *testing.T) {
+	for _, dist := range []string{"angle", "kernel", "lexicographic", "random"} {
+		var sb strings.Builder
+		if err := run([]string{"-matrix", "K09", "-n", "128", "-m", "32", "-s", "16",
+			"-r", "1", "-dist", dist, "-exec", "level", "-workers", "2"}, &sb); err != nil {
+			t.Fatalf("dist %s: %v", dist, err)
+		}
+	}
+	for _, ex := range []string{"dynamic", "level", "taskdep", "seq"} {
+		var sb strings.Builder
+		if err := run([]string{"-matrix", "K09", "-n", "128", "-m", "32", "-s", "16",
+			"-r", "1", "-exec", ex}, &sb); err != nil {
+			t.Fatalf("exec %s: %v", ex, err)
+		}
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-matrix", "NOPE"}, &sb); err == nil {
+		t.Fatal("expected error for unknown matrix")
+	}
+	if err := run([]string{"-dist", "NOPE", "-n", "64"}, &sb); err == nil {
+		t.Fatal("expected error for unknown distance")
+	}
+	if err := run([]string{"-exec", "NOPE", "-n", "64"}, &sb); err == nil {
+		t.Fatal("expected error for unknown executor")
+	}
+	// Geometric distance on a problem without points must fail cleanly.
+	if err := run([]string{"-matrix", "G01", "-n", "64", "-dist", "geometric"}, &sb); err == nil {
+		t.Fatal("expected error for geometric distance without points")
+	}
+}
+
+func TestRunSaveLoadRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := dir + "/k.gofmm"
+	var sb strings.Builder
+	if err := run([]string{"-matrix", "K09", "-n", "128", "-m", "32", "-s", "16",
+		"-r", "1", "-exec", "seq", "-save", path}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "saved compressed form") {
+		t.Fatalf("save message missing:\n%s", sb.String())
+	}
+	sb.Reset()
+	if err := run([]string{"-matrix", "K09", "-n", "128", "-m", "32", "-s", "16",
+		"-r", "1", "-exec", "seq", "-load", path}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "loaded compressed form") {
+		t.Fatalf("load message missing:\n%s", sb.String())
+	}
+}

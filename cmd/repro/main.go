@@ -1,0 +1,160 @@
+// Command repro regenerates the tables and figures of the GOFMM paper
+// (Yu, Levitt, Reiz & Biros, SC'17) at laptop scale.
+//
+// Usage:
+//
+//	repro fig1|fig4|fig5|fig6|fig7|table3|table4|table5|all [flags]
+//
+// Flags:
+//
+//	-n int      base problem size (default per experiment)
+//	-quick      reduced sizes for a fast smoke run
+//	-seed int   RNG seed (default 1)
+//
+// Each subcommand prints rows mirroring the corresponding paper artifact;
+// absolute numbers differ from the paper's hardware, the comparative shapes
+// are the reproduction target (see EXPERIMENTS.md).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"gofmm/internal/core"
+	"gofmm/internal/experiments"
+)
+
+func main() {
+	if err := cli(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		usage()
+		os.Exit(2)
+	}
+}
+
+// cli dispatches a subcommand (separated from main for testability).
+func cli(args []string, w io.Writer) error {
+	if len(args) < 1 {
+		return fmt.Errorf("missing subcommand")
+	}
+	sub := args[0]
+	fs := flag.NewFlagSet(sub, flag.ContinueOnError)
+	n := fs.Int("n", 0, "base problem size (0 = per-experiment default)")
+	quick := fs.Bool("quick", false, "reduced sizes for a fast smoke run")
+	seed := fs.Int64("seed", 1, "RNG seed")
+	if err := fs.Parse(args[1:]); err != nil {
+		return err
+	}
+
+	size := func(def, quickDef int) int {
+		if *n > 0 {
+			return *n
+		}
+		if *quick {
+			return quickDef
+		}
+		return def
+	}
+
+	known := map[string]bool{"fig1": true, "fig2": true, "fig3": true, "fig4": true,
+		"fig5": true, "fig6": true, "fig7": true,
+		"table3": true, "table4": true, "table5": true, "scaling": true}
+	run := func(name string) {
+		fmt.Fprintf(w, "\n== %s ==\n", name)
+		switch name {
+		case "fig1":
+			sizes := []int{1024, 2048, 4096}
+			ranks := []int{128, 256, 512}
+			if *quick {
+				sizes = []int{512, 1024}
+				ranks = []int{64, 128}
+			}
+			if *n > 0 {
+				sizes = []int{*n / 4, *n / 2, *n}
+			}
+			experiments.Fig1(w, sizes, ranks, *seed)
+		case "fig2":
+			// Figure 2: the partitioning tree's block structure, regenerated
+			// from an actual compression (near blocks '#', far blocks by
+			// level) rather than drawn by hand.
+			p := experiments.GetProblem("G03", size(512, 256), *seed)
+			h, err := core.Compress(p.K, core.Config{
+				LeafSize: size(512, 256) / 8, MaxRank: 64, Tol: 1e-5, Kappa: 16,
+				Budget: 0.25, Distance: core.Angle, Exec: core.Sequential, Seed: *seed,
+			})
+			if err != nil {
+				fmt.Fprintln(w, err)
+				return
+			}
+			fmt.Fprintln(w, "leaf-level block structure ('#' near/dense, letters far by level):")
+			fmt.Fprint(w, h.StructureString())
+		case "fig3":
+			// Figure 3: the evaluation-phase dependency DAG in DOT format,
+			// produced by the same symbolic traversal the runtime uses.
+			p := experiments.GetProblem("K02", size(256, 128), *seed)
+			h, err := core.Compress(p.K, core.Config{
+				LeafSize: 64, MaxRank: 32, Tol: 1e-4, Kappa: 8,
+				Budget: 0, Distance: core.Angle, Exec: core.Sequential, Seed: *seed,
+			})
+			if err != nil {
+				fmt.Fprintln(w, err)
+				return
+			}
+			if err := h.EvalGraphDOT(w); err != nil {
+				fmt.Fprintln(w, err)
+			}
+		case "fig4":
+			workers := []int{1, 2, 4, 8}
+			if *quick {
+				workers = []int{1, 4}
+			}
+			experiments.Fig4(w, workers, size(4096, 1024), *seed)
+		case "fig5":
+			experiments.Fig5(w, size(1024, 400), *seed)
+		case "fig6":
+			experiments.Fig6(w, size(2048, 800), *seed)
+		case "fig7":
+			experiments.Fig7(w, size(1024, 400), *seed)
+		case "table3":
+			experiments.Table3(w, size(1024, 400), *seed)
+		case "table4":
+			sizes := []int{1024, 2048}
+			if *quick {
+				sizes = []int{512}
+			}
+			if *n > 0 {
+				sizes = []int{*n / 2, *n}
+			}
+			experiments.Table4(w, sizes, *seed)
+		case "table5":
+			experiments.Table5(w, size(2048, 512), *seed)
+		case "scaling":
+			sizes := []int{512, 1024, 2048, 4096}
+			if *quick {
+				sizes = []int{256, 512, 1024}
+			}
+			if *n > 0 {
+				sizes = []int{*n / 8, *n / 4, *n / 2, *n}
+			}
+			experiments.Scaling(w, sizes, *seed)
+		}
+	}
+
+	if sub == "all" {
+		for _, name := range []string{"fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "table3", "table4", "table5"} {
+			run(name)
+		}
+		return nil
+	}
+	if !known[sub] {
+		return fmt.Errorf("unknown subcommand %q", sub)
+	}
+	run(sub)
+	return nil
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: repro <fig1|fig2|fig3|fig4|fig5|fig6|fig7|table3|table4|table5|scaling|all> [-n N] [-quick] [-seed S]`)
+}

@@ -1,0 +1,68 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestCLIUnknownSubcommand(t *testing.T) {
+	var sb strings.Builder
+	if err := cli([]string{"nope"}, &sb); err == nil {
+		t.Fatal("expected error")
+	}
+	if err := cli(nil, &sb); err == nil {
+		t.Fatal("expected error for missing subcommand")
+	}
+}
+
+func TestCLIFig7Smoke(t *testing.T) {
+	var sb strings.Builder
+	if err := cli([]string{"fig7", "-n", "200"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "== fig7 ==") || !strings.Contains(out, "lexicographic") {
+		t.Fatalf("fig7 output malformed:\n%s", out)
+	}
+	// G03 must show the impossible-geometric marker.
+	if !strings.Contains(out, "n/a (no coordinates)") {
+		t.Fatal("G03 geometric n/a row missing")
+	}
+}
+
+func TestCLITable3Smoke(t *testing.T) {
+	var sb strings.Builder
+	if err := cli([]string{"table3", "-n", "200"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, code := range []string{"HODLR", "STRUMPACK", "GOFMM"} {
+		if strings.Count(out, code) < 6 {
+			t.Fatalf("table3 missing %s rows:\n%s", code, out)
+		}
+	}
+}
+
+func TestCLIFlagError(t *testing.T) {
+	var sb strings.Builder
+	if err := cli([]string{"fig7", "-bogus"}, &sb); err == nil {
+		t.Fatal("expected flag parse error")
+	}
+}
+
+func TestCLIFig2Fig3Smoke(t *testing.T) {
+	var sb strings.Builder
+	if err := cli([]string{"fig2", "-quick"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "#") {
+		t.Fatalf("fig2 missing block structure:\n%s", sb.String())
+	}
+	sb.Reset()
+	if err := cli([]string{"fig3", "-quick"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "digraph tasks") {
+		t.Fatalf("fig3 missing DOT output:\n%s", sb.String())
+	}
+}

@@ -1,0 +1,3 @@
+module gofmm
+
+go 1.22

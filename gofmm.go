@@ -1,0 +1,197 @@
+// Package gofmm is a Go implementation of GOFMM — the geometry-oblivious
+// fast multipole method of Yu, Levitt, Reiz & Biros (SC'17) — for
+// compressing arbitrary dense symmetric positive definite (SPD) matrices
+// into hierarchical (H-matrix) form and evaluating fast matrix-vector
+// products.
+//
+// The only thing GOFMM needs from your matrix is an entry oracle:
+//
+//	type SPD interface {
+//	    Dim() int
+//	    At(i, j int) float64
+//	}
+//
+// No point coordinates and no kernel function are required. Because an SPD
+// matrix is the Gram matrix of some (unknown) set of vectors, distances
+// between matrix indices can be defined purely algebraically
+// (d²ij = Kii + Kjj − 2Kij, or the Gram angle 1 − K²ij/(KiiKjj)); those
+// distances drive the hierarchical clustering, neighbor search, near–far
+// pruning and importance sampling of a classical FMM.
+//
+// Quickstart:
+//
+//	K := gofmm.NewDense(myMatrix)              // or any SPD implementation
+//	H, err := gofmm.Compress(K, gofmm.Config{
+//	    LeafSize: 256, MaxRank: 256, Tol: 1e-5, Budget: 0.03,
+//	})
+//	U := H.Matvec(W)                           // ≈ K·W in O(N·r) time
+//	eps := H.SampleRelErr(W, U, 100, 0)        // sampled relative error
+//
+// See the examples directory for runnable programs and DESIGN.md for the
+// mapping between this library and the paper.
+package gofmm
+
+import (
+	"io"
+
+	"gofmm/internal/core"
+	"gofmm/internal/dist"
+	"gofmm/internal/hss"
+	"gofmm/internal/linalg"
+	"gofmm/internal/sched"
+)
+
+// Matrix is a dense column-major matrix (element (i,j) at Data[j*Stride+i]).
+type Matrix = linalg.Matrix
+
+// NewMatrix allocates a zeroed r×c matrix.
+func NewMatrix(r, c int) *Matrix { return linalg.NewMatrix(r, c) }
+
+// FromRows builds a matrix from row slices (copying).
+func FromRows(rows [][]float64) *Matrix { return linalg.FromRows(rows) }
+
+// Eye returns the n×n identity.
+func Eye(n int) *Matrix { return linalg.Eye(n) }
+
+// SPD is the entry oracle GOFMM compresses: a dimension and sampled entries.
+// Implementations may additionally provide
+//
+//	Submatrix(I, J []int, dst *Matrix)
+//
+// (the Bulk interface) as a block-gather fast path.
+type SPD = core.SPD
+
+// Bulk is the optional block-gather fast path.
+type Bulk = core.Bulk
+
+// Config collects GOFMM's tuning parameters (§3 of the paper): leaf size m,
+// maximum rank s, adaptive tolerance τ, neighbor count κ, the budget that
+// bounds direct evaluations (0 ⇒ HSS), the distance definition, and the
+// parallel execution strategy.
+type Config = core.Config
+
+// Hierarchical is a compressed SPD matrix K̃ = D + S + UV supporting fast
+// Matvec, error estimation, and structural inspection.
+type Hierarchical = core.Hierarchical
+
+// Stats aggregates per-phase times, flop counts, average skeleton rank and
+// direct-evaluation volume.
+type Stats = core.Stats
+
+// Distance selects how index-to-index distances are defined.
+type Distance = core.Distance
+
+// Distance values.
+const (
+	// Angle is the Gram angle distance (geometry-oblivious, default).
+	Angle = core.Angle
+	// Kernel is the Gram ℓ₂ distance (geometry-oblivious).
+	Kernel = core.Kernel
+	// Geometric uses point coordinates (requires Config.Points).
+	Geometric = core.Geometric
+	// Lexicographic keeps the input order (no permutation).
+	Lexicographic = core.Lexicographic
+	// RandomPerm applies a random permutation.
+	RandomPerm = core.RandomPerm
+)
+
+// ExecMode selects the shared-memory execution strategy.
+type ExecMode = core.ExecMode
+
+// ExecMode values.
+const (
+	// Dynamic is the task runtime with HEFT scheduling and work stealing.
+	Dynamic = core.Dynamic
+	// LevelByLevel synchronizes with a barrier per tree level.
+	LevelByLevel = core.LevelByLevel
+	// TaskDepend emulates `omp task depend` (DAG + FIFO queue).
+	TaskDepend = core.TaskDepend
+	// Sequential runs single-threaded (reference).
+	Sequential = core.Sequential
+)
+
+// WorkerSpec describes one worker of a heterogeneous pool (speed factor,
+// nested-parallelism slots, task batch size, stealing policy).
+type WorkerSpec = sched.WorkerSpec
+
+// Compress builds the hierarchical approximation of K (Algorithm 2.2:
+// neighbor search, metric tree, near/far lists, nested skeletonization).
+func Compress(K SPD, cfg Config) (*Hierarchical, error) { return core.Compress(K, cfg) }
+
+// ExactMatvec computes K·W exactly from entries in O(N²·r) — the dense
+// baseline (use for verification on small problems).
+func ExactMatvec(K SPD, W *Matrix) *Matrix { return core.ExactMatvec(K, W) }
+
+// dense adapts a *Matrix into an SPD oracle with the bulk fast path.
+type dense struct{ m *Matrix }
+
+func (d dense) Dim() int            { return d.m.Rows }
+func (d dense) At(i, j int) float64 { return d.m.At(i, j) }
+func (d dense) Submatrix(I, J []int, dst *Matrix) {
+	for c, j := range J {
+		col := dst.Col(c)
+		src := d.m.Col(j)
+		for r, i := range I {
+			col[r] = src[i]
+		}
+	}
+}
+
+// NewDense wraps an in-memory symmetric matrix as an SPD oracle.
+func NewDense(m *Matrix) SPD { return dense{m} }
+
+// Factorization is a hierarchical direct solver for a compressed operator
+// (recursive Schur elimination through the skeleton hierarchy): Solve(B)
+// returns K̃⁻¹·B in O(N·s²). This implements the paper's stated future work
+// ("the hierarchical matrix factorization based on our method").
+type Factorization = hss.Factorization
+
+// ErrNotHSS is returned by Factor for compressions with a sparse correction.
+var ErrNotHSS = hss.ErrNotHSS
+
+// Factor builds a direct solver for an HSS-mode compression (Budget 0).
+// Use it to solve K̃x = b directly, or as a preconditioner for CG on the
+// exact matrix (see examples/fastsolve).
+func Factor(h *Hierarchical) (*Factorization, error) {
+	hs, err := hss.FromGOFMM(h)
+	if err != nil {
+		return nil, err
+	}
+	return hs.Factor()
+}
+
+// Machine is a simulated distributed-memory execution of the compressed
+// operator: P virtual ranks own subtrees and exchange skeleton weights,
+// potentials and near-field halos through a counted message router — the
+// paper's stated future work on distributed algorithms, realized as a
+// deterministic simulation (see internal/dist).
+type Machine = dist.Machine
+
+// CommStats reports the simulated network traffic of a distributed matvec.
+type CommStats = dist.CommStats
+
+// Distribute prepares a P-rank simulated distributed machine (P must be a
+// power of two, at most the leaf count).
+func Distribute(h *Hierarchical, ranks int) (*Machine, error) {
+	return dist.Distribute(h, ranks)
+}
+
+// Counting wraps an SPD oracle with an entry-evaluation counter, the
+// currency of GOFMM's O(N log N) compression claim.
+type Counting = core.CountingSPD
+
+// NewCounting wraps K with an entry counter.
+func NewCounting(K SPD) *Counting { return core.NewCounting(K) }
+
+// Save serializes a compressed representation (structure, skeletons,
+// interpolation matrices, interaction lists, cached blocks — not the matrix
+// oracle itself).
+func Save(h *Hierarchical, w io.Writer) error {
+	_, err := h.WriteTo(w)
+	return err
+}
+
+// Load reconstructs a compressed representation written by Save, attaching
+// it to the entry oracle K (the same matrix). Executor fields of the loaded
+// Cfg default to sequential; adjust before calling Matvec if desired.
+func Load(r io.Reader, K SPD) (*Hierarchical, error) { return core.ReadFrom(r, K) }

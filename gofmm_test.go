@@ -1,0 +1,136 @@
+package gofmm
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"gofmm/internal/linalg"
+	"gofmm/internal/spdmat"
+)
+
+// TestPublicAPIQuickstart exercises the README quickstart end to end.
+func TestPublicAPIQuickstart(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	X := linalg.GaussianMatrix(rng, 3, 512)
+	n := X.Cols
+	M := NewMatrix(n, n)
+	for j := 0; j < n; j++ {
+		for i := 0; i < n; i++ {
+			d2 := 0.0
+			for q := 0; q < 3; q++ {
+				d := X.At(q, i) - X.At(q, j)
+				d2 += d * d
+			}
+			M.Set(i, j, math.Exp(-d2/2))
+		}
+	}
+	K := NewDense(M)
+	H, err := Compress(K, Config{
+		LeafSize: 64, MaxRank: 64, Tol: 1e-7, Budget: 0.05,
+		Distance: Angle, Seed: 1, CacheBlocks: true, Exec: Sequential,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	W := linalg.GaussianMatrix(rng, n, 8)
+	U := H.Matvec(W)
+	exact := ExactMatvec(K, W)
+	d := linalg.RelFrobDiff(U, exact)
+	if d > 5e-3 {
+		t.Fatalf("quickstart error %g", d)
+	}
+	eps := H.SampleRelErr(W, U, 100, 2)
+	if eps > 1e-2 {
+		t.Fatalf("sampled ε₂ = %g", eps)
+	}
+}
+
+// TestSPDMatProblemsCompress runs GOFMM over a representative subset of the
+// paper's 22 matrices through the public API — an integration test of
+// spdmat + core + linalg together.
+func TestSPDMatProblemsCompress(t *testing.T) {
+	cases := []struct {
+		name   string
+		maxEps float64
+	}{
+		{"K02", 1e-3},  // smooth inverse operator: compresses well
+		{"K05", 1e-2},  // 6-D Gaussian kernel, moderate bandwidth
+		{"K08", 1e-4},  // 6-D wide Gaussian kernel: very low rank
+		{"K09", 1e-4},  // 6-D polynomial kernel: globally low rank
+		{"K10", 1e-10}, // cosine similarity: exact low rank
+		{"G03", 1e-2},  // geometric graph Laplacian inverse
+		{"K12", 1e-2},  // variable-coefficient diffusion inverse
+	}
+	for _, tc := range cases {
+		p, err := spdmat.Generate(tc.name, 400, 7)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		H, err := Compress(p.K, Config{
+			LeafSize: 64, MaxRank: 64, Tol: 1e-7, Kappa: 16, Budget: 0.1,
+			Distance: Angle, Seed: 3, CacheBlocks: true, Exec: Sequential,
+		})
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		rng := rand.New(rand.NewSource(4))
+		W := linalg.GaussianMatrix(rng, p.K.Dim(), 4)
+		U := H.Matvec(W)
+		if eps := H.SampleRelErr(W, U, 100, 5); eps > tc.maxEps {
+			t.Errorf("%s: ε₂ = %g > %g (avg rank %.1f)", tc.name, eps, tc.maxEps, H.Stats.AvgRank)
+		}
+	}
+}
+
+// TestHardMatricesHaveHighRank reproduces the qualitative Figure 5 claim:
+// pseudo-spectral operators (K15–K17) resist compression at modest ranks.
+func TestHardMatricesHaveHighRank(t *testing.T) {
+	p, err := spdmat.Generate("K15", 400, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	H, err := Compress(p.K, Config{
+		LeafSize: 64, MaxRank: 64, Tol: 1e-7, Kappa: 16, Budget: 0.05,
+		Distance: Angle, Seed: 3, CacheBlocks: true, Exec: Sequential,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(6))
+	W := linalg.GaussianMatrix(rng, p.K.Dim(), 2)
+	U := H.Matvec(W)
+	epsHard := H.SampleRelErr(W, U, 100, 7)
+
+	q, err := spdmat.Generate("K02", 400, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	H2, err := Compress(q.K, Config{
+		LeafSize: 64, MaxRank: 64, Tol: 1e-7, Kappa: 16, Budget: 0.05,
+		Distance: Angle, Seed: 3, CacheBlocks: true, Exec: Sequential,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	W2 := linalg.GaussianMatrix(rng, q.K.Dim(), 2)
+	U2 := H2.Matvec(W2)
+	epsEasy := H2.SampleRelErr(W2, U2, 100, 8)
+	if epsHard < epsEasy {
+		t.Fatalf("expected K15 (ε=%g) to be harder than K02 (ε=%g)", epsHard, epsEasy)
+	}
+}
+
+func TestHelpers(t *testing.T) {
+	m := FromRows([][]float64{{1, 2}, {3, 4}})
+	if m.At(1, 0) != 3 {
+		t.Fatal("FromRows layout wrong")
+	}
+	if Eye(3).At(2, 2) != 1 {
+		t.Fatal("Eye wrong")
+	}
+	d := NewDense(m)
+	if d.Dim() != 2 || d.At(0, 1) != 2 {
+		t.Fatal("NewDense wrong")
+	}
+}

@@ -1,0 +1,305 @@
+// Package ann implements the iterative randomized-tree all-nearest-neighbor
+// search used as GOFMM's preprocessing step (Algorithm 2.2, steps 1–3):
+// in each iteration a random projection tree is built with the same metric
+// ball split as the partition tree — except that the pivot points p and q
+// are chosen at random — and neighbors are searched exhaustively inside each
+// leaf. Iterations stop when the neighbor lists stop improving (the paper
+// stops at 80% accuracy or 10 iterations; without ground truth we use the
+// update rate of the lists, a standard surrogate).
+package ann
+
+import (
+	"math/rand"
+	"sort"
+	"sync/atomic"
+
+	"gofmm/internal/metric"
+	"gofmm/internal/sched"
+	"gofmm/internal/tree"
+)
+
+// List stores the κ approximate nearest neighbors of every index, sorted by
+// ascending distance. Entry (i, k) lives at position i*K+k of ID and D.
+// Every index is its own first neighbor (distance 0), matching the pruning
+// semantics of the paper where a leaf is always near itself.
+type List struct {
+	N, K int
+	ID   []int32
+	D    []float64
+}
+
+// NewList allocates a list seeded with self-neighbors only (all other slots
+// hold sentinel +inf distances and ID -1).
+func NewList(n, k int) *List {
+	l := &List{N: n, K: k, ID: make([]int32, n*k), D: make([]float64, n*k)}
+	for i := 0; i < n; i++ {
+		base := i * k
+		l.ID[base] = int32(i)
+		for s := 1; s < k; s++ {
+			l.ID[base+s] = -1
+			l.D[base+s] = inf
+		}
+	}
+	return l
+}
+
+const inf = 1e300
+
+// Of returns the neighbor IDs of index i (valid entries only).
+func (l *List) Of(i int) []int32 {
+	base := i * l.K
+	ids := l.ID[base : base+l.K]
+	for k, id := range ids {
+		if id < 0 {
+			return ids[:k]
+		}
+	}
+	return ids
+}
+
+// DistOf returns the distance of neighbor slot k of index i.
+func (l *List) DistOf(i, k int) float64 { return l.D[i*l.K+k] }
+
+// merge folds a batch of unique candidate (id, dist) pairs into index i's
+// sorted list, returning how many of the K slots changed.
+func (l *List) merge(i int, candID []int32, candD []float64) int {
+	base := i * l.K
+	curID := l.ID[base : base+l.K]
+	curD := l.D[base : base+l.K]
+	// Sort candidates ascending by distance.
+	ord := make([]int, len(candID))
+	for k := range ord {
+		ord[k] = k
+	}
+	sort.Slice(ord, func(a, b int) bool { return candD[ord[a]] < candD[ord[b]] })
+	// Sweep-merge the two sorted streams, skipping duplicates by ID.
+	newID := make([]int32, 0, l.K)
+	newD := make([]float64, 0, l.K)
+	taken := make(map[int32]bool, l.K)
+	ci, oi := 0, 0
+	for len(newID) < l.K && (ci < l.K || oi < len(ord)) {
+		var id int32
+		var d float64
+		if oi >= len(ord) || (ci < l.K && curD[ci] <= candD[ord[oi]]) {
+			id, d = curID[ci], curD[ci]
+			ci++
+		} else {
+			id, d = candID[ord[oi]], candD[ord[oi]]
+			oi++
+		}
+		if id < 0 || taken[id] {
+			continue
+		}
+		taken[id] = true
+		newID = append(newID, id)
+		newD = append(newD, d)
+	}
+	changed := 0
+	for k := range newID {
+		if curID[k] != newID[k] {
+			changed++
+		}
+		curID[k], curD[k] = newID[k], newD[k]
+	}
+	for k := len(newID); k < l.K; k++ {
+		curID[k], curD[k] = -1, inf
+	}
+	return changed
+}
+
+// Options configures the iterative search.
+type Options struct {
+	LeafSize int     // random tree leaf size (paper: same m as the ball tree)
+	MaxIters int     // default 10
+	MinGain  float64 // stop when the fraction of updated slots falls below this (default 0.2)
+	Seed     int64
+	// RecallTarget, when positive, enables the paper's stopping rule: after
+	// each iteration the recall of RecallSample random indices is estimated
+	// against exact neighbors (O(sample·N) per iteration) and the search
+	// stops once it reaches the target (the paper uses 0.8).
+	RecallTarget float64
+	RecallSample int // default 32
+	// Workers parallelizes the per-leaf exhaustive searches (leaves touch
+	// disjoint index sets, so updates are race-free). Default 1.
+	Workers int
+}
+
+// Search runs the iterative randomized-tree ANN search over n indices with
+// the given distance space, returning κ neighbors per index.
+func Search(n, kappa int, space metric.Space, opt Options) *List {
+	if opt.LeafSize <= 0 {
+		opt.LeafSize = 128
+	}
+	if opt.MaxIters <= 0 {
+		opt.MaxIters = 10
+	}
+	if opt.MinGain <= 0 {
+		opt.MinGain = 0.2
+	}
+	if kappa > n {
+		kappa = n
+	}
+	if opt.RecallSample <= 0 {
+		opt.RecallSample = 32
+	}
+	if opt.Workers <= 0 {
+		opt.Workers = 1
+	}
+	l := NewList(n, kappa)
+	rng := rand.New(rand.NewSource(opt.Seed))
+	for iter := 0; iter < opt.MaxIters; iter++ {
+		split := &metric.BallSplit{Space: space, Rng: rng, Random: true}
+		rt := tree.Build(n, opt.LeafSize, split)
+		var changed int64
+		batch := make([]func(), 0, rt.NumLeaves())
+		for _, leaf := range rt.Leaves() {
+			idx := rt.Indices(leaf)
+			batch = append(batch, func() {
+				atomic.AddInt64(&changed, int64(exhaustiveLeaf(l, space, idx)))
+			})
+		}
+		sched.RunLevels([][]func(){batch}, opt.Workers)
+		if opt.RecallTarget > 0 {
+			if SampleRecall(l, space, opt.RecallSample, opt.Seed+int64(iter)) >= opt.RecallTarget {
+				break
+			}
+			continue
+		}
+		if float64(changed) < opt.MinGain*float64(n*kappa) {
+			break
+		}
+	}
+	return l
+}
+
+// SampleRecall estimates the recall of the current neighbor lists against
+// exact neighbors computed for `sample` random indices (O(sample·N) work) —
+// the accuracy the paper's ANN iteration reports per round.
+func SampleRecall(l *List, space metric.Space, sample int, seed int64) float64 {
+	n := l.N
+	if sample > n {
+		sample = n
+	}
+	rng := rand.New(rand.NewSource(seed))
+	idxAll := make([]int, n)
+	for i := range idxAll {
+		idxAll[i] = i
+	}
+	dcol := make([]float64, n)
+	hits, total := 0, 0
+	for _, i := range rng.Perm(n)[:sample] {
+		space.DistsTo(idxAll, i, dcol)
+		// Exact κ nearest (excluding self) by selection of the k smallest.
+		type cd struct {
+			j int
+			d float64
+		}
+		cands := make([]cd, 0, n-1)
+		for j := 0; j < n; j++ {
+			if j != i {
+				cands = append(cands, cd{j, dcol[j]})
+			}
+		}
+		k := min(l.K-1, len(cands))
+		sort.Slice(cands, func(a, b int) bool { return cands[a].d < cands[b].d })
+		truth := map[int32]bool{int32(i): true}
+		for _, c := range cands[:k] {
+			truth[int32(c.j)] = true
+		}
+		for _, id := range l.Of(i) {
+			total++
+			if truth[id] {
+				hits++
+			}
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(hits) / float64(total)
+}
+
+// exhaustiveLeaf updates neighbor lists of every index in idx against every
+// other index in idx, the KNN(K_αα) task of Table 2 (cost m²).
+func exhaustiveLeaf(l *List, space metric.Space, idx []int) int {
+	m := len(idx)
+	dcol := make([]float64, m)
+	candID := make([]int32, 0, m)
+	candD := make([]float64, 0, m)
+	// Compute the leaf's distance matrix column by column and merge rows.
+	dm := make([]float64, m*m)
+	for c, j := range idx {
+		space.DistsTo(idx, j, dcol)
+		copy(dm[c*m:(c+1)*m], dcol)
+	}
+	changed := 0
+	for r, i := range idx {
+		candID = candID[:0]
+		candD = candD[:0]
+		for c, j := range idx {
+			if j == i {
+				continue
+			}
+			candID = append(candID, int32(j))
+			candD = append(candD, dm[c*m+r])
+		}
+		changed += l.merge(i, candID, candD)
+	}
+	return changed
+}
+
+// Exact computes the true κ-nearest-neighbor lists by brute force (O(n²)),
+// used for accuracy verification in tests and small problems.
+func Exact(n, kappa int, space metric.Space) *List {
+	if kappa > n {
+		kappa = n
+	}
+	l := NewList(n, kappa)
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	dcol := make([]float64, n)
+	candID := make([]int32, 0, n)
+	candD := make([]float64, 0, n)
+	for _, i := range idx {
+		space.DistsTo(idx, i, dcol)
+		candID = candID[:0]
+		candD = candD[:0]
+		for j := 0; j < n; j++ {
+			if j == i {
+				continue
+			}
+			candID = append(candID, int32(j))
+			candD = append(candD, dcol[j])
+		}
+		l.merge(i, candID, candD)
+	}
+	return l
+}
+
+// Recall returns the fraction of entries of approx that appear in the exact
+// list of the same index — the accuracy measure the paper's ANN iteration
+// reports.
+func Recall(approx, exact *List) float64 {
+	if approx.N != exact.N {
+		panic("ann: Recall on mismatched lists")
+	}
+	hits, total := 0, 0
+	for i := 0; i < approx.N; i++ {
+		truth := map[int32]bool{}
+		for _, id := range exact.Of(i) {
+			truth[id] = true
+		}
+		for _, id := range approx.Of(i) {
+			total++
+			if truth[id] {
+				hits++
+			}
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(hits) / float64(total)
+}

@@ -1,0 +1,254 @@
+package ann
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"gofmm/internal/linalg"
+	"gofmm/internal/metric"
+)
+
+func clusteredPoints(rng *rand.Rand, d, n, clusters int, sep float64) *linalg.Matrix {
+	X := linalg.NewMatrix(d, n)
+	for i := 0; i < n; i++ {
+		c := i % clusters
+		col := X.Col(i)
+		for q := range col {
+			col[q] = rng.NormFloat64()
+		}
+		col[0] += sep * float64(c)
+	}
+	return X
+}
+
+func TestNewListSelfNeighbor(t *testing.T) {
+	l := NewList(5, 3)
+	for i := 0; i < 5; i++ {
+		of := l.Of(i)
+		if len(of) != 1 || of[0] != int32(i) {
+			t.Fatalf("index %d not seeded with self: %v", i, of)
+		}
+		if l.DistOf(i, 0) != 0 {
+			t.Fatal("self distance nonzero")
+		}
+	}
+}
+
+func TestMergeKeepsSortedUniqueK(t *testing.T) {
+	l := NewList(1, 4)
+	l.merge(0, []int32{5, 3, 5, 9}, []float64{0.5, 0.3, 0.5, 0.9})
+	of := l.Of(0)
+	want := []int32{0, 3, 5, 9}
+	if len(of) != 4 {
+		t.Fatalf("list = %v", of)
+	}
+	for k := range want {
+		if of[k] != want[k] {
+			t.Fatalf("slot %d = %d, want %d", k, of[k], want[k])
+		}
+	}
+	// Distances sorted ascending.
+	for k := 1; k < 4; k++ {
+		if l.DistOf(0, k) < l.DistOf(0, k-1) {
+			t.Fatal("distances not sorted")
+		}
+	}
+	// A better candidate must displace the worst one.
+	ch := l.merge(0, []int32{7}, []float64{0.1})
+	if ch == 0 {
+		t.Fatal("merge reported no change")
+	}
+	of = l.Of(0)
+	if of[1] != 7 {
+		t.Fatalf("best candidate not inserted: %v", of)
+	}
+	for _, id := range of {
+		if id == 9 {
+			t.Fatal("worst neighbor not evicted")
+		}
+	}
+}
+
+func TestMergeIdempotent(t *testing.T) {
+	l := NewList(1, 3)
+	l.merge(0, []int32{1, 2}, []float64{0.1, 0.2})
+	if ch := l.merge(0, []int32{1, 2}, []float64{0.1, 0.2}); ch != 0 {
+		t.Fatalf("re-merging identical candidates changed %d slots", ch)
+	}
+}
+
+func TestExactMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(50))
+	n := 60
+	X := linalg.GaussianMatrix(rng, 3, n)
+	sp := metric.GeometricSpace{X: X}
+	l := Exact(n, 5, sp)
+	for i := 0; i < n; i++ {
+		// Brute force reference.
+		type cd struct {
+			j int
+			d float64
+		}
+		all := make([]cd, 0, n-1)
+		for j := 0; j < n; j++ {
+			if j != i {
+				all = append(all, cd{j, sp.Dist(i, j)})
+			}
+		}
+		sort.Slice(all, func(a, b int) bool { return all[a].d < all[b].d })
+		of := l.Of(i)
+		if of[0] != int32(i) {
+			t.Fatalf("first neighbor of %d is not self", i)
+		}
+		for k := 1; k < len(of); k++ {
+			if math.Abs(l.DistOf(i, k)-all[k-1].d) > 1e-12 {
+				t.Fatalf("index %d slot %d: dist %g, want %g", i, k, l.DistOf(i, k), all[k-1].d)
+			}
+		}
+	}
+}
+
+func TestSearchRecallHighOnClusteredData(t *testing.T) {
+	rng := rand.New(rand.NewSource(51))
+	n := 512
+	X := clusteredPoints(rng, 4, n, 8, 30)
+	sp := metric.GeometricSpace{X: X}
+	approx := Search(n, 8, sp, Options{LeafSize: 64, MaxIters: 10, Seed: 9})
+	exact := Exact(n, 8, sp)
+	if rec := Recall(approx, exact); rec < 0.8 {
+		t.Fatalf("recall = %.3f, want ≥ 0.8", rec)
+	}
+}
+
+func TestSearchKernelSpaceMatchesGeometric(t *testing.T) {
+	// Kernel distance on a Gram matrix must find the same neighbors as the
+	// geometric distance on the generating points.
+	rng := rand.New(rand.NewSource(52))
+	n := 256
+	X := clusteredPoints(rng, 3, n, 4, 20)
+	K := linalg.MatMul(true, false, X, X)
+	kg := metric.KernelSpace{K: gram{K}}
+	gg := metric.GeometricSpace{X: X}
+	ak := Search(n, 6, kg, Options{LeafSize: 32, Seed: 1})
+	eg := Exact(n, 6, gg)
+	if rec := Recall(ak, eg); rec < 0.75 {
+		t.Fatalf("kernel-space recall vs geometric truth = %.3f", rec)
+	}
+}
+
+type gram struct{ M *linalg.Matrix }
+
+func (g gram) Dim() int            { return g.M.Rows }
+func (g gram) At(i, j int) float64 { return g.M.At(i, j) }
+
+func TestSearchPropertyValidLists(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 10 + rng.Intn(200)
+		k := 1 + rng.Intn(8)
+		X := linalg.GaussianMatrix(rng, 2, n)
+		l := Search(n, k, metric.GeometricSpace{X: X}, Options{LeafSize: 16, MaxIters: 3, Seed: seed})
+		for i := 0; i < n; i++ {
+			of := l.Of(i)
+			if len(of) == 0 || of[0] != int32(i) {
+				return false
+			}
+			seen := map[int32]bool{}
+			prev := -1.0
+			for kk, id := range of {
+				if id < 0 || int(id) >= n || seen[id] {
+					return false
+				}
+				seen[id] = true
+				d := l.DistOf(i, kk)
+				if d < prev {
+					return false
+				}
+				prev = d
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestKappaClampedToN(t *testing.T) {
+	rng := rand.New(rand.NewSource(53))
+	X := linalg.GaussianMatrix(rng, 2, 5)
+	l := Search(5, 32, metric.GeometricSpace{X: X}, Options{LeafSize: 4, Seed: 2})
+	if l.K != 5 {
+		t.Fatalf("kappa not clamped: %d", l.K)
+	}
+	e := Exact(5, 32, metric.GeometricSpace{X: X})
+	if e.K != 5 {
+		t.Fatalf("exact kappa not clamped: %d", e.K)
+	}
+}
+
+func TestRecallBounds(t *testing.T) {
+	rng := rand.New(rand.NewSource(54))
+	X := linalg.GaussianMatrix(rng, 2, 40)
+	sp := metric.GeometricSpace{X: X}
+	e := Exact(40, 4, sp)
+	if r := Recall(e, e); r != 1 {
+		t.Fatalf("self recall = %g", r)
+	}
+	fresh := NewList(40, 4)
+	r := Recall(fresh, e)
+	if r != 1 { // only self-neighbors present, all of which are correct
+		t.Fatalf("seed recall = %g, want 1 (self neighbors always correct)", r)
+	}
+}
+
+func TestSampleRecallExactListIsPerfect(t *testing.T) {
+	rng := rand.New(rand.NewSource(60))
+	X := linalg.GaussianMatrix(rng, 2, 80)
+	sp := metric.GeometricSpace{X: X}
+	e := Exact(80, 5, sp)
+	if r := SampleRecall(e, sp, 20, 1); r < 0.999 {
+		t.Fatalf("exact list recall = %g", r)
+	}
+	fresh := NewList(80, 5)
+	// Self-neighbors only: recall = 1/5 of slots filled, all correct but
+	// only one of five slots present per index.
+	if r := SampleRecall(fresh, sp, 20, 1); r != 1 {
+		t.Fatalf("self-only recall = %g (all present entries are correct)", r)
+	}
+}
+
+func TestSearchRecallTargetStopsEarly(t *testing.T) {
+	rng := rand.New(rand.NewSource(61))
+	X := clusteredPoints(rng, 3, 400, 8, 40)
+	sp := metric.GeometricSpace{X: X}
+	l := Search(400, 6, sp, Options{
+		LeafSize: 64, MaxIters: 10, Seed: 3, RecallTarget: 0.8, RecallSample: 32,
+	})
+	exact := Exact(400, 6, sp)
+	if rec := Recall(l, exact); rec < 0.7 {
+		t.Fatalf("recall-target search recall = %.3f", rec)
+	}
+}
+
+func TestSearchParallelWorkersMatchSerial(t *testing.T) {
+	rng := rand.New(rand.NewSource(62))
+	X := clusteredPoints(rng, 3, 300, 4, 20)
+	sp := metric.GeometricSpace{X: X}
+	a := Search(300, 5, sp, Options{LeafSize: 32, MaxIters: 4, Seed: 7, Workers: 1})
+	b := Search(300, 5, sp, Options{LeafSize: 32, MaxIters: 4, Seed: 7, Workers: 4})
+	for i := 0; i < 300; i++ {
+		oa, ob := a.Of(i), b.Of(i)
+		if len(oa) != len(ob) {
+			t.Fatalf("index %d list lengths differ", i)
+		}
+		for k := range oa {
+			if oa[k] != ob[k] {
+				t.Fatalf("index %d slot %d: %d vs %d", i, k, oa[k], ob[k])
+			}
+		}
+	}
+}

@@ -1,0 +1,93 @@
+package askit
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"gofmm/internal/linalg"
+)
+
+type denseOracle struct{ M *linalg.Matrix }
+
+func (d denseOracle) Dim() int            { return d.M.Rows }
+func (d denseOracle) At(i, j int) float64 { return d.M.At(i, j) }
+func (d denseOracle) Submatrix(I, J []int, dst *linalg.Matrix) {
+	for c, j := range J {
+		col := dst.Col(c)
+		src := d.M.Col(j)
+		for r, i := range I {
+			col[r] = src[i]
+		}
+	}
+}
+
+func gaussMatrix(rng *rand.Rand, n int, h float64) (*linalg.Matrix, *linalg.Matrix) {
+	X := linalg.GaussianMatrix(rng, 3, n)
+	K := linalg.NewMatrix(n, n)
+	for j := 0; j < n; j++ {
+		for i := 0; i < n; i++ {
+			d2 := 0.0
+			for q := 0; q < 3; q++ {
+				t := X.At(q, i) - X.At(q, j)
+				d2 += t * t
+			}
+			K.Set(i, j, math.Exp(-d2/(2*h*h)))
+		}
+	}
+	for i := 0; i < n; i++ {
+		K.Add(i, i, 1e-8)
+	}
+	return K, X
+}
+
+func TestRequiresPoints(t *testing.T) {
+	rng := rand.New(rand.NewSource(80))
+	K, _ := gaussMatrix(rng, 64, 1)
+	if _, err := Compress(denseOracle{K}, nil, Config{}); err == nil {
+		t.Fatal("expected error without points")
+	}
+}
+
+func TestMatvecAccuracy(t *testing.T) {
+	rng := rand.New(rand.NewSource(81))
+	K, X := gaussMatrix(rng, 500, 0.9)
+	tc, err := Compress(denseOracle{K}, X, Config{
+		LeafSize: 50, MaxRank: 50, Tol: 1e-8, Kappa: 16, Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	W := linalg.GaussianMatrix(rng, 500, 2)
+	U := tc.Matvec(W)
+	exact := linalg.MatMul(false, false, K, W)
+	if d := linalg.RelFrobDiff(U, exact); d > 1e-2 {
+		t.Fatalf("ASKIT matvec error %g", d)
+	}
+	if tc.Stats().CompressTime <= 0 || tc.Stats().EvalTime <= 0 {
+		t.Fatal("stats missing")
+	}
+	if e := tc.SampleRelErr(W, U, 50, 2); e > 1e-2 {
+		t.Fatalf("sampled error %g", e)
+	}
+}
+
+func TestKappaControlsDirectEvaluations(t *testing.T) {
+	// ASKIT's direct-evaluation volume is decided by κ: a larger κ must not
+	// shrink the near lists (more neighbors → more near leaves).
+	rng := rand.New(rand.NewSource(82))
+	K, X := gaussMatrix(rng, 400, 0.5)
+	var fracs []float64
+	for _, kappa := range []int{2, 32} {
+		tc, err := Compress(denseOracle{K}, X, Config{
+			LeafSize: 32, MaxRank: 32, Tol: 1e-6, Kappa: kappa, Seed: 3,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		fracs = append(fracs, tc.Stats().DirectFrac)
+	}
+	if fracs[1] < fracs[0] {
+		t.Fatalf("κ=32 produced fewer direct evaluations than κ=2: %v", fracs)
+	}
+}

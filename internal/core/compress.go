@@ -1,0 +1,253 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"sync/atomic"
+	"time"
+
+	"gofmm/internal/ann"
+	"gofmm/internal/metric"
+	"gofmm/internal/sched"
+	"gofmm/internal/tree"
+)
+
+// ErrNeedPoints is returned when the geometric distance is requested without
+// coordinates.
+var ErrNeedPoints = errors.New("core: geometric distance requires Config.Points")
+
+// ErrBadOracle is returned when spot checks of the entry oracle find
+// non-finite values or gross asymmetry — failure modes that would otherwise
+// surface as silent garbage deep inside the factorizations.
+var ErrBadOracle = errors.New("core: entry oracle returned non-finite or asymmetric values")
+
+// validateOracle spot-checks a handful of entries for NaN/Inf and symmetry.
+func validateOracle(K SPD, seed int64) error {
+	n := K.Dim()
+	rng := rand.New(rand.NewSource(seed))
+	for trial := 0; trial < 16; trial++ {
+		i, j := rng.Intn(n), rng.Intn(n)
+		a, b := K.At(i, j), K.At(j, i)
+		if math.IsNaN(a) || math.IsInf(a, 0) {
+			return fmt.Errorf("%w: K[%d,%d] = %v", ErrBadOracle, i, j, a)
+		}
+		if diff := math.Abs(a - b); diff > 1e-8*(1+math.Abs(a)) {
+			return fmt.Errorf("%w: K[%d,%d]=%g vs K[%d,%d]=%g", ErrBadOracle, i, j, a, j, i, b)
+		}
+		d := K.At(i, i)
+		if math.IsNaN(d) || d < 0 {
+			return fmt.Errorf("%w: diagonal K[%d,%d] = %v", ErrBadOracle, i, i, d)
+		}
+	}
+	return nil
+}
+
+// Compress builds the hierarchical approximation K̃ of K following
+// Algorithm 2.2. The returned Hierarchical supports fast matvecs via
+// Matvec/Evaluate.
+func Compress(K SPD, cfg Config) (*Hierarchical, error) {
+	n := K.Dim()
+	if n == 0 {
+		return nil, errors.New("core: empty matrix")
+	}
+	cfg = cfg.withDefaults(n)
+	if cfg.Distance == Geometric {
+		if cfg.Points == nil {
+			return nil, ErrNeedPoints
+		}
+		if cfg.Points.Cols != n {
+			return nil, fmt.Errorf("core: %d points for a %d-dim matrix", cfg.Points.Cols, n)
+		}
+	}
+	if err := validateOracle(K, cfg.Seed); err != nil {
+		return nil, err
+	}
+	h := &Hierarchical{K: K, Cfg: cfg}
+	start := time.Now()
+
+	// Steps 1–3: iterative randomized-tree neighbor search.
+	var space metric.Space
+	switch cfg.Distance {
+	case Angle:
+		space = metric.AngleSpace{K: K}
+	case Kernel:
+		space = metric.KernelSpace{K: K}
+	case Geometric:
+		space = metric.GeometricSpace{X: cfg.Points}
+	}
+	if cfg.Distance.HasNeighbors() {
+		t0 := time.Now()
+		h.Neighbors = ann.Search(n, cfg.Kappa, space, ann.Options{
+			LeafSize:     cfg.LeafSize,
+			MaxIters:     cfg.ANNIters,
+			Seed:         cfg.Seed,
+			RecallTarget: cfg.ANNRecall,
+			Workers:      cfg.workerCount(),
+		})
+		h.Stats.ANNTime = time.Since(t0).Seconds()
+	}
+
+	// Step 4: metric ball tree (SPLI tasks in a preorder traversal).
+	t0 := time.Now()
+	rng := rand.New(rand.NewSource(cfg.Seed + 1))
+	var split tree.Splitter
+	switch cfg.Distance {
+	case Lexicographic:
+		split = tree.EvenSplit{}
+	case RandomPerm:
+		split = metric.RandomSplit{Rng: rng}
+	default:
+		split = &metric.BallSplit{Space: space, Rng: rng}
+	}
+	h.Tree = tree.Build(n, cfg.LeafSize, split)
+	h.nodes = make([]node, len(h.Tree.Nodes))
+	h.Stats.TreeTime = time.Since(t0).Seconds()
+
+	// Steps 5–7: near and far interaction lists.
+	t0 = time.Now()
+	h.buildNearLists()
+	h.buildFarLists()
+	h.Stats.ListsTime = time.Since(t0).Seconds()
+
+	// Steps 8–9 (and optionally 10–11): skeletonization, coefficients,
+	// caching — per the configured executor.
+	t0 = time.Now()
+	h.skeletonize()
+	h.Stats.SkelTime = time.Since(t0).Seconds()
+	if cfg.CacheBlocks {
+		t0 = time.Now()
+		h.runCaching()
+		h.Stats.CacheTime = time.Since(t0).Seconds()
+	}
+
+	h.Stats.CompressTime = time.Since(start).Seconds()
+	h.Stats.CompressFlops = float64(atomic.LoadInt64(&h.compressFlops))
+	h.finishStats()
+	return h, nil
+}
+
+// compressFlops / evalFlops are atomic flop counters (units: flops).
+func (h *Hierarchical) addCompressFlops(f float64) {
+	atomic.AddInt64(&h.compressFlops, int64(f))
+}
+
+func (h *Hierarchical) addEvalFlops(f float64) {
+	atomic.AddInt64(&h.evalFlops, int64(f))
+}
+
+// nodeRng returns a deterministic per-node RNG so results do not depend on
+// task execution order.
+func (h *Hierarchical) nodeRng(id int) *rand.Rand {
+	return rand.New(rand.NewSource(h.Cfg.Seed ^ (0x9e3779b9 * int64(id+7))))
+}
+
+// skeletonize dispatches SKEL/COEF over all non-root nodes with the
+// configured executor.
+func (h *Hierarchical) skeletonize() {
+	t := h.Tree
+	if len(t.Nodes) == 1 {
+		return // single leaf: K̃ = K, no off-diagonal blocks
+	}
+	works := make([]*skelWork, len(t.Nodes))
+	switch h.Cfg.Exec {
+	case Sequential:
+		t.PostOrder(func(nd *tree.Node) {
+			if nd.ID == 0 {
+				return
+			}
+			works[nd.ID] = h.skelNode(nd.ID, h.nodeRng(nd.ID))
+			h.coefNode(nd.ID, works[nd.ID])
+		})
+
+	case LevelByLevel:
+		p := h.Cfg.workerCount()
+		levels := t.LevelNodes()
+		var batches [][]func()
+		// SKEL bottom-up with barriers.
+		for l := t.Depth; l >= 1; l-- {
+			batch := make([]func(), 0, len(levels[l]))
+			for _, id := range levels[l] {
+				id := id
+				batch = append(batch, func() { works[id] = h.skelNode(id, h.nodeRng(id)) })
+			}
+			batches = append(batches, batch)
+		}
+		// COEF is an "any order" task: one big dynamic batch.
+		coefBatch := make([]func(), 0, len(t.Nodes)-1)
+		for id := 1; id < len(t.Nodes); id++ {
+			id := id
+			coefBatch = append(coefBatch, func() { h.coefNode(id, works[id]) })
+		}
+		batches = append(batches, coefBatch)
+		sched.RunLevels(batches, p)
+
+	case Dynamic, TaskDepend:
+		g := sched.NewGraph()
+		skelTasks := make([]*sched.Task, len(t.Nodes))
+		m := float64(h.Cfg.LeafSize)
+		s := float64(h.Cfg.MaxRank)
+		for id := len(t.Nodes) - 1; id >= 1; id-- {
+			id := id
+			skelTasks[id] = g.Add(fmt.Sprintf("SKEL(%d)", id), 2*s*s*s+2*m*m*m, func(*sched.Ctx) {
+				works[id] = h.skelNode(id, h.nodeRng(id))
+			})
+			coef := g.Add(fmt.Sprintf("COEF(%d)", id), s*s*s, func(*sched.Ctx) {
+				h.coefNode(id, works[id])
+			})
+			g.AddDep(skelTasks[id], coef)
+		}
+		// SKEL(α) needs the children's skeletons.
+		for id := 1; id < len(t.Nodes); id++ {
+			if !t.IsLeaf(id) {
+				g.AddDep(skelTasks[t.Left(id)], skelTasks[id])
+				g.AddDep(skelTasks[t.Right(id)], skelTasks[id])
+			}
+		}
+		policy := sched.HEFT
+		if h.Cfg.Exec == TaskDepend {
+			policy = sched.FIFO
+		}
+		h.Cfg.engine(policy).Run(g)
+	}
+}
+
+// runCaching executes the Kba and SKba tasks (any order).
+func (h *Hierarchical) runCaching() {
+	t := h.Tree
+	var batch []func()
+	for _, beta := range t.Leaves() {
+		beta := beta
+		batch = append(batch, func() { h.cacheNearBlock(beta) })
+	}
+	for id := 1; id < len(t.Nodes); id++ {
+		id := id
+		if len(h.nodes[id].far) > 0 {
+			batch = append(batch, func() { h.cacheFarBlock(id) })
+		}
+	}
+	sched.RunLevels([][]func(){batch}, h.Cfg.workerCount())
+}
+
+// finishStats derives the summary statistics.
+func (h *Hierarchical) finishStats() {
+	t := h.Tree
+	totalRank, cnt := 0, 0
+	for id := 1; id < len(t.Nodes); id++ {
+		totalRank += len(h.nodes[id].skel)
+		cnt++
+	}
+	if cnt > 0 {
+		h.Stats.AvgRank = float64(totalRank) / float64(cnt)
+	}
+	var direct float64
+	n := float64(h.K.Dim())
+	for _, beta := range t.Leaves() {
+		bs := float64(t.Nodes[beta].Size())
+		for _, alpha := range h.nodes[beta].near {
+			direct += bs * float64(t.Nodes[alpha].Size())
+		}
+	}
+	h.Stats.DirectFrac = direct / (n * n)
+}

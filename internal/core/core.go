@@ -1,0 +1,327 @@
+// Package core implements GOFMM (geometry-oblivious fast multipole method),
+// the primary contribution of the paper: hierarchical low-rank compression
+// K ≈ D + S + UV of an arbitrary dense SPD matrix using only sampled matrix
+// entries, and the O(N)/O(N log N) matrix-vector evaluation on the
+// compressed form.
+//
+// The compression pipeline follows Algorithm 2.2 of the paper:
+//
+//	(1–3) iterative randomized-tree all-nearest-neighbor search
+//	(4)   metric ball tree build (kernel/angle/geometric distance)
+//	(5–7) near and far interaction lists (LeafNear, FindFar, MergeFar)
+//	(8–9) nested skeletonization (SKEL) and interpolation coefficients (COEF)
+//	(10–11) optional caching of near blocks K_βα and far blocks K_β̃α̃
+//
+// and the evaluation follows Algorithm 2.7: N2S (nodes to skeletons), S2S
+// (skeletons to skeletons), S2N (skeletons to nodes) and L2L (leaves to
+// leaves). Both phases can run sequentially, level-by-level with barriers,
+// or out-of-order on the task runtime in internal/sched with HEFT or FIFO
+// dispatch.
+package core
+
+import (
+	"fmt"
+
+	"gofmm/internal/ann"
+	"gofmm/internal/linalg"
+	"gofmm/internal/sched"
+	"gofmm/internal/tree"
+)
+
+// SPD is the minimal access GOFMM requires from the input matrix: its
+// dimension and an entry oracle. Every structural decision (permutation,
+// pruning, sampling) is derived from these entries alone.
+type SPD interface {
+	Dim() int
+	At(i, j int) float64
+}
+
+// Bulk is an optional fast path for gathering submatrices K[I, J]. Dense
+// matrices copy; kernel matrices evaluate blocks with a GEMM-style 2-norm
+// expansion (the trick the paper uses on memory-limited platforms).
+type Bulk interface {
+	Submatrix(I, J []int, dst *linalg.Matrix)
+}
+
+// Gather fills dst (len(I)×len(J)) with K[I, J], using the Bulk fast path
+// when available.
+func Gather(K SPD, I, J []int, dst *linalg.Matrix) {
+	if dst.Rows != len(I) || dst.Cols != len(J) {
+		panic("core: Gather destination shape mismatch")
+	}
+	if b, ok := K.(Bulk); ok {
+		b.Submatrix(I, J, dst)
+		return
+	}
+	for c, j := range J {
+		col := dst.Col(c)
+		for r, i := range I {
+			col[r] = K.At(i, j)
+		}
+	}
+}
+
+// NewGathered allocates and fills K[I, J].
+func NewGathered(K SPD, I, J []int) *linalg.Matrix {
+	dst := linalg.NewMatrix(len(I), len(J))
+	Gather(K, I, J, dst)
+	return dst
+}
+
+// Distance selects how index-to-index distances are defined (§2.1). Kernel
+// and Angle are the geometry-oblivious Gram-space distances; Geometric
+// requires coordinates; Lexicographic and Random define no distance at all
+// (no neighbors, HSS-only — the Figure 7 baselines).
+type Distance int
+
+const (
+	// Angle is the Gram angle distance 1 − K²ij/(Kii·Kjj) (the default).
+	Angle Distance = iota
+	// Kernel is the Gram ℓ₂ distance Kii + Kjj − 2Kij.
+	Kernel
+	// Geometric is the point distance ‖xi − xj‖; requires Config.Points.
+	Geometric
+	// Lexicographic keeps the input order (no permutation, no neighbors).
+	Lexicographic
+	// RandomPerm permutes uniformly at random (no neighbors).
+	RandomPerm
+)
+
+func (d Distance) String() string {
+	switch d {
+	case Angle:
+		return "angle"
+	case Kernel:
+		return "kernel"
+	case Geometric:
+		return "geometric"
+	case Lexicographic:
+		return "lexicographic"
+	case RandomPerm:
+		return "random"
+	}
+	return fmt.Sprintf("Distance(%d)", int(d))
+}
+
+// HasNeighbors reports whether the distance supports neighbor search (and
+// therefore FMM-style sparse corrections and importance sampling).
+func (d Distance) HasNeighbors() bool {
+	return d == Angle || d == Kernel || d == Geometric
+}
+
+// ExecMode selects the parallel execution strategy for both compression and
+// evaluation, matching the three schemes compared in Figure 4.
+type ExecMode int
+
+const (
+	// Dynamic is the task runtime with HEFT scheduling and work stealing.
+	Dynamic ExecMode = iota
+	// LevelByLevel synchronizes with a barrier after every tree level.
+	LevelByLevel
+	// TaskDepend uses the task DAG with a plain FIFO queue (omp task depend).
+	TaskDepend
+	// Sequential runs single-threaded recursive traversals (reference).
+	Sequential
+)
+
+func (e ExecMode) String() string {
+	switch e {
+	case Dynamic:
+		return "dynamic"
+	case LevelByLevel:
+		return "level-by-level"
+	case TaskDepend:
+		return "task-depend"
+	case Sequential:
+		return "sequential"
+	}
+	return fmt.Sprintf("ExecMode(%d)", int(e))
+}
+
+// Config collects GOFMM's tuning parameters; zero values choose the paper's
+// defaults (m=256, s=m, τ=1e-5, κ=32, 3% budget, angle distance).
+type Config struct {
+	// LeafSize is m, the leaf node size of the partition tree.
+	LeafSize int
+	// MaxRank is s, the maximum skeleton size per node.
+	MaxRank int
+	// Tol is τ, the adaptive-rank tolerance: skeletonization stops once the
+	// estimated σ_{s+1} of the sampled off-diagonal block falls below
+	// Tol·σ₁.
+	Tol float64
+	// Kappa is κ, the number of nearest neighbors per index.
+	Kappa int
+	// Budget bounds the sparse correction: |Near(β)| ≤ Budget·(N/m)
+	// (Eq. 6). Budget 0 yields an HSS approximation (S = 0).
+	Budget float64
+	// Distance selects the index distance (default Angle).
+	Distance Distance
+	// Points holds coordinates as columns of a d×N matrix; required for
+	// Geometric, optional otherwise.
+	Points *linalg.Matrix
+	// NumWorkers sets the worker-pool size (default 1); ignored when
+	// WorkerSpecs is non-nil.
+	NumWorkers int
+	// WorkerSpecs optionally describes a heterogeneous pool (Table 5's
+	// CPU+device configurations).
+	WorkerSpecs []sched.WorkerSpec
+	// Exec selects the execution strategy (default Dynamic).
+	Exec ExecMode
+	// CacheBlocks caches near blocks K_βα and far blocks K_β̃α̃ during
+	// compression (tasks Kba and SKba); evaluation then avoids re-gathering.
+	CacheBlocks bool
+	// CacheSingle stores the cached blocks in float32 (half the memory, the
+	// paper's single-precision storage regime); accumulation stays float64.
+	CacheSingle bool
+	// SampleRows bounds the number of importance-sampled rows used per
+	// skeletonization (default 4·MaxRank + LeafSize).
+	SampleRows int
+	// ANNIters caps the neighbor-search iterations (default 10).
+	ANNIters int
+	// ANNRecall, when positive, switches the neighbor search to the paper's
+	// stopping rule: iterate until the sampled recall reaches this target
+	// (the paper uses 0.8). Zero keeps the cheaper update-rate heuristic.
+	ANNRecall float64
+	// Seed makes all randomized components deterministic.
+	Seed int64
+	// NoSymmetrize skips the near-list symmetrization step. GOFMM always
+	// symmetrizes (its K̃ is symmetric by construction); the ASKIT baseline
+	// sets this.
+	NoSymmetrize bool
+	// CaptureTrace records the task execution trace of Dynamic/TaskDepend
+	// runs into LastTrace (timings, worker placement) for analysis.
+	CaptureTrace bool
+}
+
+// withDefaults fills in unset fields.
+func (c Config) withDefaults(n int) Config {
+	if c.LeafSize <= 0 {
+		c.LeafSize = 256
+	}
+	if c.LeafSize > n {
+		c.LeafSize = n
+	}
+	if c.MaxRank <= 0 {
+		c.MaxRank = c.LeafSize
+	}
+	if c.Tol <= 0 {
+		c.Tol = 1e-5
+	}
+	if c.Kappa <= 0 {
+		c.Kappa = 32
+	}
+	if c.NumWorkers <= 0 {
+		c.NumWorkers = 1
+	}
+	if c.SampleRows <= 0 {
+		c.SampleRows = 4*c.MaxRank + c.LeafSize
+	}
+	if c.ANNIters <= 0 {
+		c.ANNIters = 10
+	}
+	return c
+}
+
+// node holds the per-tree-node state of the compressed representation.
+type node struct {
+	skel []int          // skeleton indices α̃ (original matrix indices)
+	proj *linalg.Matrix // P_α̃α (leaf) or P_α̃[l̃r̃] (interior); nil for root
+	near []int          // near node IDs (leaves only, includes self)
+	far  []int          // far node IDs (after MergeFar)
+
+	cacheNear []*linalg.Matrix // K_βα per near α (optional)
+	cacheFar  []*linalg.Matrix // K_β̃α̃ per far α (optional)
+	// Single-precision variants used when Config.CacheSingle is set.
+	cacheNear32 []*linalg.Matrix32
+	cacheFar32  []*linalg.Matrix32
+}
+
+// Stats aggregates cost accounting for the experiment harness.
+type Stats struct {
+	// Times in seconds.
+	ANNTime, TreeTime, ListsTime, SkelTime, CacheTime float64
+	// CompressTime is the total of the above; EvalTime is the last Matvec.
+	CompressTime, EvalTime float64
+	// Flops spent in each phase (approximate, following Table 2).
+	CompressFlops, EvalFlops float64
+	// AvgRank is the mean skeleton size over non-root nodes.
+	AvgRank float64
+	// MaxNear is the largest near-list length; DirectFrac is the fraction
+	// of the N² matrix evaluated directly by L2L.
+	MaxNear    int
+	DirectFrac float64
+	// ANNRecallProxy is the final neighbor-list update rate (lower means
+	// converged).
+	ANNRecallProxy float64
+}
+
+// Hierarchical is the compressed H-matrix representation K̃ = D + S + UV.
+type Hierarchical struct {
+	K    SPD
+	Cfg  Config
+	Tree *tree.Tree
+	// Neighbors holds the κ-nearest-neighbor lists (nil for distances
+	// without neighbors).
+	Neighbors *ann.List
+	nodes     []node
+	Stats     Stats
+	// LastTrace holds the most recent traced task execution (see
+	// Config.CaptureTrace).
+	LastTrace []sched.Event
+
+	compressFlops, evalFlops int64 // atomic counters
+}
+
+// N returns the matrix dimension.
+func (h *Hierarchical) N() int { return h.K.Dim() }
+
+// Rank returns the skeleton size of tree node id.
+func (h *Hierarchical) Rank(id int) int { return len(h.nodes[id].skel) }
+
+// NearList and FarList expose the interaction lists (for tests/inspection).
+func (h *Hierarchical) NearList(id int) []int { return h.nodes[id].near }
+func (h *Hierarchical) FarList(id int) []int  { return h.nodes[id].far }
+
+// engine constructs a sched engine for the configured pool.
+func (c *Config) engine(policy sched.Policy) *sched.Engine {
+	specs := c.WorkerSpecs
+	if specs == nil {
+		specs = sched.Homogeneous(c.NumWorkers)
+	}
+	return sched.NewEngine(policy, specs)
+}
+
+// workerCount returns the effective pool size.
+func (c *Config) workerCount() int {
+	if c.WorkerSpecs != nil {
+		return len(c.WorkerSpecs)
+	}
+	return c.NumWorkers
+}
+
+// Proj returns a copy of node id's interpolation matrix (P_α̃α for leaves,
+// P_α̃[l̃r̃] for interior nodes; nil for the root), for conversions and
+// inspection.
+func (h *Hierarchical) Proj(id int) *linalg.Matrix {
+	if h.nodes[id].proj == nil {
+		return nil
+	}
+	return h.nodes[id].proj.Clone()
+}
+
+// Skeleton returns a copy of node id's skeleton indices α̃.
+func (h *Hierarchical) Skeleton(id int) []int {
+	return append([]int(nil), h.nodes[id].skel...)
+}
+
+// IsHSS reports whether the compressed form has no sparse correction
+// (every leaf is near only itself), i.e. S = 0 in K̃ = D + S + UV.
+func (h *Hierarchical) IsHSS() bool {
+	for _, beta := range h.Tree.Leaves() {
+		near := h.nodes[beta].near
+		if len(near) != 1 || near[0] != beta {
+			return false
+		}
+	}
+	return true
+}

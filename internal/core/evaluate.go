@@ -1,0 +1,345 @@
+package core
+
+import (
+	"fmt"
+	"io"
+	"sync/atomic"
+	"time"
+
+	"gofmm/internal/linalg"
+	"gofmm/internal/sched"
+	"gofmm/internal/tree"
+)
+
+// evalState holds the per-Matvec buffers of Algorithm 2.7.
+type evalState struct {
+	r int
+	// Wt and the two outputs are in tree order (rows = tree positions).
+	Wt, Unear, Ufar *linalg.Matrix
+	// skelW[α] = w̃α (skeleton weights, rank×r), written by N2S.
+	skelW []*linalg.Matrix
+	// skelU[α] = ũα (skeleton potentials), written by S2S, read by S2N.
+	skelU []*linalg.Matrix
+	// down[α] = P_α̃[l̃r̃]ᵀ · ũα, the contribution node α hands its children
+	// during S2N (nil for leaves and skeleton-less nodes).
+	down []*linalg.Matrix
+}
+
+// Matvec computes U ≈ K·W for an N×r block of right-hand sides using the
+// compressed representation (Algorithm 2.7: N2S, S2S, S2N, L2L) under the
+// configured executor. GOFMM's support for multiple right-hand sides is what
+// makes it useful for block Krylov and Monte Carlo sampling workloads.
+func (h *Hierarchical) Matvec(W *linalg.Matrix) *linalg.Matrix {
+	n := h.K.Dim()
+	if W.Rows != n {
+		panic(fmt.Sprintf("core: Matvec with %d rows, matrix dim %d", W.Rows, n))
+	}
+	start := time.Now()
+	atomic.StoreInt64(&h.evalFlops, 0)
+	t := h.Tree
+	st := &evalState{
+		r:     W.Cols,
+		Wt:    W.RowsGather(t.Perm),
+		Unear: linalg.NewMatrix(n, W.Cols),
+		Ufar:  linalg.NewMatrix(n, W.Cols),
+		skelW: make([]*linalg.Matrix, len(t.Nodes)),
+		skelU: make([]*linalg.Matrix, len(t.Nodes)),
+		down:  make([]*linalg.Matrix, len(t.Nodes)),
+	}
+	switch h.Cfg.Exec {
+	case Sequential:
+		t.PostOrder(func(nd *tree.Node) { h.n2s(st, nd.ID) })
+		for id := range t.Nodes {
+			h.s2s(st, id)
+		}
+		t.PreOrder(func(nd *tree.Node) { h.s2n(st, nd.ID) })
+		for _, beta := range t.Leaves() {
+			h.l2l(st, beta)
+		}
+	case LevelByLevel:
+		h.evalLevelByLevel(st)
+	case Dynamic, TaskDepend:
+		h.evalTasked(st)
+	}
+	st.Ufar.AddScaled(1, st.Unear)
+	U := st.Ufar.RowsGather(t.IPerm)
+	h.Stats.EvalTime = time.Since(start).Seconds()
+	h.Stats.EvalFlops = float64(atomic.LoadInt64(&h.evalFlops))
+	return U
+}
+
+// n2s computes the skeleton weights w̃α = P_α̃α w_α (leaf) or
+// P_α̃[l̃r̃] [w̃l; w̃r] (interior).
+func (h *Hierarchical) n2s(st *evalState, id int) {
+	nd := &h.nodes[id]
+	if nd.proj == nil {
+		return // root or skeleton-less node
+	}
+	t := h.Tree
+	s := nd.proj.Rows
+	out := linalg.NewMatrix(s, st.r)
+	if t.IsLeaf(id) {
+		tn := &t.Nodes[id]
+		wview := st.Wt.View(tn.Lo, 0, tn.Size(), st.r)
+		linalg.Gemm(false, false, 1, nd.proj, wview, 0, out)
+		h.addEvalFlops(2 * float64(s) * float64(tn.Size()) * float64(st.r))
+	} else {
+		wl := st.skelW[t.Left(id)]
+		wr := st.skelW[t.Right(id)]
+		stacked := stackRows(wl, wr, st.r)
+		linalg.Gemm(false, false, 1, nd.proj, stacked, 0, out)
+		h.addEvalFlops(2 * float64(s) * float64(stacked.Rows) * float64(st.r))
+	}
+	st.skelW[id] = out
+}
+
+// s2s applies the skeleton basis: ũβ = Σ_{α ∈ Far(β)} K_β̃α̃ w̃α.
+func (h *Hierarchical) s2s(st *evalState, id int) {
+	nd := &h.nodes[id]
+	if len(nd.far) == 0 || len(nd.skel) == 0 {
+		return
+	}
+	acc := linalg.NewMatrix(len(nd.skel), st.r)
+	for k, alpha := range nd.far {
+		wa := st.skelW[alpha]
+		if wa == nil || wa.Rows == 0 {
+			continue
+		}
+		if nd.cacheFar32 != nil {
+			b := nd.cacheFar32[k]
+			linalg.GemmMixed(1, b, wa, 1, acc)
+			h.addEvalFlops(2 * float64(b.Rows) * float64(b.Cols) * float64(st.r))
+			continue
+		}
+		var block *linalg.Matrix
+		if nd.cacheFar != nil {
+			block = nd.cacheFar[k]
+		} else {
+			block = NewGathered(h.K, nd.skel, h.nodes[alpha].skel)
+		}
+		linalg.Gemm(false, false, 1, block, wa, 1, acc)
+		h.addEvalFlops(2 * float64(block.Rows) * float64(block.Cols) * float64(st.r))
+	}
+	st.skelU[id] = acc
+}
+
+// s2n pushes skeleton potentials down: ũβ += slice of parent's Pᵀũ, then
+// either hands its own Pᵀũβ to its children (interior) or accumulates
+// P_β̃βᵀ ũβ into the output rows (leaf).
+func (h *Hierarchical) s2n(st *evalState, id int) {
+	t := h.Tree
+	nd := &h.nodes[id]
+	// Fold in the parent's contribution.
+	if p := t.Parent(id); p >= 0 && st.down[p] != nil {
+		ls := len(h.nodes[t.Left(p)].skel)
+		var part *linalg.Matrix
+		if id == t.Left(p) {
+			part = st.down[p].View(0, 0, ls, st.r)
+		} else {
+			part = st.down[p].View(ls, 0, st.down[p].Rows-ls, st.r)
+		}
+		if part.Rows > 0 {
+			if st.skelU[id] == nil {
+				st.skelU[id] = linalg.NewMatrix(part.Rows, st.r)
+			}
+			st.skelU[id].AddScaled(1, part)
+		}
+	}
+	u := st.skelU[id]
+	if u == nil || u.Rows == 0 || nd.proj == nil {
+		return
+	}
+	if t.IsLeaf(id) {
+		tn := &t.Nodes[id]
+		uview := st.Ufar.View(tn.Lo, 0, tn.Size(), st.r)
+		linalg.Gemm(true, false, 1, nd.proj, u, 1, uview)
+		h.addEvalFlops(2 * float64(nd.proj.Rows) * float64(tn.Size()) * float64(st.r))
+	} else {
+		down := linalg.NewMatrix(nd.proj.Cols, st.r)
+		linalg.Gemm(true, false, 1, nd.proj, u, 0, down)
+		st.down[id] = down
+		h.addEvalFlops(2 * float64(nd.proj.Rows) * float64(nd.proj.Cols) * float64(st.r))
+	}
+}
+
+// l2l accumulates the direct (sparse-correction) interactions:
+// u_β += Σ_{α ∈ Near(β)} K_βα w_α.
+func (h *Hierarchical) l2l(st *evalState, beta int) {
+	t := h.Tree
+	nd := &h.nodes[beta]
+	tb := &t.Nodes[beta]
+	uview := st.Unear.View(tb.Lo, 0, tb.Size(), st.r)
+	for k, alpha := range nd.near {
+		ta := &t.Nodes[alpha]
+		wview := st.Wt.View(ta.Lo, 0, ta.Size(), st.r)
+		if nd.cacheNear32 != nil {
+			b := nd.cacheNear32[k]
+			linalg.GemmMixed(1, b, wview, 1, uview)
+			h.addEvalFlops(2 * float64(b.Rows) * float64(b.Cols) * float64(st.r))
+			continue
+		}
+		var block *linalg.Matrix
+		if nd.cacheNear != nil {
+			block = nd.cacheNear[k]
+		} else {
+			block = NewGathered(h.K, t.Indices(beta), t.Indices(alpha))
+		}
+		linalg.Gemm(false, false, 1, block, wview, 1, uview)
+		h.addEvalFlops(2 * float64(block.Rows) * float64(block.Cols) * float64(st.r))
+	}
+}
+
+// stackRows returns [a; b] (either may be nil/empty).
+func stackRows(a, b *linalg.Matrix, cols int) *linalg.Matrix {
+	ra, rb := 0, 0
+	if a != nil {
+		ra = a.Rows
+	}
+	if b != nil {
+		rb = b.Rows
+	}
+	out := linalg.NewMatrix(ra+rb, cols)
+	if ra > 0 {
+		out.View(0, 0, ra, cols).CopyFrom(a)
+	}
+	if rb > 0 {
+		out.View(ra, 0, rb, cols).CopyFrom(b)
+	}
+	return out
+}
+
+// evalLevelByLevel runs Algorithm 2.7 with a barrier per tree level:
+// N2S bottom-up, S2S as one dynamic batch, S2N top-down, then L2L as one
+// batch (the baseline traversal of Figure 4).
+func (h *Hierarchical) evalLevelByLevel(st *evalState) {
+	t := h.Tree
+	p := h.Cfg.workerCount()
+	levels := t.LevelNodes()
+	var batches [][]func()
+	for l := t.Depth; l >= 0; l-- {
+		batch := make([]func(), 0, len(levels[l]))
+		for _, id := range levels[l] {
+			id := id
+			batch = append(batch, func() { h.n2s(st, id) })
+		}
+		batches = append(batches, batch)
+	}
+	s2sBatch := make([]func(), 0, len(t.Nodes))
+	for id := range t.Nodes {
+		id := id
+		s2sBatch = append(s2sBatch, func() { h.s2s(st, id) })
+	}
+	batches = append(batches, s2sBatch)
+	for l := 0; l <= t.Depth; l++ {
+		batch := make([]func(), 0, len(levels[l]))
+		for _, id := range levels[l] {
+			id := id
+			batch = append(batch, func() { h.s2n(st, id) })
+		}
+		batches = append(batches, batch)
+	}
+	l2lBatch := make([]func(), 0, t.NumLeaves())
+	for _, beta := range t.Leaves() {
+		beta := beta
+		l2lBatch = append(l2lBatch, func() { h.l2l(st, beta) })
+	}
+	batches = append(batches, l2lBatch)
+	sched.RunLevels(batches, p)
+}
+
+// evalTasked builds the Figure 3 dependency DAG by symbolic traversal and
+// executes it out of order (HEFT for Dynamic, FIFO for TaskDepend). The RAW
+// edges are exactly those of §2.3:
+//
+//	N2S(α)  ← N2S(l), N2S(r)            (w̃ of the children)
+//	S2S(β)  ← N2S(α) for α ∈ Far(β)     (reads w̃α — unknown at compile time)
+//	S2N(β)  ← S2S(β), S2N(parent(β))    (reads ũβ and the parent hand-down)
+//	L2L(β)  independent                  (separate output accumulator)
+func (h *Hierarchical) evalTasked(st *evalState) {
+	g := h.buildEvalGraph(st)
+	policy := sched.HEFT
+	if h.Cfg.Exec == TaskDepend {
+		policy = sched.FIFO
+	}
+	eng := h.Cfg.engine(policy)
+	if h.Cfg.CaptureTrace {
+		eng.EnableTrace()
+	}
+	eng.Run(g)
+	if h.Cfg.CaptureTrace {
+		h.LastTrace = eng.Trace()
+	}
+}
+
+// buildEvalGraph performs the symbolic traversal that discovers the RAW
+// dependencies of Algorithm 2.7 and returns the task DAG.
+func (h *Hierarchical) buildEvalGraph(st *evalState) *sched.Graph {
+	t := h.Tree
+	g := sched.NewGraph()
+	r := float64(st.r)
+	m := float64(h.Cfg.LeafSize)
+	n2sTasks := make([]*sched.Task, len(t.Nodes))
+	s2nTasks := make([]*sched.Task, len(t.Nodes))
+	for id := len(t.Nodes) - 1; id >= 0; id-- {
+		id := id
+		s := float64(len(h.nodes[id].skel))
+		n2sTasks[id] = g.Add(fmt.Sprintf("N2S(%d)", id), 2*m*s*r, func(*sched.Ctx) { h.n2s(st, id) })
+		if !t.IsLeaf(id) {
+			g.AddDep(n2sTasks[t.Left(id)], n2sTasks[id])
+			g.AddDep(n2sTasks[t.Right(id)], n2sTasks[id])
+		}
+	}
+	s2sTasks := make([]*sched.Task, len(t.Nodes))
+	for id := range t.Nodes {
+		id := id
+		nd := &h.nodes[id]
+		s := float64(len(nd.skel))
+		s2sTasks[id] = g.Add(fmt.Sprintf("S2S(%d)", id), 2*s*s*r*float64(len(nd.far)+1), func(*sched.Ctx) { h.s2s(st, id) })
+		for _, alpha := range nd.far {
+			g.AddDep(n2sTasks[alpha], s2sTasks[id])
+		}
+	}
+	for id := 0; id < len(t.Nodes); id++ {
+		id := id
+		s := float64(len(h.nodes[id].skel))
+		s2nTasks[id] = g.Add(fmt.Sprintf("S2N(%d)", id), 2*m*s*r, func(*sched.Ctx) { h.s2n(st, id) })
+		g.AddDep(s2sTasks[id], s2nTasks[id])
+		if p := t.Parent(id); p >= 0 {
+			g.AddDep(s2nTasks[p], s2nTasks[id])
+		}
+	}
+	// L2L tasks are the GEMM-heavy ones; when the pool has accelerator
+	// workers, pin them there (§2.3: "we enforce our scheduler to schedule
+	// L2L tasks to the GPU").
+	var accel []int
+	for wIdx, spec := range h.Cfg.WorkerSpecs {
+		if spec.Accelerator {
+			accel = append(accel, wIdx)
+		}
+	}
+	for li, beta := range t.Leaves() {
+		beta := beta
+		nd := &h.nodes[beta]
+		task := g.Add(fmt.Sprintf("L2L(%d)", beta), 2*m*m*r*float64(len(nd.near)), func(*sched.Ctx) { h.l2l(st, beta) })
+		if len(accel) > 0 {
+			task.Affinity = accel[li%len(accel)]
+		}
+	}
+	return g
+}
+
+// EvalGraphDOT writes the evaluation-phase dependency DAG (Figure 3 of the
+// paper, generated from the actual symbolic traversal) in Graphviz DOT
+// format, without executing anything.
+func (h *Hierarchical) EvalGraphDOT(w io.Writer) error {
+	st := &evalState{
+		r:     1,
+		Wt:    linalg.NewMatrix(h.K.Dim(), 1),
+		Unear: linalg.NewMatrix(h.K.Dim(), 1),
+		Ufar:  linalg.NewMatrix(h.K.Dim(), 1),
+		skelW: make([]*linalg.Matrix, len(h.Tree.Nodes)),
+		skelU: make([]*linalg.Matrix, len(h.Tree.Nodes)),
+		down:  make([]*linalg.Matrix, len(h.Tree.Nodes)),
+	}
+	return h.buildEvalGraph(st).WriteDOT(w)
+}

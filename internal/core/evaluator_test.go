@@ -1,0 +1,59 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"gofmm/internal/linalg"
+)
+
+func TestEvaluatorMatchesMatvec(t *testing.T) {
+	for _, budget := range []float64{0, 0.15} {
+		h, _ := compressGauss(t, 400, Config{
+			LeafSize: 32, MaxRank: 24, Tol: 1e-6, Kappa: 8, Budget: budget,
+			Distance: Kernel, Exec: Sequential, Seed: 150, CacheBlocks: true,
+		})
+		ev := h.NewEvaluator(3)
+		rng := rand.New(rand.NewSource(151))
+		for trial := 0; trial < 3; trial++ {
+			W := linalg.GaussianMatrix(rng, 400, 3)
+			want := h.Matvec(W)
+			got := ev.Matvec(W)
+			if !linalg.EqualApprox(got, want, 0) {
+				t.Fatalf("budget %g trial %d: evaluator differs (max |Δ| = %g)",
+					budget, trial, maxAbsDiff(got, want))
+			}
+		}
+	}
+}
+
+func TestEvaluatorRepeatedCallsIndependent(t *testing.T) {
+	h, _ := compressGauss(t, 300, Config{
+		LeafSize: 32, MaxRank: 24, Tol: 1e-6, Kappa: 8, Budget: 0.1,
+		Distance: Kernel, Exec: Sequential, Seed: 152, CacheBlocks: true,
+	})
+	ev := h.NewEvaluator(2)
+	rng := rand.New(rand.NewSource(153))
+	W := linalg.GaussianMatrix(rng, 300, 2)
+	first := ev.Matvec(W)
+	// A different input in between must not contaminate a repeat call.
+	ev.Matvec(linalg.GaussianMatrix(rng, 300, 2))
+	second := ev.Matvec(W)
+	if !linalg.EqualApprox(first, second, 0) {
+		t.Fatal("evaluator state leaked between calls")
+	}
+}
+
+func TestEvaluatorWrongShapePanics(t *testing.T) {
+	h, _ := compressGauss(t, 200, Config{
+		LeafSize: 32, Kappa: 8, Budget: 0, Distance: Kernel,
+		Exec: Sequential, Seed: 154, Tol: 1e-4,
+	})
+	ev := h.NewEvaluator(2)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	ev.Matvec(linalg.NewMatrix(200, 3))
+}

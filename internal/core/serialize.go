@@ -1,0 +1,265 @@
+package core
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+
+	"gofmm/internal/linalg"
+	"gofmm/internal/tree"
+)
+
+// Serialization of the compressed representation. Compression is the
+// expensive phase (O(N log N) with large constants), so persisting the
+// result and reloading it next to a fresh entry oracle is a practical
+// workflow: the stored form carries the permutation, per-node skeletons and
+// interpolation matrices, the interaction lists, and (optionally) the
+// cached near/far blocks — everything Matvec needs.
+
+const (
+	serialMagic   = 0x474F464D // "GOFM"
+	serialVersion = 1
+)
+
+// ErrBadFormat is returned when the input is not a GOFMM serialization.
+var ErrBadFormat = errors.New("core: bad serialization format")
+
+type countingWriter struct {
+	w io.Writer
+	n int64
+}
+
+func (cw *countingWriter) Write(p []byte) (int, error) {
+	n, err := cw.w.Write(p)
+	cw.n += int64(n)
+	return n, err
+}
+
+// WriteTo serializes the compressed representation (not the matrix oracle).
+func (h *Hierarchical) WriteTo(w io.Writer) (int64, error) {
+	cw := &countingWriter{w: w}
+	bw := bufio.NewWriter(cw)
+	le := binary.LittleEndian
+	wr := func(vs ...any) error {
+		for _, v := range vs {
+			if err := binary.Write(bw, le, v); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	writeInts := func(xs []int) error {
+		if err := wr(int64(len(xs))); err != nil {
+			return err
+		}
+		for _, x := range xs {
+			if err := wr(int64(x)); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	writeMat := func(m *linalg.Matrix) error {
+		if m == nil {
+			return wr(int64(-1))
+		}
+		if err := wr(int64(m.Rows), int64(m.Cols)); err != nil {
+			return err
+		}
+		for j := 0; j < m.Cols; j++ {
+			if err := wr(m.Col(j)); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	c := h.Cfg
+	if err := wr(uint32(serialMagic), uint32(serialVersion),
+		int64(h.K.Dim()), int64(c.LeafSize), int64(c.MaxRank), c.Tol,
+		int64(c.Kappa), c.Budget, int64(c.Distance), c.CacheBlocks,
+		int64(c.SampleRows), c.Seed); err != nil {
+		return cw.n, err
+	}
+	if err := writeInts(h.Tree.Perm); err != nil {
+		return cw.n, err
+	}
+	if err := wr(int64(len(h.nodes))); err != nil {
+		return cw.n, err
+	}
+	for id := range h.nodes {
+		nd := &h.nodes[id]
+		if err := writeInts(nd.skel); err != nil {
+			return cw.n, err
+		}
+		if err := writeMat(nd.proj); err != nil {
+			return cw.n, err
+		}
+		if err := writeInts(nd.near); err != nil {
+			return cw.n, err
+		}
+		if err := writeInts(nd.far); err != nil {
+			return cw.n, err
+		}
+		if err := wr(nd.cacheNear != nil); err != nil {
+			return cw.n, err
+		}
+		for _, m := range nd.cacheNear {
+			if err := writeMat(m); err != nil {
+				return cw.n, err
+			}
+		}
+		if err := wr(nd.cacheFar != nil); err != nil {
+			return cw.n, err
+		}
+		for _, m := range nd.cacheFar {
+			if err := writeMat(m); err != nil {
+				return cw.n, err
+			}
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		return cw.n, err
+	}
+	return cw.n, nil
+}
+
+// ReadFrom reconstructs a compressed representation previously written with
+// WriteTo, attaching it to the entry oracle K (which must be the same
+// matrix; only its dimension is validated). Executor-related fields of the
+// returned Cfg (Exec, NumWorkers, WorkerSpecs) are zero — set them before
+// calling Matvec if a parallel executor is wanted.
+func ReadFrom(r io.Reader, K SPD) (*Hierarchical, error) {
+	br := bufio.NewReader(r)
+	le := binary.LittleEndian
+	rd := func(vs ...any) error {
+		for _, v := range vs {
+			if err := binary.Read(br, le, v); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	readInt := func() (int, error) {
+		var v int64
+		err := rd(&v)
+		return int(v), err
+	}
+	readInts := func() ([]int, error) {
+		n, err := readInt()
+		if err != nil {
+			return nil, err
+		}
+		if n < 0 {
+			return nil, nil
+		}
+		out := make([]int, n)
+		for i := range out {
+			if out[i], err = readInt(); err != nil {
+				return nil, err
+			}
+		}
+		return out, nil
+	}
+	readMat := func() (*linalg.Matrix, error) {
+		rows, err := readInt()
+		if err != nil {
+			return nil, err
+		}
+		if rows < 0 {
+			return nil, nil
+		}
+		cols, err := readInt()
+		if err != nil {
+			return nil, err
+		}
+		m := linalg.NewMatrix(rows, cols)
+		for j := 0; j < cols; j++ {
+			if err := rd(m.Col(j)); err != nil {
+				return nil, err
+			}
+		}
+		return m, nil
+	}
+	var magic, version uint32
+	if err := rd(&magic, &version); err != nil {
+		return nil, err
+	}
+	if magic != serialMagic {
+		return nil, ErrBadFormat
+	}
+	if version != serialVersion {
+		return nil, fmt.Errorf("%w: version %d", ErrBadFormat, version)
+	}
+	var n64, leaf, maxRank, kappa, dist, sampleRows, seed int64
+	var tol, budget float64
+	var cache bool
+	if err := rd(&n64, &leaf, &maxRank, &tol, &kappa, &budget, &dist, &cache, &sampleRows, &seed); err != nil {
+		return nil, err
+	}
+	if K.Dim() != int(n64) {
+		return nil, fmt.Errorf("core: oracle dimension %d does not match stored %d", K.Dim(), n64)
+	}
+	h := &Hierarchical{K: K, Cfg: Config{
+		LeafSize: int(leaf), MaxRank: int(maxRank), Tol: tol, Kappa: int(kappa),
+		Budget: budget, Distance: Distance(dist), CacheBlocks: cache,
+		SampleRows: int(sampleRows), Seed: seed, Exec: Sequential, NumWorkers: 1,
+	}}
+	perm, err := readInts()
+	if err != nil {
+		return nil, err
+	}
+	if len(perm) != int(n64) {
+		return nil, fmt.Errorf("%w: permutation length %d", ErrBadFormat, len(perm))
+	}
+	h.Tree = tree.FromPermutation(perm, int(leaf))
+	numNodes, err := readInt()
+	if err != nil {
+		return nil, err
+	}
+	if numNodes != len(h.Tree.Nodes) {
+		return nil, fmt.Errorf("%w: %d nodes for tree of %d", ErrBadFormat, numNodes, len(h.Tree.Nodes))
+	}
+	h.nodes = make([]node, numNodes)
+	for id := 0; id < numNodes; id++ {
+		nd := &h.nodes[id]
+		if nd.skel, err = readInts(); err != nil {
+			return nil, err
+		}
+		if nd.proj, err = readMat(); err != nil {
+			return nil, err
+		}
+		if nd.near, err = readInts(); err != nil {
+			return nil, err
+		}
+		if nd.far, err = readInts(); err != nil {
+			return nil, err
+		}
+		var hasNear, hasFar bool
+		if err := rd(&hasNear); err != nil {
+			return nil, err
+		}
+		if hasNear {
+			nd.cacheNear = make([]*linalg.Matrix, len(nd.near))
+			for k := range nd.cacheNear {
+				if nd.cacheNear[k], err = readMat(); err != nil {
+					return nil, err
+				}
+			}
+		}
+		if err := rd(&hasFar); err != nil {
+			return nil, err
+		}
+		if hasFar {
+			nd.cacheFar = make([]*linalg.Matrix, len(nd.far))
+			for k := range nd.cacheFar {
+				if nd.cacheFar[k], err = readMat(); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+	h.finishStats()
+	return h, nil
+}

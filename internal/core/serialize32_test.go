@@ -1,0 +1,39 @@
+package core
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"gofmm/internal/linalg"
+)
+
+// Serialization intentionally skips fp32 caches (the loaded form re-gathers
+// blocks in fp64 on demand); the reloaded operator is therefore at least as
+// accurate as the saved one and must agree to the fp32 storage error.
+func TestSerializeWithSingleCache(t *testing.T) {
+	rng := rand.New(rand.NewSource(210))
+	Kd, _ := gaussKernelMatrix(rng, 300, 0.8)
+	h, err := Compress(denseSPD{Kd}, Config{
+		LeafSize: 32, MaxRank: 24, Tol: 1e-7, Kappa: 8, Budget: 0.1,
+		Distance: Kernel, Exec: Sequential, Seed: 211, CacheBlocks: true,
+		CacheSingle: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := h.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	h2, err := ReadFrom(&buf, denseSPD{Kd})
+	if err != nil {
+		t.Fatal(err)
+	}
+	W := linalg.GaussianMatrix(rng, 300, 2)
+	U1 := h.Matvec(W)
+	U2 := h2.Matvec(W)
+	if d := linalg.RelFrobDiff(U1, U2); d > 1e-6 {
+		t.Fatalf("fp32-cached vs reloaded differ by %g", d)
+	}
+}

@@ -1,0 +1,104 @@
+package core
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"testing"
+
+	"gofmm/internal/linalg"
+)
+
+func TestSerializeRoundTrip(t *testing.T) {
+	h, K := compressGauss(t, 300, Config{
+		LeafSize: 32, MaxRank: 24, Tol: 1e-6, Kappa: 8, Budget: 0.1,
+		Distance: Kernel, Exec: Sequential, Seed: 101, CacheBlocks: true,
+	})
+	var buf bytes.Buffer
+	n, err := h.WriteTo(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != int64(buf.Len()) {
+		t.Fatalf("WriteTo reported %d bytes, buffer has %d", n, buf.Len())
+	}
+	h2, err := ReadFrom(&buf, denseSPD{K})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(102))
+	W := linalg.GaussianMatrix(rng, 300, 3)
+	U1 := h.Matvec(W)
+	U2 := h2.Matvec(W)
+	if !linalg.EqualApprox(U1, U2, 0) {
+		t.Fatalf("round-trip matvec differs (max |Δ| = %g)", maxAbsDiff(U1, U2))
+	}
+	// Structure restored.
+	for id := range h.nodes {
+		if h.Rank(id) != h2.Rank(id) {
+			t.Fatalf("rank mismatch at node %d", id)
+		}
+		if len(h.NearList(id)) != len(h2.NearList(id)) || len(h.FarList(id)) != len(h2.FarList(id)) {
+			t.Fatalf("lists mismatch at node %d", id)
+		}
+	}
+}
+
+func TestSerializeWithoutCaches(t *testing.T) {
+	h, K := compressGauss(t, 200, Config{
+		LeafSize: 32, MaxRank: 24, Tol: 1e-6, Kappa: 8, Budget: 0.1,
+		Distance: Angle, Exec: Sequential, Seed: 103, CacheBlocks: false,
+	})
+	var buf bytes.Buffer
+	if _, err := h.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	h2, err := ReadFrom(&buf, denseSPD{K})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(104))
+	W := linalg.GaussianMatrix(rng, 200, 2)
+	if !linalg.EqualApprox(h.Matvec(W), h2.Matvec(W), 0) {
+		t.Fatal("cache-less round trip differs")
+	}
+}
+
+func TestReadFromRejectsGarbage(t *testing.T) {
+	rng := rand.New(rand.NewSource(105))
+	K := linalg.RandomSPD(rng, 10, 10)
+	if _, err := ReadFrom(bytes.NewReader([]byte("not a gofmm file at all")), denseSPD{K}); !errors.Is(err, ErrBadFormat) {
+		t.Fatalf("expected ErrBadFormat, got %v", err)
+	}
+}
+
+func TestReadFromRejectsWrongDimension(t *testing.T) {
+	h, _ := compressGauss(t, 200, Config{
+		LeafSize: 32, Kappa: 8, Budget: 0, Distance: Kernel,
+		Exec: Sequential, Seed: 106, Tol: 1e-5,
+	})
+	var buf bytes.Buffer
+	if _, err := h.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(107))
+	wrong := linalg.RandomSPD(rng, 50, 10)
+	if _, err := ReadFrom(&buf, denseSPD{wrong}); err == nil {
+		t.Fatal("expected dimension mismatch error")
+	}
+}
+
+func TestReadFromTruncated(t *testing.T) {
+	h, K := compressGauss(t, 200, Config{
+		LeafSize: 32, Kappa: 8, Budget: 0.1, Distance: Kernel,
+		Exec: Sequential, Seed: 108, Tol: 1e-5,
+	})
+	var buf bytes.Buffer
+	if _, err := h.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	trunc := buf.Bytes()[:buf.Len()/2]
+	if _, err := ReadFrom(bytes.NewReader(trunc), denseSPD{K}); err == nil {
+		t.Fatal("expected error on truncated input")
+	}
+}

@@ -1,0 +1,167 @@
+package dist
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"gofmm/internal/core"
+	"gofmm/internal/linalg"
+)
+
+type denseOracle struct{ M *linalg.Matrix }
+
+func (d denseOracle) Dim() int            { return d.M.Rows }
+func (d denseOracle) At(i, j int) float64 { return d.M.At(i, j) }
+func (d denseOracle) Submatrix(I, J []int, dst *linalg.Matrix) {
+	for c, j := range J {
+		col := dst.Col(c)
+		src := d.M.Col(j)
+		for r, i := range I {
+			col[r] = src[i]
+		}
+	}
+}
+
+func gaussK(rng *rand.Rand, n int) *linalg.Matrix {
+	X := linalg.GaussianMatrix(rng, 2, n)
+	K := linalg.NewMatrix(n, n)
+	for j := 0; j < n; j++ {
+		for i := 0; i < n; i++ {
+			d2 := 0.0
+			for q := 0; q < 2; q++ {
+				t := X.At(q, i) - X.At(q, j)
+				d2 += t * t
+			}
+			K.Set(i, j, math.Exp(-d2/1.28))
+		}
+	}
+	for i := 0; i < n; i++ {
+		K.Add(i, i, 1e-8)
+	}
+	return K
+}
+
+func compress(t *testing.T, n int, budget float64) (*core.Hierarchical, *linalg.Matrix) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(190))
+	K := gaussK(rng, n)
+	h, err := core.Compress(denseOracle{K}, core.Config{
+		LeafSize: 32, MaxRank: 24, Tol: 1e-7, Kappa: 8, Budget: budget,
+		Distance: core.Kernel, Exec: core.Sequential, Seed: 191, CacheBlocks: false,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return h, K
+}
+
+func TestDistributedMatchesSequential(t *testing.T) {
+	for _, budget := range []float64{0, 0.2} {
+		h, _ := compress(t, 512, budget)
+		rng := rand.New(rand.NewSource(192))
+		W := linalg.GaussianMatrix(rng, 512, 3)
+		want := h.Matvec(W)
+		for _, p := range []int{1, 2, 4, 8} {
+			m, err := Distribute(h, p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := m.Matvec(W)
+			if d := linalg.RelFrobDiff(got, want); d > 1e-12 {
+				t.Fatalf("budget %g, P=%d: distributed result differs by %g", budget, p, d)
+			}
+		}
+	}
+}
+
+func TestDistributeValidation(t *testing.T) {
+	h, _ := compress(t, 256, 0)
+	if _, err := Distribute(h, 3); err == nil {
+		t.Fatal("expected error for non-power-of-two ranks")
+	}
+	if _, err := Distribute(h, 64); err == nil {
+		t.Fatal("expected error for more ranks than leaves")
+	}
+}
+
+func TestSingleRankNoCommunication(t *testing.T) {
+	h, _ := compress(t, 256, 0.2)
+	m, err := Distribute(h, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(193))
+	m.Matvec(linalg.GaussianMatrix(rng, 256, 2))
+	if m.Stats.Messages != 0 || m.Stats.Bytes != 0 {
+		t.Fatalf("single rank communicated: %+v", m.Stats)
+	}
+}
+
+func TestHSSCommVolumeIndependentOfN(t *testing.T) {
+	// The headline scaling property: with budget 0 (no halo) and fixed P and
+	// rank cap, the skeleton-message volume does not grow with N.
+	var bytes []int64
+	for _, n := range []int{256, 1024} {
+		h, _ := compress(t, n, 0)
+		m, err := Distribute(h, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rng := rand.New(rand.NewSource(194))
+		m.Matvec(linalg.GaussianMatrix(rng, n, 2))
+		if m.Stats.ByPhase["halo"] != 0 {
+			t.Fatalf("HSS mode produced halo traffic: %+v", m.Stats.ByPhase)
+		}
+		bytes = append(bytes, m.Stats.Bytes)
+	}
+	if bytes[0] == 0 {
+		t.Fatal("no communication recorded at P=4")
+	}
+	// 4× the points, same rank cap: volume must not grow by more than 2×
+	// (it is bounded by the skeleton sizes at the top levels).
+	if float64(bytes[1]) > 2*float64(bytes[0]) {
+		t.Fatalf("HSS comm volume grew with N: %d -> %d bytes", bytes[0], bytes[1])
+	}
+}
+
+func TestFMMHaloOnlyAcrossRankBoundaries(t *testing.T) {
+	h, _ := compress(t, 512, 0.2)
+	m, err := Distribute(h, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(195))
+	m.Matvec(linalg.GaussianMatrix(rng, 512, 2))
+	// Count the near pairs that cross rank boundaries; the halo volume must
+	// match exactly (sizeof(block rows)·r·8).
+	var want int64
+	tr := h.Tree
+	for _, beta := range tr.Leaves() {
+		for _, alpha := range h.NearList(beta) {
+			if m.ownerOf(alpha) != m.ownerOf(beta) {
+				want += int64(tr.Nodes[alpha].Size()) * 2 * 8
+			}
+		}
+	}
+	if got := m.Stats.ByPhase["halo"]; got != want {
+		t.Fatalf("halo bytes = %d, want %d", got, want)
+	}
+}
+
+func TestMorePartitionsMoreMessages(t *testing.T) {
+	h, _ := compress(t, 512, 0)
+	var msgs []int
+	for _, p := range []int{2, 4, 8} {
+		m, err := Distribute(h, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rng := rand.New(rand.NewSource(196))
+		m.Matvec(linalg.GaussianMatrix(rng, 512, 2))
+		msgs = append(msgs, m.Stats.Messages)
+	}
+	if !(msgs[0] < msgs[1] && msgs[1] < msgs[2]) {
+		t.Fatalf("message counts not increasing with P: %v", msgs)
+	}
+}

@@ -1,0 +1,229 @@
+package experiments
+
+import (
+	"io"
+	"strings"
+	"testing"
+
+	"gofmm/internal/core"
+)
+
+// The experiment drivers run the real pipeline; these tests use tiny sizes
+// and verify structural invariants of the returned rows (counts, labels,
+// sane values) plus the paper-shape assertions that are stable even at
+// smoke scale.
+
+func TestGetProblemAndRun(t *testing.T) {
+	p := GetProblem("K05", 200, 1)
+	res := Run(p, core.Config{
+		LeafSize: 32, MaxRank: 32, Tol: 1e-5, Kappa: 8, Budget: 0.1,
+		Distance: core.Angle, Exec: core.Sequential, Seed: 1, CacheBlocks: true,
+	}, 4, 1)
+	if res.Case != "K05" || res.N != 200 {
+		t.Fatalf("row labels wrong: %+v", res)
+	}
+	if res.Eps < 0 || res.Eps > 1 {
+		t.Fatalf("eps out of range: %g", res.Eps)
+	}
+	if res.CompressS <= 0 || res.EvalS <= 0 || res.AvgRank <= 0 {
+		t.Fatalf("timings/rank missing: %+v", res)
+	}
+}
+
+func TestGetProblemUnknownPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	GetProblem("NOPE", 100, 1)
+}
+
+func TestDenseKernelMatchesOracle(t *testing.T) {
+	p := GetProblem("K09", 50, 2)
+	M := DenseKernel(p)
+	for i := 0; i < 50; i += 7 {
+		for j := 0; j < 50; j += 11 {
+			// The bulk path evaluates inner products with a GEMM whose
+			// summation order differs from At's dot product: allow rounding.
+			d := M.At(i, j) - p.K.At(i, j)
+			if d > 1e-12 || d < -1e-12 {
+				t.Fatalf("DenseKernel mismatch at (%d,%d): %g", i, j, d)
+			}
+		}
+	}
+}
+
+func TestFig1Rows(t *testing.T) {
+	rows := Fig1(io.Discard, []int{128, 256}, []int{8}, 1)
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.Experiment != "fig1" || r.EvalS <= 0 {
+			t.Fatalf("bad row: %+v", r)
+		}
+	}
+}
+
+func TestFig4Rows(t *testing.T) {
+	rows := Fig4(io.Discard, []int{1}, 256, 1)
+	// 2 cases × 3 schemes × 1 worker count.
+	if len(rows) != 6 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	schemes := map[string]bool{}
+	for _, r := range rows {
+		schemes[r.Scheme] = true
+		if r.Eps > 0.1 {
+			t.Fatalf("scheme %s eps %g", r.Scheme, r.Eps)
+		}
+	}
+	if len(schemes) != 3 {
+		t.Fatalf("schemes seen: %v", schemes)
+	}
+	// All schemes must agree on accuracy (same work, different order).
+	for _, c := range []string{"COVTYPE-12%", "K02-3%"} {
+		var eps []float64
+		for _, r := range rows {
+			if r.Case == c {
+				eps = append(eps, r.Eps)
+			}
+		}
+		for i := 1; i < len(eps); i++ {
+			if eps[i] != eps[0] {
+				t.Fatalf("%s: schemes disagree on eps: %v", c, eps)
+			}
+		}
+	}
+}
+
+func TestFig5CoversAllMatrices(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	rows := Fig5(io.Discard, 144, 1)
+	cases := map[string]int{}
+	for _, r := range rows {
+		cases[r.Case]++
+	}
+	if len(cases) != 24 {
+		t.Fatalf("covered %d matrices, want 24", len(cases))
+	}
+	// K13/K14 and G01–G03 get extra settings.
+	for _, name := range []string{"K13", "K14", "G01", "G02", "G03"} {
+		if cases[name] != 3 {
+			t.Fatalf("%s has %d settings, want 3", name, cases[name])
+		}
+	}
+}
+
+func TestFig6FMMBeatsOrMatchesHSSAtSameRank(t *testing.T) {
+	rows := Fig6(io.Discard, 512, 1)
+	byKey := map[string]Result{}
+	for _, r := range rows {
+		byKey[r.Case+"/"+r.Scheme] = r
+	}
+	// With the same rank, adding direct evaluations can only help accuracy
+	// (up to sampling noise; allow 2×).
+	for _, c := range []string{"K02", "COVTYPE"} {
+		hss := byKey[c+"/HSS s=32"]
+		fmm := byKey[c+"/FMM s=32 10%"]
+		if fmm.Eps > 2*hss.Eps {
+			t.Fatalf("%s: FMM (%g) much worse than HSS (%g) at equal rank", c, fmm.Eps, hss.Eps)
+		}
+	}
+}
+
+func TestFig7DistanceBeatsRandomOnGraph(t *testing.T) {
+	rows := Fig7(io.Discard, 256, 1)
+	byKey := map[string]Result{}
+	geoCount := 0
+	for _, r := range rows {
+		byKey[r.Case+"/"+r.Scheme] = r
+		if r.Scheme == "geometric" {
+			geoCount++
+		}
+	}
+	// G03 has no coordinates: no geometric row for it.
+	if _, ok := byKey["G03/geometric"]; ok {
+		t.Fatal("G03 should not have a geometric run")
+	}
+	if byKey["G03/angle"].Eps > byKey["G03/random"].Eps {
+		t.Fatalf("angle (%g) should beat random (%g) on G03",
+			byKey["G03/angle"].Eps, byKey["G03/random"].Eps)
+	}
+}
+
+func TestTable3AllCodesRun(t *testing.T) {
+	rows := Table3(io.Discard, 256, 1)
+	codes := map[string]int{}
+	for _, r := range rows {
+		codes[r.Scheme]++
+	}
+	for _, c := range []string{"HODLR", "STRUMPACK", "GOFMM"} {
+		if codes[c] != 6 {
+			t.Fatalf("%s ran %d times, want 6", c, codes[c])
+		}
+	}
+}
+
+func TestTable4PairsRows(t *testing.T) {
+	rows := Table4(io.Discard, []int{256}, 1)
+	if len(rows) != 8 { // 2 matrices × 1 size × 2 tols × 2 codes
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for i := 0; i < len(rows); i += 2 {
+		if rows[i].Scheme != "ASKIT" || rows[i+1].Scheme != "GOFMM" {
+			t.Fatalf("row pairing broken at %d: %s/%s", i, rows[i].Scheme, rows[i+1].Scheme)
+		}
+		if rows[i].Case != rows[i+1].Case {
+			t.Fatal("pair case mismatch")
+		}
+	}
+}
+
+func TestTable5ArchsIdenticalAccuracy(t *testing.T) {
+	rows := Table5(io.Discard, 256, 1)
+	byCase := map[string][]Result{}
+	for _, r := range rows {
+		byCase[r.Case] = append(byCase[r.Case], r)
+	}
+	if len(byCase) != 7 {
+		t.Fatalf("cases = %d", len(byCase))
+	}
+	for c, rs := range byCase {
+		if len(rs) != 4 {
+			t.Fatalf("%s has %d arch rows", c, len(rs))
+		}
+		for _, r := range rs[1:] {
+			if r.Eps != rs[0].Eps {
+				t.Fatalf("%s: architectures disagree on eps: %g vs %g", c, r.Eps, rs[0].Eps)
+			}
+		}
+	}
+}
+
+func TestHeaderAndCells(t *testing.T) {
+	var sb strings.Builder
+	header(&sb, "a", "b")
+	cell(&sb, "%d", 42)
+	endRow(&sb)
+	out := sb.String()
+	if !strings.Contains(out, "a") || !strings.Contains(out, "42") {
+		t.Fatalf("formatting broken: %q", out)
+	}
+	if strings.Count(out, "\n") != 2 {
+		t.Fatalf("rows: %q", out)
+	}
+}
+
+func TestScalingRowsAndGrowth(t *testing.T) {
+	rows := Scaling(io.Discard, []int{128, 256}, 1)
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	if rows[1].N != 2*rows[0].N {
+		t.Fatal("sizes not doubling")
+	}
+}

@@ -1,0 +1,61 @@
+package experiments
+
+import (
+	"io"
+
+	"gofmm/internal/core"
+	"gofmm/internal/spdmat"
+)
+
+// Fig5 reproduces Figure 5 (#5): relative error ε₂ on all 22 matrices (plus
+// the ML kernels) with the angle distance, under two settings — τ=1e-2 with
+// 1% budget (blue bars) and τ=1e-5 with 3% budget (green bars). Following
+// the paper's annotations, K13/K14 are additionally run at τ=1e-10 (the
+// adaptive ID underestimates their rank at looser tolerances — yellow) and
+// G01–G03 are additionally run with leaf size 64 (orange). Matrices that do
+// not compress at these ranks (K06, K15–K17 in the paper) simply show large
+// ε₂, as in the figure's red labels.
+func Fig5(w io.Writer, n int, seed int64) []Result {
+	header(w, "matrix", "setting", "eps2", "avg-rank", "compress(s)", "eval(s)")
+	var out []Result
+	type setting struct {
+		label  string
+		tol    float64
+		budget float64
+		m      int
+	}
+	base := []setting{
+		{"tol=1e-2 1%", 1e-2, 0.01, 128},
+		{"tol=1e-5 3%", 1e-5, 0.03, 128},
+	}
+	run := func(name string, st setting) {
+		p := GetProblem(name, n, seed)
+		res := Run(p, core.Config{
+			LeafSize: st.m, MaxRank: st.m, Tol: st.tol, Kappa: 32,
+			Budget: st.budget, Distance: core.Angle, Exec: core.Dynamic,
+			NumWorkers: 2, CacheBlocks: true, Seed: seed,
+		}, 16, seed)
+		res.Experiment = "fig5"
+		res.Scheme = st.label
+		out = append(out, res)
+		cell(w, "%s", name)
+		cell(w, "%s", st.label)
+		cell(w, "%.1e", res.Eps)
+		cell(w, "%.1f", res.AvgRank)
+		cell(w, "%.3f", res.CompressS)
+		cell(w, "%.4f", res.EvalS)
+		endRow(w)
+	}
+	for _, name := range spdmat.Names() {
+		for _, st := range base {
+			run(name, st)
+		}
+		switch name {
+		case "K13", "K14":
+			run(name, setting{"tol=1e-10 3%", 1e-10, 0.03, 128})
+		case "G01", "G02", "G03":
+			run(name, setting{"tol=1e-5 3% m64", 1e-5, 0.03, 64})
+		}
+	}
+	return out
+}

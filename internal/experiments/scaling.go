@@ -1,0 +1,48 @@
+package experiments
+
+import (
+	"io"
+
+	"gofmm/internal/core"
+)
+
+// Scaling regenerates the complexity-shape evidence behind Figure 1 and the
+// abstract's O(N log N)/O(N) claims: compression and evaluation times (and
+// flops) across a geometric sweep of N with fixed m, s and budget, printing
+// per-doubling growth ratios. O(N²) methods double their time 4× per row;
+// GOFMM's compression should stay near 2–2.5× and its evaluation near 2×.
+func Scaling(w io.Writer, sizes []int, seed int64) []Result {
+	header(w, "N", "compress(s)", "xGrow", "eval(s)", "xGrow", "cFlops", "eFlops", "eps2")
+	var out []Result
+	var prev *Result
+	for _, n := range sizes {
+		p := GetProblem("K05", n, seed)
+		res := Run(p, core.Config{
+			LeafSize: 128, MaxRank: 64, Tol: 1e-4, Kappa: 16, Budget: 0.05,
+			Distance: core.Angle, Exec: core.Dynamic, NumWorkers: 2,
+			CacheBlocks: true, Seed: seed,
+		}, 32, seed)
+		res.Experiment = "scaling"
+		cell(w, "%d", res.N)
+		cell(w, "%.3f", res.CompressS)
+		if prev != nil && prev.CompressS > 0 {
+			cell(w, "%.2f", res.CompressS/prev.CompressS)
+		} else {
+			cell(w, "-")
+		}
+		cell(w, "%.4f", res.EvalS)
+		if prev != nil && prev.EvalS > 0 {
+			cell(w, "%.2f", res.EvalS/prev.EvalS)
+		} else {
+			cell(w, "-")
+		}
+		cell(w, "%.2e", res.CompressGF*res.CompressS)
+		cell(w, "%.2e", res.EvalGF*res.EvalS)
+		cell(w, "%.1e", res.Eps)
+		endRow(w)
+		out = append(out, res)
+		r := res
+		prev = &r
+	}
+	return out
+}

@@ -1,0 +1,76 @@
+package experiments
+
+import (
+	"io"
+	"math/rand"
+
+	"gofmm/internal/core"
+	"gofmm/internal/hodlr"
+	"gofmm/internal/hss"
+	"gofmm/internal/linalg"
+)
+
+// Table3 reproduces Table 3 (#13–#18): HODLR vs STRUMPACK-style randomized
+// HSS vs GOFMM on K02, K04, K07, K12, K17 and G03, all targeting a similar
+// accuracy. The shape to preserve: the lexicographic baselines lose badly on
+// permutation-sensitive matrices (the 6-D kernels K04/K07), the HSS sketch
+// pays O(N²) compression, and G03 favors GOFMM's sparse correction.
+func Table3(w io.Writer, n int, seed int64) []Result {
+	cases := []string{"K02", "K04", "K07", "K12", "K17", "G03"}
+	header(w, "case", "code", "eps2", "compress(s)", "eval(s)", "avg-rank")
+	var out []Result
+	r := 64 // right-hand sides (the paper uses 1024 at larger N)
+	for _, name := range cases {
+		p := GetProblem(name, n, seed)
+		dim := p.K.Dim()
+		rng := rand.New(rand.NewSource(seed))
+		W := linalg.GaussianMatrix(rng, dim, r)
+		exactRows := sampleRows(dim, 100, seed+1)
+		exact := core.ExactRows(p.K, exactRows, W)
+		report := func(code string, compressS, evalS float64, U *linalg.Matrix, avgRank float64) {
+			approx := U.RowsGather(exactRows)
+			approx.AddScaled(-1, exact)
+			eps := approx.FrobeniusNorm() / exact.FrobeniusNorm()
+			res := Result{
+				Experiment: "table3", Case: name, Scheme: code, N: dim,
+				Eps: eps, CompressS: compressS, EvalS: evalS, AvgRank: avgRank,
+			}
+			out = append(out, res)
+			cell(w, "%s", name)
+			cell(w, "%s", code)
+			cell(w, "%.1e", eps)
+			cell(w, "%.3f", compressS)
+			cell(w, "%.4f", evalS)
+			cell(w, "%.1f", avgRank)
+			endRow(w)
+		}
+
+		hd := hodlr.Compress(p.K, hodlr.Config{LeafSize: 128, Tol: 1e-6, MaxRank: 256})
+		Uhd := hd.Matvec(W)
+		report("HODLR", hd.CompressTime, hd.EvalTime, Uhd, hd.AvgRank())
+
+		hs := hss.Compress(p.K, hss.Config{LeafSize: 128, Rank: 128, Tol: 1e-6, Seed: seed})
+		Uhs := hs.Matvec(W)
+		report("STRUMPACK", hs.CompressTime, hs.EvalTime, Uhs, hs.AvgRank())
+
+		g, err := core.Compress(p.K, core.Config{
+			LeafSize: 128, MaxRank: 128, Tol: 1e-6, Kappa: 32, Budget: 0.03,
+			Distance: core.Angle, Exec: core.Dynamic, NumWorkers: 2,
+			CacheBlocks: true, Seed: seed,
+		})
+		if err != nil {
+			panic(err)
+		}
+		U := g.Matvec(W)
+		report("GOFMM", g.Stats.CompressTime, g.Stats.EvalTime, U, g.Stats.AvgRank)
+	}
+	return out
+}
+
+func sampleRows(n, k int, seed int64) []int {
+	if k > n {
+		k = n
+	}
+	rng := rand.New(rand.NewSource(seed))
+	return rng.Perm(n)[:k]
+}

@@ -1,0 +1,84 @@
+package experiments
+
+import (
+	"io"
+	"math/rand"
+
+	"gofmm/internal/askit"
+	"gofmm/internal/core"
+	"gofmm/internal/linalg"
+)
+
+// Table4 reproduces Table 4 (#19–#26): ASKIT versus GOFMM with geometric
+// distances on the 6-D kernel matrices K04 (compressible) and K06 (max-rank
+// saturating), at two problem sizes and two tolerances. Both methods use
+// κ (scaled to 8 for laptop-size leaf counts) and m=s; GOFMM runs with a 7% budget as in the paper, ASKIT's direct
+// evaluations follow its κ neighbors. The preserved shape: comparable
+// accuracy, with GOFMM's out-of-order compression ahead when the rank
+// saturates (K06).
+func Table4(w io.Writer, sizes []int, seed int64) []Result {
+	header(w, "#", "case", "N", "tol", "code", "eps2", "compress(s)", "eval(s)")
+	var out []Result
+	id := 19
+	for _, name := range []string{"K04", "K06"} {
+		for _, n := range sizes {
+			for _, tol := range []float64{1e-3, 1e-6} {
+				p := GetProblem(name, n, seed)
+				dim := p.K.Dim()
+				rng := rand.New(rand.NewSource(seed))
+				W := linalg.GaussianMatrix(rng, dim, 1) // ASKIT evaluates r=1
+				rows := sampleRows(dim, 100, seed+2)
+				exact := core.ExactRows(p.K, rows, W)
+				eps := func(U *linalg.Matrix) float64 {
+					approx := U.RowsGather(rows)
+					approx.AddScaled(-1, exact)
+					return approx.FrobeniusNorm() / exact.FrobeniusNorm()
+				}
+
+				tc, err := askit.Compress(p.K, p.Points, askit.Config{
+					LeafSize: 128, MaxRank: 128, Tol: tol, Kappa: 8,
+					Workers: 2, Seed: seed,
+				})
+				if err != nil {
+					panic(err)
+				}
+				Ua := tc.Matvec(W)
+				ra := Result{
+					Experiment: "table4", Case: name, Scheme: "ASKIT", N: dim,
+					Eps: eps(Ua), CompressS: tc.Stats().CompressTime, EvalS: tc.Stats().EvalTime,
+				}
+				out = append(out, ra)
+
+				g, err := core.Compress(p.K, core.Config{
+					LeafSize: 128, MaxRank: 128, Tol: tol, Kappa: 8,
+					Budget: 0.07, Distance: core.Geometric, Points: p.Points,
+					Exec: core.Dynamic, NumWorkers: 2, CacheBlocks: true, Seed: seed,
+				})
+				if err != nil {
+					panic(err)
+				}
+				Ug := g.Matvec(W)
+				rg := Result{
+					Experiment: "table4", Case: name, Scheme: "GOFMM", N: dim,
+					Eps: eps(Ug), CompressS: g.Stats.CompressTime, EvalS: g.Stats.EvalTime,
+					AvgRank: g.Stats.AvgRank,
+				}
+				out = append(out, rg)
+
+				for _, res := range []Result{ra, rg} {
+					cell(w, "%d", id)
+					cell(w, "%s", name)
+					cell(w, "%d", dim)
+					cell(w, "%.0e", tol)
+					cell(w, "%s", res.Scheme)
+					cell(w, "%.1e", res.Eps)
+					cell(w, "%.3f", res.CompressS)
+					cell(w, "%.4f", res.EvalS)
+					endRow(w)
+				}
+				id++
+			}
+		}
+	}
+	return out
+}

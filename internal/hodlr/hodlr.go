@@ -1,0 +1,225 @@
+// Package hodlr implements the HODLR baseline of Table 3 (Ambikasaran &
+// Darve): a hierarchically off-diagonal low-rank approximation in the input
+// (lexicographic) order, with off-diagonal blocks compressed by partial-
+// pivoted adaptive cross approximation (ACA) — the same construction as the
+// HODLR library the paper compares against. The U, V factors are not nested,
+// so the matvec costs O(N·r·log N) rather than GOFMM's O(N).
+package hodlr
+
+import (
+	"math"
+	"time"
+
+	"gofmm/internal/linalg"
+)
+
+// Oracle is the entry access HODLR needs (structurally identical to
+// core.SPD).
+type Oracle interface {
+	Dim() int
+	At(i, j int) float64
+}
+
+// Config tunes the compression.
+type Config struct {
+	// LeafSize is the diagonal block size at the recursion base.
+	LeafSize int
+	// Tol is the relative ACA stopping tolerance.
+	Tol float64
+	// MaxRank caps each off-diagonal block's rank.
+	MaxRank int
+}
+
+func (c Config) withDefaults() Config {
+	if c.LeafSize <= 0 {
+		c.LeafSize = 256
+	}
+	if c.Tol <= 0 {
+		c.Tol = 1e-5
+	}
+	if c.MaxRank <= 0 {
+		c.MaxRank = 512
+	}
+	return c
+}
+
+// node is one recursion level: either a dense leaf or two children plus the
+// low-rank coupling K[lo:mid, mid:hi] ≈ U·Vᵀ (the lower block is its
+// transpose by symmetry).
+type node struct {
+	lo, hi, mid int
+	dense       *linalg.Matrix
+	U, V        *linalg.Matrix
+	left, right *node
+}
+
+// HODLR is the compressed representation.
+type HODLR struct {
+	Cfg  Config
+	root *node
+	n    int
+	// Stats.
+	CompressTime, EvalTime float64
+	MaxRankSeen            int
+	totalRank, blocks      int
+}
+
+// AvgRank reports the mean off-diagonal block rank.
+func (h *HODLR) AvgRank() float64 {
+	if h.blocks == 0 {
+		return 0
+	}
+	return float64(h.totalRank) / float64(h.blocks)
+}
+
+// Compress builds the HODLR approximation of K.
+func Compress(K Oracle, cfg Config) *HODLR {
+	cfg = cfg.withDefaults()
+	h := &HODLR{Cfg: cfg, n: K.Dim()}
+	start := time.Now()
+	h.root = h.build(K, 0, K.Dim())
+	h.CompressTime = time.Since(start).Seconds()
+	return h
+}
+
+func (h *HODLR) build(K Oracle, lo, hi int) *node {
+	n := hi - lo
+	if n <= h.Cfg.LeafSize {
+		d := linalg.NewMatrix(n, n)
+		for j := 0; j < n; j++ {
+			col := d.Col(j)
+			for i := 0; i < n; i++ {
+				col[i] = K.At(lo+i, lo+j)
+			}
+		}
+		return &node{lo: lo, hi: hi, dense: d}
+	}
+	mid := lo + (n+1)/2
+	nd := &node{lo: lo, hi: hi, mid: mid}
+	nd.U, nd.V = ACA(K, lo, mid, mid, hi, h.Cfg.Tol, h.Cfg.MaxRank)
+	r := nd.U.Cols
+	h.totalRank += r
+	h.blocks++
+	if r > h.MaxRankSeen {
+		h.MaxRankSeen = r
+	}
+	nd.left = h.build(K, lo, mid)
+	nd.right = h.build(K, mid, hi)
+	return nd
+}
+
+// ACA computes a partial-pivoted adaptive cross approximation of the block
+// K[r0:r1, c0:c1] ≈ U·Vᵀ. It touches only O((m+n)·rank) entries — the
+// standard HODLR construction.
+func ACA(K Oracle, r0, r1, c0, c1 int, tol float64, maxRank int) (U, V *linalg.Matrix) {
+	m, n := r1-r0, c1-c0
+	var us, vs [][]float64
+	used := make(map[int]bool) // used pivot rows
+	var frobEst float64        // ‖UVᵀ‖²_F running estimate
+	nextRow := 0
+	for len(us) < maxRank && len(us) < min(m, n) {
+		// Pick the next unused pivot row.
+		for used[nextRow] && nextRow < m {
+			nextRow++
+		}
+		if nextRow >= m {
+			break
+		}
+		i := nextRow
+		used[i] = true
+		// Residual row: K[i,:] − Σ u_k[i]·v_k.
+		row := make([]float64, n)
+		for j := 0; j < n; j++ {
+			row[j] = K.At(r0+i, c0+j)
+		}
+		for k := range us {
+			linalg.Axpy(-us[k][i], vs[k], row)
+		}
+		// Pivot column: largest residual entry.
+		jmax, best := -1, 0.0
+		for j, v := range row {
+			if a := abs(v); a > best {
+				best, jmax = a, j
+			}
+		}
+		if jmax < 0 || best == 0 {
+			nextRow++
+			continue
+		}
+		piv := row[jmax]
+		for j := range row {
+			row[j] /= piv
+		}
+		// Residual column: K[:,jmax] − Σ v_k[jmax]·u_k.
+		col := make([]float64, m)
+		for r := 0; r < m; r++ {
+			col[r] = K.At(r0+r, c0+jmax)
+		}
+		for k := range us {
+			linalg.Axpy(-vs[k][jmax], us[k], col)
+		}
+		us = append(us, col)
+		vs = append(vs, row)
+		// Greedy next pivot row: largest entry of the new column (not used).
+		nextRow = 0
+		bestC := -1.0
+		for r := 0; r < m; r++ {
+			if used[r] {
+				continue
+			}
+			if a := abs(col[r]); a > bestC {
+				bestC, nextRow = a, r
+			}
+		}
+		// Convergence: ‖u‖·‖v‖ ≤ tol·‖UVᵀ‖_F (running estimate).
+		nu, nv := linalg.Nrm2(col), linalg.Nrm2(row)
+		frobEst += nu * nu * nv * nv
+		for k := 0; k+1 < len(us); k++ {
+			frobEst += 2 * abs(linalg.Dot(us[k], col)*linalg.Dot(vs[k], row))
+		}
+		if nu*nv <= tol*math.Sqrt(frobEst) {
+			break
+		}
+	}
+	r := len(us)
+	U = linalg.NewMatrix(m, max(r, 0))
+	V = linalg.NewMatrix(n, max(r, 0))
+	for k := 0; k < r; k++ {
+		copy(U.Col(k), us[k])
+		copy(V.Col(k), vs[k])
+	}
+	return U, V
+}
+
+// Matvec computes K̃·W.
+func (h *HODLR) Matvec(W *linalg.Matrix) *linalg.Matrix {
+	start := time.Now()
+	out := linalg.NewMatrix(W.Rows, W.Cols)
+	h.apply(h.root, W, out)
+	h.EvalTime = time.Since(start).Seconds()
+	return out
+}
+
+func (h *HODLR) apply(nd *node, W, out *linalg.Matrix) {
+	if nd.dense != nil {
+		wv := W.View(nd.lo, 0, nd.hi-nd.lo, W.Cols)
+		ov := out.View(nd.lo, 0, nd.hi-nd.lo, W.Cols)
+		linalg.Gemm(false, false, 1, nd.dense, wv, 1, ov)
+		return
+	}
+	w1 := W.View(nd.lo, 0, nd.mid-nd.lo, W.Cols)
+	w2 := W.View(nd.mid, 0, nd.hi-nd.mid, W.Cols)
+	o1 := out.View(nd.lo, 0, nd.mid-nd.lo, W.Cols)
+	o2 := out.View(nd.mid, 0, nd.hi-nd.mid, W.Cols)
+	if nd.U.Cols > 0 {
+		// o1 += U (Vᵀ w2); o2 += V (Uᵀ w1)   (symmetry: K21 = K12ᵀ).
+		t := linalg.MatMul(true, false, nd.V, w2)
+		linalg.Gemm(false, false, 1, nd.U, t, 1, o1)
+		t2 := linalg.MatMul(true, false, nd.U, w1)
+		linalg.Gemm(false, false, 1, nd.V, t2, 1, o2)
+	}
+	h.apply(nd.left, W, out)
+	h.apply(nd.right, W, out)
+}
+
+func abs(x float64) float64 { return math.Abs(x) }

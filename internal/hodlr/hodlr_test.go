@@ -1,0 +1,124 @@
+package hodlr
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"gofmm/internal/linalg"
+)
+
+type denseOracle struct{ M *linalg.Matrix }
+
+func (d denseOracle) Dim() int            { return d.M.Rows }
+func (d denseOracle) At(i, j int) float64 { return d.M.At(i, j) }
+
+// kern1D builds a smooth kernel matrix over sorted 1-D points: the
+// lexicographic order is cluster-friendly, which is the regime HODLR is
+// designed for.
+func kern1D(n int, h float64) *linalg.Matrix {
+	K := linalg.NewMatrix(n, n)
+	for j := 0; j < n; j++ {
+		for i := 0; i < n; i++ {
+			d := float64(i-j) / float64(n)
+			K.Set(i, j, math.Exp(-d*d/(2*h*h)))
+		}
+	}
+	for i := 0; i < n; i++ {
+		K.Add(i, i, 1e-8)
+	}
+	return K
+}
+
+func TestACAExactOnLowRank(t *testing.T) {
+	rng := rand.New(rand.NewSource(60))
+	U0 := linalg.GaussianMatrix(rng, 40, 5)
+	V0 := linalg.GaussianMatrix(rng, 30, 5)
+	M := linalg.MatMul(false, true, U0, V0)
+	// Wrap as a 70×70 matrix whose (0:40, 40:70) block is M.
+	big := linalg.NewMatrix(70, 70)
+	big.View(0, 40, 40, 30).CopyFrom(M)
+	U, V := ACA(denseOracle{big}, 0, 40, 40, 70, 1e-12, 40)
+	if U.Cols > 7 {
+		t.Fatalf("ACA rank %d on a rank-5 block", U.Cols)
+	}
+	rec := linalg.MatMul(false, true, U, V)
+	if d := linalg.RelFrobDiff(rec, M); d > 1e-9 {
+		t.Fatalf("ACA reconstruction error %g", d)
+	}
+}
+
+func TestACAZeroBlock(t *testing.T) {
+	big := linalg.NewMatrix(20, 20)
+	U, V := ACA(denseOracle{big}, 0, 10, 10, 20, 1e-10, 10)
+	if U.Cols != 0 || V.Cols != 0 {
+		t.Fatalf("ACA of zero block returned rank %d", U.Cols)
+	}
+}
+
+func TestACARespectsMaxRank(t *testing.T) {
+	rng := rand.New(rand.NewSource(61))
+	big := linalg.GaussianMatrix(rng, 40, 40)
+	U, _ := ACA(denseOracle{big}, 0, 20, 20, 40, 1e-15, 3)
+	if U.Cols != 3 {
+		t.Fatalf("maxRank ignored: rank %d", U.Cols)
+	}
+}
+
+func TestHODLRMatvecAccuracy(t *testing.T) {
+	n := 600
+	K := kern1D(n, 0.05)
+	h := Compress(denseOracle{K}, Config{LeafSize: 64, Tol: 1e-9, MaxRank: 64})
+	rng := rand.New(rand.NewSource(62))
+	W := linalg.GaussianMatrix(rng, n, 4)
+	U := h.Matvec(W)
+	exact := linalg.MatMul(false, false, K, W)
+	if d := linalg.RelFrobDiff(U, exact); d > 1e-6 {
+		t.Fatalf("HODLR matvec error %g (avg rank %.1f)", d, h.AvgRank())
+	}
+}
+
+func TestHODLRSingleLeaf(t *testing.T) {
+	rng := rand.New(rand.NewSource(63))
+	K := linalg.RandomSPD(rng, 30, 10)
+	h := Compress(denseOracle{K}, Config{LeafSize: 64})
+	W := linalg.GaussianMatrix(rng, 30, 2)
+	U := h.Matvec(W)
+	exact := linalg.MatMul(false, false, K, W)
+	if d := linalg.RelFrobDiff(U, exact); d > 1e-12 {
+		t.Fatalf("single-leaf HODLR error %g", d)
+	}
+}
+
+func TestHODLRToleranceMonotone(t *testing.T) {
+	n := 400
+	K := kern1D(n, 0.08)
+	rng := rand.New(rand.NewSource(64))
+	W := linalg.GaussianMatrix(rng, n, 2)
+	exact := linalg.MatMul(false, false, K, W)
+	var prev float64 = -1
+	for _, tol := range []float64{1e-2, 1e-6, 1e-10} {
+		h := Compress(denseOracle{K}, Config{LeafSize: 50, Tol: tol, MaxRank: 200})
+		err := linalg.RelFrobDiff(h.Matvec(W), exact)
+		if prev >= 0 && err > prev*10 {
+			t.Fatalf("tightening tol made error much worse: %g -> %g", prev, err)
+		}
+		prev = err
+	}
+	if prev > 1e-7 {
+		t.Fatalf("tightest tolerance error %g", prev)
+	}
+}
+
+func TestHODLRStatsRecorded(t *testing.T) {
+	K := kern1D(200, 0.05)
+	h := Compress(denseOracle{K}, Config{LeafSize: 32, Tol: 1e-6})
+	rng := rand.New(rand.NewSource(65))
+	h.Matvec(linalg.GaussianMatrix(rng, 200, 1))
+	if h.CompressTime <= 0 || h.EvalTime <= 0 {
+		t.Fatal("times not recorded")
+	}
+	if h.AvgRank() <= 0 || h.MaxRankSeen <= 0 {
+		t.Fatal("rank stats not recorded")
+	}
+}

@@ -1,0 +1,118 @@
+package hodlr
+
+import (
+	"fmt"
+
+	"gofmm/internal/linalg"
+)
+
+// Solver is a recursive Sherman–Morrison–Woodbury direct solver for the
+// HODLR form — the O(N log² N) fast direct solver of Ambikasaran & Darve
+// that motivates the HODLR representation in the first place. Each level
+// writes
+//
+//	K = blkdiag(K₁, K₂) + Ũ·C·Ũᵀ,  Ũ = blkdiag(U, V),  C = [0 I; I 0],
+//
+// and applies Woodbury with the children's solvers playing blkdiag⁻¹:
+//
+//	K⁻¹ = D̂⁻¹ − D̂⁻¹Ũ·(C + ŨᵀD̂⁻¹Ũ)⁻¹·ŨᵀD̂⁻¹.
+type Solver struct {
+	nd          *node
+	left, right *Solver
+	chol        *linalg.Matrix // leaf: Cholesky of the dense block
+	x1, x2      *linalg.Matrix // K₁⁻¹U and K₂⁻¹V
+	s           *linalg.LU     // LU of the 2r×2r reduced system
+}
+
+// Factor builds the direct solver (bottom-up; the low-rank blocks must have
+// been compressed by Compress).
+func (h *HODLR) Factor() (*Solver, error) {
+	return factorNode(h.root)
+}
+
+func factorNode(nd *node) (*Solver, error) {
+	s := &Solver{nd: nd}
+	if nd.dense != nil {
+		L, err := linalg.Cholesky(nd.dense)
+		if err != nil {
+			return nil, fmt.Errorf("hodlr: leaf [%d,%d): %w", nd.lo, nd.hi, err)
+		}
+		s.chol = L
+		return s, nil
+	}
+	var err error
+	if s.left, err = factorNode(nd.left); err != nil {
+		return nil, err
+	}
+	if s.right, err = factorNode(nd.right); err != nil {
+		return nil, err
+	}
+	r := nd.U.Cols
+	if r == 0 {
+		return s, nil
+	}
+	// X₁ = K₁⁻¹U, X₂ = K₂⁻¹V via the children's solvers.
+	s.x1 = s.left.Solve(nd.U)
+	s.x2 = s.right.Solve(nd.V)
+	// S = C + blkdiag(UᵀX₁, VᵀX₂), C = [0 I; I 0].
+	S := linalg.NewMatrix(2*r, 2*r)
+	for i := 0; i < r; i++ {
+		S.Set(i, r+i, 1)
+		S.Set(r+i, i, 1)
+	}
+	tl := S.View(0, 0, r, r)
+	linalg.Gemm(true, false, 1, nd.U, s.x1, 1, tl)
+	br := S.View(r, r, r, r)
+	linalg.Gemm(true, false, 1, nd.V, s.x2, 1, br)
+	lu, err := linalg.LUFactor(S)
+	if err != nil {
+		return nil, fmt.Errorf("hodlr: node [%d,%d) reduced system: %w", nd.lo, nd.hi, err)
+	}
+	s.s = lu
+	return s, nil
+}
+
+// Solve returns x with K̃·x = B for a block of right-hand sides.
+func (s *Solver) Solve(B *linalg.Matrix) *linalg.Matrix {
+	if s.chol != nil {
+		X := B.Clone()
+		linalg.CholSolve(s.chol, X)
+		return X
+	}
+	nd := s.nd
+	n1 := nd.mid - nd.lo
+	y1 := s.left.Solve(B.View(0, 0, n1, B.Cols))
+	y2 := s.right.Solve(B.View(n1, 0, B.Rows-n1, B.Cols))
+	if s.s != nil {
+		r := nd.U.Cols
+		// z = S⁻¹ [Uᵀy₁; Vᵀy₂].
+		z := linalg.NewMatrix(2*r, B.Cols)
+		linalg.Gemm(true, false, 1, nd.U, y1, 0, z.View(0, 0, r, B.Cols))
+		linalg.Gemm(true, false, 1, nd.V, y2, 0, z.View(r, 0, r, B.Cols))
+		s.s.Solve(z)
+		// x = y − blkdiag(X₁, X₂)·z.
+		linalg.Gemm(false, false, -1, s.x1, z.View(0, 0, r, B.Cols), 1, y1)
+		linalg.Gemm(false, false, -1, s.x2, z.View(r, 0, r, B.Cols), 1, y2)
+	}
+	out := linalg.NewMatrix(B.Rows, B.Cols)
+	out.View(0, 0, n1, B.Cols).CopyFrom(y1)
+	out.View(n1, 0, B.Rows-n1, B.Cols).CopyFrom(y2)
+	return out
+}
+
+// LogDet returns log det(K̃) via the matrix determinant lemma at each level:
+// det(K) = det(K₁)·det(K₂)·det(C)·det(S) with C = [0 I; I 0]
+// (det(C) = (−1)^r), accumulated recursively.
+func (s *Solver) LogDet() float64 {
+	if s.chol != nil {
+		return linalg.LogDetFromCholesky(s.chol)
+	}
+	logdet := s.left.LogDet() + s.right.LogDet()
+	if s.s != nil {
+		la, _ := s.s.LogAbsDet()
+		logdet += la
+		// det(C) contributes (−1)^r in magnitude 1: log|det| unchanged; for
+		// an SPD K̃ the signs cancel against det(S)'s sign.
+	}
+	return logdet
+}

@@ -1,0 +1,126 @@
+package hss
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"gofmm/internal/linalg"
+)
+
+type denseOracle struct{ M *linalg.Matrix }
+
+func (d denseOracle) Dim() int            { return d.M.Rows }
+func (d denseOracle) At(i, j int) float64 { return d.M.At(i, j) }
+func (d denseOracle) Submatrix(I, J []int, dst *linalg.Matrix) {
+	for c, j := range J {
+		col := dst.Col(c)
+		src := d.M.Col(j)
+		for r, i := range I {
+			col[r] = src[i]
+		}
+	}
+}
+
+func kern1D(n int, h float64) *linalg.Matrix {
+	K := linalg.NewMatrix(n, n)
+	for j := 0; j < n; j++ {
+		for i := 0; i < n; i++ {
+			d := float64(i-j) / float64(n)
+			K.Set(i, j, math.Exp(-d*d/(2*h*h)))
+		}
+	}
+	for i := 0; i < n; i++ {
+		K.Add(i, i, 1e-8)
+	}
+	return K
+}
+
+func TestHSSMatvecAccuracy(t *testing.T) {
+	n := 600
+	K := kern1D(n, 0.05)
+	h := Compress(denseOracle{K}, Config{LeafSize: 64, Rank: 64, Tol: 1e-10, Seed: 1})
+	rng := rand.New(rand.NewSource(70))
+	W := linalg.GaussianMatrix(rng, n, 4)
+	U := h.Matvec(W)
+	exact := linalg.MatMul(false, false, K, W)
+	if d := linalg.RelFrobDiff(U, exact); d > 1e-5 {
+		t.Fatalf("HSS matvec error %g (avg rank %.1f)", d, h.AvgRank())
+	}
+}
+
+func TestHSSExactOnGloballyLowRankPlusDiag(t *testing.T) {
+	// K = G·Gᵀ + I with G of rank 6: every off-diagonal block has rank ≤ 6,
+	// so HSS with rank ≥ 6 must be essentially exact.
+	rng := rand.New(rand.NewSource(71))
+	n := 300
+	G := linalg.GaussianMatrix(rng, n, 6)
+	K := linalg.MatMul(false, true, G, G)
+	for i := 0; i < n; i++ {
+		K.Add(i, i, 1)
+	}
+	h := Compress(denseOracle{K}, Config{LeafSize: 32, Rank: 16, Tol: 1e-12, Seed: 2})
+	W := linalg.GaussianMatrix(rng, n, 3)
+	U := h.Matvec(W)
+	exact := linalg.MatMul(false, false, K, W)
+	if d := linalg.RelFrobDiff(U, exact); d > 1e-8 {
+		t.Fatalf("HSS on exact low-rank structure: error %g", d)
+	}
+	if h.MaxRankSeen > 16 {
+		t.Fatalf("rank %d on rank-6 structure", h.MaxRankSeen)
+	}
+}
+
+func TestHSSSingleLeaf(t *testing.T) {
+	rng := rand.New(rand.NewSource(72))
+	K := linalg.RandomSPD(rng, 40, 10)
+	h := Compress(denseOracle{K}, Config{LeafSize: 64, Rank: 8, Seed: 3})
+	W := linalg.GaussianMatrix(rng, 40, 2)
+	U := h.Matvec(W)
+	exact := linalg.MatMul(false, false, K, W)
+	if d := linalg.RelFrobDiff(U, exact); d > 1e-12 {
+		t.Fatalf("single-leaf HSS error %g", d)
+	}
+}
+
+func TestHSSMultiRHS(t *testing.T) {
+	n := 256
+	K := kern1D(n, 0.1)
+	h := Compress(denseOracle{K}, Config{LeafSize: 32, Rank: 40, Tol: 1e-10, Seed: 4})
+	rng := rand.New(rand.NewSource(73))
+	W := linalg.GaussianMatrix(rng, n, 5)
+	U := h.Matvec(W)
+	for j := 0; j < 5; j++ {
+		Wj := linalg.NewMatrix(n, 1)
+		copy(Wj.Col(0), W.Col(j))
+		Uj := h.Matvec(Wj)
+		for i := 0; i < n; i++ {
+			if math.Abs(Uj.At(i, 0)-U.At(i, j)) > 1e-10*math.Max(1, U.MaxAbs()) {
+				t.Fatalf("multi-RHS column %d mismatch at %d", j, i)
+			}
+		}
+	}
+}
+
+func TestHSSOperatorSymmetric(t *testing.T) {
+	n := 200
+	K := kern1D(n, 0.08)
+	h := Compress(denseOracle{K}, Config{LeafSize: 32, Rank: 48, Tol: 1e-10, Seed: 5})
+	Kt := h.Matvec(linalg.Eye(n))
+	if d := linalg.RelFrobDiff(Kt.Transposed(), Kt); d > 1e-12 {
+		t.Fatalf("HSS operator not symmetric: %g", d)
+	}
+}
+
+func TestHSSStats(t *testing.T) {
+	K := kern1D(256, 0.1)
+	h := Compress(denseOracle{K}, Config{LeafSize: 32, Rank: 32, Seed: 6})
+	if h.SketchTime <= 0 || h.CompressTime < h.SketchTime {
+		t.Fatalf("sketch/compress times wrong: %g %g", h.SketchTime, h.CompressTime)
+	}
+	rng := rand.New(rand.NewSource(74))
+	h.Matvec(linalg.GaussianMatrix(rng, 256, 1))
+	if h.EvalTime <= 0 {
+		t.Fatal("eval time not recorded")
+	}
+}

@@ -1,0 +1,162 @@
+package hss
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"gofmm/internal/linalg"
+)
+
+func TestFactorSolveMatchesDense(t *testing.T) {
+	n := 400
+	K := kern1D(n, 0.05)
+	// Shift the diagonal so K̃ stays comfortably positive definite.
+	for i := 0; i < n; i++ {
+		K.Add(i, i, 0.5)
+	}
+	h := Compress(denseOracle{K}, Config{LeafSize: 64, Rank: 48, Tol: 1e-12, Seed: 9})
+	f, err := h.Factor()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(91))
+	X := linalg.GaussianMatrix(rng, n, 3)
+	B := linalg.MatMul(false, false, K, X)
+	got := f.Solve(B)
+	// The factorization solves K̃x = b; with tight compression K̃ ≈ K, so x
+	// should match the dense solution.
+	if d := linalg.RelFrobDiff(got, X); d > 1e-4 {
+		t.Fatalf("factor-solve error vs dense solution: %g", d)
+	}
+	// And it must be an *exact* inverse of the compressed operator.
+	back := h.Matvec(got)
+	if d := linalg.RelFrobDiff(back, B); d > 1e-8 {
+		t.Fatalf("K̃·(K̃⁻¹b) deviates from b by %g", d)
+	}
+}
+
+func TestFactorSolveSingleLeaf(t *testing.T) {
+	rng := rand.New(rand.NewSource(92))
+	K := linalg.RandomSPD(rng, 30, 10)
+	h := Compress(denseOracle{K}, Config{LeafSize: 64, Rank: 8, Seed: 10})
+	f, err := h.Factor()
+	if err != nil {
+		t.Fatal(err)
+	}
+	X := linalg.GaussianMatrix(rng, 30, 2)
+	B := linalg.MatMul(false, false, K, X)
+	got := f.Solve(B)
+	if d := linalg.RelFrobDiff(got, X); d > 1e-10 {
+		t.Fatalf("single-leaf solve error %g", d)
+	}
+}
+
+func TestFactorSolveMultiLevel(t *testing.T) {
+	// Deep tree (leaf 16 over n=256 → 4 levels) with exact low-rank
+	// structure: solve must be near machine precision.
+	rng := rand.New(rand.NewSource(93))
+	n := 256
+	G := linalg.GaussianMatrix(rng, n, 5)
+	K := linalg.MatMul(false, true, G, G)
+	for i := 0; i < n; i++ {
+		K.Add(i, i, 2)
+	}
+	h := Compress(denseOracle{K}, Config{LeafSize: 16, Rank: 12, Tol: 1e-13, Seed: 11})
+	f, err := h.Factor()
+	if err != nil {
+		t.Fatal(err)
+	}
+	X := linalg.GaussianMatrix(rng, n, 4)
+	B := linalg.MatMul(false, false, K, X)
+	got := f.Solve(B)
+	if d := linalg.RelFrobDiff(got, X); d > 1e-8 {
+		t.Fatalf("multi-level solve error %g", d)
+	}
+}
+
+func TestFactorAsPreconditioner(t *testing.T) {
+	// A loose HSS factorization of K should still reduce the residual by a
+	// large factor in one application (the preconditioner use case for
+	// which factorizations of H-matrices are built).
+	n := 300
+	K := kern1D(n, 0.08)
+	for i := 0; i < n; i++ {
+		K.Add(i, i, 0.1)
+	}
+	h := Compress(denseOracle{K}, Config{LeafSize: 32, Rank: 12, Tol: 1e-3, Seed: 12})
+	f, err := h.Factor()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(94))
+	B := linalg.GaussianMatrix(rng, n, 1)
+	X := f.Solve(B)
+	R := linalg.MatMul(false, false, K, X)
+	R.AddScaled(-1, B)
+	if ratio := R.FrobeniusNorm() / B.FrobeniusNorm(); ratio > 0.5 {
+		t.Fatalf("preconditioner residual reduction only %g", ratio)
+	}
+}
+
+func TestLogDetMatchesDense(t *testing.T) {
+	n := 300
+	K := kern1D(n, 0.05)
+	for i := 0; i < n; i++ {
+		K.Add(i, i, 0.5)
+	}
+	h := Compress(denseOracle{K}, Config{LeafSize: 32, Rank: 64, Tol: 1e-12, Seed: 20})
+	f, err := h.Factor()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := f.LogDet()
+	L, err := linalg.Cholesky(K)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := linalg.LogDetFromCholesky(L)
+	if d := got - want; d > 1e-4 || d < -1e-4 {
+		t.Fatalf("LogDet = %g, dense = %g (Δ %g)", got, want, d)
+	}
+}
+
+func TestLogDetSingleLeaf(t *testing.T) {
+	rngl := rand.New(rand.NewSource(21))
+	K := linalg.RandomSPD(rngl, 30, 10)
+	h := Compress(denseOracle{K}, Config{LeafSize: 64, Rank: 8, Seed: 22})
+	f, err := h.Factor()
+	if err != nil {
+		t.Fatal(err)
+	}
+	L, _ := linalg.Cholesky(K)
+	want := linalg.LogDetFromCholesky(L)
+	if d := f.LogDet() - want; d > 1e-9 || d < -1e-9 {
+		t.Fatalf("single-leaf LogDet off by %g", d)
+	}
+}
+
+func TestFactorSolvePropertyLowRankPlusDiag(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 64 + rng.Intn(200)
+		r := 1 + rng.Intn(6)
+		G := linalg.GaussianMatrix(rng, n, r)
+		K := linalg.MatMul(false, true, G, G)
+		for i := 0; i < n; i++ {
+			K.Add(i, i, 1+rng.Float64())
+		}
+		h := Compress(denseOracle{K}, Config{LeafSize: 32, Rank: 16, Tol: 1e-13, Seed: seed})
+		fac, err := h.Factor()
+		if err != nil {
+			return false
+		}
+		X := linalg.GaussianMatrix(rng, n, 2)
+		B := linalg.MatMul(false, false, K, X)
+		got := fac.Solve(B)
+		return linalg.RelFrobDiff(got, X) < 1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Fatal(err)
+	}
+}

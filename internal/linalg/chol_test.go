@@ -1,0 +1,194 @@
+package linalg
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestCholeskyReconstruct(t *testing.T) {
+	rng := rand.New(rand.NewSource(30))
+	A := RandomSPD(rng, 25, 1e4)
+	L, err := Cholesky(A)
+	if err != nil {
+		t.Fatal(err)
+	}
+	LLt := MatMul(false, true, L, L)
+	if d := RelFrobDiff(LLt, A); d > 1e-10 {
+		t.Fatalf("‖LLᵀ − A‖/‖A‖ = %g", d)
+	}
+	// Strict upper triangle of L must be zero.
+	for j := 1; j < L.Cols; j++ {
+		for i := 0; i < j; i++ {
+			if L.At(i, j) != 0 {
+				t.Fatalf("L not lower triangular at (%d,%d)", i, j)
+			}
+		}
+	}
+}
+
+func TestCholeskyRejectsIndefinite(t *testing.T) {
+	A := FromRows([][]float64{{1, 2}, {2, 1}}) // eigenvalues 3, -1
+	if _, err := Cholesky(A); !errors.Is(err, ErrNotSPD) {
+		t.Fatalf("expected ErrNotSPD, got %v", err)
+	}
+}
+
+func TestCholSolveAndInvert(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	A := RandomSPD(rng, 20, 100)
+	X := GaussianMatrix(rng, 20, 4)
+	B := MatMul(false, false, A, X)
+	L, err := Cholesky(A)
+	if err != nil {
+		t.Fatal(err)
+	}
+	CholSolve(L, B)
+	if d := RelFrobDiff(B, X); d > 1e-8 {
+		t.Fatalf("CholSolve error %g", d)
+	}
+	Ainv, err := InvertSPD(A)
+	if err != nil {
+		t.Fatal(err)
+	}
+	AAinv := MatMul(false, false, A, Ainv)
+	if d := RelFrobDiff(AAinv, Eye(20)); d > 1e-8 {
+		t.Fatalf("A·A⁻¹ deviates from I by %g", d)
+	}
+}
+
+func TestCholeskyPropertySPDAlwaysFactors(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(15)
+		// Gram matrices are SPD (a.s. full rank for m ≥ n Gaussians).
+		G := GaussianMatrix(rng, n+5, n)
+		A := MatMul(true, false, G, G)
+		L, err := Cholesky(A)
+		if err != nil {
+			return false
+		}
+		return RelFrobDiff(MatMul(false, true, L, L), A) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// denseFromBanded expands band storage for verification.
+func denseFromBanded(b *BandedSPD) *Matrix {
+	A := NewMatrix(b.N, b.N)
+	for i := 0; i < b.N; i++ {
+		for j := 0; j < b.N; j++ {
+			A.Set(i, j, b.At(i, j))
+		}
+	}
+	return A
+}
+
+// tridiagLaplacian returns the 1-D Dirichlet Laplacian plus shift as banded.
+func tridiagLaplacian(n int, shift float64) *BandedSPD {
+	b := NewBandedSPD(n, 1)
+	for i := 0; i < n; i++ {
+		b.Set(i, i, 2+shift)
+		if i+1 < n {
+			b.Set(i+1, i, -1)
+		}
+	}
+	return b
+}
+
+func TestBandedAtSymmetry(t *testing.T) {
+	b := NewBandedSPD(5, 2)
+	b.Set(3, 1, 7)
+	if b.At(1, 3) != 7 || b.At(3, 1) != 7 {
+		t.Fatal("banded symmetry broken")
+	}
+	if b.At(0, 4) != 0 {
+		t.Fatal("outside-band entry should read 0")
+	}
+}
+
+func TestBandedCholeskySolveMatchesDense(t *testing.T) {
+	n := 40
+	b := tridiagLaplacian(n, 0.3)
+	dense := denseFromBanded(b)
+	rng := rand.New(rand.NewSource(32))
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+	}
+	rhs := make([]float64, n)
+	Gemv(false, 1, dense, x, 0, rhs)
+	if err := b.CholeskyInPlace(); err != nil {
+		t.Fatal(err)
+	}
+	b.Solve(rhs)
+	for i := range x {
+		if diff := rhs[i] - x[i]; diff > 1e-9 || diff < -1e-9 {
+			t.Fatalf("banded solve mismatch at %d: %g", i, diff)
+		}
+	}
+}
+
+func TestBandedDenseInverse(t *testing.T) {
+	n := 30
+	b := tridiagLaplacian(n, 0.5)
+	dense := denseFromBanded(b)
+	inv, err := b.DenseInverse()
+	if err != nil {
+		t.Fatal(err)
+	}
+	prod := MatMul(false, false, dense, inv)
+	if d := RelFrobDiff(prod, Eye(n)); d > 1e-10 {
+		t.Fatalf("banded inverse error %g", d)
+	}
+}
+
+func TestBandedWideBandwidth(t *testing.T) {
+	// A banded matrix built like a 2-D grid Laplacian (bandwidth = nx).
+	nx := 6
+	n := nx * nx
+	b := NewBandedSPD(n, nx)
+	for i := 0; i < n; i++ {
+		b.Set(i, i, 4.1)
+		if (i+1)%nx != 0 {
+			b.Set(i+1, i, -1)
+		}
+		if i+nx < n {
+			b.Set(i+nx, i, -1)
+		}
+	}
+	dense := denseFromBanded(b)
+	inv, err := b.DenseInverse()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := RelFrobDiff(MatMul(false, false, dense, inv), Eye(n)); d > 1e-9 {
+		t.Fatalf("grid banded inverse error %g", d)
+	}
+}
+
+func TestBandedRejectsIndefinite(t *testing.T) {
+	b := NewBandedSPD(3, 1)
+	b.Set(0, 0, 1)
+	b.Set(1, 0, 5) // makes trailing block negative
+	b.Set(1, 1, 1)
+	b.Set(2, 2, 1)
+	if err := b.CholeskyInPlace(); !errors.Is(err, ErrNotSPD) {
+		t.Fatalf("expected ErrNotSPD, got %v", err)
+	}
+}
+
+func TestRandomSPDIsSPD(t *testing.T) {
+	rng := rand.New(rand.NewSource(33))
+	A := RandomSPD(rng, 15, 1e3)
+	// Symmetry.
+	if d := RelFrobDiff(A.Transposed(), A); d > 1e-12 {
+		t.Fatalf("RandomSPD not symmetric: %g", d)
+	}
+	if _, err := Cholesky(A); err != nil {
+		t.Fatalf("RandomSPD not positive definite: %v", err)
+	}
+}

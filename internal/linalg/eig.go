@@ -1,0 +1,123 @@
+package linalg
+
+import "math"
+
+// SymEig computes all eigenvalues (ascending) and, optionally, the
+// orthonormal eigenvectors of a symmetric matrix using the cyclic Jacobi
+// method. Intended for the moderate sizes where it is used here —
+// diagnostics (condition numbers, definiteness margins of K̃) and test
+// oracles — not as a large-scale eigensolver.
+func SymEig(A *Matrix, wantVectors bool) ([]float64, *Matrix) {
+	n := A.Rows
+	if A.Cols != n {
+		panic("linalg: SymEig of non-square matrix")
+	}
+	W := A.Clone()
+	var V *Matrix
+	if wantVectors {
+		V = Eye(n)
+	}
+	const maxSweeps = 60
+	for sweep := 0; sweep < maxSweeps; sweep++ {
+		// Off-diagonal Frobenius mass.
+		var off float64
+		for j := 0; j < n; j++ {
+			col := W.Col(j)
+			for i := 0; i < n; i++ {
+				if i != j {
+					off += col[i] * col[i]
+				}
+			}
+		}
+		if off < 1e-24*(1+W.FrobeniusNorm()) {
+			break
+		}
+		for p := 0; p < n-1; p++ {
+			for q := p + 1; q < n; q++ {
+				apq := W.At(p, q)
+				if apq == 0 {
+					continue
+				}
+				app, aqq := W.At(p, p), W.At(q, q)
+				tau := (aqq - app) / (2 * apq)
+				var t float64
+				if tau >= 0 {
+					t = 1 / (tau + math.Sqrt(1+tau*tau))
+				} else {
+					t = -1 / (-tau + math.Sqrt(1+tau*tau))
+				}
+				c := 1 / math.Sqrt(1+t*t)
+				s := t * c
+				rotate(W, p, q, c, s)
+				if V != nil {
+					rotateCols(V, p, q, c, s)
+				}
+			}
+		}
+	}
+	evs := make([]float64, n)
+	for i := range evs {
+		evs[i] = W.At(i, i)
+	}
+	// Sort ascending, permuting vectors along.
+	ord := make([]int, n)
+	for i := range ord {
+		ord[i] = i
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if evs[ord[j]] < evs[ord[i]] {
+				ord[i], ord[j] = ord[j], ord[i]
+			}
+		}
+	}
+	sorted := make([]float64, n)
+	for k, o := range ord {
+		sorted[k] = evs[o]
+	}
+	if V != nil {
+		V = V.ColsGather(ord)
+	}
+	return sorted, V
+}
+
+// rotate applies the two-sided Jacobi rotation J(p,q,θ)ᵀ·W·J(p,q,θ).
+func rotate(W *Matrix, p, q int, c, s float64) {
+	n := W.Rows
+	cp, cq := W.Col(p), W.Col(q)
+	for i := 0; i < n; i++ {
+		wip, wiq := cp[i], cq[i]
+		cp[i] = c*wip - s*wiq
+		cq[i] = s*wip + c*wiq
+	}
+	for j := 0; j < n; j++ {
+		cj := W.Col(j)
+		wpj, wqj := cj[p], cj[q]
+		cj[p] = c*wpj - s*wqj
+		cj[q] = s*wpj + c*wqj
+	}
+}
+
+// rotateCols applies the rotation to columns p, q of V (right-multiply).
+func rotateCols(V *Matrix, p, q int, c, s float64) {
+	cp, cq := V.Col(p), V.Col(q)
+	for i := range cp {
+		vip, viq := cp[i], cq[i]
+		cp[i] = c*vip - s*viq
+		cq[i] = s*vip + c*viq
+	}
+}
+
+// Cond2 returns the 2-norm condition number λmax/λmin of a symmetric
+// positive definite matrix (+Inf when λmin ≤ 0).
+func Cond2(A *Matrix) float64 {
+	evs, _ := SymEig(A, false)
+	if len(evs) == 0 {
+		return 0
+	}
+	lmin, lmax := evs[0], evs[len(evs)-1]
+	if lmin <= 0 {
+		return math.Inf(1)
+	}
+	return lmax / lmin
+}

@@ -1,0 +1,108 @@
+package linalg
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestSymEigDiagonal(t *testing.T) {
+	A := Diag([]float64{3, -1, 5, 0})
+	evs, V := SymEig(A, true)
+	want := []float64{-1, 0, 3, 5}
+	for i := range want {
+		if math.Abs(evs[i]-want[i]) > 1e-12 {
+			t.Fatalf("eigenvalues = %v", evs)
+		}
+	}
+	// Vectors orthonormal.
+	if d := RelFrobDiff(MatMul(true, false, V, V), Eye(4)); d > 1e-12 {
+		t.Fatalf("VᵀV deviates by %g", d)
+	}
+}
+
+func TestSymEigReconstructs(t *testing.T) {
+	rng := rand.New(rand.NewSource(130))
+	A := RandomSPD(rng, 25, 1e3)
+	evs, V := SymEig(A, true)
+	// A = V diag(evs) Vᵀ.
+	VD := NewMatrix(25, 25)
+	for j := 0; j < 25; j++ {
+		copy(VD.Col(j), V.Col(j))
+		Scal(evs[j], VD.Col(j))
+	}
+	rec := MatMul(false, true, VD, V)
+	if d := RelFrobDiff(rec, A); d > 1e-10 {
+		t.Fatalf("eigendecomposition reconstruction error %g", d)
+	}
+	// Ascending.
+	for i := 1; i < len(evs); i++ {
+		if evs[i] < evs[i-1] {
+			t.Fatal("eigenvalues not sorted")
+		}
+	}
+	// SPD: all positive.
+	if evs[0] <= 0 {
+		t.Fatalf("SPD matrix has eigenvalue %g", evs[0])
+	}
+}
+
+func TestSymEigKnownSpectrum(t *testing.T) {
+	// 1-D Laplacian: eigenvalues 2 − 2cos(kπ/(n+1)).
+	n := 10
+	A := NewMatrix(n, n)
+	for i := 0; i < n; i++ {
+		A.Set(i, i, 2)
+		if i+1 < n {
+			A.Set(i+1, i, -1)
+			A.Set(i, i+1, -1)
+		}
+	}
+	evs, _ := SymEig(A, false)
+	for k := 1; k <= n; k++ {
+		want := 2 - 2*math.Cos(float64(k)*math.Pi/float64(n+1))
+		if math.Abs(evs[k-1]-want) > 1e-10 {
+			t.Fatalf("eigenvalue %d = %.12f, want %.12f", k, evs[k-1], want)
+		}
+	}
+}
+
+func TestSymEigPropertyTraceAndOrthogonality(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(15)
+		G := GaussianMatrix(rng, n, n)
+		A := MatMul(true, false, G, G) // symmetric PSD
+		evs, V := SymEig(A, true)
+		var evSum, trace float64
+		for i := 0; i < n; i++ {
+			evSum += evs[i]
+			trace += A.At(i, i)
+		}
+		if math.Abs(evSum-trace) > 1e-8*(1+math.Abs(trace)) {
+			return false
+		}
+		return RelFrobDiff(MatMul(true, false, V, V), Eye(n)) < 1e-10
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCond2(t *testing.T) {
+	A := Diag([]float64{1, 10, 100})
+	if c := Cond2(A); math.Abs(c-100) > 1e-9 {
+		t.Fatalf("Cond2 = %g", c)
+	}
+	B := Diag([]float64{-1, 1})
+	if c := Cond2(B); !math.IsInf(c, 1) {
+		t.Fatalf("indefinite Cond2 = %g", c)
+	}
+	rng := rand.New(rand.NewSource(131))
+	C := RandomSPD(rng, 20, 1e4)
+	c := Cond2(C)
+	if c < 1e3 || c > 1e5 {
+		t.Fatalf("RandomSPD(cond 1e4) measured cond %g", c)
+	}
+}

@@ -1,0 +1,93 @@
+package linalg
+
+// Single-precision storage support. The paper runs its K02–K18 and G01–G05
+// experiments in fp32; this reproduction computes in float64 but can store
+// the cached near/far blocks — the dominant memory consumer — in float32,
+// halving their footprint at a ~1e-7 relative accuracy floor (which is also
+// what the paper's single-precision runs see).
+
+// Matrix32 is a dense column-major float32 matrix used for block storage.
+type Matrix32 struct {
+	Rows, Cols int
+	Stride     int
+	Data       []float32
+}
+
+// NewMatrix32 allocates a zeroed r×c single-precision matrix.
+func NewMatrix32(r, c int) *Matrix32 {
+	return &Matrix32{Rows: r, Cols: c, Stride: max(r, 1), Data: make([]float32, max(r, 1)*c)}
+}
+
+// ToMatrix32 converts (rounds) a float64 matrix to float32 storage.
+func ToMatrix32(m *Matrix) *Matrix32 {
+	out := NewMatrix32(m.Rows, m.Cols)
+	for j := 0; j < m.Cols; j++ {
+		src := m.Col(j)
+		dst := out.Col(j)
+		for i, v := range src {
+			dst[i] = float32(v)
+		}
+	}
+	return out
+}
+
+// Col returns column j as a slice view.
+func (m *Matrix32) Col(j int) []float32 {
+	off := j * m.Stride
+	return m.Data[off : off+m.Rows : off+m.Rows]
+}
+
+// At returns element (i, j) widened to float64.
+func (m *Matrix32) At(i, j int) float64 { return float64(m.Data[j*m.Stride+i]) }
+
+// ToMatrix widens back to float64 (exact).
+func (m *Matrix32) ToMatrix() *Matrix {
+	out := NewMatrix(m.Rows, m.Cols)
+	for j := 0; j < m.Cols; j++ {
+		src := m.Col(j)
+		dst := out.Col(j)
+		for i, v := range src {
+			dst[i] = float64(v)
+		}
+	}
+	return out
+}
+
+// Bytes returns the storage footprint.
+func (m *Matrix32) Bytes() int64 { return int64(m.Rows) * int64(m.Cols) * 4 }
+
+// GemmMixed computes C = alpha·A·B + beta·C where A is stored in float32 and
+// the accumulation is in float64 — the mixed-precision product used when
+// cached blocks are kept in single precision.
+func GemmMixed(alpha float64, A *Matrix32, B *Matrix, beta float64, C *Matrix) {
+	m, k := A.Rows, A.Cols
+	if B.Rows != k || C.Rows != m || C.Cols != B.Cols {
+		panic("linalg: GemmMixed dimension mismatch")
+	}
+	if beta != 1 {
+		if beta == 0 {
+			C.Zero()
+		} else {
+			C.Scale(beta)
+		}
+	}
+	if alpha == 0 || m == 0 || k == 0 {
+		return
+	}
+	parallelFor(B.Cols, 8, func(jlo, jhi int) {
+		for j := jlo; j < jhi; j++ {
+			cj := C.Col(j)
+			bj := B.Col(j)
+			for kk := 0; kk < k; kk++ {
+				ak := A.Col(kk)
+				s := alpha * bj[kk]
+				if s == 0 {
+					continue
+				}
+				for i := 0; i < m; i++ {
+					cj[i] += s * float64(ak[i])
+				}
+			}
+		}
+	})
+}

@@ -1,0 +1,65 @@
+package linalg
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// FuzzQRCPFactorization drives pivoted QR over random shapes/seeds and
+// verifies Q·R = A·P and orthonormality.
+func FuzzQRCPFactorization(f *testing.F) {
+	f.Add(int64(1), 8, 5)
+	f.Add(int64(2), 1, 1)
+	f.Add(int64(3), 20, 30)
+	f.Fuzz(func(t *testing.T, seed int64, m, n int) {
+		m = 1 + absInt(m)%40
+		n = 1 + absInt(n)%40
+		rng := rand.New(rand.NewSource(seed))
+		A := GaussianMatrix(rng, m, n)
+		fac := QRColumnPivot(A, 0, 0)
+		Q := fac.FormQ()
+		R := fac.R()
+		QR := MatMul(false, false, Q, R)
+		AP := A.ColsGather(fac.Piv)
+		if d := RelFrobDiff(QR, AP); d > 1e-10 {
+			t.Fatalf("QR reconstruction error %g (m=%d n=%d)", d, m, n)
+		}
+		if fac.Rank > 0 {
+			QtQ := MatMul(true, false, Q, Q)
+			if d := RelFrobDiff(QtQ, Eye(fac.Rank)); d > 1e-10 {
+				t.Fatalf("Q not orthonormal: %g", d)
+			}
+		}
+	})
+}
+
+// FuzzLUSolve factors random square systems and verifies residuals.
+func FuzzLUSolve(f *testing.F) {
+	f.Add(int64(1), 5)
+	f.Add(int64(9), 1)
+	f.Fuzz(func(t *testing.T, seed int64, n int) {
+		n = 1 + absInt(n)%30
+		rng := rand.New(rand.NewSource(seed))
+		A := GaussianMatrix(rng, n, n)
+		lu, err := LUFactor(A)
+		if err != nil {
+			return // singular: fine for random fuzz input
+		}
+		x := GaussianMatrix(rng, n, 1)
+		b := MatMul(false, false, A, x)
+		lu.Solve(b)
+		if d := RelFrobDiff(b, x); d > 1e-6 {
+			t.Fatalf("LU solve error %g (n=%d)", d, n)
+		}
+	})
+}
+
+func absInt(x int) int {
+	if x < 0 {
+		if x == -x {
+			return 0
+		}
+		return -x
+	}
+	return x
+}

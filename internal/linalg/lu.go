@@ -1,0 +1,111 @@
+package linalg
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrSingular is returned when LU factorization meets an (exactly) zero
+// pivot column.
+var ErrSingular = errors.New("linalg: matrix is singular")
+
+// LU is an LU factorization with partial pivoting: P·A = L·U. It backs the
+// small dense solves of the hierarchical (ULV-style) solver, whose reduced
+// systems are square but not symmetric.
+type LU struct {
+	// Fact stores L below the diagonal (unit diagonal implied) and U on and
+	// above it.
+	Fact *Matrix
+	// Piv[k] records the row swapped into position k at step k.
+	Piv []int
+}
+
+// LUFactor computes the factorization of a square matrix (A is not
+// modified).
+func LUFactor(A *Matrix) (*LU, error) {
+	n := A.Rows
+	if A.Cols != n {
+		panic("linalg: LUFactor of non-square matrix")
+	}
+	f := &LU{Fact: A.Clone(), Piv: make([]int, n)}
+	w := f.Fact
+	for k := 0; k < n; k++ {
+		// Partial pivot: largest magnitude in column k at or below row k.
+		ck := w.Col(k)
+		p, best := k, math.Abs(ck[k])
+		for i := k + 1; i < n; i++ {
+			if a := math.Abs(ck[i]); a > best {
+				best, p = a, i
+			}
+		}
+		f.Piv[k] = p
+		if best == 0 {
+			return nil, fmt.Errorf("%w (column %d)", ErrSingular, k)
+		}
+		if p != k {
+			for j := 0; j < n; j++ {
+				cj := w.Col(j)
+				cj[k], cj[p] = cj[p], cj[k]
+			}
+		}
+		pivot := ck[k]
+		Scal(1/pivot, ck[k+1:])
+		// Trailing update: A[k+1:, j] -= L[k+1:, k] * U[k, j].
+		lcol := ck[k+1:]
+		for j := k + 1; j < n; j++ {
+			cj := w.Col(j)
+			Axpy(-cj[k], lcol, cj[k+1:])
+		}
+	}
+	return f, nil
+}
+
+// Solve overwrites B with A⁻¹·B.
+func (f *LU) Solve(B *Matrix) {
+	n := f.Fact.Rows
+	if B.Rows != n {
+		panic("linalg: LU.Solve dimension mismatch")
+	}
+	// Apply the row permutation.
+	for k := 0; k < n; k++ {
+		if p := f.Piv[k]; p != k {
+			for j := 0; j < B.Cols; j++ {
+				cj := B.Col(j)
+				cj[k], cj[p] = cj[p], cj[k]
+			}
+		}
+	}
+	// Forward substitution with unit lower triangle, then back substitution.
+	for j := 0; j < B.Cols; j++ {
+		x := B.Col(j)
+		for k := 0; k < n; k++ {
+			lk := f.Fact.Col(k)
+			Axpy(-x[k], lk[k+1:n], x[k+1:n])
+		}
+		for k := n - 1; k >= 0; k-- {
+			uk := f.Fact.Col(k)
+			x[k] /= uk[k]
+			Axpy(-x[k], uk[:k], x[:k])
+		}
+	}
+}
+
+// LogAbsDet returns log|det(A)| and the sign of the determinant, from the
+// triangular factor and the pivot parity.
+func (f *LU) LogAbsDet() (logAbs float64, sign float64) {
+	n := f.Fact.Rows
+	sign = 1
+	for k := 0; k < n; k++ {
+		if f.Piv[k] != k {
+			sign = -sign
+		}
+		d := f.Fact.At(k, k)
+		if d < 0 {
+			sign = -sign
+			d = -d
+		}
+		logAbs += math.Log(d)
+	}
+	return logAbs, sign
+}

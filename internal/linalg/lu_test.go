@@ -1,0 +1,66 @@
+package linalg
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestLUSolve(t *testing.T) {
+	rng := rand.New(rand.NewSource(90))
+	n := 30
+	A := GaussianMatrix(rng, n, n)
+	X := GaussianMatrix(rng, n, 4)
+	B := MatMul(false, false, A, X)
+	f, err := LUFactor(A)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Solve(B)
+	if d := RelFrobDiff(B, X); d > 1e-9 {
+		t.Fatalf("LU solve error %g", d)
+	}
+}
+
+func TestLUSingular(t *testing.T) {
+	A := NewMatrix(3, 3)
+	A.Set(0, 0, 1)
+	A.Set(1, 1, 1) // column 2 is zero
+	if _, err := LUFactor(A); !errors.Is(err, ErrSingular) {
+		t.Fatalf("expected ErrSingular, got %v", err)
+	}
+}
+
+func TestLUNeedsPivoting(t *testing.T) {
+	// Zero on the first diagonal entry forces a row swap.
+	A := FromRows([][]float64{{0, 1}, {1, 0}})
+	f, err := LUFactor(A)
+	if err != nil {
+		t.Fatal(err)
+	}
+	B := FromRows([][]float64{{3}, {5}})
+	f.Solve(B)
+	if B.At(0, 0) != 5 || B.At(1, 0) != 3 {
+		t.Fatalf("pivoted solve wrong: %v", B.Data)
+	}
+}
+
+func TestLUProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(25)
+		A := GaussianMatrix(rng, n, n)
+		X := GaussianMatrix(rng, n, 2)
+		B := MatMul(false, false, A, X)
+		lu, err := LUFactor(A)
+		if err != nil {
+			return false // Gaussian matrices are a.s. nonsingular
+		}
+		lu.Solve(B)
+		return RelFrobDiff(B, X) < 1e-7
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

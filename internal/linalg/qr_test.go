@@ -1,0 +1,158 @@
+package linalg
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// lowRankPlusNoise returns an m×n matrix with numerical rank ≈ r.
+func lowRankPlusNoise(rng *rand.Rand, m, n, r int, noise float64) *Matrix {
+	U := GaussianMatrix(rng, m, r)
+	V := GaussianMatrix(rng, r, n)
+	A := MatMul(false, false, U, V)
+	if noise > 0 {
+		E := GaussianMatrix(rng, m, n)
+		A.AddScaled(noise, E)
+	}
+	return A
+}
+
+func TestQRCPReconstruct(t *testing.T) {
+	rng := rand.New(rand.NewSource(20))
+	A := GaussianMatrix(rng, 30, 18)
+	f := QRColumnPivot(A, 0, 0)
+	if f.Rank != 18 {
+		t.Fatalf("full-rank Gaussian: rank = %d, want 18", f.Rank)
+	}
+	Q := f.FormQ()
+	R := f.R()
+	QR := MatMul(false, false, Q, R)
+	AP := A.ColsGather(f.Piv)
+	if d := RelFrobDiff(QR, AP); d > 1e-12 {
+		t.Fatalf("‖QR − AP‖/‖AP‖ = %g", d)
+	}
+	// Q orthonormal.
+	QtQ := MatMul(true, false, Q, Q)
+	if d := RelFrobDiff(QtQ, Eye(18)); d > 1e-12 {
+		t.Fatalf("QᵀQ deviates from I by %g", d)
+	}
+	// R diagonal decreasing in magnitude (pivoting invariant).
+	for k := 1; k < f.Rank; k++ {
+		if math.Abs(R.At(k, k)) > math.Abs(R.At(k-1, k-1))+1e-12 {
+			t.Fatalf("pivot magnitudes not decreasing at %d: %g > %g", k, R.At(k, k), R.At(k-1, k-1))
+		}
+	}
+}
+
+func TestQRCPAdaptiveRank(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	A := lowRankPlusNoise(rng, 60, 40, 7, 0)
+	f := QRColumnPivot(A, 1e-10, 0)
+	if f.Rank != 7 {
+		t.Fatalf("detected rank %d, want 7", f.Rank)
+	}
+	// With noise at 1e-6 and tolerance 1e-4 the detected rank stays 7.
+	B := lowRankPlusNoise(rng, 60, 40, 7, 1e-8)
+	g := QRColumnPivot(B, 1e-4, 0)
+	if g.Rank != 7 {
+		t.Fatalf("noisy rank %d, want 7", g.Rank)
+	}
+}
+
+func TestQRCPMaxRankCap(t *testing.T) {
+	rng := rand.New(rand.NewSource(22))
+	A := GaussianMatrix(rng, 30, 30)
+	f := QRColumnPivot(A, 0, 5)
+	if f.Rank != 5 {
+		t.Fatalf("rank = %d, want cap 5", f.Rank)
+	}
+	if f.ResidNorm <= 0 {
+		t.Fatal("expected positive residual estimate when truncated")
+	}
+}
+
+func TestQRCPZeroMatrix(t *testing.T) {
+	A := NewMatrix(10, 6)
+	f := QRColumnPivot(A, 1e-10, 0)
+	if f.Rank != 0 {
+		t.Fatalf("zero matrix rank = %d", f.Rank)
+	}
+}
+
+func TestInterpDecompExactLowRank(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	A := lowRankPlusNoise(rng, 40, 25, 6, 0)
+	id := InterpDecomp(A, 1e-12, 0)
+	if len(id.Skel) != 6 {
+		t.Fatalf("skeleton size %d, want 6", len(id.Skel))
+	}
+	// A ≈ A[:, skel] · Coef.
+	Askel := A.ColsGather(id.Skel)
+	Arec := MatMul(false, false, Askel, id.Coef)
+	if d := RelFrobDiff(Arec, A); d > 1e-9 {
+		t.Fatalf("ID reconstruction error %g", d)
+	}
+	// Coef restricted to skeleton columns is the identity.
+	for k, j := range id.Skel {
+		for i := 0; i < len(id.Skel); i++ {
+			want := 0.0
+			if i == k {
+				want = 1
+			}
+			if math.Abs(id.Coef.At(i, j)-want) > 1e-12 {
+				t.Fatalf("Coef[:,skel] not identity at (%d,%d)", i, k)
+			}
+		}
+	}
+}
+
+func TestInterpDecompTruncationErrorTracksTolerance(t *testing.T) {
+	rng := rand.New(rand.NewSource(24))
+	// Geometric decay of singular values.
+	n := 50
+	U := QRColumnPivot(GaussianMatrix(rng, n, n), 0, 0).FormQ()
+	V := QRColumnPivot(GaussianMatrix(rng, n, n), 0, 0).FormQ()
+	d := make([]float64, n)
+	for i := range d {
+		d[i] = math.Pow(0.5, float64(i))
+	}
+	UD := NewMatrix(n, n)
+	for j := 0; j < n; j++ {
+		copy(UD.Col(j), U.Col(j))
+		Scal(d[j], UD.Col(j))
+	}
+	A := MatMul(false, true, UD, V)
+	for _, tol := range []float64{1e-2, 1e-5, 1e-8} {
+		id := InterpDecomp(A, tol, 0)
+		Arec := MatMul(false, false, A.ColsGather(id.Skel), id.Coef)
+		err := RelFrobDiff(Arec, A)
+		// ID error is bounded by a modest polynomial factor over tol.
+		if err > tol*100 {
+			t.Fatalf("tol %g: ID error %g too large (rank %d)", tol, err, len(id.Skel))
+		}
+	}
+}
+
+func TestInterpDecompPropertySkeletonSubset(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m, n := 10+rng.Intn(30), 5+rng.Intn(25)
+		r := 1 + rng.Intn(min(m, n))
+		A := lowRankPlusNoise(rng, m, n, r, 0)
+		id := InterpDecomp(A, 1e-10, 0)
+		seen := map[int]bool{}
+		for _, j := range id.Skel {
+			if j < 0 || j >= n || seen[j] {
+				return false // out of range or duplicated skeleton column
+			}
+			seen[j] = true
+		}
+		Arec := MatMul(false, false, A.ColsGather(id.Skel), id.Coef)
+		return RelFrobDiff(Arec, A) < 1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,268 @@
+// Package metric implements the three index-to-index distances of GOFMM §2.1
+// (geometric ℓ₂ when points are available, Gram/kernel ℓ₂, and Gram angle)
+// and the splitters built on them: the metric ball-tree split of
+// Algorithm 2.1, the random-projection split used by the randomized
+// neighbor-search trees, and the lexicographic/random pseudo-splits used for
+// the permutation study (Figure 7).
+//
+// The crucial observation reproduced here is that an SPD matrix K is the
+// Gram matrix of unknown vectors φᵢ, so
+//
+//	d²(i,j) = Kᵢᵢ + Kⱼⱼ − 2Kᵢⱼ      (kernel distance)
+//	d(i,j)  = 1 − K²ᵢⱼ/(KᵢᵢKⱼⱼ)     (angle distance)
+//
+// are proper distances computable from three matrix entries each — no
+// coordinates needed.
+package metric
+
+import (
+	"math/rand"
+	"sort"
+
+	"gofmm/internal/linalg"
+)
+
+// Gram provides sampled access to an SPD matrix. It is the minimal contract
+// GOFMM demands from its input (the "routine that returns K_IJ").
+type Gram interface {
+	Dim() int
+	At(i, j int) float64
+}
+
+// Space defines a distance between matrix indices together with the two bulk
+// queries the ball-tree split needs. Implementations must only *order*
+// consistently; any monotone transform of a true metric is acceptable
+// (the paper: "we only compare values for the purpose of ordering").
+type Space interface {
+	// Name identifies the space ("geometric", "kernel", "angle").
+	Name() string
+	// Dist returns the distance (or a monotone equivalent) between i and j.
+	Dist(i, j int) float64
+	// DistsTo fills out[k] = Dist(idx[k], j).
+	DistsTo(idx []int, j int, out []float64)
+	// DistsToCentroid fills out[k] with a monotone equivalent of the
+	// distance from idx[k] to the centroid of the Gram vectors (or points)
+	// listed in sample.
+	DistsToCentroid(idx []int, sample []int, out []float64)
+}
+
+// KernelSpace is the Gram-ℓ₂ ("kernel") distance, Eq. (3) of the paper.
+type KernelSpace struct{ K Gram }
+
+// Name implements Space.
+func (KernelSpace) Name() string { return "kernel" }
+
+// Dist returns d²(i,j) = Kii + Kjj − 2Kij (squared distances order
+// identically to distances).
+func (s KernelSpace) Dist(i, j int) float64 {
+	return s.K.At(i, i) + s.K.At(j, j) - 2*s.K.At(i, j)
+}
+
+// DistsTo implements Space.
+func (s KernelSpace) DistsTo(idx []int, j int, out []float64) {
+	kjj := s.K.At(j, j)
+	for k, i := range idx {
+		out[k] = s.K.At(i, i) + kjj - 2*s.K.At(i, j)
+	}
+}
+
+// DistsToCentroid uses ‖φᵢ − c‖² = Kᵢᵢ − (2/nc)Σ_s Kᵢs + const, dropping the
+// i-independent constant.
+func (s KernelSpace) DistsToCentroid(idx []int, sample []int, out []float64) {
+	inv := 2 / float64(len(sample))
+	for k, i := range idx {
+		sum := 0.0
+		for _, sj := range sample {
+			sum += s.K.At(i, sj)
+		}
+		out[k] = s.K.At(i, i) - inv*sum
+	}
+}
+
+// AngleSpace is the Gram angle distance, Eq. (4) of the paper:
+// d(i,j) = 1 − K²ᵢⱼ/(KᵢᵢKⱼⱼ) = sin²∠(φᵢ, φⱼ).
+type AngleSpace struct{ K Gram }
+
+// Name implements Space.
+func (AngleSpace) Name() string { return "angle" }
+
+// Dist implements Space.
+func (s AngleSpace) Dist(i, j int) float64 {
+	kij := s.K.At(i, j)
+	den := s.K.At(i, i) * s.K.At(j, j)
+	if den <= 0 {
+		return 1
+	}
+	return 1 - kij*kij/den
+}
+
+// DistsTo implements Space.
+func (s AngleSpace) DistsTo(idx []int, j int, out []float64) {
+	kjj := s.K.At(j, j)
+	for k, i := range idx {
+		kij := s.K.At(i, j)
+		den := s.K.At(i, i) * kjj
+		if den <= 0 {
+			out[k] = 1
+			continue
+		}
+		out[k] = 1 - kij*kij/den
+	}
+}
+
+// DistsToCentroid uses (φᵢ, c) = (1/nc)Σ_s Kᵢs and
+// ‖c‖² = (1/nc²)Σ_{s,t} K_st.
+func (s AngleSpace) DistsToCentroid(idx []int, sample []int, out []float64) {
+	nc := float64(len(sample))
+	var cnorm2 float64
+	for _, a := range sample {
+		for _, b := range sample {
+			cnorm2 += s.K.At(a, b)
+		}
+	}
+	cnorm2 /= nc * nc
+	for k, i := range idx {
+		dot := 0.0
+		for _, sj := range sample {
+			dot += s.K.At(i, sj)
+		}
+		dot /= nc
+		den := s.K.At(i, i) * cnorm2
+		if den <= 0 {
+			out[k] = 1
+			continue
+		}
+		out[k] = 1 - dot*dot/den
+	}
+}
+
+// GeometricSpace is the point-based Euclidean distance, the geometry-aware
+// reference used when coordinates are available. Points are stored as the
+// columns of a d×N matrix.
+type GeometricSpace struct{ X *linalg.Matrix }
+
+// Name implements Space.
+func (GeometricSpace) Name() string { return "geometric" }
+
+// Dist returns ‖xᵢ − xⱼ‖² (squared; monotone equivalent).
+func (s GeometricSpace) Dist(i, j int) float64 {
+	xi, xj := s.X.Col(i), s.X.Col(j)
+	var d float64
+	for k := range xi {
+		t := xi[k] - xj[k]
+		d += t * t
+	}
+	return d
+}
+
+// DistsTo implements Space.
+func (s GeometricSpace) DistsTo(idx []int, j int, out []float64) {
+	for k, i := range idx {
+		out[k] = s.Dist(i, j)
+	}
+}
+
+// DistsToCentroid computes squared distances to the arithmetic mean of the
+// sampled points.
+func (s GeometricSpace) DistsToCentroid(idx []int, sample []int, out []float64) {
+	d := s.X.Rows
+	c := make([]float64, d)
+	for _, sj := range sample {
+		linalg.Axpy(1, s.X.Col(sj), c)
+	}
+	linalg.Scal(1/float64(len(sample)), c)
+	for k, i := range idx {
+		xi := s.X.Col(i)
+		var dd float64
+		for q := range xi {
+			t := xi[q] - c[q]
+			dd += t * t
+		}
+		out[k] = dd
+	}
+}
+
+// BallSplit is the metric ball-tree splitter of Algorithm 2.1: pick the point
+// p farthest from a sampled centroid, then q farthest from p, and cut at the
+// median of d(i,p) − d(i,q). With Random set, p and q are chosen uniformly at
+// random instead — that is exactly how the randomized projection trees for
+// neighbor search are built ("constructed in exactly the same way ... except
+// that p and q are chosen randomly").
+type BallSplit struct {
+	Space          Space
+	Rng            *rand.Rand
+	CentroidSample int  // nc; 0 means 32
+	Random         bool // random p, q (ANN projection trees)
+}
+
+// Split implements tree.Splitter.
+func (b *BallSplit) Split(idx []int, _ int) int {
+	n := len(idx)
+	nl := (n + 1) / 2
+	if n < 2 {
+		return nl
+	}
+	var p, q int
+	if b.Random {
+		p = idx[b.Rng.Intn(n)]
+		q = idx[b.Rng.Intn(n)]
+		for q == p && n > 1 {
+			q = idx[b.Rng.Intn(n)]
+		}
+	} else {
+		nc := b.CentroidSample
+		if nc <= 0 {
+			nc = 32
+		}
+		if nc > n {
+			nc = n
+		}
+		sample := make([]int, nc)
+		for k := range sample {
+			sample[k] = idx[b.Rng.Intn(n)]
+		}
+		dist := make([]float64, n)
+		b.Space.DistsToCentroid(idx, sample, dist)
+		p = idx[linalg.IdxMax(dist)]
+		b.Space.DistsTo(idx, p, dist)
+		q = idx[linalg.IdxMax(dist)]
+	}
+	// proj[i] = d(i,p) − d(i,q): negative means closer to p (left side).
+	dp := make([]float64, n)
+	dq := make([]float64, n)
+	b.Space.DistsTo(idx, p, dp)
+	b.Space.DistsTo(idx, q, dq)
+	proj := dp
+	for k := range proj {
+		proj[k] -= dq[k]
+	}
+	medianSplit(idx, proj, nl)
+	return nl
+}
+
+// medianSplit reorders idx so the nl smallest projections come first.
+// Sorting keeps ties deterministic; the O(n log n) cost matches the paper's
+// per-level bound.
+func medianSplit(idx []int, proj []float64, nl int) {
+	ord := make([]int, len(idx))
+	for i := range ord {
+		ord[i] = i
+	}
+	sort.SliceStable(ord, func(a, c int) bool { return proj[ord[a]] < proj[ord[c]] })
+	tmp := make([]int, len(idx))
+	for k, o := range ord {
+		tmp[k] = idx[o]
+	}
+	copy(idx, tmp)
+	_ = nl
+}
+
+// RandomSplit shuffles each node's indices before an even cut — the "Random"
+// permutation baseline of Figure 7.
+type RandomSplit struct{ Rng *rand.Rand }
+
+// Split implements tree.Splitter.
+func (r RandomSplit) Split(idx []int, _ int) int {
+	r.Rng.Shuffle(len(idx), func(a, b int) { idx[a], idx[b] = idx[b], idx[a] })
+	return (len(idx) + 1) / 2
+}

@@ -1,0 +1,79 @@
+package spdmat
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"gofmm/internal/linalg"
+)
+
+// Machine-learning kernel problems. The paper's COVTYPE (54-D), HIGGS
+// (28-D) and MNIST (780-D) datasets are not available offline, so synthetic
+// Gaussian-mixture point clouds of matching dimensionality (and, for MNIST,
+// low intrinsic dimension) feed the same Gaussian-kernel construction. The
+// kernel matrices are evaluated on the fly through the 2-norm expansion.
+
+// mixturePoints draws n points from k Gaussian clusters in dim dimensions.
+// intrinsic < dim embeds the clusters in a random low-dimensional subspace
+// plus small ambient noise (an MNIST-like manifold structure).
+func mixturePoints(rng *rand.Rand, dim, n, k, intrinsic int, sep float64) *linalg.Matrix {
+	if intrinsic <= 0 || intrinsic > dim {
+		intrinsic = dim
+	}
+	basis := linalg.GaussianMatrix(rng, dim, intrinsic) // columns ~ subspace
+	centers := linalg.GaussianMatrix(rng, intrinsic, k)
+	centers.Scale(sep)
+	X := linalg.NewMatrix(dim, n)
+	z := make([]float64, intrinsic)
+	for i := 0; i < n; i++ {
+		c := i % k
+		for q := range z {
+			z[q] = centers.At(q, c) + rng.NormFloat64()
+		}
+		col := X.Col(i)
+		linalg.Gemv(false, 1, basis, z, 0, col)
+		if intrinsic < dim {
+			for q := range col {
+				col[q] += 0.05 * rng.NormFloat64()
+			}
+		}
+	}
+	return X
+}
+
+// mlKernel assembles one ML-style Gaussian kernel problem.
+func mlKernel(name string, dim, n, clusters, intrinsic int, h float64, seed int64) *Problem {
+	rng := rand.New(rand.NewSource(seed))
+	X := mixturePoints(rng, dim, n, clusters, intrinsic, 2)
+	// Normalize to unit average norm so bandwidths match the paper's scale.
+	var ss float64
+	for i := 0; i < n; i++ {
+		ss += linalg.Dot(X.Col(i), X.Col(i))
+	}
+	scale := 1 / math.Sqrt(ss/float64(n))
+	X.Scale(scale)
+	k := NewKernel(X, Gauss, h, ridgeFor(1))
+	return &Problem{
+		Name:   name,
+		Desc:   fmt.Sprintf("Gaussian kernel (h=%g) over synthetic %d-D, %d-cluster point cloud", h, dim, clusters),
+		K:      k,
+		Points: X,
+	}
+}
+
+// Covtype is a COVTYPE-like 54-D Gaussian kernel matrix.
+func Covtype(n int, h float64, seed int64) *Problem {
+	return mlKernel("COVTYPE", 54, n, 7, 54, h, seed)
+}
+
+// Higgs is a HIGGS-like 28-D Gaussian kernel matrix.
+func Higgs(n int, h float64, seed int64) *Problem {
+	return mlKernel("HIGGS", 28, n, 2, 28, h, seed)
+}
+
+// Mnist is an MNIST-like 780-D Gaussian kernel matrix with intrinsic
+// dimension ≈ 12.
+func Mnist(n int, h float64, seed int64) *Problem {
+	return mlKernel("MNIST", 780, n, 10, 12, h, seed)
+}

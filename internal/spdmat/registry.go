@@ -1,0 +1,106 @@
+package spdmat
+
+import (
+	"fmt"
+	"math/rand"
+
+	"gofmm/internal/linalg"
+)
+
+// kernel6D builds one of the K04–K10 high-dimensional kernel matrices over
+// uniform random points in [0,1]⁶.
+func kernel6D(name string, n int, typ KernelType, h float64, seed int64) *Problem {
+	rng := rand.New(rand.NewSource(seed))
+	X := linalg.NewMatrix(6, n)
+	for j := 0; j < n; j++ {
+		col := X.Col(j)
+		for q := range col {
+			col[q] = rng.Float64()
+		}
+	}
+	var desc string
+	switch typ {
+	case Gauss:
+		desc = fmt.Sprintf("6-D Gaussian kernel, h=%g", h)
+	case Laplace:
+		desc = "6-D Laplace-Green-like kernel 1/(r²+h²)²"
+	case Poly:
+		desc = "6-D polynomial kernel (xᵀy/d+1)³"
+	case Cosine:
+		desc = "6-D cosine-similarity kernel"
+	}
+	return &Problem{
+		Name:   name,
+		Desc:   desc,
+		K:      NewKernel(X, typ, h, ridgeFor(1)),
+		Points: X,
+	}
+}
+
+// Names lists every registered problem in the paper's order.
+func Names() []string {
+	return []string{
+		"K02", "K03",
+		"K04", "K05", "K06", "K07", "K08", "K09", "K10",
+		"K12", "K13", "K14",
+		"K15", "K16", "K17", "K18",
+		"G01", "G02", "G03", "G04", "G05",
+		"COVTYPE", "HIGGS", "MNIST",
+	}
+}
+
+// Generate builds the named problem at dimension ≈ n (grid problems round to
+// a perfect square/cube). All generators are deterministic in seed.
+func Generate(name string, n int, seed int64) (*Problem, error) {
+	switch name {
+	case "K02":
+		return K02(n)
+	case "K03":
+		return K03(n)
+	case "K04":
+		return kernel6D("K04", n, Gauss, 0.35, seed), nil // narrow Gaussian
+	case "K05":
+		return kernel6D("K05", n, Gauss, 0.8, seed), nil
+	case "K06":
+		return kernel6D("K06", n, Gauss, 0.07, seed), nil // very narrow: high rank
+	case "K07":
+		return kernel6D("K07", n, Laplace, 0.5, seed), nil
+	case "K08":
+		return kernel6D("K08", n, Gauss, 2.0, seed), nil // wide Gaussian
+	case "K09":
+		return kernel6D("K09", n, Poly, 0, seed), nil
+	case "K10":
+		return kernel6D("K10", n, Cosine, 0, seed), nil
+	case "K12":
+		return kDiffusion("K12", n, 1e1, seed)
+	case "K13":
+		return kDiffusion("K13", n, 1e3, seed+1)
+	case "K14":
+		return kDiffusion("K14", n, 1e5, seed+2)
+	case "K15":
+		return K15(n, seed)
+	case "K16":
+		return K16(n, seed)
+	case "K17":
+		return K17(n, seed)
+	case "K18":
+		return K18(n, seed)
+	case "G01":
+		return G01(n, seed)
+	case "G02":
+		return G02(n, seed)
+	case "G03":
+		return G03(n, seed)
+	case "G04":
+		return G04(n, seed)
+	case "G05":
+		return G05(n, seed)
+	case "COVTYPE":
+		return Covtype(n, 0.1, seed), nil
+	case "HIGGS":
+		return Higgs(n, 0.9, seed), nil
+	case "MNIST":
+		return Mnist(n, 1.0, seed), nil
+	}
+	return nil, fmt.Errorf("spdmat: unknown problem %q (known: %v)", name, Names())
+}

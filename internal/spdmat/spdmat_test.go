@@ -1,0 +1,281 @@
+package spdmat
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"gofmm/internal/linalg"
+)
+
+// toDense expands an SPD oracle for verification.
+func toDense(k SPD) *linalg.Matrix {
+	n := k.Dim()
+	M := linalg.NewMatrix(n, n)
+	for j := 0; j < n; j++ {
+		for i := 0; i < n; i++ {
+			M.Set(i, j, k.At(i, j))
+		}
+	}
+	return M
+}
+
+// checkSPD asserts symmetry and positive-definiteness via Cholesky.
+func checkSPD(t *testing.T, name string, k SPD) {
+	t.Helper()
+	M := toDense(k)
+	if d := linalg.RelFrobDiff(M.Transposed(), M); d > 1e-10 {
+		t.Fatalf("%s: not symmetric (%g)", name, d)
+	}
+	if _, err := linalg.Cholesky(M); err != nil {
+		t.Fatalf("%s: not positive definite: %v", name, err)
+	}
+}
+
+func TestAllProblemsGenerateAndAreSPD(t *testing.T) {
+	// Small dimensions keep the Cholesky check fast; every generator must
+	// produce a true SPD matrix.
+	for _, name := range Names() {
+		p, err := Generate(name, 144, 7)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if p.Name != name {
+			t.Fatalf("name mismatch: %q vs %q", p.Name, name)
+		}
+		if p.K.Dim() < 16 {
+			t.Fatalf("%s: dimension %d too small", name, p.K.Dim())
+		}
+		checkSPD(t, name, p.K)
+	}
+}
+
+func TestGenerateUnknown(t *testing.T) {
+	if _, err := Generate("K99", 100, 0); err == nil {
+		t.Fatal("expected error for unknown problem")
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a, err := Generate("K04", 100, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate("K04", 100, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for trial := 0; trial < 50; trial++ {
+		i, j := trial%a.K.Dim(), (trial*7)%a.K.Dim()
+		if a.K.At(i, j) != b.K.At(i, j) {
+			t.Fatalf("K04 not deterministic at (%d,%d)", i, j)
+		}
+	}
+	c, err := Generate("K04", 100, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := true
+	for trial := 0; trial < 20 && same; trial++ {
+		i, j := trial, (trial+31)%c.K.Dim()
+		same = a.K.At(i, j) == c.K.At(i, j)
+	}
+	if same {
+		t.Fatal("different seeds produced identical K04")
+	}
+}
+
+func TestKernelSubmatrixMatchesAt(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	X := linalg.GaussianMatrix(rng, 6, 50)
+	for _, typ := range []KernelType{Gauss, Laplace, Poly, Cosine} {
+		k := NewKernel(X, typ, 0.5, 1e-6)
+		I := []int{3, 11, 0, 49}
+		J := []int{7, 3, 22}
+		dst := linalg.NewMatrix(len(I), len(J))
+		k.Submatrix(I, J, dst)
+		for c, j := range J {
+			for r, i := range I {
+				if math.Abs(dst.At(r, c)-k.At(i, j)) > 1e-12 {
+					t.Fatalf("type %d: Submatrix(%d,%d) = %g, At = %g",
+						typ, i, j, dst.At(r, c), k.At(i, j))
+				}
+			}
+		}
+	}
+}
+
+func TestKernelDiagonalRidge(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	X := linalg.GaussianMatrix(rng, 3, 10)
+	k := NewKernel(X, Gauss, 1, 0.5)
+	if got := k.At(4, 4); math.Abs(got-1.5) > 1e-12 {
+		t.Fatalf("diagonal = %g, want 1.5 (1 + ridge)", got)
+	}
+	// Submatrix must apply the ridge only to true diagonal entries.
+	dst := linalg.NewMatrix(2, 2)
+	k.Submatrix([]int{4, 5}, []int{4, 6}, dst)
+	if math.Abs(dst.At(0, 0)-1.5) > 1e-12 {
+		t.Fatalf("bulk diagonal = %g", dst.At(0, 0))
+	}
+	if dst.At(1, 0) > 1 {
+		t.Fatal("ridge leaked into off-diagonal entry")
+	}
+}
+
+func TestDenseOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	M := linalg.RandomSPD(rng, 20, 10)
+	d := &Dense{M}
+	if d.Dim() != 20 {
+		t.Fatal("Dim wrong")
+	}
+	dst := linalg.NewMatrix(2, 3)
+	d.Submatrix([]int{1, 5}, []int{0, 7, 19}, dst)
+	if dst.At(1, 2) != M.At(5, 19) {
+		t.Fatal("Dense.Submatrix wrong")
+	}
+}
+
+func TestStencilInverseActsAsInverse(t *testing.T) {
+	// K02 must be ((L+I)² + δI)⁻¹: multiply back and compare with identity.
+	p, err := K02(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := p.K.Dim()
+	if n != 64 {
+		t.Fatalf("K02 dim = %d", n)
+	}
+	nx := 8
+	one := func(x, y float64) float64 { return 1 }
+	zero := func(x, y float64) float64 { return 0 }
+	b := grid2D(nx, nx, one, zero, 1.0)
+	A := bandedToDense(b)
+	A2 := linalg.MatMul(false, false, A, A)
+	for i := 0; i < n; i++ {
+		A2.Add(i, i, 1e-4)
+	}
+	prod := linalg.MatMul(false, false, A2, p.K.(*Dense).M)
+	if d := linalg.RelFrobDiff(prod, linalg.Eye(n)); d > 1e-8 {
+		t.Fatalf("K02 · (L+1)² deviates from I by %g", d)
+	}
+}
+
+func TestGridSide(t *testing.T) {
+	cases := []struct{ n, dims, want int }{
+		{64, 2, 8}, {100, 2, 10}, {99, 2, 9}, {27, 3, 3}, {16, 4, 2}, {3, 3, 2},
+	}
+	for _, c := range cases {
+		if got := gridSide(c.n, c.dims); got != c.want {
+			t.Errorf("gridSide(%d,%d) = %d, want %d", c.n, c.dims, got, c.want)
+		}
+	}
+}
+
+func TestGraphProblemsConnectivity(t *testing.T) {
+	// Laplacian inverses of our graphs must have substantial off-diagonal
+	// mass (connected graphs) — a sanity check that generators build real
+	// graphs rather than diagonal matrices.
+	for _, name := range []string{"G01", "G02", "G03", "G04", "G05"} {
+		p, err := Generate(name, 128, 5)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		n := p.K.Dim()
+		var off, diag float64
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				v := math.Abs(p.K.At(i, j))
+				if i == j {
+					diag += v
+				} else {
+					off += v
+				}
+			}
+		}
+		if off < 0.1*diag {
+			t.Fatalf("%s: suspiciously diagonal (off %g vs diag %g)", name, off, diag)
+		}
+	}
+}
+
+func TestMLProblemsHavePoints(t *testing.T) {
+	for _, name := range []string{"COVTYPE", "HIGGS", "MNIST"} {
+		p, err := Generate(name, 64, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p.Points == nil || p.Points.Cols != p.K.Dim() {
+			t.Fatalf("%s: missing or mismatched points", name)
+		}
+	}
+	if p, _ := Generate("MNIST", 64, 5); p.Points.Rows != 780 {
+		t.Fatalf("MNIST dimensionality = %d", p.Points.Rows)
+	}
+}
+
+func TestDCTMatrixOrthonormal(t *testing.T) {
+	F := dctMatrix(32)
+	FtF := linalg.MatMul(true, false, F, F)
+	if d := linalg.RelFrobDiff(FtF, linalg.Eye(32)); d > 1e-12 {
+		t.Fatalf("DCT not orthonormal: %g", d)
+	}
+}
+
+// TestSpectralDecayClassification verifies that the generators land in the
+// compressibility classes the paper assigns them: smooth kernels and
+// operator inverses have fast-decaying off-diagonal singular values, while
+// the pseudo-spectral operators (K15–K17) do not. We measure the numerical
+// rank (at 1e-6) of a fixed off-diagonal block.
+func TestSpectralDecayClassification(t *testing.T) {
+	offDiagRank := func(name string) int {
+		p, err := Generate(name, 128, 7)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		n := p.K.Dim()
+		half := n / 2
+		B := linalg.NewMatrix(half, n-half)
+		for j := 0; j < n-half; j++ {
+			for i := 0; i < half; i++ {
+				B.Set(i, j, p.K.At(i, half+j))
+			}
+		}
+		// Numerical rank via pivoted QR.
+		f := linalg.QRColumnPivot(B, 1e-6, 0)
+		return f.Rank
+	}
+	easy := []string{"K02", "K10", "K12"}
+	hard := []string{"K15", "K16", "K17"}
+	maxEasy, minHard := 0, 1<<30
+	for _, name := range easy {
+		if r := offDiagRank(name); r > maxEasy {
+			maxEasy = r
+		}
+	}
+	for _, name := range hard {
+		if r := offDiagRank(name); r < minHard {
+			minHard = r
+		}
+	}
+	if maxEasy >= minHard {
+		t.Fatalf("off-diagonal ranks don't separate: easy max %d, hard min %d", maxEasy, minHard)
+	}
+}
+
+// TestOperatorsWellConditioned: the stencil inverses must have a modest
+// condition number (they're regularized), verified with the Jacobi
+// eigensolver.
+func TestOperatorsPositiveSpectra(t *testing.T) {
+	for _, name := range []string{"K02", "K12", "G01"} {
+		p, err := Generate(name, 100, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		evs, _ := linalg.SymEig(toDense(p.K), false)
+		if evs[0] <= 0 {
+			t.Fatalf("%s: smallest eigenvalue %g", name, evs[0])
+		}
+	}
+}

@@ -1,0 +1,110 @@
+package spdmat
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"gofmm/internal/linalg"
+)
+
+// Pseudo-spectral operators (K15–K17): A = D_c + Fᵀ·D_k·F where F is the
+// orthonormal DCT-II matrix (the discrete spectral transform), D_k the
+// diagonal symbol of a variable-coefficient differential operator and D_c a
+// positive spatial field. The variable coefficients make the symbol *rough*
+// (modelled by a random multiplicative perturbation of the smooth |k|^p
+// trend), so the off-diagonal blocks of Fᵀ·D_k·F carry slowly decaying
+// singular values — which is exactly why the paper finds K15–K17 hard to
+// compress at practical ranks (Figure 5's red labels). A is SPD as the sum
+// of two SPD terms.
+
+// dctMatrix returns the orthonormal DCT-II matrix of size n.
+func dctMatrix(n int) *linalg.Matrix {
+	F := linalg.NewMatrix(n, n)
+	for k := 0; k < n; k++ {
+		scale := math.Sqrt(2.0 / float64(n))
+		if k == 0 {
+			scale = math.Sqrt(1.0 / float64(n))
+		}
+		for j := 0; j < n; j++ {
+			F.Set(k, j, scale*math.Cos(math.Pi*float64(k)*(float64(j)+0.5)/float64(n)))
+		}
+	}
+	return F
+}
+
+// pseudoSpectral builds A = D_c + Fᵀ D_k F (optionally inverted).
+func pseudoSpectral(name string, n int, symbol func(frac float64) float64,
+	coeff func(frac float64) float64, invert bool) (*Problem, error) {
+	F := dctMatrix(n)
+	// FD = Dk·F, A = Fᵀ·FD + Dc.
+	FD := F.Clone()
+	for k := 0; k < n; k++ {
+		s := symbol(float64(k) / float64(n))
+		row := k
+		for j := 0; j < n; j++ {
+			FD.Set(row, j, FD.At(row, j)*s)
+		}
+	}
+	A := linalg.MatMul(true, false, F, FD)
+	for i := 0; i < n; i++ {
+		A.Add(i, i, coeff(float64(i)/float64(n)))
+	}
+	// Symmetrize against rounding.
+	At := A.Transposed()
+	A.AddScaled(1, At)
+	A.Scale(0.5)
+	if invert {
+		inv, err := linalg.InvertSPD(A)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", name, err)
+		}
+		A = inv
+	}
+	return &Problem{Name: name, K: &Dense{A}}, nil
+}
+
+// K15 is a 2-D-style pseudo-spectral advection-diffusion-reaction operator
+// with variable coefficients: a diffusion trend |k|² times a rough
+// multiplicative perturbation.
+func K15(n int, seed int64) (*Problem, error) {
+	rng := rand.New(rand.NewSource(seed))
+	p, err := pseudoSpectral("K15", n,
+		func(f float64) float64 { return (1 + 40*f*f) * (0.2 + 1.6*rng.Float64()) },
+		func(f float64) float64 { return 2 + math.Sin(6*math.Pi*f) },
+		false)
+	if err != nil {
+		return nil, err
+	}
+	p.Desc = "pseudo-spectral advection-diffusion-reaction operator (variable coefficients)"
+	return p, nil
+}
+
+// K16 is like K15 with an even rougher symbol (higher coefficient contrast).
+func K16(n int, seed int64) (*Problem, error) {
+	rng := rand.New(rand.NewSource(seed))
+	p, err := pseudoSpectral("K16", n,
+		func(f float64) float64 { return (1 + 25*f) * math.Exp(2*rng.NormFloat64()) },
+		func(f float64) float64 { return 1 + 10*f },
+		false)
+	if err != nil {
+		return nil, err
+	}
+	p.Desc = "pseudo-spectral operator with rough reaction coefficients"
+	return p, nil
+}
+
+// K17 is a 3-D-style pseudo-spectral operator with variable coefficients
+// (steeper trend, rough perturbation).
+func K17(n int, seed int64) (*Problem, error) {
+	rng := rand.New(rand.NewSource(seed))
+	p, err := pseudoSpectral("K17", n,
+		func(f float64) float64 { return (1 + 100*f*f*f) * (0.3 + 1.4*rng.Float64()) },
+		func(f float64) float64 { return 3 + 2*math.Cos(10*math.Pi*f) },
+		false)
+	if err != nil {
+		return nil, err
+	}
+	p.Desc = "3-D pseudo-spectral operator with variable coefficients"
+	return p, nil
+}

@@ -1,0 +1,236 @@
+package spdmat
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"gofmm/internal/linalg"
+)
+
+// This file builds the stencil-operator problems: K02/K03 (regularized
+// inverse [Helmholtz] Laplacian squared on a 2-D grid), K12–K14 (2-D
+// variable-coefficient diffusion inverses) and K18 (3-D inverse squared
+// Laplacian with variable coefficients). All are dense SPD matrices obtained
+// by factoring a banded stencil operator and solving against the identity —
+// which is how Hessians of PDE-constrained optimization problems and inverse
+// covariance operators arise (§3 of the paper).
+
+// grid2D builds the 5-point stencil operator
+// A = −∇·(a(x)∇u) + c(x)·u on an nx×ny grid with Dirichlet boundaries,
+// using harmonic averaging of the variable coefficient a at cell faces so
+// the matrix stays SPD. shift is added to the diagonal (regularization, or
+// a negative Helmholtz shift — the caller must keep the final operator
+// squared or shifted back to SPD).
+func grid2D(nx, ny int, a, c func(x, y float64) float64, shift float64) *linalg.BandedSPD {
+	n := nx * ny
+	b := linalg.NewBandedSPD(n, nx)
+	hx := 1.0 / float64(nx+1)
+	idx := func(i, j int) int { return j*nx + i }
+	harm := func(a1, a2 float64) float64 { return 2 * a1 * a2 / (a1 + a2) }
+	for j := 0; j < ny; j++ {
+		for i := 0; i < nx; i++ {
+			x, y := float64(i+1)*hx, float64(j+1)*hx
+			ac := a(x, y)
+			// Face coefficients (harmonic mean with the neighbor cell).
+			ae := harm(ac, a(x+hx, y))
+			aw := harm(ac, a(x-hx, y))
+			an := harm(ac, a(x, y+hx))
+			as := harm(ac, a(x, y-hx))
+			d := (ae + aw + an + as) + c(x, y)*hx*hx + shift*hx*hx
+			b.Set(idx(i, j), idx(i, j), d)
+			if i+1 < nx {
+				b.Set(idx(i+1, j), idx(i, j), -ae)
+			}
+			if j+1 < ny {
+				b.Set(idx(i, j+1), idx(i, j), -an)
+			}
+		}
+	}
+	return b
+}
+
+// grid3D builds the 7-point variable-coefficient Laplacian on an nx³ grid.
+func grid3D(nx int, a func(x, y, z float64) float64, shift float64) *linalg.BandedSPD {
+	n := nx * nx * nx
+	b := linalg.NewBandedSPD(n, nx*nx)
+	h := 1.0 / float64(nx+1)
+	idx := func(i, j, k int) int { return (k*nx+j)*nx + i }
+	harm := func(a1, a2 float64) float64 { return 2 * a1 * a2 / (a1 + a2) }
+	for k := 0; k < nx; k++ {
+		for j := 0; j < nx; j++ {
+			for i := 0; i < nx; i++ {
+				x, y, z := float64(i+1)*h, float64(j+1)*h, float64(k+1)*h
+				ac := a(x, y, z)
+				fe := harm(ac, a(x+h, y, z))
+				fw := harm(ac, a(x-h, y, z))
+				fn := harm(ac, a(x, y+h, z))
+				fs := harm(ac, a(x, y-h, z))
+				fu := harm(ac, a(x, y, z+h))
+				fd := harm(ac, a(x, y, z-h))
+				b.Set(idx(i, j, k), idx(i, j, k), fe+fw+fn+fs+fu+fd+shift*h*h)
+				if i+1 < nx {
+					b.Set(idx(i+1, j, k), idx(i, j, k), -fe)
+				}
+				if j+1 < nx {
+					b.Set(idx(i, j+1, k), idx(i, j, k), -fn)
+				}
+				if k+1 < nx {
+					b.Set(idx(i, j, k+1), idx(i, j, k), -fu)
+				}
+			}
+		}
+	}
+	return b
+}
+
+// bandedToDense expands a banded operator.
+func bandedToDense(b *linalg.BandedSPD) *linalg.Matrix {
+	A := linalg.NewMatrix(b.N, b.N)
+	for j := 0; j < b.N; j++ {
+		for d := 0; d <= b.Bandwidth; d++ {
+			if j+d < b.N {
+				v := b.Band[d][j]
+				A.Set(j+d, j, v)
+				A.Set(j, j+d, v)
+			}
+		}
+	}
+	return A
+}
+
+// inverseSquared returns (AᵀA + δI)⁻¹ for the symmetric operator A given in
+// band form — the "regularized inverse ... squared" construction of K02/K03.
+// A² is formed densely (the band squared would still be banded, but dense
+// keeps the code simple at laptop scale), then factored with Cholesky.
+func inverseSquared(b *linalg.BandedSPD, delta float64) (*linalg.Matrix, error) {
+	A := bandedToDense(b)
+	A2 := linalg.MatMul(false, false, A, A)
+	for i := 0; i < A2.Rows; i++ {
+		A2.Add(i, i, delta)
+	}
+	return linalg.InvertSPD(A2)
+}
+
+// gridSide returns the per-dimension grid size for a requested N (rounded
+// down to a perfect square/cube).
+func gridSide(n, dims int) int {
+	s := int(math.Round(math.Pow(float64(n), 1/float64(dims))))
+	for s > 1 && pow(s, dims) > n {
+		s--
+	}
+	if s < 2 {
+		s = 2
+	}
+	return s
+}
+
+func pow(b, e int) int {
+	out := 1
+	for i := 0; i < e; i++ {
+		out *= b
+	}
+	return out
+}
+
+// K02 is the 2-D regularized inverse Laplacian squared — the Hessian of a
+// PDE-constrained optimization problem (5-point stencil, Dirichlet BCs).
+func K02(n int) (*Problem, error) {
+	nx := gridSide(n, 2)
+	one := func(x, y float64) float64 { return 1 }
+	zero := func(x, y float64) float64 { return 0 }
+	b := grid2D(nx, nx, one, zero, 1.0)
+	inv, err := inverseSquared(b, 1e-4)
+	if err != nil {
+		return nil, fmt.Errorf("K02: %w", err)
+	}
+	return &Problem{
+		Name: "K02",
+		Desc: fmt.Sprintf("2-D regularized inverse Laplacian squared, %d×%d grid", nx, nx),
+		K:    &Dense{inv},
+	}, nil
+}
+
+// K03 is the same construction with an oscillatory Helmholtz operator
+// (≈10 points per wavelength, so k·h ≈ 2π/10).
+func K03(n int) (*Problem, error) {
+	nx := gridSide(n, 2)
+	h := 1.0 / float64(nx+1)
+	kh := 2 * math.Pi / 10
+	ksq := (kh / h) * (kh / h)
+	one := func(x, y float64) float64 { return 1 }
+	zero := func(x, y float64) float64 { return 0 }
+	// Helmholtz L − k²I is indefinite; its square is SPD.
+	b := grid2D(nx, nx, one, zero, -ksq)
+	inv, err := inverseSquared(b, 1e-4)
+	if err != nil {
+		return nil, fmt.Errorf("K03: %w", err)
+	}
+	return &Problem{
+		Name: "K03",
+		Desc: fmt.Sprintf("2-D inverse squared Helmholtz (10 pts/wavelength), %d×%d grid", nx, nx),
+		K:    &Dense{inv},
+	}, nil
+}
+
+// variableCoefficient returns a rough, highly variable positive field
+// (lognormal-style bumps) for the K12–K14/K18 operators.
+func variableCoefficient(rng *rand.Rand, contrast float64) func(x, y float64) float64 {
+	const nb = 12
+	cx := make([]float64, nb)
+	cy := make([]float64, nb)
+	am := make([]float64, nb)
+	for i := range cx {
+		cx[i], cy[i] = rng.Float64(), rng.Float64()
+		am[i] = rng.NormFloat64()
+	}
+	return func(x, y float64) float64 {
+		s := 0.0
+		for i := range cx {
+			dx, dy := x-cx[i], y-cy[i]
+			s += am[i] * math.Exp(-(dx*dx+dy*dy)/0.02)
+		}
+		return math.Exp(s * math.Log(contrast) / 4)
+	}
+}
+
+// K12, K13, K14 are 2-D variable-coefficient diffusion operators with
+// increasingly rough coefficients (contrast 10, 1e3, 1e5); the matrices are
+// the inverses (covariance-like).
+func kDiffusion(name string, n int, contrast float64, seed int64) (*Problem, error) {
+	nx := gridSide(n, 2)
+	rng := rand.New(rand.NewSource(seed))
+	a := variableCoefficient(rng, contrast)
+	c := func(x, y float64) float64 { return 1 }
+	b := grid2D(nx, nx, a, c, 0)
+	if err := b.CholeskyInPlace(); err != nil {
+		return nil, fmt.Errorf("%s: %w", name, err)
+	}
+	inv, err := b.DenseInverse()
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", name, err)
+	}
+	return &Problem{
+		Name: name,
+		Desc: fmt.Sprintf("2-D variable-coefficient diffusion inverse (contrast %.0e), %d×%d grid", contrast, nx, nx),
+		K:    &Dense{inv},
+	}, nil
+}
+
+// K18 is the 3-D inverse squared Laplacian with variable coefficients.
+func K18(n int, seed int64) (*Problem, error) {
+	nx := gridSide(n, 3)
+	rng := rand.New(rand.NewSource(seed))
+	a2d := variableCoefficient(rng, 100)
+	a := func(x, y, z float64) float64 { return a2d(x, y) * (1 + 0.5*math.Sin(2*math.Pi*z)) }
+	b := grid3D(nx, a, 1.0)
+	inv, err := inverseSquared(b, 1e-4)
+	if err != nil {
+		return nil, fmt.Errorf("K18: %w", err)
+	}
+	return &Problem{
+		Name: "K18",
+		Desc: fmt.Sprintf("3-D variable-coefficient inverse squared Laplacian, %d³ grid", nx),
+		K:    &Dense{inv},
+	}, nil
+}

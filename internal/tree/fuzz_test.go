@@ -1,0 +1,65 @@
+package tree
+
+import "testing"
+
+// FuzzMortonRoundTrip checks that arbitrary (path, level) pairs survive the
+// encode/decode cycle and that parent-of is consistent with ancestry.
+func FuzzMortonRoundTrip(f *testing.F) {
+	f.Add(uint64(0), uint8(0))
+	f.Add(uint64(5), uint8(3))
+	f.Add(uint64(1)<<40, uint8(41))
+	f.Fuzz(func(t *testing.T, path uint64, level uint8) {
+		lvl := int(level % 50)
+		path &= (uint64(1) << uint(lvl)) - 1 // keep the path within the level
+		m := Morton(path<<mortonLevelBits | uint64(lvl))
+		if m.Level() != lvl || m.Path() != path {
+			t.Fatalf("round trip failed: %v", m)
+		}
+		if m.NodeID() < 0 {
+			t.Fatal("negative node id")
+		}
+		// Every node is its own ancestor.
+		if !m.IsAncestorOf(m) {
+			t.Fatal("not self-ancestor")
+		}
+		// The ancestor at level 0 is the root.
+		if root := m.AncestorAt(0); root.NodeID() != 0 {
+			t.Fatalf("root ancestor = %v", root)
+		}
+	})
+}
+
+// FuzzBuildBalanced builds trees of arbitrary size/leaf parameters and
+// checks the permutation and balance invariants.
+func FuzzBuildBalanced(f *testing.F) {
+	f.Add(17, 4)
+	f.Add(1, 1)
+	f.Add(1000, 7)
+	f.Fuzz(func(t *testing.T, n, leaf int) {
+		n = 1 + abs(n)%2000
+		leaf = 1 + abs(leaf)%256
+		tr := Build(n, leaf, nil)
+		seen := make([]bool, n)
+		for _, v := range tr.Perm {
+			if v < 0 || v >= n || seen[v] {
+				t.Fatalf("perm not a bijection at %d", v)
+			}
+			seen[v] = true
+		}
+		for _, id := range tr.Leaves() {
+			if tr.Nodes[id].Size() > leaf {
+				t.Fatalf("leaf %d larger than leafSize", id)
+			}
+		}
+	})
+}
+
+func abs(x int) int {
+	if x < 0 {
+		if x == -x { // MinInt
+			return 0
+		}
+		return -x
+	}
+	return x
+}

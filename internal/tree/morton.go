@@ -1,0 +1,61 @@
+package tree
+
+import "fmt"
+
+// Morton encodes the path from the root to a tree node as bits (left = 0,
+// right = 1, most significant first) together with the node's level. This is
+// the paper's "Morton ID": a bit array coding the path from the root to a
+// tree node or index. It supports the two queries GOFMM needs — ancestor
+// tests during FindFar (Algorithm 2.4) and membership checks for near lists.
+//
+// Layout: bits 6.. hold the path, bits 0..5 hold the level (≤ 63 levels,
+// i.e. trees with up to 2^63 leaves).
+type Morton uint64
+
+const mortonLevelBits = 6
+
+func mortonOf(id, level int) Morton {
+	// In heap order, node id at level l has path = id - (2^l - 1).
+	path := uint64(id) - (uint64(1)<<uint(level) - 1)
+	return Morton(path<<mortonLevelBits | uint64(level))
+}
+
+// Level returns the node level encoded in m.
+func (m Morton) Level() int { return int(m & (1<<mortonLevelBits - 1)) }
+
+// Path returns the root-to-node path bits.
+func (m Morton) Path() uint64 { return uint64(m) >> mortonLevelBits }
+
+// NodeID returns the heap-order node index corresponding to m.
+func (m Morton) NodeID() int {
+	return int(m.Path() + (uint64(1)<<uint(m.Level()) - 1))
+}
+
+// IsAncestorOf reports whether m's node is an ancestor of (or equal to) o's
+// node: m's path must be a prefix of o's path.
+func (m Morton) IsAncestorOf(o Morton) bool {
+	lm, lo := m.Level(), o.Level()
+	if lm > lo {
+		return false
+	}
+	return o.Path()>>(uint(lo-lm)) == m.Path()
+}
+
+// AncestorAt returns the Morton ID of m's ancestor at the given level
+// (level ≤ m.Level()).
+func (m Morton) AncestorAt(level int) Morton {
+	lm := m.Level()
+	if level > lm {
+		panic("tree: AncestorAt below node level")
+	}
+	return Morton(m.Path()>>uint(lm-level)<<mortonLevelBits | uint64(level))
+}
+
+// String renders the path as a binary string, e.g. "0b101@3".
+func (m Morton) String() string {
+	l := m.Level()
+	if l == 0 {
+		return "root"
+	}
+	return fmt.Sprintf("0b%0*b@%d", l, m.Path(), l)
+}

@@ -1,0 +1,218 @@
+// Package tree implements the balanced binary partitioning tree that GOFMM
+// uses to permute an SPD matrix (§2.1 of the paper), together with Morton
+// IDs encoding root-to-node paths and the traversal orders (preorder,
+// postorder, level-by-level, leaves-only) that drive every algorithm phase.
+//
+// The tree is "complete": every interior node has exactly two children and
+// all leaves sit at the same depth L = ceil(log2(N/m)), so a node's children
+// are found by array arithmetic (children of k are 2k+1 and 2k+2). A node
+// owns a contiguous half-open range [Lo, Hi) of *tree positions*; the
+// Perm/IPerm arrays map tree positions to original matrix indices and back,
+// which is exactly the symmetric permutation the H-matrix is built in.
+package tree
+
+import "fmt"
+
+// Splitter rearranges idx (a slice of original matrix indices owned by one
+// node) so that the first nl entries belong to the left child, and returns
+// nl. Implementations are the metric ball-tree split, the random projection
+// split, and the trivial lexicographic/random splits. A balanced tree
+// requires nl to be within ±1 of len(idx)/2; Build enforces this.
+type Splitter interface {
+	Split(idx []int, level int) int
+}
+
+// EvenSplit is the trivial splitter that keeps the current order and cuts in
+// the middle: with pre-sorted input this is the lexicographic ordering used
+// by the HODLR/HSS baselines.
+type EvenSplit struct{}
+
+// Split implements Splitter.
+func (EvenSplit) Split(idx []int, _ int) int { return (len(idx) + 1) / 2 }
+
+// Node is one vertex of the partition tree.
+type Node struct {
+	ID     int // position in Tree.Nodes (heap order)
+	Level  int // root is level 0
+	Lo, Hi int // tree positions owned: Perm[Lo:Hi]
+	Morton Morton
+}
+
+// Size returns the number of indices the node owns.
+func (n *Node) Size() int { return n.Hi - n.Lo }
+
+// Tree is a complete balanced binary partition tree over n indices.
+type Tree struct {
+	N     int
+	Depth int    // leaf level; 2^Depth leaves
+	Nodes []Node // len 2^(Depth+1) - 1, heap order
+	// Perm maps tree position -> original index; IPerm is its inverse.
+	Perm, IPerm []int
+	// leafOfPos maps tree position -> leaf node ID.
+	leafOfPos []int
+}
+
+// DepthFor returns the leaf level such that leaves hold at most leafSize
+// indices: ceil(log2(n/leafSize)).
+func DepthFor(n, leafSize int) int {
+	if leafSize <= 0 {
+		panic("tree: leafSize must be positive")
+	}
+	d := 0
+	for size := n; size > leafSize; size = (size + 1) / 2 {
+		d++
+	}
+	return d
+}
+
+// Build constructs the tree by recursively splitting [0, n) with split.
+// A nil split means EvenSplit. The identity permutation seeds the order, so
+// with EvenSplit the result is the lexicographic partition.
+func Build(n, leafSize int, split Splitter) *Tree {
+	if n <= 0 {
+		panic("tree: Build with n <= 0")
+	}
+	if split == nil {
+		split = EvenSplit{}
+	}
+	depth := DepthFor(n, leafSize)
+	t := &Tree{
+		N:         n,
+		Depth:     depth,
+		Nodes:     make([]Node, (2<<depth)-1),
+		Perm:      make([]int, n),
+		IPerm:     make([]int, n),
+		leafOfPos: make([]int, n),
+	}
+	for i := range t.Perm {
+		t.Perm[i] = i
+	}
+	t.build(0, 0, 0, n, split)
+	for pos, orig := range t.Perm {
+		t.IPerm[orig] = pos
+	}
+	return t
+}
+
+func (t *Tree) build(id, level, lo, hi int, split Splitter) {
+	t.Nodes[id] = Node{ID: id, Level: level, Lo: lo, Hi: hi, Morton: mortonOf(id, level)}
+	if level == t.Depth {
+		for pos := lo; pos < hi; pos++ {
+			t.leafOfPos[pos] = id
+		}
+		return
+	}
+	seg := t.Perm[lo:hi]
+	nl := split.Split(seg, level)
+	half := len(seg) / 2
+	if nl < half || nl > half+len(seg)%2 {
+		panic(fmt.Sprintf("tree: splitter returned unbalanced cut %d of %d at level %d", nl, len(seg), level))
+	}
+	t.build(2*id+1, level+1, lo, lo+nl, split)
+	t.build(2*id+2, level+1, lo+nl, hi, split)
+}
+
+// FromPermutation rebuilds a tree from a stored permutation: node ranges of
+// a balanced tree are fully determined by n and leafSize (every splitter
+// cuts at ceil(n/2)), so only the permutation needs to be persisted.
+func FromPermutation(perm []int, leafSize int) *Tree {
+	t := Build(len(perm), leafSize, EvenSplit{})
+	copy(t.Perm, perm)
+	for pos, orig := range t.Perm {
+		t.IPerm[orig] = pos
+	}
+	return t
+}
+
+// Root returns the root node.
+func (t *Tree) Root() *Node { return &t.Nodes[0] }
+
+// IsLeaf reports whether node id is a leaf.
+func (t *Tree) IsLeaf(id int) bool { return t.Nodes[id].Level == t.Depth }
+
+// Left and Right return child IDs (only valid for interior nodes).
+func (t *Tree) Left(id int) int  { return 2*id + 1 }
+func (t *Tree) Right(id int) int { return 2*id + 2 }
+
+// Parent returns the parent ID (or -1 for the root).
+func (t *Tree) Parent(id int) int {
+	if id == 0 {
+		return -1
+	}
+	return (id - 1) / 2
+}
+
+// NumLeaves returns 2^Depth.
+func (t *Tree) NumLeaves() int { return 1 << t.Depth }
+
+// Leaves returns the IDs of all leaves, left to right.
+func (t *Tree) Leaves() []int {
+	first := (1 << t.Depth) - 1
+	out := make([]int, t.NumLeaves())
+	for i := range out {
+		out[i] = first + i
+	}
+	return out
+}
+
+// LeafOfIndex returns the leaf node ID owning original matrix index i.
+func (t *Tree) LeafOfIndex(i int) int { return t.leafOfPos[t.IPerm[i]] }
+
+// MortonOfIndex returns the Morton ID of the leaf owning original index i —
+// the paper's MortonID(i).
+func (t *Tree) MortonOfIndex(i int) Morton { return t.Nodes[t.LeafOfIndex(i)].Morton }
+
+// Indices returns the original matrix indices owned by node id, in tree
+// order. The returned slice aliases the permutation; callers must not
+// modify it.
+func (t *Tree) Indices(id int) []int {
+	nd := &t.Nodes[id]
+	return t.Perm[nd.Lo:nd.Hi]
+}
+
+// Sibling returns the sibling ID (or -1 for the root).
+func (t *Tree) Sibling(id int) int {
+	if id == 0 {
+		return -1
+	}
+	if id%2 == 1 {
+		return id + 1
+	}
+	return id - 1
+}
+
+// PostOrder calls visit for every node, children before parents.
+func (t *Tree) PostOrder(visit func(n *Node)) { t.postOrder(0, visit) }
+
+func (t *Tree) postOrder(id int, visit func(n *Node)) {
+	if !t.IsLeaf(id) {
+		t.postOrder(t.Left(id), visit)
+		t.postOrder(t.Right(id), visit)
+	}
+	visit(&t.Nodes[id])
+}
+
+// PreOrder calls visit for every node, parents before children.
+func (t *Tree) PreOrder(visit func(n *Node)) { t.preOrder(0, visit) }
+
+func (t *Tree) preOrder(id int, visit func(n *Node)) {
+	visit(&t.Nodes[id])
+	if !t.IsLeaf(id) {
+		t.preOrder(t.Left(id), visit)
+		t.preOrder(t.Right(id), visit)
+	}
+}
+
+// LevelNodes returns node IDs grouped by level, root first.
+func (t *Tree) LevelNodes() [][]int {
+	out := make([][]int, t.Depth+1)
+	for l := 0; l <= t.Depth; l++ {
+		first := (1 << l) - 1
+		ids := make([]int, 1<<l)
+		for i := range ids {
+			ids[i] = first + i
+		}
+		out[l] = ids
+	}
+	return out
+}

@@ -1,0 +1,296 @@
+package tree
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestDepthFor(t *testing.T) {
+	cases := []struct{ n, m, want int }{
+		{1, 1, 0},
+		{8, 8, 0},
+		{9, 8, 1},
+		{16, 8, 1},
+		{17, 8, 2},
+		{1000, 64, 4},
+		{65536, 512, 7},
+	}
+	for _, c := range cases {
+		if got := DepthFor(c.n, c.m); got != c.want {
+			t.Errorf("DepthFor(%d,%d) = %d, want %d", c.n, c.m, got, c.want)
+		}
+	}
+}
+
+func TestBuildPermutationIsBijection(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(500)
+		m := 1 + rng.Intn(64)
+		tr := Build(n, m, nil)
+		seen := make([]bool, n)
+		for _, v := range tr.Perm {
+			if v < 0 || v >= n || seen[v] {
+				return false
+			}
+			seen[v] = true
+		}
+		for orig, pos := range tr.IPerm {
+			if tr.Perm[pos] != orig {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBuildBalancedLeafSizes(t *testing.T) {
+	tr := Build(1000, 64, nil)
+	minSz, maxSz := 1<<30, 0
+	for _, id := range tr.Leaves() {
+		sz := tr.Nodes[id].Size()
+		if sz < minSz {
+			minSz = sz
+		}
+		if sz > maxSz {
+			maxSz = sz
+		}
+	}
+	if maxSz > 64 {
+		t.Fatalf("leaf larger than leafSize: %d", maxSz)
+	}
+	if maxSz-minSz > 1 {
+		t.Fatalf("unbalanced leaves: min %d max %d", minSz, maxSz)
+	}
+}
+
+func TestNodeRangesNest(t *testing.T) {
+	tr := Build(333, 16, nil)
+	for id := range tr.Nodes {
+		nd := &tr.Nodes[id]
+		if tr.IsLeaf(id) {
+			continue
+		}
+		l, r := &tr.Nodes[tr.Left(id)], &tr.Nodes[tr.Right(id)]
+		if l.Lo != nd.Lo || r.Hi != nd.Hi || l.Hi != r.Lo {
+			t.Fatalf("node %d: children ranges [%d,%d)+[%d,%d) don't tile [%d,%d)",
+				id, l.Lo, l.Hi, r.Lo, r.Hi, nd.Lo, nd.Hi)
+		}
+	}
+}
+
+func TestParentSiblingRelations(t *testing.T) {
+	tr := Build(100, 10, nil)
+	if tr.Parent(0) != -1 || tr.Sibling(0) != -1 {
+		t.Fatal("root should have no parent/sibling")
+	}
+	for id := 1; id < len(tr.Nodes); id++ {
+		p := tr.Parent(id)
+		if tr.Left(p) != id && tr.Right(p) != id {
+			t.Fatalf("parent of %d is %d but children are %d,%d", id, p, tr.Left(p), tr.Right(p))
+		}
+		sib := tr.Sibling(id)
+		if tr.Parent(sib) != p || sib == id {
+			t.Fatalf("sibling relation broken at %d", id)
+		}
+	}
+}
+
+func TestTraversalOrders(t *testing.T) {
+	tr := Build(64, 8, nil)
+	var post, pre []int
+	tr.PostOrder(func(n *Node) { post = append(post, n.ID) })
+	tr.PreOrder(func(n *Node) { pre = append(pre, n.ID) })
+	if len(post) != len(tr.Nodes) || len(pre) != len(tr.Nodes) {
+		t.Fatalf("traversal lengths: post %d pre %d nodes %d", len(post), len(pre), len(tr.Nodes))
+	}
+	seenPost := map[int]bool{}
+	for _, id := range post {
+		if !tr.IsLeaf(id) {
+			if !seenPost[tr.Left(id)] || !seenPost[tr.Right(id)] {
+				t.Fatalf("postorder visited %d before its children", id)
+			}
+		}
+		seenPost[id] = true
+	}
+	seenPre := map[int]bool{}
+	for _, id := range pre {
+		if id != 0 && !seenPre[tr.Parent(id)] {
+			t.Fatalf("preorder visited %d before its parent", id)
+		}
+		seenPre[id] = true
+	}
+}
+
+func TestLevelNodes(t *testing.T) {
+	tr := Build(128, 16, nil)
+	lv := tr.LevelNodes()
+	if len(lv) != tr.Depth+1 {
+		t.Fatalf("levels = %d, want %d", len(lv), tr.Depth+1)
+	}
+	total := 0
+	for l, ids := range lv {
+		if len(ids) != 1<<l {
+			t.Fatalf("level %d has %d nodes", l, len(ids))
+		}
+		for _, id := range ids {
+			if tr.Nodes[id].Level != l {
+				t.Fatalf("node %d in wrong level bucket", id)
+			}
+		}
+		total += len(ids)
+	}
+	if total != len(tr.Nodes) {
+		t.Fatal("levels don't cover all nodes")
+	}
+}
+
+func TestLeafOfIndexConsistent(t *testing.T) {
+	tr := Build(200, 16, nil)
+	for i := 0; i < 200; i++ {
+		leaf := tr.LeafOfIndex(i)
+		found := false
+		for _, idx := range tr.Indices(leaf) {
+			if idx == i {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Fatalf("index %d not inside its leaf %d", i, leaf)
+		}
+	}
+}
+
+func TestLexicographicOrderWithEvenSplit(t *testing.T) {
+	tr := Build(100, 8, EvenSplit{})
+	if !sort.IntsAreSorted(tr.Perm) {
+		t.Fatal("EvenSplit should preserve identity order")
+	}
+}
+
+type reverseSplit struct{}
+
+func (reverseSplit) Split(idx []int, _ int) int {
+	sort.Sort(sort.Reverse(sort.IntSlice(idx)))
+	return (len(idx) + 1) / 2
+}
+
+func TestCustomSplitterIsRespected(t *testing.T) {
+	tr := Build(16, 2, reverseSplit{})
+	// Left-most leaf should own the largest indices.
+	first := tr.Indices(tr.Leaves()[0])
+	if first[0] != 15 {
+		t.Fatalf("custom splitter ignored: leftmost leaf = %v", first)
+	}
+}
+
+type badSplit struct{}
+
+func (badSplit) Split(idx []int, _ int) int { return 0 }
+
+func TestUnbalancedSplitterPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for unbalanced splitter")
+		}
+	}()
+	Build(16, 2, badSplit{})
+}
+
+func TestMortonBasics(t *testing.T) {
+	tr := Build(64, 8, nil)
+	root := tr.Nodes[0].Morton
+	if root.Level() != 0 || root.Path() != 0 {
+		t.Fatal("root morton wrong")
+	}
+	for id := range tr.Nodes {
+		m := tr.Nodes[id].Morton
+		if m.NodeID() != id {
+			t.Fatalf("morton round trip: node %d -> %d", id, m.NodeID())
+		}
+		if m.Level() != tr.Nodes[id].Level {
+			t.Fatalf("morton level mismatch at %d", id)
+		}
+	}
+}
+
+func TestMortonAncestor(t *testing.T) {
+	tr := Build(256, 8, nil)
+	for id := range tr.Nodes {
+		m := tr.Nodes[id].Morton
+		// Every ancestor along the parent chain must report IsAncestorOf.
+		for p := id; p != -1; p = tr.Parent(p) {
+			if !tr.Nodes[p].Morton.IsAncestorOf(m) {
+				t.Fatalf("node %d should be ancestor of %d", p, id)
+			}
+		}
+		// The sibling must not be an ancestor.
+		if sib := tr.Sibling(id); sib >= 0 {
+			if tr.Nodes[sib].Morton.IsAncestorOf(m) {
+				t.Fatalf("sibling %d claims ancestry of %d", sib, id)
+			}
+		}
+		// AncestorAt agrees with the parent chain.
+		for l := tr.Nodes[id].Level; l >= 0; l-- {
+			anc := m.AncestorAt(l)
+			p := id
+			for tr.Nodes[p].Level > l {
+				p = tr.Parent(p)
+			}
+			if anc.NodeID() != p {
+				t.Fatalf("AncestorAt(%d) of node %d = %d, want %d", l, id, anc.NodeID(), p)
+			}
+		}
+	}
+}
+
+func TestMortonOfIndexMatchesLeaf(t *testing.T) {
+	tr := Build(100, 8, nil)
+	for i := 0; i < 100; i++ {
+		if tr.MortonOfIndex(i) != tr.Nodes[tr.LeafOfIndex(i)].Morton {
+			t.Fatalf("MortonOfIndex mismatch at %d", i)
+		}
+	}
+}
+
+func TestMortonStringer(t *testing.T) {
+	tr := Build(16, 2, nil)
+	if s := tr.Nodes[0].Morton.String(); s != "root" {
+		t.Fatalf("root string = %q", s)
+	}
+	// Node 2 = right child of root: path 1, level 1.
+	if s := tr.Nodes[2].Morton.String(); s != "0b1@1" {
+		t.Fatalf("node 2 string = %q", s)
+	}
+}
+
+func TestFromPermutationRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	orig := Build(333, 16, reverseSplit{})
+	_ = rng
+	rebuilt := FromPermutation(orig.Perm, 16)
+	if rebuilt.Depth != orig.Depth {
+		t.Fatalf("depth %d vs %d", rebuilt.Depth, orig.Depth)
+	}
+	for pos := range orig.Perm {
+		if rebuilt.Perm[pos] != orig.Perm[pos] {
+			t.Fatalf("perm mismatch at %d", pos)
+		}
+	}
+	for i := 0; i < 333; i++ {
+		if rebuilt.LeafOfIndex(i) != orig.LeafOfIndex(i) {
+			t.Fatalf("leaf assignment differs for index %d", i)
+		}
+	}
+	for id := range orig.Nodes {
+		if rebuilt.Nodes[id].Lo != orig.Nodes[id].Lo || rebuilt.Nodes[id].Hi != orig.Nodes[id].Hi {
+			t.Fatalf("node %d range differs", id)
+		}
+	}
+}

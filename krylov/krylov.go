@@ -1,0 +1,302 @@
+// Package krylov provides the iterative methods the paper names as the
+// consumers of fast SPD matvecs (§1: "matvecs with multiple vectors, which
+// is useful for Monte-Carlo sampling, optimization, and block Krylov
+// methods"): conjugate gradients (optionally preconditioned), Lanczos
+// spectrum estimation, block power iteration for dominant eigenpairs, and
+// Hutchinson's randomized trace estimator. Every method consumes an
+// Operator — anything with a fast Matvec, such as a GOFMM-compressed
+// matrix — and never touches matrix entries.
+package krylov
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+
+	"gofmm/internal/linalg"
+)
+
+// Matrix re-exports the dense matrix type used for blocks of vectors.
+type Matrix = linalg.Matrix
+
+// Operator is a linear operator with a (block) matvec. A GOFMM
+// *Hierarchical satisfies it directly.
+type Operator interface {
+	N() int
+	Matvec(W *Matrix) *Matrix
+}
+
+// Preconditioner approximately solves M·X = B. An hss.Factorization
+// satisfies it directly.
+type Preconditioner interface {
+	Solve(B *Matrix) *Matrix
+}
+
+// Dense adapts an explicit matrix into an Operator (tests, baselines).
+type Dense struct{ M *Matrix }
+
+// N returns the dimension.
+func (d Dense) N() int { return d.M.Rows }
+
+// Matvec multiplies densely.
+func (d Dense) Matvec(W *Matrix) *Matrix { return linalg.MatMul(false, false, d.M, W) }
+
+// Shifted wraps A as A + σI.
+type Shifted struct {
+	A     Operator
+	Sigma float64
+}
+
+// N returns the dimension.
+func (s Shifted) N() int { return s.A.N() }
+
+// Matvec applies (A + σI)·W.
+func (s Shifted) Matvec(W *Matrix) *Matrix {
+	U := s.A.Matvec(W)
+	U.AddScaled(s.Sigma, W)
+	return U
+}
+
+// ErrNotConverged reports that an iteration hit its cap before reaching the
+// requested tolerance.
+var ErrNotConverged = errors.New("krylov: not converged")
+
+// CGResult reports the outcome of a CG solve.
+type CGResult struct {
+	Iterations int
+	Residual   float64 // final relative residual ‖r‖/‖b‖
+}
+
+// CG solves A·x = b for SPD A to relative tolerance tol (at most maxIter
+// iterations), optionally preconditioned. x is returned even on
+// ErrNotConverged.
+func CG(A Operator, pre Preconditioner, b []float64, tol float64, maxIter int) ([]float64, CGResult, error) {
+	n := A.N()
+	if len(b) != n {
+		panic("krylov: CG right-hand side dimension mismatch")
+	}
+	apply := func(v []float64) []float64 {
+		V := linalg.NewMatrix(n, 1)
+		copy(V.Col(0), v)
+		return A.Matvec(V).Col(0)
+	}
+	prec := func(r []float64) []float64 {
+		if pre == nil {
+			return append([]float64(nil), r...)
+		}
+		R := linalg.NewMatrix(n, 1)
+		copy(R.Col(0), r)
+		return pre.Solve(R).Col(0)
+	}
+	x := make([]float64, n)
+	r := append([]float64(nil), b...)
+	z := prec(r)
+	p := append([]float64(nil), z...)
+	rz := linalg.Dot(r, z)
+	norm0 := linalg.Nrm2(b)
+	if norm0 == 0 {
+		return x, CGResult{}, nil
+	}
+	res := CGResult{}
+	for it := 0; it < maxIter; it++ {
+		Ap := apply(p)
+		pAp := linalg.Dot(p, Ap)
+		if pAp <= 0 {
+			return x, res, errors.New("krylov: operator not positive definite in CG")
+		}
+		alpha := rz / pAp
+		linalg.Axpy(alpha, p, x)
+		linalg.Axpy(-alpha, Ap, r)
+		res.Iterations = it + 1
+		res.Residual = linalg.Nrm2(r) / norm0
+		if res.Residual < tol {
+			return x, res, nil
+		}
+		z = prec(r)
+		rzNew := linalg.Dot(r, z)
+		beta := rzNew / rz
+		for i := range p {
+			p[i] = z[i] + beta*p[i]
+		}
+		rz = rzNew
+	}
+	return x, res, ErrNotConverged
+}
+
+// Lanczos runs k steps of the symmetric Lanczos iteration (with full
+// reorthogonalization, which is fine at the small k used for spectrum
+// estimation) and returns the Ritz values in descending order.
+func Lanczos(A Operator, k int, seed int64) []float64 {
+	n := A.N()
+	if k > n {
+		k = n
+	}
+	rng := rand.New(rand.NewSource(seed))
+	q := make([]float64, n)
+	for i := range q {
+		q[i] = rng.NormFloat64()
+	}
+	linalg.Scal(1/linalg.Nrm2(q), q)
+	Q := make([][]float64, 0, k)
+	alpha := make([]float64, 0, k)
+	beta := make([]float64, 0, k) // beta[j] links q_j and q_{j+1}
+	apply := func(v []float64) []float64 {
+		V := linalg.NewMatrix(n, 1)
+		copy(V.Col(0), v)
+		return A.Matvec(V).Col(0)
+	}
+	for j := 0; j < k; j++ {
+		Q = append(Q, append([]float64(nil), q...))
+		w := apply(q)
+		a := linalg.Dot(q, w)
+		alpha = append(alpha, a)
+		linalg.Axpy(-a, q, w)
+		if j > 0 {
+			linalg.Axpy(-beta[j-1], Q[j-1], w)
+		}
+		// Full reorthogonalization against all previous vectors.
+		for _, qi := range Q {
+			linalg.Axpy(-linalg.Dot(qi, w), qi, w)
+		}
+		bnorm := linalg.Nrm2(w)
+		if bnorm == 0 {
+			break
+		}
+		beta = append(beta, bnorm)
+		linalg.Scal(1/bnorm, w)
+		q = w
+	}
+	m := len(alpha)
+	evs := TridiagEigenvalues(alpha[:m], beta[:min(len(beta), m-1)])
+	// Descending.
+	for i, j := 0, len(evs)-1; i < j; i, j = i+1, j-1 {
+		evs[i], evs[j] = evs[j], evs[i]
+	}
+	return evs
+}
+
+// TridiagEigenvalues returns all eigenvalues (ascending) of the symmetric
+// tridiagonal matrix with diagonal a and off-diagonal b, computed by
+// bisection with Sturm sequences — entirely adequate for the small Lanczos
+// systems used here.
+func TridiagEigenvalues(a, b []float64) []float64 {
+	n := len(a)
+	if n == 0 {
+		return nil
+	}
+	// Gershgorin bounds.
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for i := 0; i < n; i++ {
+		r := 0.0
+		if i > 0 {
+			r += math.Abs(b[i-1])
+		}
+		if i < n-1 {
+			r += math.Abs(b[i])
+		}
+		lo = math.Min(lo, a[i]-r)
+		hi = math.Max(hi, a[i]+r)
+	}
+	// count(x) = number of eigenvalues < x (Sturm sequence).
+	count := func(x float64) int {
+		cnt := 0
+		d := 1.0
+		const tiny = 1e-300
+		for i := 0; i < n; i++ {
+			off := 0.0
+			if i > 0 {
+				off = b[i-1] * b[i-1]
+			}
+			d = a[i] - x - off/d
+			if d == 0 {
+				d = tiny
+			}
+			if d < 0 {
+				cnt++
+			}
+		}
+		return cnt
+	}
+	evs := make([]float64, n)
+	for k := 0; k < n; k++ {
+		l, h := lo, hi
+		for iter := 0; iter < 100 && h-l > 1e-13*(1+math.Abs(l)+math.Abs(h)); iter++ {
+			mid := 0.5 * (l + h)
+			if count(mid) <= k {
+				l = mid
+			} else {
+				h = mid
+			}
+		}
+		evs[k] = 0.5 * (l + h)
+	}
+	return evs
+}
+
+// BlockPower runs subspace iteration and returns the top-k Ritz values
+// (descending) and the final orthonormal basis.
+func BlockPower(A Operator, k, iters int, seed int64) ([]float64, *Matrix) {
+	n := A.N()
+	if k > n {
+		k = n
+	}
+	rng := rand.New(rand.NewSource(seed))
+	Q := linalg.GaussianMatrix(rng, n, k)
+	orthonormalize(Q)
+	for it := 0; it < iters; it++ {
+		Q = A.Matvec(Q)
+		orthonormalize(Q)
+	}
+	AQ := A.Matvec(Q)
+	vals := make([]float64, k)
+	for j := 0; j < k; j++ {
+		vals[j] = linalg.Dot(Q.Col(j), AQ.Col(j))
+	}
+	// Sort descending (selection sort: k is small).
+	for i := 0; i < k; i++ {
+		for j := i + 1; j < k; j++ {
+			if vals[j] > vals[i] {
+				vals[i], vals[j] = vals[j], vals[i]
+			}
+		}
+	}
+	return vals, Q
+}
+
+func orthonormalize(Q *Matrix) {
+	for j := 0; j < Q.Cols; j++ {
+		cj := Q.Col(j)
+		for k := 0; k < j; k++ {
+			ck := Q.Col(k)
+			linalg.Axpy(-linalg.Dot(ck, cj), ck, cj)
+		}
+		norm := linalg.Nrm2(cj)
+		if norm > 0 {
+			linalg.Scal(1/norm, cj)
+		}
+	}
+}
+
+// Trace estimates tr(A) with Hutchinson's estimator using the given number
+// of Rademacher probes, all evaluated in one block matvec.
+func Trace(A Operator, probes int, seed int64) float64 {
+	n := A.N()
+	rng := rand.New(rand.NewSource(seed))
+	Z := linalg.NewMatrix(n, probes)
+	for j := 0; j < probes; j++ {
+		col := Z.Col(j)
+		for i := range col {
+			if rng.Intn(2) == 0 {
+				col[i] = 1
+			} else {
+				col[i] = -1
+			}
+		}
+	}
+	AZ := A.Matvec(Z)
+	var est float64
+	for j := 0; j < probes; j++ {
+		est += linalg.Dot(Z.Col(j), AZ.Col(j))
+	}
+	return est / float64(probes)
+}

@@ -1,0 +1,230 @@
+package krylov
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"gofmm/internal/linalg"
+)
+
+func spd(rng *rand.Rand, n int, cond float64) *Matrix {
+	return linalg.RandomSPD(rng, n, cond)
+}
+
+func TestCGSolvesSPD(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	A := spd(rng, 60, 100)
+	xTrue := make([]float64, 60)
+	for i := range xTrue {
+		xTrue[i] = rng.NormFloat64()
+	}
+	b := make([]float64, 60)
+	linalg.Gemv(false, 1, A, xTrue, 0, b)
+	x, res, err := CG(Dense{A}, nil, b, 1e-12, 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range x {
+		if math.Abs(x[i]-xTrue[i]) > 1e-6 {
+			t.Fatalf("x[%d] = %g, want %g (res %.2e after %d iters)", i, x[i], xTrue[i], res.Residual, res.Iterations)
+		}
+	}
+}
+
+func TestCGZeroRHS(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	A := spd(rng, 10, 10)
+	x, res, err := CG(Dense{A}, nil, make([]float64, 10), 1e-10, 10)
+	if err != nil || res.Iterations != 0 {
+		t.Fatalf("zero rhs: %v %+v", err, res)
+	}
+	for _, v := range x {
+		if v != 0 {
+			t.Fatal("nonzero solution for zero rhs")
+		}
+	}
+}
+
+func TestCGNotConverged(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	A := spd(rng, 50, 1e8) // very ill-conditioned
+	b := make([]float64, 50)
+	for i := range b {
+		b[i] = rng.NormFloat64()
+	}
+	_, res, err := CG(Dense{A}, nil, b, 1e-14, 3)
+	if !errors.Is(err, ErrNotConverged) {
+		t.Fatalf("expected ErrNotConverged, got %v (res %+v)", err, res)
+	}
+	if res.Iterations != 3 {
+		t.Fatalf("iterations = %d", res.Iterations)
+	}
+}
+
+func TestCGRejectsIndefinite(t *testing.T) {
+	A := linalg.FromRows([][]float64{{1, 0}, {0, -1}})
+	b := []float64{1, 1}
+	_, _, err := CG(Dense{A}, nil, b, 1e-10, 10)
+	if err == nil {
+		t.Fatal("expected error for indefinite operator")
+	}
+}
+
+// identityPrec is a trivial preconditioner for plumbing tests.
+type identityPrec struct{}
+
+func (identityPrec) Solve(B *Matrix) *Matrix { return B.Clone() }
+
+// exactPrec solves with the true inverse: CG must converge in one step.
+type exactPrec struct{ inv *Matrix }
+
+func (p exactPrec) Solve(B *Matrix) *Matrix { return linalg.MatMul(false, false, p.inv, B) }
+
+func TestPCGExactPreconditionerOneIteration(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	A := spd(rng, 40, 1e6)
+	inv, err := linalg.InvertSPD(A)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := make([]float64, 40)
+	for i := range b {
+		b[i] = rng.NormFloat64()
+	}
+	_, res, err := CG(Dense{A}, exactPrec{inv}, b, 1e-10, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Iterations > 2 {
+		t.Fatalf("exact preconditioner took %d iterations", res.Iterations)
+	}
+	// Identity preconditioner must match plain CG's iteration count.
+	_, plain, _ := CG(Dense{A}, nil, b, 1e-10, 500)
+	_, ident, _ := CG(Dense{A}, identityPrec{}, b, 1e-10, 500)
+	if plain.Iterations != ident.Iterations {
+		t.Fatalf("identity preconditioner changed iterations: %d vs %d", ident.Iterations, plain.Iterations)
+	}
+}
+
+func TestLanczosFindsSpectrumEdges(t *testing.T) {
+
+	// Diagonal matrix with known spectrum.
+	d := make([]float64, 80)
+	for i := range d {
+		d[i] = float64(i + 1)
+	}
+	A := linalg.Diag(d)
+	evs := Lanczos(Dense{A}, 40, 6)
+	if math.Abs(evs[0]-80) > 1e-6 {
+		t.Fatalf("largest eigenvalue estimate %g, want 80", evs[0])
+	}
+	if math.Abs(evs[len(evs)-1]-1) > 1e-6 {
+		t.Fatalf("smallest eigenvalue estimate %g, want 1", evs[len(evs)-1])
+	}
+}
+
+func TestTridiagEigenvalues(t *testing.T) {
+	// 1-D Laplacian tridiag(-1, 2, -1) of size n has eigenvalues
+	// 2 − 2cos(kπ/(n+1)).
+	n := 12
+	a := make([]float64, n)
+	b := make([]float64, n-1)
+	for i := range a {
+		a[i] = 2
+	}
+	for i := range b {
+		b[i] = -1
+	}
+	evs := TridiagEigenvalues(a, b)
+	for k := 1; k <= n; k++ {
+		want := 2 - 2*math.Cos(float64(k)*math.Pi/float64(n+1))
+		if math.Abs(evs[k-1]-want) > 1e-9 {
+			t.Fatalf("eigenvalue %d = %.12f, want %.12f", k, evs[k-1], want)
+		}
+	}
+}
+
+func TestTridiagEigenvaluesEdge(t *testing.T) {
+	if out := TridiagEigenvalues(nil, nil); out != nil {
+		t.Fatal("empty input should return nil")
+	}
+	out := TridiagEigenvalues([]float64{7}, nil)
+	if len(out) != 1 || math.Abs(out[0]-7) > 1e-12 {
+		t.Fatalf("1×1 case: %v", out)
+	}
+}
+
+func TestBlockPower(t *testing.T) {
+	d := make([]float64, 50)
+	for i := range d {
+		d[i] = float64(i + 1)
+	}
+	A := linalg.Diag(d)
+	vals, Q := BlockPower(Dense{A}, 3, 400, 8)
+	want := []float64{50, 49, 48}
+	for i := range want {
+		if math.Abs(vals[i]-want[i]) > 1e-2 {
+			t.Fatalf("Ritz value %d = %g, want %g", i, vals[i], want[i])
+		}
+	}
+	// Basis orthonormal.
+	QtQ := linalg.MatMul(true, false, Q, Q)
+	if d := linalg.RelFrobDiff(QtQ, linalg.Eye(3)); d > 1e-10 {
+		t.Fatalf("basis not orthonormal: %g", d)
+	}
+}
+
+func TestTraceUnbiased(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	A := spd(rng, 60, 10)
+	var exact float64
+	for i := 0; i < 60; i++ {
+		exact += A.At(i, i)
+	}
+	est := Trace(Dense{A}, 500, 10)
+	if math.Abs(est-exact)/math.Abs(exact) > 0.1 {
+		t.Fatalf("trace estimate %g vs exact %g", est, exact)
+	}
+}
+
+func TestShiftedOperator(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	A := spd(rng, 20, 10)
+	s := Shifted{A: Dense{A}, Sigma: 2.5}
+	W := linalg.GaussianMatrix(rng, 20, 2)
+	got := s.Matvec(W)
+	want := linalg.MatMul(false, false, A, W)
+	want.AddScaled(2.5, W)
+	if d := linalg.RelFrobDiff(got, want); d > 1e-14 {
+		t.Fatalf("shifted matvec error %g", d)
+	}
+	if s.N() != 20 {
+		t.Fatal("shifted dim wrong")
+	}
+}
+
+func TestCGPropertyRandomSPD(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 5 + rng.Intn(40)
+		A := spd(rng, n, 100)
+		b := make([]float64, n)
+		for i := range b {
+			b[i] = rng.NormFloat64()
+		}
+		x, _, err := CG(Dense{A}, nil, b, 1e-10, 10*n)
+		if err != nil {
+			return false
+		}
+		r := make([]float64, n)
+		linalg.Gemv(false, 1, A, x, 0, r)
+		linalg.Axpy(-1, b, r)
+		return linalg.Nrm2(r) < 1e-7*linalg.Nrm2(b)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,30 @@
+// Package testmat exposes the paper's SPD test problems (K02–K18 stencil
+// and spectral operators, G01–G05 graph-Laplacian inverses, and the
+// COVTYPE/HIGGS/MNIST-like machine-learning kernels) through the public
+// API, so example programs and downstream users can generate realistic
+// workloads without touching internal packages.
+package testmat
+
+import (
+	"gofmm/internal/linalg"
+	"gofmm/internal/spdmat"
+)
+
+// Problem bundles an SPD oracle with optional point coordinates.
+type Problem = spdmat.Problem
+
+// Names lists every registered problem in the paper's order.
+func Names() []string { return spdmat.Names() }
+
+// Generate builds the named problem at dimension ≈ n (grid problems round
+// down to a perfect square/cube); deterministic in seed.
+func Generate(name string, n int, seed int64) (*Problem, error) {
+	return spdmat.Generate(name, n, seed)
+}
+
+// NewGaussKernel wraps points (columns of the d×N matrix X) as an
+// on-the-fly Gaussian-kernel SPD oracle exp(−r²/2h²) + ridge·I, evaluated
+// entry by entry with the bulk 2-norm-expansion fast path.
+func NewGaussKernel(X *linalg.Matrix, h, ridge float64) *spdmat.Kernel {
+	return spdmat.NewKernel(X, spdmat.Gauss, h, ridge)
+}

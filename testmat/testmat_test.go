@@ -1,0 +1,45 @@
+package testmat
+
+import (
+	"math"
+	"testing"
+)
+
+func TestGeneratePassthrough(t *testing.T) {
+	if len(Names()) != 24 {
+		t.Fatalf("Names() = %d entries", len(Names()))
+	}
+	p, err := Generate("K10", 100, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.K.Dim() != 100 {
+		t.Fatalf("dim = %d", p.K.Dim())
+	}
+	if _, err := Generate("NOPE", 100, 1); err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+func TestNewGaussKernel(t *testing.T) {
+	p, err := Generate("K05", 64, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := NewGaussKernel(p.Points, 0.7, 1e-6)
+	if k.Dim() != 64 {
+		t.Fatalf("dim = %d", k.Dim())
+	}
+	// Diagonal: exp(0) + ridge.
+	if d := k.At(5, 5); math.Abs(d-1-1e-6) > 1e-12 {
+		t.Fatalf("diagonal = %g", d)
+	}
+	// Symmetry.
+	if k.At(3, 9) != k.At(9, 3) {
+		t.Fatal("kernel not symmetric")
+	}
+	// Off-diagonal within (0, 1].
+	if v := k.At(0, 1); v <= 0 || v > 1 {
+		t.Fatalf("off-diagonal = %g", v)
+	}
+}
