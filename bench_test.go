@@ -9,12 +9,38 @@ package gofmm
 import (
 	"io"
 	"math/rand"
+	"os"
 	"testing"
 
 	"gofmm/internal/core"
 	"gofmm/internal/experiments"
 	"gofmm/internal/linalg"
+	"gofmm/internal/telemetry"
 )
+
+// emitBenchRecord writes a machine-readable BENCH_<name>.json run record
+// next to the usual testing.B output, so benchmark results can be archived
+// and diffed without scraping text. The directory comes from GOFMM_BENCH_DIR
+// (default: current directory).
+func emitBenchRecord(b *testing.B, name string, rows []experiments.Result, metrics map[string]float64) {
+	b.Helper()
+	dir := os.Getenv("GOFMM_BENCH_DIR")
+	if dir == "" {
+		dir = "."
+	}
+	rr := telemetry.NewRunRecord(name)
+	rr.Params["iterations"] = b.N
+	rr.Metrics["ns_per_op"] = float64(b.Elapsed().Nanoseconds()) / float64(b.N)
+	for k, v := range metrics {
+		rr.Metrics[k] = v
+	}
+	for _, res := range rows {
+		rr.Rows = append(rr.Rows, res.Row())
+	}
+	if _, err := rr.WriteBenchFile(dir); err != nil {
+		b.Fatalf("writing bench record: %v", err)
+	}
+}
 
 // --- Figure/Table benchmarks -------------------------------------------
 
@@ -71,10 +97,14 @@ func BenchmarkTable5Architectures(b *testing.B) {
 func benchCompress(b *testing.B, n int, cfg core.Config) {
 	p := experiments.GetProblem("K05", n, 1)
 	b.ResetTimer()
+	var last experiments.Result
 	for i := 0; i < b.N; i++ {
-		res := experiments.Run(p, cfg, 16, 1)
-		_ = res
+		last = experiments.Run(p, cfg, 16, 1)
 	}
+	b.StopTimer()
+	emitBenchRecord(b, b.Name(), []experiments.Result{last}, map[string]float64{
+		"eps2": last.Eps, "compress_seconds": last.CompressS, "eval_seconds": last.EvalS,
+	})
 }
 
 func BenchmarkCompressN1024(b *testing.B) {
@@ -109,6 +139,10 @@ func BenchmarkMatvecOnly(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		h.Matvec(W)
 	}
+	b.StopTimer()
+	emitBenchRecord(b, b.Name(), nil, map[string]float64{
+		"eval_seconds": h.Stats.EvalTime, "eval_gflops": h.Stats.EvalFlops / h.Stats.EvalTime / 1e9,
+	})
 }
 
 // --- Ablations ----------------------------------------------------------
@@ -116,10 +150,13 @@ func BenchmarkMatvecOnly(b *testing.B) {
 func ablate(b *testing.B, cfg core.Config) {
 	p := experiments.GetProblem("COVTYPE", 1024, 1)
 	b.ResetTimer()
+	var last experiments.Result
 	for i := 0; i < b.N; i++ {
-		res := experiments.Run(p, cfg, 16, 1)
-		b.ReportMetric(res.Eps, "eps2")
+		last = experiments.Run(p, cfg, 16, 1)
+		b.ReportMetric(last.Eps, "eps2")
 	}
+	b.StopTimer()
+	emitBenchRecord(b, b.Name(), []experiments.Result{last}, map[string]float64{"eps2": last.Eps})
 }
 
 func baseCfg() core.Config {

@@ -20,12 +20,15 @@ import (
 	"io"
 	"log"
 	"math/rand"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
 	"strings"
 
 	"gofmm/internal/core"
 	"gofmm/internal/linalg"
 	"gofmm/internal/spdmat"
+	"gofmm/internal/telemetry"
 )
 
 func main() {
@@ -58,9 +61,26 @@ func run(args []string, out io.Writer) error {
 		dotFile   = fs.String("dot", "", "write the evaluation dependency DAG (Figure 3) to this file in DOT format")
 		saveFile  = fs.String("save", "", "serialize the compressed form to this file after compression")
 		loadFile  = fs.String("load", "", "load a previously saved compression instead of compressing")
+		traceFile = fs.String("trace", "", "write a Chrome trace-event JSON (load in Perfetto / chrome://tracing) to this file")
+		metrics   = fs.String("metrics", "", "write the telemetry metrics snapshot (counters, histograms, spans) as JSON to this file")
+		report    = fs.Bool("report", false, "print the telemetry phase/metric report after the run")
+		pprofAddr = fs.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060) for the run's duration")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	if *pprofAddr != "" {
+		go func() {
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				log.Printf("pprof server: %v", err)
+			}
+		}()
+		fmt.Fprintf(out, "pprof listening on http://%s/debug/pprof/\n", *pprofAddr)
+	}
+	var rec *telemetry.Recorder
+	if *traceFile != "" || *metrics != "" || *report {
+		rec = telemetry.New()
 	}
 
 	p, err := spdmat.Generate(*matrix, *n, *seed)
@@ -73,7 +93,7 @@ func run(args []string, out io.Writer) error {
 	cfg := core.Config{
 		LeafSize: *m, MaxRank: *s, Tol: *tol, Kappa: *kappa, Budget: *budget,
 		NumWorkers: *workers, Seed: *seed, CacheBlocks: !*nocache,
-		Points: p.Points,
+		Points: p.Points, Telemetry: rec,
 	}
 	switch *dist {
 	case "angle":
@@ -115,6 +135,7 @@ func run(args []string, out io.Writer) error {
 		}
 		h.Cfg.Exec = cfg.Exec
 		h.Cfg.NumWorkers = cfg.NumWorkers
+		h.Cfg.Telemetry = cfg.Telemetry
 		fmt.Fprintf(out, "loaded compressed form from %s\n", *loadFile)
 	} else {
 		h, err = core.Compress(p.K, cfg)
@@ -174,5 +195,34 @@ func run(args []string, out io.Writer) error {
 	}
 	fmt.Fprintln(out)
 	fmt.Fprintf(out, "sampled relative error ε₂ (100 rows): %.3e\n", h.SampleRelErr(W, U, 100, *seed+9))
+
+	if *traceFile != "" {
+		if err := writeFileWith(*traceFile, rec.WriteChromeTrace); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "wrote Chrome trace to %s\n", *traceFile)
+	}
+	if *metrics != "" {
+		if err := writeFileWith(*metrics, rec.WriteMetricsJSON); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "wrote metrics snapshot to %s\n", *metrics)
+	}
+	if *report {
+		fmt.Fprint(out, rec.Report())
+	}
 	return nil
+}
+
+// writeFileWith creates path and streams write(f) into it.
+func writeFileWith(path string, write func(io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }

@@ -1,6 +1,9 @@
 package main
 
 import (
+	"encoding/json"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -86,5 +89,48 @@ func TestRunSaveLoadRoundTrip(t *testing.T) {
 	}
 	if !strings.Contains(sb.String(), "loaded compressed form") {
 		t.Fatalf("load message missing:\n%s", sb.String())
+	}
+}
+
+func TestRunTelemetryFlags(t *testing.T) {
+	dir := t.TempDir()
+	trace := filepath.Join(dir, "trace.json")
+	metrics := filepath.Join(dir, "metrics.json")
+	var sb strings.Builder
+	err := run([]string{"-matrix", "K10", "-n", "200", "-m", "32", "-s", "32", "-r", "2",
+		"-workers", "2", "-trace", trace, "-metrics", metrics, "-report"}, &sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"wrote Chrome trace", "wrote metrics snapshot", "compress", "counters:"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+	// Both artifacts must be valid JSON with the expected top-level shape.
+	data, err := os.ReadFile(trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var tr struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(data, &tr); err != nil {
+		t.Fatalf("trace not valid JSON: %v", err)
+	}
+	if len(tr.TraceEvents) == 0 {
+		t.Fatal("trace has no events")
+	}
+	data, err = os.ReadFile(metrics)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap map[string]any
+	if err := json.Unmarshal(data, &snap); err != nil {
+		t.Fatalf("metrics not valid JSON: %v", err)
+	}
+	if snap["schema"] != "gofmm.telemetry/v1" {
+		t.Fatalf("metrics schema = %v", snap["schema"])
 	}
 }

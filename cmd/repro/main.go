@@ -24,6 +24,7 @@ import (
 
 	"gofmm/internal/core"
 	"gofmm/internal/experiments"
+	"gofmm/internal/telemetry"
 )
 
 func main() {
@@ -44,6 +45,7 @@ func cli(args []string, w io.Writer) error {
 	n := fs.Int("n", 0, "base problem size (0 = per-experiment default)")
 	quick := fs.Bool("quick", false, "reduced sizes for a fast smoke run")
 	seed := fs.Int64("seed", 1, "RNG seed")
+	benchDir := fs.String("benchjson", "", "also write each experiment's rows as a BENCH_<name>.json run record into this directory")
 	if err := fs.Parse(args[1:]); err != nil {
 		return err
 	}
@@ -61,8 +63,9 @@ func cli(args []string, w io.Writer) error {
 	known := map[string]bool{"fig1": true, "fig2": true, "fig3": true, "fig4": true,
 		"fig5": true, "fig6": true, "fig7": true,
 		"table3": true, "table4": true, "table5": true, "scaling": true}
-	run := func(name string) {
+	run := func(name string) error {
 		fmt.Fprintf(w, "\n== %s ==\n", name)
+		var rows []experiments.Result
 		switch name {
 		case "fig1":
 			sizes := []int{1024, 2048, 4096}
@@ -74,7 +77,7 @@ func cli(args []string, w io.Writer) error {
 			if *n > 0 {
 				sizes = []int{*n / 4, *n / 2, *n}
 			}
-			experiments.Fig1(w, sizes, ranks, *seed)
+			rows = experiments.Fig1(w, sizes, ranks, *seed)
 		case "fig2":
 			// Figure 2: the partitioning tree's block structure, regenerated
 			// from an actual compression (near blocks '#', far blocks by
@@ -86,7 +89,7 @@ func cli(args []string, w io.Writer) error {
 			})
 			if err != nil {
 				fmt.Fprintln(w, err)
-				return
+				return nil
 			}
 			fmt.Fprintln(w, "leaf-level block structure ('#' near/dense, letters far by level):")
 			fmt.Fprint(w, h.StructureString())
@@ -100,7 +103,7 @@ func cli(args []string, w io.Writer) error {
 			})
 			if err != nil {
 				fmt.Fprintln(w, err)
-				return
+				return nil
 			}
 			if err := h.EvalGraphDOT(w); err != nil {
 				fmt.Fprintln(w, err)
@@ -110,15 +113,15 @@ func cli(args []string, w io.Writer) error {
 			if *quick {
 				workers = []int{1, 4}
 			}
-			experiments.Fig4(w, workers, size(4096, 1024), *seed)
+			rows = experiments.Fig4(w, workers, size(4096, 1024), *seed)
 		case "fig5":
-			experiments.Fig5(w, size(1024, 400), *seed)
+			rows = experiments.Fig5(w, size(1024, 400), *seed)
 		case "fig6":
-			experiments.Fig6(w, size(2048, 800), *seed)
+			rows = experiments.Fig6(w, size(2048, 800), *seed)
 		case "fig7":
-			experiments.Fig7(w, size(1024, 400), *seed)
+			rows = experiments.Fig7(w, size(1024, 400), *seed)
 		case "table3":
-			experiments.Table3(w, size(1024, 400), *seed)
+			rows = experiments.Table3(w, size(1024, 400), *seed)
 		case "table4":
 			sizes := []int{1024, 2048}
 			if *quick {
@@ -127,9 +130,9 @@ func cli(args []string, w io.Writer) error {
 			if *n > 0 {
 				sizes = []int{*n / 2, *n}
 			}
-			experiments.Table4(w, sizes, *seed)
+			rows = experiments.Table4(w, sizes, *seed)
 		case "table5":
-			experiments.Table5(w, size(2048, 512), *seed)
+			rows = experiments.Table5(w, size(2048, 512), *seed)
 		case "scaling":
 			sizes := []int{512, 1024, 2048, 4096}
 			if *quick {
@@ -138,21 +141,38 @@ func cli(args []string, w io.Writer) error {
 			if *n > 0 {
 				sizes = []int{*n / 8, *n / 4, *n / 2, *n}
 			}
-			experiments.Scaling(w, sizes, *seed)
+			rows = experiments.Scaling(w, sizes, *seed)
 		}
+		if *benchDir == "" || len(rows) == 0 {
+			return nil
+		}
+		rr := telemetry.NewRunRecord("repro_" + name)
+		rr.Params["n"] = *n
+		rr.Params["quick"] = *quick
+		rr.Params["seed"] = *seed
+		for _, res := range rows {
+			rr.Rows = append(rr.Rows, res.Row())
+		}
+		path, err := rr.WriteBenchFile(*benchDir)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "wrote run record to %s\n", path)
+		return nil
 	}
 
 	if sub == "all" {
 		for _, name := range []string{"fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "table3", "table4", "table5"} {
-			run(name)
+			if err := run(name); err != nil {
+				return err
+			}
 		}
 		return nil
 	}
 	if !known[sub] {
 		return fmt.Errorf("unknown subcommand %q", sub)
 	}
-	run(sub)
-	return nil
+	return run(sub)
 }
 
 func usage() {

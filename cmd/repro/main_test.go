@@ -1,8 +1,12 @@
 package main
 
 import (
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
+
+	"gofmm/internal/telemetry"
 )
 
 func TestCLIUnknownSubcommand(t *testing.T) {
@@ -64,5 +68,24 @@ func TestCLIFig2Fig3Smoke(t *testing.T) {
 	}
 	if !strings.Contains(sb.String(), "digraph tasks") {
 		t.Fatalf("fig3 missing DOT output:\n%s", sb.String())
+	}
+}
+
+func TestCLIBenchJSON(t *testing.T) {
+	dir := t.TempDir()
+	var sb strings.Builder
+	if err := cli([]string{"fig7", "-n", "200", "-benchjson", dir}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, "BENCH_repro_fig7.json")
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("expected run record at %s: %v", path, err)
+	}
+	if err := telemetry.ValidateRunRecord(data); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "wrote run record") {
+		t.Fatal("missing run-record confirmation line")
 	}
 }

@@ -29,6 +29,8 @@ func main() {
 	fmt.Printf("problem: %s — %s (N = %d)\n", p.Name, p.Desc, p.K.Dim())
 
 	// Compress. Only matrix entries are used: no coordinates, no kernel.
+	// The attached Recorder collects phase spans and metrics as it runs.
+	rec := gofmm.NewRecorder()
 	t0 := time.Now()
 	H, err := gofmm.Compress(p.K, gofmm.Config{
 		LeafSize:    128,  // m
@@ -40,6 +42,7 @@ func main() {
 		NumWorkers:  4,
 		CacheBlocks: true,
 		Seed:        1,
+		Telemetry:   rec,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -69,4 +72,7 @@ func main() {
 	eps := H.SampleRelErr(W, U, 100, 3)
 	fmt.Printf("matvec: GOFMM %.4fs vs dense %.3fs (%.1f× speedup), ε₂ = %.2e\n",
 		fast, dense, dense/fast, eps)
+
+	// Where did the time go? The recorder saw every phase and counter.
+	fmt.Print("\ntelemetry report:\n", rec.Report())
 }

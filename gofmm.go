@@ -39,6 +39,7 @@ import (
 	"gofmm/internal/hss"
 	"gofmm/internal/linalg"
 	"gofmm/internal/sched"
+	"gofmm/internal/telemetry"
 )
 
 // Matrix is a dense column-major matrix (element (i,j) at Data[j*Stride+i]).
@@ -175,6 +176,25 @@ type CommStats = dist.CommStats
 func Distribute(h *Hierarchical, ranks int) (*Machine, error) {
 	return dist.Distribute(h, ranks)
 }
+
+// Recorder is the telemetry sink for compression, evaluation, solver and
+// distributed runs: a hierarchical span tracer plus a registry of named
+// counters, gauges and histograms. Attach one via Config.Telemetry (nil
+// disables all recording at zero overhead), then export with
+// WriteChromeTrace (Perfetto/chrome://tracing timeline), WriteMetricsJSON
+// (structured snapshot) or Report (human-readable phase tree).
+type Recorder = telemetry.Recorder
+
+// NewRecorder returns an empty telemetry recorder.
+func NewRecorder() *Recorder { return telemetry.New() }
+
+// RunRecord is the stable machine-readable benchmark/run format
+// (schema gofmm.bench/v1) shared by the benchmark harness, cmd/repro
+// -benchjson and CI artifacts.
+type RunRecord = telemetry.RunRecord
+
+// NewRunRecord starts a named run record.
+func NewRunRecord(name string) *RunRecord { return telemetry.NewRunRecord(name) }
 
 // Counting wraps an SPD oracle with an entry-evaluation counter, the
 // currency of GOFMM's O(N log N) compression claim.

@@ -11,6 +11,7 @@ import (
 	"gofmm/internal/ann"
 	"gofmm/internal/metric"
 	"gofmm/internal/sched"
+	"gofmm/internal/telemetry"
 	"gofmm/internal/tree"
 )
 
@@ -64,8 +65,13 @@ func Compress(K SPD, cfg Config) (*Hierarchical, error) {
 	if err := validateOracle(K, cfg.Seed); err != nil {
 		return nil, err
 	}
+	rec := cfg.Telemetry
+	// With a recorder attached, every oracle access from here on (ANN
+	// distances, tree splits, sampling, caching) is counted.
+	K = newTracedSPD(K, rec)
 	h := &Hierarchical{K: K, Cfg: cfg}
 	start := time.Now()
+	root := rec.StartSpan("compress")
 
 	// Steps 1–3: iterative randomized-tree neighbor search.
 	var space metric.Space
@@ -78,7 +84,7 @@ func Compress(K SPD, cfg Config) (*Hierarchical, error) {
 		space = metric.GeometricSpace{X: cfg.Points}
 	}
 	if cfg.Distance.HasNeighbors() {
-		t0 := time.Now()
+		p := startPhase(root, "ann")
 		h.Neighbors = ann.Search(n, cfg.Kappa, space, ann.Options{
 			LeafSize:     cfg.LeafSize,
 			MaxIters:     cfg.ANNIters,
@@ -86,11 +92,11 @@ func Compress(K SPD, cfg Config) (*Hierarchical, error) {
 			RecallTarget: cfg.ANNRecall,
 			Workers:      cfg.workerCount(),
 		})
-		h.Stats.ANNTime = time.Since(t0).Seconds()
+		h.Stats.ANNTime = p.End()
 	}
 
 	// Step 4: metric ball tree (SPLI tasks in a preorder traversal).
-	t0 := time.Now()
+	p := startPhase(root, "tree")
 	rng := rand.New(rand.NewSource(cfg.Seed + 1))
 	var split tree.Splitter
 	switch cfg.Distance {
@@ -103,26 +109,30 @@ func Compress(K SPD, cfg Config) (*Hierarchical, error) {
 	}
 	h.Tree = tree.Build(n, cfg.LeafSize, split)
 	h.nodes = make([]node, len(h.Tree.Nodes))
-	h.Stats.TreeTime = time.Since(t0).Seconds()
+	h.Stats.TreeTime = p.End()
 
 	// Steps 5–7: near and far interaction lists.
-	t0 = time.Now()
+	p = startPhase(root, "lists")
 	h.buildNearLists()
 	h.buildFarLists()
-	h.Stats.ListsTime = time.Since(t0).Seconds()
+	h.Stats.ListsTime = p.End()
 
 	// Steps 8–9 (and optionally 10–11): skeletonization, coefficients,
 	// caching — per the configured executor.
-	t0 = time.Now()
-	h.skeletonize()
-	h.Stats.SkelTime = time.Since(t0).Seconds()
+	p = startPhase(root, "skel")
+	h.skeletonize(p.sp)
+	h.Stats.SkelTime = p.End()
 	if cfg.CacheBlocks {
-		t0 = time.Now()
+		p = startPhase(root, "cache")
 		h.runCaching()
-		h.Stats.CacheTime = time.Since(t0).Seconds()
+		h.Stats.CacheTime = p.End()
 	}
 
-	h.Stats.CompressTime = time.Since(start).Seconds()
+	if d := root.End(); d > 0 {
+		h.Stats.CompressTime = d.Seconds()
+	} else {
+		h.Stats.CompressTime = time.Since(start).Seconds()
+	}
 	h.Stats.CompressFlops = float64(atomic.LoadInt64(&h.compressFlops))
 	h.finishStats()
 	return h, nil
@@ -144,8 +154,10 @@ func (h *Hierarchical) nodeRng(id int) *rand.Rand {
 }
 
 // skeletonize dispatches SKEL/COEF over all non-root nodes with the
-// configured executor.
-func (h *Hierarchical) skeletonize() {
+// configured executor. sp is the enclosing "skel" phase span (nil when
+// telemetry is off); the executors hang per-level or per-task-kind child
+// spans off it.
+func (h *Hierarchical) skeletonize(sp *telemetry.Span) {
 	t := h.Tree
 	if len(t.Nodes) == 1 {
 		return // single leaf: K̃ = K, no off-diagonal blocks
@@ -164,15 +176,18 @@ func (h *Hierarchical) skeletonize() {
 	case LevelByLevel:
 		p := h.Cfg.workerCount()
 		levels := t.LevelNodes()
-		var batches [][]func()
-		// SKEL bottom-up with barriers.
+		// SKEL bottom-up with barriers; running one RunLevels call per level
+		// is equivalent (RunLevels already barriers after each batch) and
+		// lets each level carry its own span.
 		for l := t.Depth; l >= 1; l-- {
 			batch := make([]func(), 0, len(levels[l]))
 			for _, id := range levels[l] {
 				id := id
 				batch = append(batch, func() { works[id] = h.skelNode(id, h.nodeRng(id)) })
 			}
-			batches = append(batches, batch)
+			lp := sp.StartSpan(fmt.Sprintf("SKEL.level.%02d", l))
+			sched.RunLevels([][]func(){batch}, p)
+			lp.End()
 		}
 		// COEF is an "any order" task: one big dynamic batch.
 		coefBatch := make([]func(), 0, len(t.Nodes)-1)
@@ -180,8 +195,9 @@ func (h *Hierarchical) skeletonize() {
 			id := id
 			coefBatch = append(coefBatch, func() { h.coefNode(id, works[id]) })
 		}
-		batches = append(batches, coefBatch)
-		sched.RunLevels(batches, p)
+		cp := sp.StartSpan("COEF")
+		sched.RunLevels([][]func(){coefBatch}, p)
+		cp.End()
 
 	case Dynamic, TaskDepend:
 		g := sched.NewGraph()
@@ -209,7 +225,17 @@ func (h *Hierarchical) skeletonize() {
 		if h.Cfg.Exec == TaskDepend {
 			policy = sched.FIFO
 		}
-		h.Cfg.engine(policy).Run(g)
+		eng := h.Cfg.engine(policy)
+		rec := h.Cfg.Telemetry
+		if h.Cfg.CaptureTrace || rec != nil {
+			eng.EnableTrace()
+		}
+		runStart := rec.Since()
+		eng.Run(g)
+		if h.Cfg.CaptureTrace || rec != nil {
+			h.LastTrace = eng.Trace()
+		}
+		exportEngineTrace(rec, sp, "sched.compress", eng, runStart)
 	}
 }
 
@@ -250,4 +276,10 @@ func (h *Hierarchical) finishStats() {
 		}
 	}
 	h.Stats.DirectFrac = direct / (n * n)
+	if rec := h.Cfg.Telemetry; rec != nil {
+		rec.Counter("compress.flops").Add(int64(h.Stats.CompressFlops))
+		rec.Gauge("compress.avg_rank").Set(h.Stats.AvgRank)
+		rec.Gauge("compress.direct_frac").Set(h.Stats.DirectFrac)
+		rec.Gauge("compress.max_near").Set(float64(h.Stats.MaxNear))
+	}
 }

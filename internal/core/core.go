@@ -25,6 +25,7 @@ import (
 	"gofmm/internal/ann"
 	"gofmm/internal/linalg"
 	"gofmm/internal/sched"
+	"gofmm/internal/telemetry"
 	"gofmm/internal/tree"
 )
 
@@ -191,6 +192,11 @@ type Config struct {
 	// CaptureTrace records the task execution trace of Dynamic/TaskDepend
 	// runs into LastTrace (timings, worker placement) for analysis.
 	CaptureTrace bool
+	// Telemetry, when non-nil, records phase spans, oracle/flop counters,
+	// skeleton-rank histograms and scheduler task events into the attached
+	// recorder. Nil disables all recording; every instrumentation point is a
+	// no-op on a nil recorder, so the hot paths carry no conditionals.
+	Telemetry *telemetry.Recorder
 }
 
 // withDefaults fills in unset fields.
@@ -237,6 +243,11 @@ type node struct {
 }
 
 // Stats aggregates cost accounting for the experiment harness.
+//
+// Deprecated-ish: with Config.Telemetry attached, Stats is a derived view of
+// the telemetry span tree and metric registry (same clock, same numbers —
+// see Recorder.Snapshot for the structured form). The fields are kept so
+// existing callers and the experiment harness keep working unchanged.
 type Stats struct {
 	// Times in seconds.
 	ANNTime, TreeTime, ListsTime, SkelTime, CacheTime float64
@@ -265,8 +276,10 @@ type Hierarchical struct {
 	Neighbors *ann.List
 	nodes     []node
 	Stats     Stats
-	// LastTrace holds the most recent traced task execution (see
-	// Config.CaptureTrace).
+	// LastTrace holds the most recent traced task execution. It is
+	// populated when Config.CaptureTrace is set or a Telemetry recorder is
+	// attached (the recorder's TaskEvents carry the same executions plus
+	// queue-wait and steal-origin detail).
 	LastTrace []sched.Event
 
 	compressFlops, evalFlops int64 // atomic counters

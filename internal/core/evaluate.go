@@ -8,6 +8,7 @@ import (
 
 	"gofmm/internal/linalg"
 	"gofmm/internal/sched"
+	"gofmm/internal/telemetry"
 	"gofmm/internal/tree"
 )
 
@@ -35,6 +36,8 @@ func (h *Hierarchical) Matvec(W *linalg.Matrix) *linalg.Matrix {
 		panic(fmt.Sprintf("core: Matvec with %d rows, matrix dim %d", W.Rows, n))
 	}
 	start := time.Now()
+	rec := h.Cfg.Telemetry
+	root := rec.StartSpan("matvec")
 	atomic.StoreInt64(&h.evalFlops, 0)
 	t := h.Tree
 	st := &evalState{
@@ -48,23 +51,40 @@ func (h *Hierarchical) Matvec(W *linalg.Matrix) *linalg.Matrix {
 	}
 	switch h.Cfg.Exec {
 	case Sequential:
+		sp := root.StartSpan("N2S")
 		t.PostOrder(func(nd *tree.Node) { h.n2s(st, nd.ID) })
+		sp.End()
+		sp = root.StartSpan("S2S")
 		for id := range t.Nodes {
 			h.s2s(st, id)
 		}
+		sp.End()
+		sp = root.StartSpan("S2N")
 		t.PreOrder(func(nd *tree.Node) { h.s2n(st, nd.ID) })
+		sp.End()
+		sp = root.StartSpan("L2L")
 		for _, beta := range t.Leaves() {
 			h.l2l(st, beta)
 		}
+		sp.End()
 	case LevelByLevel:
-		h.evalLevelByLevel(st)
+		h.evalLevelByLevel(st, root)
 	case Dynamic, TaskDepend:
-		h.evalTasked(st)
+		h.evalTasked(st, root)
 	}
 	st.Ufar.AddScaled(1, st.Unear)
 	U := st.Ufar.RowsGather(t.IPerm)
-	h.Stats.EvalTime = time.Since(start).Seconds()
+	if d := root.End(); d > 0 {
+		h.Stats.EvalTime = d.Seconds()
+	} else {
+		h.Stats.EvalTime = time.Since(start).Seconds()
+	}
 	h.Stats.EvalFlops = float64(atomic.LoadInt64(&h.evalFlops))
+	if rec != nil {
+		rec.Counter("matvec.calls").Add(1)
+		rec.Counter("matvec.flops").Add(atomic.LoadInt64(&h.evalFlops))
+		rec.Gauge("matvec.rhs").Set(float64(W.Cols))
+	}
 	return U
 }
 
@@ -211,40 +231,53 @@ func stackRows(a, b *linalg.Matrix, cols int) *linalg.Matrix {
 // evalLevelByLevel runs Algorithm 2.7 with a barrier per tree level:
 // N2S bottom-up, S2S as one dynamic batch, S2N top-down, then L2L as one
 // batch (the baseline traversal of Figure 4).
-func (h *Hierarchical) evalLevelByLevel(st *evalState) {
+// sp is the enclosing "matvec" span (nil when telemetry is off); each of the
+// four passes gets a child span. Splitting the RunLevels call per pass keeps
+// the same semantics — RunLevels already barriers after every batch.
+func (h *Hierarchical) evalLevelByLevel(st *evalState, sp *telemetry.Span) {
 	t := h.Tree
 	p := h.Cfg.workerCount()
 	levels := t.LevelNodes()
-	var batches [][]func()
+	var n2sBatches [][]func()
 	for l := t.Depth; l >= 0; l-- {
 		batch := make([]func(), 0, len(levels[l]))
 		for _, id := range levels[l] {
 			id := id
 			batch = append(batch, func() { h.n2s(st, id) })
 		}
-		batches = append(batches, batch)
+		n2sBatches = append(n2sBatches, batch)
 	}
+	ps := sp.StartSpan("N2S")
+	sched.RunLevels(n2sBatches, p)
+	ps.End()
 	s2sBatch := make([]func(), 0, len(t.Nodes))
 	for id := range t.Nodes {
 		id := id
 		s2sBatch = append(s2sBatch, func() { h.s2s(st, id) })
 	}
-	batches = append(batches, s2sBatch)
+	ps = sp.StartSpan("S2S")
+	sched.RunLevels([][]func(){s2sBatch}, p)
+	ps.End()
+	var s2nBatches [][]func()
 	for l := 0; l <= t.Depth; l++ {
 		batch := make([]func(), 0, len(levels[l]))
 		for _, id := range levels[l] {
 			id := id
 			batch = append(batch, func() { h.s2n(st, id) })
 		}
-		batches = append(batches, batch)
+		s2nBatches = append(s2nBatches, batch)
 	}
+	ps = sp.StartSpan("S2N")
+	sched.RunLevels(s2nBatches, p)
+	ps.End()
 	l2lBatch := make([]func(), 0, t.NumLeaves())
 	for _, beta := range t.Leaves() {
 		beta := beta
 		l2lBatch = append(l2lBatch, func() { h.l2l(st, beta) })
 	}
-	batches = append(batches, l2lBatch)
-	sched.RunLevels(batches, p)
+	ps = sp.StartSpan("L2L")
+	sched.RunLevels([][]func(){l2lBatch}, p)
+	ps.End()
 }
 
 // evalTasked builds the Figure 3 dependency DAG by symbolic traversal and
@@ -255,20 +288,23 @@ func (h *Hierarchical) evalLevelByLevel(st *evalState) {
 //	S2S(β)  ← N2S(α) for α ∈ Far(β)     (reads w̃α — unknown at compile time)
 //	S2N(β)  ← S2S(β), S2N(parent(β))    (reads ũβ and the parent hand-down)
 //	L2L(β)  independent                  (separate output accumulator)
-func (h *Hierarchical) evalTasked(st *evalState) {
+func (h *Hierarchical) evalTasked(st *evalState, sp *telemetry.Span) {
 	g := h.buildEvalGraph(st)
 	policy := sched.HEFT
 	if h.Cfg.Exec == TaskDepend {
 		policy = sched.FIFO
 	}
 	eng := h.Cfg.engine(policy)
-	if h.Cfg.CaptureTrace {
+	rec := h.Cfg.Telemetry
+	if h.Cfg.CaptureTrace || rec != nil {
 		eng.EnableTrace()
 	}
+	runStart := rec.Since()
 	eng.Run(g)
-	if h.Cfg.CaptureTrace {
+	if h.Cfg.CaptureTrace || rec != nil {
 		h.LastTrace = eng.Trace()
 	}
+	exportEngineTrace(rec, sp, "sched.matvec", eng, runStart)
 }
 
 // buildEvalGraph performs the symbolic traversal that discovers the RAW

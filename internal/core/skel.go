@@ -3,6 +3,7 @@ package core
 import (
 	"math/rand"
 	"sort"
+	"time"
 
 	"gofmm/internal/linalg"
 )
@@ -105,6 +106,9 @@ func (h *Hierarchical) sampleRows(id int, cols []int, rng *rand.Rand) []int {
 // work, 2s³ + 2m³ in Table 2). The triangular solve that produces the
 // interpolation matrix is deferred to coefNode (COEF, any order).
 func (h *Hierarchical) skelNode(id int, rng *rand.Rand) *skelWork {
+	if h.Cfg.Telemetry != nil {
+		defer h.recordSkelNode(id, time.Now())
+	}
 	cols := h.candidateCols(id)
 	w := &skelWork{cols: cols}
 	if len(cols) == 0 {

@@ -24,6 +24,7 @@ import (
 
 	"gofmm/internal/core"
 	"gofmm/internal/linalg"
+	"gofmm/internal/telemetry"
 )
 
 // CommStats aggregates the simulated network traffic of one operation.
@@ -42,6 +43,10 @@ type Machine struct {
 	P     int // number of ranks (power of two)
 	L     int // distributed levels: ranks own subtrees at level L
 	Stats CommStats
+	// Telemetry records per-phase spans and per-rank traffic counters for
+	// each Matvec. Inherited from the operator's Config.Telemetry by
+	// Distribute; nil disables all recording.
+	Telemetry *telemetry.Recorder
 
 	leavesPerRank int
 	// proj/skel are snapshots of the per-node model data (replicated,
@@ -64,7 +69,8 @@ func Distribute(h *core.Hierarchical, ranks int) (*Machine, error) {
 	for 1<<L < ranks {
 		L++
 	}
-	m := &Machine{H: h, P: ranks, L: L, leavesPerRank: numLeaves / ranks}
+	m := &Machine{H: h, P: ranks, L: L, leavesPerRank: numLeaves / ranks,
+		Telemetry: h.Cfg.Telemetry}
 	t := h.Tree
 	m.proj = make([]*linalg.Matrix, len(t.Nodes))
 	m.skel = make([][]int, len(t.Nodes))
@@ -85,7 +91,10 @@ func (m *Machine) ownerOf(id int) int {
 
 // router records simulated messages. Payload transfer is modelled by the
 // byte count; the data itself is handed over directly (we are simulating).
-type router struct{ stats *CommStats }
+type router struct {
+	stats *CommStats
+	rec   *telemetry.Recorder
+}
 
 func (r *router) send(phase string, src, dst int, floats int) {
 	if src == dst {
@@ -98,6 +107,11 @@ func (r *router) send(phase string, src, dst int, floats int) {
 		r.stats.ByPhase = map[string]int64{}
 	}
 	r.stats.ByPhase[phase] += b
+	if r.rec != nil {
+		r.rec.Counter("dist.messages").Add(1)
+		r.rec.Counter("dist.bytes." + phase).Add(b)
+		r.rec.Counter(fmt.Sprintf("dist.rank.%02d.sent_bytes", src)).Add(b)
+	}
 }
 
 // Matvec evaluates U ≈ K·W with the distributed algorithm and returns the
@@ -111,7 +125,8 @@ func (m *Machine) Matvec(W *linalg.Matrix) *linalg.Matrix {
 	}
 	r := W.Cols
 	m.Stats = CommStats{}
-	net := &router{stats: &m.Stats}
+	net := &router{stats: &m.Stats, rec: m.Telemetry}
+	root := m.Telemetry.StartSpan("dist.matvec")
 
 	// Input/output in tree order; each rank owns a contiguous slice of
 	// positions (the scatter/gather are part of the data distribution, not
@@ -150,10 +165,13 @@ func (m *Machine) Matvec(W *linalg.Matrix) *linalg.Matrix {
 		}
 		skelW[id] = out
 	}
+	sp := root.StartSpan("up")
 	upward(0)
+	sp.End()
 
 	// Phase 3 — S2S. Remote far-node skeleton weights are imported ("far");
 	// the blocks K_β̃α̃ are owned by β's rank (cached there at setup).
+	sp = root.StartSpan("far")
 	for id := range t.Nodes {
 		far := h.FarList(id)
 		if len(far) == 0 || len(m.skel[id]) == 0 {
@@ -173,6 +191,7 @@ func (m *Machine) Matvec(W *linalg.Matrix) *linalg.Matrix {
 		}
 		skelU[id] = acc
 	}
+	sp.End()
 
 	// Phase 4+5 — downward S2N. Parent owners push the child slice of
 	// Pᵀũ to remote child owners ("down").
@@ -213,10 +232,13 @@ func (m *Machine) Matvec(W *linalg.Matrix) *linalg.Matrix {
 			downward(t.Right(id))
 		}
 	}
+	sp = root.StartSpan("down")
 	downward(0)
+	sp.End()
 
 	// Phase 6 — L2L with near-field halo: remote near leaves ship their
 	// W rows ("halo").
+	sp = root.StartSpan("halo")
 	for _, beta := range t.Leaves() {
 		tb := &t.Nodes[beta]
 		uview := Unear.View(tb.Lo, 0, tb.Size(), r)
@@ -230,7 +252,10 @@ func (m *Machine) Matvec(W *linalg.Matrix) *linalg.Matrix {
 		}
 	}
 
+	sp.End()
+
 	Ufar.AddScaled(1, Unear)
+	root.End()
 	return Ufar.RowsGather(t.IPerm)
 }
 

@@ -37,6 +37,26 @@ type Result struct {
 	DirectFrac float64
 }
 
+// Row flattens the result into the generic row shape telemetry.RunRecord
+// stores. The keys are stable: the CI artifact validation and any offline
+// tooling key on them.
+func (r Result) Row() map[string]any {
+	row := map[string]any{
+		"case": r.Case, "n": r.N, "workers": r.Workers,
+		"rank": r.Rank, "budget": r.Budget, "eps2": r.Eps,
+		"compress_seconds": r.CompressS, "eval_seconds": r.EvalS,
+		"compress_gflops": r.CompressGF, "eval_gflops": r.EvalGF,
+		"avg_rank": r.AvgRank, "direct_frac": r.DirectFrac,
+	}
+	if r.Experiment != "" {
+		row["experiment"] = r.Experiment
+	}
+	if r.Scheme != "" {
+		row["scheme"] = r.Scheme
+	}
+	return row
+}
+
 // Problem wraps a generated SPD problem plus its dense form when available.
 type Problem struct {
 	*spdmat.Problem

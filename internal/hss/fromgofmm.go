@@ -24,12 +24,13 @@ func FromGOFMM(g *core.Hierarchical) (*HSS, error) {
 	}
 	t := g.Tree
 	h := &HSS{
-		Cfg:   Config{LeafSize: g.Cfg.LeafSize, Rank: g.Cfg.MaxRank, Tol: g.Cfg.Tol},
-		Tree:  t,
-		nodes: make([]node, len(t.Nodes)),
-		n:     g.K.Dim(),
-		Perm:  append([]int(nil), t.Perm...),
-		IPerm: append([]int(nil), t.IPerm...),
+		Cfg:       Config{LeafSize: g.Cfg.LeafSize, Rank: g.Cfg.MaxRank, Tol: g.Cfg.Tol},
+		Tree:      t,
+		nodes:     make([]node, len(t.Nodes)),
+		n:         g.K.Dim(),
+		Perm:      append([]int(nil), t.Perm...),
+		IPerm:     append([]int(nil), t.IPerm...),
+		Telemetry: g.Cfg.Telemetry,
 	}
 	for id := range t.Nodes {
 		if t.IsLeaf(id) {

@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"gofmm/internal/linalg"
+	"gofmm/internal/telemetry"
 	"gofmm/internal/tree"
 )
 
@@ -90,6 +91,10 @@ type HSS struct {
 
 	CompressTime, SketchTime, EvalTime float64
 	MaxRankSeen                        int
+
+	// Telemetry records factor/solve phase spans; nil disables recording.
+	// FromGOFMM inherits it from the source operator's Config.Telemetry.
+	Telemetry *telemetry.Recorder
 }
 
 // skelSize returns the skeleton size of node id (0 for the root).

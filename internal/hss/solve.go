@@ -37,6 +37,7 @@ type Factorization struct {
 // positive definite (K̃ can lose definiteness when the compression error is
 // large — a limitation the paper notes).
 func (h *HSS) Factor() (*Factorization, error) {
+	defer h.Telemetry.StartSpan("hss.factor").End()
 	t := h.Tree
 	f := &Factorization{
 		h:     h,
@@ -125,6 +126,7 @@ func applyDiagSchur(sl, sr, X *linalg.Matrix) *linalg.Matrix {
 // Solve returns x with K̃·x = B (multiple right-hand sides supported).
 func (f *Factorization) Solve(B *linalg.Matrix) *linalg.Matrix {
 	h := f.h
+	defer h.Telemetry.StartSpan("hss.solve").End()
 	t := h.Tree
 	if h.Perm != nil {
 		B = B.RowsGather(h.Perm)

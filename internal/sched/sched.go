@@ -48,6 +48,10 @@ type Task struct {
 
 	succ  []*Task
 	nprec int32 // remaining unfinished predecessors
+
+	// Tracing bookkeeping (written under Engine.mu when tracing is on).
+	readyAt    time.Time // when the task was dispatched to a ready queue
+	stolenFrom int       // queue the task was stolen from, or -1
 }
 
 // Graph is a DAG of tasks built by symbolic execution of an algorithm phase.
@@ -61,7 +65,7 @@ func NewGraph() *Graph { return &Graph{} }
 
 // Add registers a task with an estimated cost and body and returns it.
 func (g *Graph) Add(label string, cost float64, run func(ctx *Ctx)) *Task {
-	t := &Task{ID: len(g.tasks), Label: label, Cost: cost, Run: run, Affinity: -1}
+	t := &Task{ID: len(g.tasks), Label: label, Cost: cost, Run: run, Affinity: -1, stolenFrom: -1}
 	g.tasks = append(g.tasks, t)
 	return t
 }
@@ -145,9 +149,12 @@ type Engine struct {
 	pending int       // tasks not yet finished
 
 	// trace support
-	traceOn bool
-	clock   int64
-	trace   []Event
+	traceOn  bool
+	clock    int64
+	trace    []Event
+	runStart time.Time
+	runWall  time.Duration
+	maxDepth int // deepest ready queue observed during the Run
 }
 
 // Event records one task execution for tests and the tracing tools.
@@ -157,6 +164,15 @@ type Event struct {
 	Start  int64         // logical clock at dequeue
 	End    int64         // logical clock at completion
 	Dur    time.Duration // wall-clock execution time of the task body
+	// WallStart is the wall-clock offset of the task body's start relative
+	// to the Run's start (so traces from one Run share a time base).
+	WallStart time.Duration
+	// QueueWait is how long the task sat on a ready queue between becoming
+	// ready (all predecessors done) and starting execution.
+	QueueWait time.Duration
+	// StolenFrom is the worker whose queue the task was stolen from, or -1
+	// when the task ran on the worker it was dispatched to.
+	StolenFrom int
 }
 
 // NewEngine builds an engine over the given worker pool.
@@ -203,6 +219,9 @@ func (e *Engine) Run(g *Graph) {
 	e.pending = len(g.tasks)
 	e.trace = nil
 	e.clock = 0
+	e.runStart = time.Now()
+	e.runWall = 0
+	e.maxDepth = 0
 	// Seed the queues with the initially-ready tasks.
 	for _, t := range g.tasks {
 		if atomic.LoadInt32(&t.nprec) == 0 {
@@ -222,17 +241,19 @@ func (e *Engine) Run(g *Graph) {
 		}(w)
 	}
 	wg.Wait()
+	e.runWall = time.Since(e.runStart)
 }
 
 // dispatchLocked places a ready task on a queue according to the policy.
 // Caller holds e.mu.
 func (e *Engine) dispatchLocked(t *Task) {
+	if e.traceOn {
+		t.readyAt = time.Now()
+	}
 	q := 0
 	if e.policy == HEFT && t.Affinity >= 0 && t.Affinity < len(e.queues) {
 		q = t.Affinity
-		e.queues[q] = append(e.queues[q], t)
-		e.backlog[q] += t.Cost
-		e.cond.Broadcast()
+		e.enqueueLocked(q, t)
 		return
 	}
 	if e.policy == HEFT {
@@ -244,8 +265,16 @@ func (e *Engine) dispatchLocked(t *Task) {
 			}
 		}
 	}
+	e.enqueueLocked(q, t)
+}
+
+// enqueueLocked appends t to queue q and wakes the pool. Caller holds e.mu.
+func (e *Engine) enqueueLocked(q int, t *Task) {
 	e.queues[q] = append(e.queues[q], t)
 	e.backlog[q] += t.Cost
+	if d := len(e.queues[q]); d > e.maxDepth {
+		e.maxDepth = d
+	}
 	e.cond.Broadcast()
 }
 
@@ -309,6 +338,7 @@ func (e *Engine) stealLocked(self int) *Task {
 	}
 	e.queues[victim] = q[:len(q)-1]
 	e.backlog[victim] -= t.Cost
+	t.stolenFrom = victim
 	return t
 }
 
@@ -325,7 +355,12 @@ func (e *Engine) exec(w int, spec WorkerSpec, t *Task) {
 	e.mu.Lock()
 	if e.traceOn {
 		end := atomic.AddInt64(&e.clock, 1)
-		e.trace = append(e.trace, Event{Task: t, Worker: w, Start: start, End: end, Dur: time.Since(wall)})
+		e.trace = append(e.trace, Event{
+			Task: t, Worker: w, Start: start, End: end, Dur: time.Since(wall),
+			WallStart:  wall.Sub(e.runStart),
+			QueueWait:  wall.Sub(t.readyAt),
+			StolenFrom: t.stolenFrom,
+		})
 	}
 	for _, s := range t.succ {
 		if atomic.AddInt32(&s.nprec, -1) == 0 {
@@ -349,15 +384,92 @@ func (e *Engine) Utilization() []time.Duration {
 	return busy
 }
 
-// WriteTraceCSV dumps the last traced Run as CSV (label, worker, logical
-// start/end, wall-clock ns) for offline timeline analysis.
+// Summary condenses the last traced Run into the scheduler health numbers
+// the strong-scaling analysis needs: wall time, per-worker utilization,
+// steal count, queue-wait totals and a critical-path estimate (the longest
+// dependency chain weighted by measured body times — the lower bound no
+// schedule can beat).
+type Summary struct {
+	Workers int
+	Tasks   int
+	// Wall is the wall-clock duration of the Run; Busy is per-worker time
+	// spent inside task bodies.
+	Wall time.Duration
+	Busy []time.Duration
+	// Utilization is sum(Busy) / (Wall × Workers) ∈ [0, 1].
+	Utilization float64
+	// Steals counts tasks executed by a worker other than the one HEFT
+	// dispatched them to.
+	Steals int
+	// TotalQueueWait sums the ready-to-execution latency over all tasks.
+	TotalQueueWait time.Duration
+	// MaxQueueDepth is the deepest any ready queue got during the Run.
+	MaxQueueDepth int
+	// CriticalPath is the longest chain of dependent task body times.
+	CriticalPath time.Duration
+}
+
+// Summary computes the summary of the last traced Run (zero-valued apart
+// from Workers when tracing was off).
+func (e *Engine) Summary() Summary {
+	s := Summary{Workers: len(e.specs), Tasks: len(e.trace), Wall: e.runWall,
+		Busy: e.Utilization(), MaxQueueDepth: e.maxDepth}
+	if len(e.trace) == 0 {
+		return s
+	}
+	var busyTotal time.Duration
+	for _, b := range s.Busy {
+		busyTotal += b
+	}
+	if e.runWall > 0 {
+		s.Utilization = float64(busyTotal) / (float64(e.runWall) * float64(len(e.specs)))
+	}
+	dur := make(map[*Task]time.Duration, len(e.trace))
+	for _, ev := range e.trace {
+		dur[ev.Task] = ev.Dur
+		s.TotalQueueWait += ev.QueueWait
+		if ev.StolenFrom >= 0 {
+			s.Steals++
+		}
+	}
+	// Longest path over the RAW edges, memoized (the graph is a DAG).
+	memo := make(map[*Task]time.Duration, len(dur))
+	var chain func(t *Task) time.Duration
+	chain = func(t *Task) time.Duration {
+		if d, ok := memo[t]; ok {
+			return d
+		}
+		var best time.Duration
+		for _, succ := range t.succ {
+			if d := chain(succ); d > best {
+				best = d
+			}
+		}
+		d := dur[t] + best
+		memo[t] = d
+		return d
+	}
+	for t := range dur {
+		if d := chain(t); d > s.CriticalPath {
+			s.CriticalPath = d
+		}
+	}
+	return s
+}
+
+// WriteTraceCSV dumps the last traced Run as CSV for offline timeline
+// analysis. The leading comment line documents the units of every column.
 func (e *Engine) WriteTraceCSV(w io.Writer) error {
-	if _, err := fmt.Fprintln(w, "task,worker,start,end,ns"); err != nil {
+	if _, err := fmt.Fprintln(w, "# gofmm task trace: start/end are logical-clock ticks (dimensionless, ordered); wait_ns and exec_ns are wall-clock nanoseconds; stolen_from is the victim worker index or -1"); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintln(w, "task,worker,start,end,wait_ns,exec_ns,stolen_from"); err != nil {
 		return err
 	}
 	for _, ev := range e.trace {
-		if _, err := fmt.Fprintf(w, "%s,%d,%d,%d,%d\n",
-			ev.Task.Label, ev.Worker, ev.Start, ev.End, ev.Dur.Nanoseconds()); err != nil {
+		if _, err := fmt.Fprintf(w, "%s,%d,%d,%d,%d,%d,%d\n",
+			ev.Task.Label, ev.Worker, ev.Start, ev.End,
+			ev.QueueWait.Nanoseconds(), ev.Dur.Nanoseconds(), ev.StolenFrom); err != nil {
 			return err
 		}
 	}

@@ -7,6 +7,7 @@ import (
 	"sync/atomic"
 	"testing"
 	"testing/quick"
+	"time"
 )
 
 func TestEmptyGraph(t *testing.T) {
@@ -365,10 +366,148 @@ func TestUtilizationAndTraceCSV(t *testing.T) {
 		t.Fatal(err)
 	}
 	out := sb.String()
-	if !strings.HasPrefix(out, "task,worker,start,end,ns") {
-		t.Fatalf("CSV header missing:\n%s", out)
+	if !strings.HasPrefix(out, "# gofmm task trace:") {
+		t.Fatalf("CSV units comment missing:\n%s", out)
 	}
-	if strings.Count(out, "\n") != 11 {
-		t.Fatalf("expected 11 lines, got %d", strings.Count(out, "\n"))
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if lines[1] != "task,worker,start,end,wait_ns,exec_ns,stolen_from" {
+		t.Fatalf("CSV column header wrong: %q", lines[1])
+	}
+	if len(lines) != 12 {
+		t.Fatalf("expected 12 lines (comment+header+10 tasks), got %d", len(lines))
+	}
+	for _, line := range lines[2:] {
+		if got := strings.Count(line, ","); got != 6 {
+			t.Fatalf("row %q has %d commas, want 6", line, got)
+		}
+	}
+}
+
+func TestSummary(t *testing.T) {
+	// A chain of dependent tasks: the critical path is the whole graph, so
+	// Summary.CriticalPath must be at least the largest single body time
+	// and at most Wall.
+	g := NewGraph()
+	const nTasks = 8
+	spin := func(*Ctx) {
+		s := 0.0
+		for k := 0; k < 50000; k++ {
+			s += float64(k)
+		}
+		_ = s
+	}
+	var prev *Task
+	for i := 0; i < nTasks; i++ {
+		task := g.Add("chain", 1, spin)
+		if prev != nil {
+			g.AddDep(prev, task)
+		}
+		prev = task
+	}
+	e := NewEngine(HEFT, Homogeneous(2))
+	e.EnableTrace()
+	e.Run(g)
+	s := e.Summary()
+	if s.Workers != 2 || s.Tasks != nTasks {
+		t.Fatalf("workers/tasks = %d/%d", s.Workers, s.Tasks)
+	}
+	if s.Wall <= 0 {
+		t.Fatalf("wall = %v", s.Wall)
+	}
+	if s.Utilization <= 0 || s.Utilization > 1 {
+		t.Fatalf("utilization = %v", s.Utilization)
+	}
+	var busy, maxBody int64
+	for _, ev := range e.Trace() {
+		busy += ev.Dur.Nanoseconds()
+		if ev.Dur.Nanoseconds() > maxBody {
+			maxBody = ev.Dur.Nanoseconds()
+		}
+		if ev.QueueWait < 0 {
+			t.Fatalf("negative queue wait %v", ev.QueueWait)
+		}
+		if ev.WallStart < 0 || ev.WallStart > s.Wall {
+			t.Fatalf("wall start %v outside run [0, %v]", ev.WallStart, s.Wall)
+		}
+	}
+	// A pure chain executes serially: its critical path is the total busy
+	// time (allow for measurement granularity at the low end).
+	if s.CriticalPath.Nanoseconds() < busy || s.CriticalPath < time.Duration(maxBody) {
+		t.Fatalf("critical path %v < busy %dns", s.CriticalPath, busy)
+	}
+	if s.TotalQueueWait < 0 {
+		t.Fatalf("queue wait %v", s.TotalQueueWait)
+	}
+}
+
+func TestSummaryWithoutTrace(t *testing.T) {
+	g := NewGraph()
+	g.Add("t", 1, func(*Ctx) {})
+	e := NewEngine(HEFT, Homogeneous(2))
+	e.Run(g)
+	s := e.Summary()
+	if s.Workers != 2 || s.Tasks != 0 || s.CriticalPath != 0 {
+		t.Fatalf("untraced summary = %+v", s)
+	}
+}
+
+func TestStealOriginRecorded(t *testing.T) {
+	// Seed worker 0 with a slow task followed by many quick ones while
+	// worker 1 has nothing: worker 1 must steal, and every stolen event has
+	// to carry the victim index.
+	g := NewGraph()
+	slow := g.Add("slow", 1000, func(*Ctx) {
+		s := 0.0
+		for k := 0; k < 3_000_000; k++ {
+			s += float64(k)
+		}
+		_ = s
+	})
+	slow.Affinity = 0
+	for i := 0; i < 64; i++ {
+		task := g.Add("quick", 1, func(*Ctx) {
+			s := 0.0
+			for k := 0; k < 20000; k++ {
+				s += float64(k)
+			}
+			_ = s
+		})
+		task.Affinity = 0
+		_ = task
+	}
+	e := NewEngine(HEFT, Homogeneous(2))
+	e.EnableTrace()
+	e.Run(g)
+	// Affinity pins tasks, so no steals are possible here...
+	if got := e.Summary().Steals; got != 0 {
+		t.Fatalf("pinned tasks were stolen %d times", got)
+	}
+
+	// ...now the same shape without pinning: dispatch is backlog-driven, so
+	// load all tasks behind one slow head via dependencies on worker 0.
+	g2 := NewGraph()
+	head := g2.Add("head", 1, func(*Ctx) {})
+	for i := 0; i < 64; i++ {
+		task := g2.Add("quick", 1, func(*Ctx) {
+			s := 0.0
+			for k := 0; k < 50000; k++ {
+				s += float64(k)
+			}
+			_ = s
+		})
+		g2.AddDep(head, task)
+	}
+	e2 := NewEngine(HEFT, Homogeneous(4))
+	e2.EnableTrace()
+	e2.Run(g2)
+	for _, ev := range e2.Trace() {
+		if ev.StolenFrom >= 0 {
+			if ev.StolenFrom >= 4 {
+				t.Fatalf("steal victim %d out of range", ev.StolenFrom)
+			}
+			if ev.StolenFrom == ev.Worker {
+				t.Fatalf("task 'stolen' from its own worker %d", ev.Worker)
+			}
+		}
 	}
 }

@@ -1,0 +1,112 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"time"
+)
+
+// Chrome trace-event export. The output is the Trace Event Format JSON
+// object consumed by Perfetto (ui.perfetto.dev) and chrome://tracing:
+// complete ("ph":"X") events with microsecond timestamps, one thread track
+// per scheduler worker plus track 0 for the algorithm-phase spans.
+
+// chromeEvent is one entry of the traceEvents array.
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	Ts   float64        `json:"ts"`
+	Dur  *float64       `json:"dur,omitempty"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// chromeTrace is the top-level JSON object.
+type chromeTrace struct {
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+}
+
+// phasesTrack is the tid of the span track; worker w maps to tid w+1.
+const phasesTrack = 0
+
+func micros(d time.Duration) float64 { return float64(d.Nanoseconds()) / 1e3 }
+
+// WriteChromeTrace exports the recorded spans and task events as Chrome
+// trace-event JSON. A nil recorder writes an empty (still loadable) trace.
+func (r *Recorder) WriteChromeTrace(w io.Writer) error {
+	trace := chromeTrace{DisplayTimeUnit: "ms", TraceEvents: []chromeEvent{
+		{Name: "process_name", Ph: "M", Pid: 0, Tid: phasesTrack,
+			Args: map[string]any{"name": "gofmm"}},
+		{Name: "thread_name", Ph: "M", Pid: 0, Tid: phasesTrack,
+			Args: map[string]any{"name": "phases"}},
+	}}
+	if r != nil {
+		now := r.Since()
+		r.mu.Lock()
+		var walk func(spans []*Span, depth int)
+		walk = func(spans []*Span, depth int) {
+			for _, s := range spans {
+				d := s.dur
+				if !s.ended {
+					d = now - s.start
+				}
+				dur := micros(d)
+				trace.TraceEvents = append(trace.TraceEvents, chromeEvent{
+					Name: s.name, Ph: "X", Pid: 0, Tid: phasesTrack,
+					Ts: micros(s.start), Dur: &dur,
+					Args: map[string]any{"depth": depth},
+				})
+				walk(s.children, depth+1)
+			}
+		}
+		walk(r.roots, 0)
+		workers := map[int]bool{}
+		for _, ev := range r.events {
+			workers[ev.Worker] = true
+			dur := micros(ev.Dur)
+			args := map[string]any{"wait_us": micros(ev.Wait)}
+			if ev.StolenFrom >= 0 {
+				args["stolen_from"] = ev.StolenFrom
+			}
+			trace.TraceEvents = append(trace.TraceEvents, chromeEvent{
+				Name: ev.Name, Ph: "X", Pid: 0, Tid: ev.Worker + 1,
+				Ts: micros(ev.Start), Dur: &dur, Args: args,
+			})
+		}
+		r.mu.Unlock()
+		for w := range workers {
+			trace.TraceEvents = append(trace.TraceEvents, chromeEvent{
+				Name: "thread_name", Ph: "M", Pid: 0, Tid: w + 1,
+				Args: map[string]any{"name": fmt.Sprintf("worker %d", w)},
+			})
+		}
+		// Deterministic track order: metadata events sorted by tid.
+		sortMetadataEvents(trace.TraceEvents)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(trace)
+}
+
+// sortMetadataEvents moves thread_name metadata into tid order so the
+// encoder output is deterministic (map iteration above is not).
+func sortMetadataEvents(evs []chromeEvent) {
+	// Insertion sort over the (few) metadata events at the tail; stable for
+	// the already-ordered body events.
+	for i := 1; i < len(evs); i++ {
+		for j := i; j > 0 && evs[j].Ph == "M" && evs[j-1].Ph == "M" &&
+			lessMeta(evs[j], evs[j-1]); j-- {
+			evs[j], evs[j-1] = evs[j-1], evs[j]
+		}
+	}
+}
+
+func lessMeta(a, b chromeEvent) bool {
+	if a.Tid != b.Tid {
+		return a.Tid < b.Tid
+	}
+	return a.Name < b.Name
+}

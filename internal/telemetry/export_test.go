@@ -1,0 +1,163 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// goldenRecorder builds a fully deterministic recorder: fake clock, fixed
+// spans, task events and metrics — the fixture both golden tests share.
+func goldenRecorder() *Recorder {
+	clk := &fakeClock{t: time.Unix(1700000000, 0), step: 0}
+	r := newRecorder(clk.Now)
+	step := func(d time.Duration) { clk.t = clk.Add(d) }
+
+	root := r.StartSpan("compress")
+	step(2 * time.Millisecond)
+	ann := root.StartSpan("ann")
+	step(5 * time.Millisecond)
+	ann.End()
+	skel := root.StartSpan("skel")
+	step(8 * time.Millisecond)
+	skel.End()
+	root.End()
+
+	mv := r.StartSpan("matvec")
+	mv.AddChild("n2s", 16*time.Millisecond, 18*time.Millisecond)
+	mv.AddChild("l2l", 18*time.Millisecond, 21*time.Millisecond)
+	step(6 * time.Millisecond)
+	mv.End()
+
+	r.AddTaskEvents([]TaskEvent{
+		{Name: "SKEL(1)", Worker: 0, Start: 3 * time.Millisecond, Dur: 2 * time.Millisecond,
+			Wait: 100 * time.Microsecond, StolenFrom: -1},
+		{Name: "SKEL(2)", Worker: 1, Start: 3 * time.Millisecond, Dur: 3 * time.Millisecond,
+			Wait: 50 * time.Microsecond, StolenFrom: 0},
+		{Name: "COEF(1)", Worker: 0, Start: 6 * time.Millisecond, Dur: time.Millisecond,
+			StolenFrom: -1},
+	})
+
+	r.Counter("oracle.at").Add(1234)
+	r.Counter("sched.steals").Add(1)
+	r.Gauge("sched.utilization").Set(0.875)
+	for _, v := range []float64{8, 16, 16, 32} {
+		r.Histogram("skel.rank").Observe(v)
+	}
+	return r
+}
+
+func checkGolden(t *testing.T, name string, got []byte) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (run `go test -run Golden -update ./internal/telemetry`): %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("%s mismatch\n--- got ---\n%s\n--- want ---\n%s", name, got, want)
+	}
+}
+
+func TestGoldenChromeTrace(t *testing.T) {
+	r := goldenRecorder()
+	var buf bytes.Buffer
+	if err := r.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	// Structural checks first (these hold for any recorder, golden or not).
+	var trace struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &trace); err != nil {
+		t.Fatalf("trace is not valid JSON: %v", err)
+	}
+	tids := map[float64]bool{}
+	names := map[string]bool{}
+	for _, ev := range trace.TraceEvents {
+		tids[ev["tid"].(float64)] = true
+		names[ev["name"].(string)] = true
+		if args, ok := ev["args"].(map[string]any); ok {
+			if n, ok := args["name"].(string); ok {
+				names[n] = true // track names live in metadata args
+			}
+		}
+	}
+	for _, want := range []string{"ann", "skel", "n2s", "l2l", "SKEL(1)", "worker 1"} {
+		if !names[want] {
+			t.Fatalf("trace missing event %q", want)
+		}
+	}
+	if !tids[1] || !tids[2] {
+		t.Fatalf("expected one track per worker, tids = %v", tids)
+	}
+	checkGolden(t, "chrometrace.golden.json", buf.Bytes())
+}
+
+func TestGoldenRunRecord(t *testing.T) {
+	r := goldenRecorder()
+	rr := NewRunRecord("golden")
+	rr.Params["n"] = 1024
+	rr.Params["matrix"] = "K02"
+	rr.Metrics["eps2"] = 3.5e-6
+	rr.Metrics["compress_seconds"] = 0.015
+	rr.Rows = []map[string]any{{"case": "K02", "n": 1024, "eps": 3.5e-6}}
+	rr.AttachSnapshot(r)
+
+	var buf bytes.Buffer
+	if err := rr.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := ValidateRunRecord(buf.Bytes()); err != nil {
+		t.Fatalf("golden record does not validate: %v", err)
+	}
+	checkGolden(t, "runrecord.golden.json", buf.Bytes())
+}
+
+func TestGoldenMetricsJSON(t *testing.T) {
+	r := goldenRecorder()
+	var buf bytes.Buffer
+	if err := r.WriteMetricsJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var snap Snapshot
+	if err := json.Unmarshal(buf.Bytes(), &snap); err != nil {
+		t.Fatalf("metrics JSON does not parse: %v", err)
+	}
+	if snap.Schema != SnapshotSchema {
+		t.Fatalf("schema = %q", snap.Schema)
+	}
+	checkGolden(t, "metrics.golden.json", buf.Bytes())
+}
+
+func TestEmptyChromeTraceStillLoads(t *testing.T) {
+	var r *Recorder
+	var buf bytes.Buffer
+	if err := r.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var trace struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &trace); err != nil {
+		t.Fatal(err)
+	}
+	if len(trace.TraceEvents) == 0 {
+		t.Fatal("even an empty trace should carry metadata events")
+	}
+}

@@ -1,0 +1,291 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"io"
+	"math"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonically increasing integer metric (atomic; nil-safe).
+type Counter struct{ v int64 }
+
+// Add increments the counter (no-op on nil).
+func (c *Counter) Add(n int64) {
+	if c == nil {
+		return
+	}
+	atomic.AddInt64(&c.v, n)
+}
+
+// Value returns the current count (0 on nil).
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return atomic.LoadInt64(&c.v)
+}
+
+// Gauge is a last-value-wins float metric (atomic; nil-safe).
+type Gauge struct{ bits uint64 }
+
+// Set stores the value (no-op on nil).
+func (g *Gauge) Set(v float64) {
+	if g == nil {
+		return
+	}
+	atomic.StoreUint64(&g.bits, math.Float64bits(v))
+}
+
+// Value returns the last stored value (0 on nil).
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(atomic.LoadUint64(&g.bits))
+}
+
+// histBuckets is the number of power-of-two histogram buckets: bucket i
+// counts observations v with 2^(i-1) < v ≤ 2^i (bucket 0 is v ≤ 1).
+const histBuckets = 64
+
+// Histogram accumulates a distribution: count/sum/min/max plus
+// power-of-two buckets (enough to see a skeleton-rank or queue-wait
+// distribution without storing every sample).
+type Histogram struct {
+	mu      sync.Mutex
+	count   int64
+	sum     float64
+	min     float64
+	max     float64
+	buckets [histBuckets]int64
+}
+
+// Observe records one sample (no-op on nil).
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	h.mu.Lock()
+	if h.count == 0 || v < h.min {
+		h.min = v
+	}
+	if h.count == 0 || v > h.max {
+		h.max = v
+	}
+	h.count++
+	h.sum += v
+	h.buckets[bucketOf(v)]++
+	h.mu.Unlock()
+}
+
+// bucketOf maps a sample to its power-of-two bucket index.
+func bucketOf(v float64) int {
+	if v <= 1 {
+		return 0
+	}
+	b := int(math.Ceil(math.Log2(v)))
+	if b < 0 {
+		b = 0
+	}
+	if b >= histBuckets {
+		b = histBuckets - 1
+	}
+	return b
+}
+
+// Counter returns the named counter, creating it on first use (nil on a nil
+// recorder).
+func (r *Recorder) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.metricsMu.Lock()
+	defer r.metricsMu.Unlock()
+	c := r.counters[name]
+	if c == nil {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first use.
+func (r *Recorder) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.metricsMu.Lock()
+	defer r.metricsMu.Unlock()
+	g := r.gauges[name]
+	if g == nil {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the named histogram, creating it on first use.
+func (r *Recorder) Histogram(name string) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.metricsMu.Lock()
+	defer r.metricsMu.Unlock()
+	h := r.hists[name]
+	if h == nil {
+		h = &Histogram{}
+		r.hists[name] = h
+	}
+	return h
+}
+
+// SnapshotSchema identifies the metrics-snapshot JSON layout.
+const SnapshotSchema = "gofmm.telemetry/v1"
+
+// HistogramStat is the exported summary of one histogram.
+type HistogramStat struct {
+	Count int64   `json:"count"`
+	Sum   float64 `json:"sum"`
+	Min   float64 `json:"min"`
+	Max   float64 `json:"max"`
+	Mean  float64 `json:"mean"`
+	// Buckets[i] counts samples v with 2^(i-1) < v ≤ 2^i (Buckets[0] is
+	// v ≤ 1); trailing empty buckets are trimmed.
+	Buckets []int64 `json:"buckets,omitempty"`
+}
+
+// SpanStat is the exported view of one span subtree.
+type SpanStat struct {
+	Name         string     `json:"name"`
+	StartSeconds float64    `json:"start_seconds"`
+	Seconds      float64    `json:"seconds"`
+	Children     []SpanStat `json:"children,omitempty"`
+}
+
+// Snapshot is a point-in-time copy of everything the recorder holds, in the
+// stable layout the JSON exporters and run records embed.
+type Snapshot struct {
+	Schema      string                   `json:"schema"`
+	WallSeconds float64                  `json:"wall_seconds"`
+	Counters    map[string]int64         `json:"counters,omitempty"`
+	Gauges      map[string]float64       `json:"gauges,omitempty"`
+	Histograms  map[string]HistogramStat `json:"histograms,omitempty"`
+	Spans       []SpanStat               `json:"spans,omitempty"`
+	TaskEvents  int                      `json:"task_events,omitempty"`
+}
+
+// Snapshot captures the current state. On a nil recorder it returns an
+// empty (but schema-tagged) snapshot.
+func (r *Recorder) Snapshot() Snapshot {
+	snap := Snapshot{Schema: SnapshotSchema}
+	if r == nil {
+		return snap
+	}
+	now := r.Since()
+	snap.WallSeconds = now.Seconds()
+
+	r.metricsMu.Lock()
+	if len(r.counters) > 0 {
+		snap.Counters = make(map[string]int64, len(r.counters))
+		for name, c := range r.counters {
+			snap.Counters[name] = c.Value()
+		}
+	}
+	if len(r.gauges) > 0 {
+		snap.Gauges = make(map[string]float64, len(r.gauges))
+		for name, g := range r.gauges {
+			snap.Gauges[name] = g.Value()
+		}
+	}
+	if len(r.hists) > 0 {
+		snap.Histograms = make(map[string]HistogramStat, len(r.hists))
+		for name, h := range r.hists {
+			snap.Histograms[name] = h.stat()
+		}
+	}
+	r.metricsMu.Unlock()
+
+	r.mu.Lock()
+	snap.Spans = spanStats(r.roots, now)
+	snap.TaskEvents = len(r.events)
+	r.mu.Unlock()
+	return snap
+}
+
+// stat summarizes the histogram (caller does not hold h.mu).
+func (h *Histogram) stat() HistogramStat {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	st := HistogramStat{Count: h.count, Sum: h.sum, Min: h.min, Max: h.max}
+	if h.count > 0 {
+		st.Mean = h.sum / float64(h.count)
+	}
+	last := -1
+	for i, c := range h.buckets {
+		if c != 0 {
+			last = i
+		}
+	}
+	if last >= 0 {
+		st.Buckets = append([]int64(nil), h.buckets[:last+1]...)
+	}
+	return st
+}
+
+// spanStats converts a span forest; unended spans extend to "now". Caller
+// holds r.mu.
+func spanStats(spans []*Span, now time.Duration) []SpanStat {
+	if len(spans) == 0 {
+		return nil
+	}
+	out := make([]SpanStat, len(spans))
+	for i, s := range spans {
+		d := s.dur
+		if !s.ended {
+			d = now - s.start
+		}
+		out[i] = SpanStat{
+			Name:         s.name,
+			StartSeconds: s.start.Seconds(),
+			Seconds:      d.Seconds(),
+			Children:     spanStats(s.children, now),
+		}
+	}
+	return out
+}
+
+// WriteMetricsJSON writes the snapshot as indented JSON.
+func (r *Recorder) WriteMetricsJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r.Snapshot())
+}
+
+// PhaseSeconds returns the duration of the first span along the given name
+// path (e.g. "compress", "ann"), or 0 when absent — the bridge that lets
+// the legacy Stats view be derived from the span tree.
+func (r *Recorder) PhaseSeconds(path ...string) float64 {
+	if r == nil || len(path) == 0 {
+		return 0
+	}
+	snap := r.Snapshot()
+	stats := snap.Spans
+	var found *SpanStat
+	for _, name := range path {
+		found = nil
+		for i := range stats {
+			if stats[i].Name == name {
+				found = &stats[i]
+				break
+			}
+		}
+		if found == nil {
+			return 0
+		}
+		stats = found.Children
+	}
+	return found.Seconds
+}

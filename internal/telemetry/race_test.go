@@ -1,0 +1,71 @@
+package telemetry
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestRecorderConcurrentHammer drives one Recorder from many goroutines at
+// once — spans, metrics, task events and snapshots all interleaved. Run
+// with -race (the CI race step includes this package) to verify the
+// goroutine-safety claims of the package documentation.
+func TestRecorderConcurrentHammer(t *testing.T) {
+	r := New()
+	root := r.StartSpan("hammer")
+	const goroutines = 16
+	const iters = 200
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				switch i % 5 {
+				case 0:
+					sp := root.StartSpan(fmt.Sprintf("g%d", g))
+					sp.StartSpan("leaf").End()
+					sp.End()
+				case 1:
+					r.Counter("c").Add(1)
+					r.Counter(fmt.Sprintf("c%d", g%4)).Add(2)
+				case 2:
+					r.Gauge("g").Set(float64(i))
+					r.Histogram("h").Observe(float64(i % 37))
+				case 3:
+					r.AddTaskEvents([]TaskEvent{{
+						Name: "t", Worker: g % 4,
+						Start: time.Duration(i), Dur: time.Microsecond, StolenFrom: -1,
+					}})
+				case 4:
+					_ = r.Snapshot()
+					_ = r.PhaseSeconds("hammer")
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	root.End()
+
+	snap := r.Snapshot()
+	if got := snap.Counters["c"]; got != goroutines*iters/5 {
+		t.Fatalf("counter c = %d, want %d", got, goroutines*iters/5)
+	}
+	if got := len(r.TaskEvents()); got != goroutines*iters/5 {
+		t.Fatalf("task events = %d, want %d", got, goroutines*iters/5)
+	}
+	// The exporters must tolerate whatever the hammer produced.
+	var buf bytes.Buffer
+	if err := r.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	buf.Reset()
+	if err := r.WriteMetricsJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Report()) == 0 {
+		t.Fatal("empty report")
+	}
+}

@@ -1,0 +1,84 @@
+package telemetry
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Report renders the span tree as indented text with durations and
+// percentages (relative to each root span), followed by the recorded
+// metrics — the terminal version of the paper's per-phase time breakdown.
+// A nil recorder reports "telemetry disabled".
+func (r *Recorder) Report() string {
+	if r == nil {
+		return "telemetry disabled\n"
+	}
+	snap := r.Snapshot()
+	var b strings.Builder
+	fmt.Fprintf(&b, "telemetry report (wall %.3fs)\n", snap.WallSeconds)
+	for _, root := range snap.Spans {
+		total := root.Seconds
+		if total <= 0 {
+			total = snap.WallSeconds
+		}
+		writeSpanTree(&b, root, 0, total)
+	}
+	writeMetricsReport(&b, snap)
+	return b.String()
+}
+
+func writeSpanTree(b *strings.Builder, s SpanStat, depth int, total float64) {
+	pct := 0.0
+	if total > 0 {
+		pct = 100 * s.Seconds / total
+	}
+	name := strings.Repeat("  ", depth) + s.Name
+	fmt.Fprintf(b, "  %-34s %10.3fs %6.1f%%\n", name, s.Seconds, pct)
+	for _, c := range s.Children {
+		writeSpanTree(b, c, depth+1, total)
+	}
+	// Account for time not covered by children ("other") when it is visible.
+	if len(s.Children) > 0 {
+		covered := 0.0
+		for _, c := range s.Children {
+			covered += c.Seconds
+		}
+		if rest := s.Seconds - covered; rest > 0.0005 && total > 0 {
+			fmt.Fprintf(b, "  %-34s %10.3fs %6.1f%%\n",
+				strings.Repeat("  ", depth+1)+"(other)", rest, 100*rest/total)
+		}
+	}
+}
+
+func writeMetricsReport(b *strings.Builder, snap Snapshot) {
+	if len(snap.Counters) > 0 {
+		fmt.Fprintf(b, "  counters:\n")
+		for _, name := range sortedKeys(snap.Counters) {
+			fmt.Fprintf(b, "    %-34s %d\n", name, snap.Counters[name])
+		}
+	}
+	if len(snap.Gauges) > 0 {
+		fmt.Fprintf(b, "  gauges:\n")
+		for _, name := range sortedKeys(snap.Gauges) {
+			fmt.Fprintf(b, "    %-34s %g\n", name, snap.Gauges[name])
+		}
+	}
+	if len(snap.Histograms) > 0 {
+		fmt.Fprintf(b, "  histograms:\n")
+		for _, name := range sortedKeys(snap.Histograms) {
+			h := snap.Histograms[name]
+			fmt.Fprintf(b, "    %-34s n=%d mean=%.1f min=%g max=%g\n",
+				name, h.Count, h.Mean, h.Min, h.Max)
+		}
+	}
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

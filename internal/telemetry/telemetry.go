@@ -1,0 +1,176 @@
+// Package telemetry is the observability layer of the repository: a
+// dependency-free hierarchical span tracer, a registry of named metrics
+// (counters, gauges, histograms), and exporters for the three consumers the
+// paper's evaluation implies —
+//
+//   - a Chrome trace-event JSON file (loadable in Perfetto / about:tracing)
+//     with one track per scheduler worker plus a "phases" track for the
+//     algorithm-level spans, the Figure 4 worker-timeline picture;
+//   - a human-readable Report() tree with per-phase percentages, the §4
+//     "where does the time go" breakdown (ANN vs tree vs skeletonization vs
+//     the four matvec passes);
+//   - a stable machine-readable RunRecord for benchmark trajectories
+//     (BENCH_*.json).
+//
+// Everything hangs off a *Recorder. A nil *Recorder is a valid no-op: every
+// method on a nil Recorder, Span, Counter, Gauge or Histogram returns
+// immediately, so instrumented code needs no conditionals and pays only a
+// nil check when telemetry is disabled.
+package telemetry
+
+import (
+	"sync"
+	"time"
+)
+
+// Recorder collects spans, task events and metrics for one run. All methods
+// are safe for concurrent use and safe on a nil receiver (no-ops).
+type Recorder struct {
+	now   func() time.Time
+	epoch time.Time
+
+	mu     sync.Mutex
+	roots  []*Span
+	events []TaskEvent
+
+	metricsMu sync.Mutex
+	counters  map[string]*Counter
+	gauges    map[string]*Gauge
+	hists     map[string]*Histogram
+}
+
+// New returns an empty Recorder whose clock starts now.
+func New() *Recorder { return newRecorder(time.Now) }
+
+// newRecorder allows tests to inject a deterministic clock.
+func newRecorder(now func() time.Time) *Recorder {
+	return &Recorder{
+		now:      now,
+		epoch:    now(),
+		counters: map[string]*Counter{},
+		gauges:   map[string]*Gauge{},
+		hists:    map[string]*Histogram{},
+	}
+}
+
+// Since returns the time elapsed since the recorder was created (its trace
+// epoch). Zero on a nil recorder.
+func (r *Recorder) Since() time.Duration {
+	if r == nil {
+		return 0
+	}
+	return r.now().Sub(r.epoch)
+}
+
+// Span is one timed interval of the run, nestable into a tree. Spans are
+// created with StartSpan and closed with End; a Span may parent concurrent
+// child spans from multiple goroutines.
+type Span struct {
+	rec      *Recorder
+	name     string
+	start    time.Duration // offset from the recorder epoch
+	dur      time.Duration
+	ended    bool
+	children []*Span
+}
+
+// StartSpan opens a root-level span. Returns nil on a nil recorder.
+func (r *Recorder) StartSpan(name string) *Span {
+	if r == nil {
+		return nil
+	}
+	s := &Span{rec: r, name: name, start: r.Since()}
+	r.mu.Lock()
+	r.roots = append(r.roots, s)
+	r.mu.Unlock()
+	return s
+}
+
+// StartSpan opens a child span under s. Returns nil on a nil span.
+func (s *Span) StartSpan(name string) *Span {
+	if s == nil {
+		return nil
+	}
+	c := &Span{rec: s.rec, name: name, start: s.rec.Since()}
+	s.rec.mu.Lock()
+	s.children = append(s.children, c)
+	s.rec.mu.Unlock()
+	return c
+}
+
+// AddChild records an already-measured interval [start, end] (offsets from
+// the recorder epoch) as a completed child span — used to attach phase
+// aggregates reconstructed from out-of-order task traces.
+func (s *Span) AddChild(name string, start, end time.Duration) *Span {
+	if s == nil {
+		return nil
+	}
+	if end < start {
+		end = start
+	}
+	c := &Span{rec: s.rec, name: name, start: start, dur: end - start, ended: true}
+	s.rec.mu.Lock()
+	s.children = append(s.children, c)
+	s.rec.mu.Unlock()
+	return c
+}
+
+// End closes the span and returns its duration. Ending a span twice keeps
+// the first measurement; End on a nil span returns 0.
+func (s *Span) End() time.Duration {
+	if s == nil {
+		return 0
+	}
+	d := s.rec.Since() - s.start
+	s.rec.mu.Lock()
+	if !s.ended {
+		s.ended = true
+		s.dur = d
+	}
+	d = s.dur
+	s.rec.mu.Unlock()
+	return d
+}
+
+// Name returns the span's name ("" on nil).
+func (s *Span) Name() string {
+	if s == nil {
+		return ""
+	}
+	return s.name
+}
+
+// TaskEvent is one task execution on a scheduler worker, as exported by the
+// task runtime. Times are offsets from the recorder epoch.
+type TaskEvent struct {
+	// Name is the task label (e.g. "N2S(12)").
+	Name string
+	// Worker is the executing worker index (one Chrome-trace track each).
+	Worker int
+	// Start/Dur bound the task body's execution.
+	Start, Dur time.Duration
+	// Wait is the time the task spent on a ready queue before executing.
+	Wait time.Duration
+	// StolenFrom is the worker whose queue the task was stolen from, or -1.
+	StolenFrom int
+}
+
+// AddTaskEvents appends worker-level task events (no-op on nil).
+func (r *Recorder) AddTaskEvents(evs []TaskEvent) {
+	if r == nil || len(evs) == 0 {
+		return
+	}
+	r.mu.Lock()
+	r.events = append(r.events, evs...)
+	r.mu.Unlock()
+}
+
+// TaskEvents returns a copy of the recorded task events.
+func (r *Recorder) TaskEvents() []TaskEvent {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]TaskEvent(nil), r.events...)
+}
