@@ -311,7 +311,9 @@ func BenchmarkDistributedMatvec8Ranks(b *testing.B) {
 	W := linalg.GaussianMatrix(rng, p.K.Dim(), 8)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		m.Matvec(W)
+		if _, err := m.Matvec(W); err != nil {
+			b.Fatal(err)
+		}
 	}
 	b.ReportMetric(float64(m.Stats.Bytes), "commBytes")
 }

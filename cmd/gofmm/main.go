@@ -15,6 +15,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -24,9 +25,12 @@ import (
 	_ "net/http/pprof"
 	"os"
 	"strings"
+	"time"
 
 	"gofmm/internal/core"
+	"gofmm/internal/dist"
 	"gofmm/internal/linalg"
+	"gofmm/internal/resilience"
 	"gofmm/internal/spdmat"
 	"gofmm/internal/telemetry"
 )
@@ -51,7 +55,7 @@ func run(args []string, out io.Writer) error {
 		tol       = fs.Float64("tol", 1e-5, "adaptive tolerance τ")
 		kappa     = fs.Int("k", 32, "number of nearest neighbors κ")
 		budget    = fs.Float64("budget", 0.03, "direct-evaluation budget (0 = HSS)")
-		dist      = fs.String("dist", "angle", "distance: angle|kernel|geometric|lexicographic|random")
+		distName  = fs.String("dist", "angle", "distance: angle|kernel|geometric|lexicographic|random")
 		exec      = fs.String("exec", "dynamic", "executor: dynamic|level|taskdep|seq")
 		workers   = fs.Int("workers", 4, "worker pool size")
 		r         = fs.Int("r", 16, "number of right-hand sides")
@@ -65,6 +69,17 @@ func run(args []string, out io.Writer) error {
 		metrics   = fs.String("metrics", "", "write the telemetry metrics snapshot (counters, histograms, spans) as JSON to this file")
 		report    = fs.Bool("report", false, "print the telemetry phase/metric report after the run")
 		pprofAddr = fs.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060) for the run's duration")
+
+		ranks   = fs.Int("ranks", 0, "run the matvec on a P-rank simulated distributed machine (0 = shared memory)")
+		timeout = fs.Duration("timeout", 0, "overall deadline for compression and evaluation (0 = none)")
+		degrade = fs.String("degrade", "truncate", "tolerance-miss policy: truncate|dense|strict")
+
+		chaosSeed   = fs.Int64("chaos-seed", 1, "deterministic fault-injection seed")
+		chaosTask   = fs.Float64("chaos-task-fail", 0, "probability a scheduled task fails and is retried")
+		chaosDrop   = fs.Float64("chaos-msg-drop", 0, "probability a simulated-MPI message is dropped in flight")
+		chaosCorr   = fs.Float64("chaos-msg-corrupt", 0, "probability a message fails the receiver checksum")
+		chaosDelay  = fs.Float64("chaos-msg-delay", 0, "probability a message is delayed")
+		chaosPoison = fs.Float64("chaos-oracle-poison", 0, "probability an oracle entry reads as NaN")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -78,9 +93,26 @@ func run(args []string, out io.Writer) error {
 		}()
 		fmt.Fprintf(out, "pprof listening on http://%s/debug/pprof/\n", *pprofAddr)
 	}
+	chaosEnabled := *chaosTask > 0 || *chaosDrop > 0 || *chaosCorr > 0 ||
+		*chaosDelay > 0 || *chaosPoison > 0
 	var rec *telemetry.Recorder
-	if *traceFile != "" || *metrics != "" || *report {
+	if *traceFile != "" || *metrics != "" || *report || chaosEnabled {
 		rec = telemetry.New()
+	}
+	var chaos *resilience.Chaos
+	if chaosEnabled {
+		chaos = resilience.NewChaos(resilience.ChaosConfig{
+			Seed: *chaosSeed, TaskFail: *chaosTask, MsgDrop: *chaosDrop,
+			MsgCorrupt: *chaosCorr, MsgDelayProb: *chaosDelay, OraclePoison: *chaosPoison,
+		}, rec)
+		fmt.Fprintf(out, "chaos: seed %d, task-fail %g, msg-drop %g, msg-corrupt %g, msg-delay %g, oracle-poison %g\n",
+			*chaosSeed, *chaosTask, *chaosDrop, *chaosCorr, *chaosDelay, *chaosPoison)
+	}
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
 	}
 
 	p, err := spdmat.Generate(*matrix, *n, *seed)
@@ -93,9 +125,19 @@ func run(args []string, out io.Writer) error {
 	cfg := core.Config{
 		LeafSize: *m, MaxRank: *s, Tol: *tol, Kappa: *kappa, Budget: *budget,
 		NumWorkers: *workers, Seed: *seed, CacheBlocks: !*nocache,
-		Points: p.Points, Telemetry: rec,
+		Points: p.Points, Telemetry: rec, Chaos: chaos,
 	}
-	switch *dist {
+	switch *degrade {
+	case "truncate":
+		cfg.Degrade = core.DegradeTruncate
+	case "dense":
+		cfg.Degrade = core.DegradeDense
+	case "strict":
+		cfg.Degrade = core.DegradeStrict
+	default:
+		return fmt.Errorf("unknown degrade policy %q", *degrade)
+	}
+	switch *distName {
 	case "angle":
 		cfg.Distance = core.Angle
 	case "kernel":
@@ -107,7 +149,7 @@ func run(args []string, out io.Writer) error {
 	case "random":
 		cfg.Distance = core.RandomPerm
 	default:
-		return fmt.Errorf("unknown distance %q", *dist)
+		return fmt.Errorf("unknown distance %q", *distName)
 	}
 	switch *exec {
 	case "dynamic":
@@ -138,7 +180,7 @@ func run(args []string, out io.Writer) error {
 		h.Cfg.Telemetry = cfg.Telemetry
 		fmt.Fprintf(out, "loaded compressed form from %s\n", *loadFile)
 	} else {
-		h, err = core.Compress(p.K, cfg)
+		h, err = core.CompressCtx(ctx, p.K, cfg)
 		if err != nil {
 			return err
 		}
@@ -181,12 +223,42 @@ func run(args []string, out io.Writer) error {
 	fmt.Fprintf(out, "  total %.2f GFLOP, %.2f GFLOPS | avg rank %.1f | max near %d | direct %.2f%%\n",
 		st.CompressFlops/1e9, st.CompressFlops/st.CompressTime/1e9, st.AvgRank, st.MaxNear, 100*st.DirectFrac)
 
+	if fb := h.Stats.DenseFallbacks; fb > 0 {
+		fmt.Fprintf(out, "graceful degradation: %d nodes stored dense (missed tol %g at rank %d)\n",
+			fb, *tol, *s)
+	}
+
 	rng := rand.New(rand.NewSource(*seed + 7))
 	W := linalg.GaussianMatrix(rng, dim, *r)
-	U := h.Matvec(W)
-	st = h.Stats
-	fmt.Fprintf(out, "evaluation (%d rhs): %.4fs, %.2f GFLOP, %.2f GFLOPS\n",
-		*r, st.EvalTime, st.EvalFlops/1e9, st.EvalFlops/st.EvalTime/1e9)
+	var U *linalg.Matrix
+	if *ranks > 0 {
+		machine, derr := dist.DistributeCtx(ctx, h, *ranks)
+		if derr != nil {
+			return derr
+		}
+		machine.Chaos = chaos
+		machine.Telemetry = rec
+		t0 := time.Now()
+		U, err = machine.MatvecCtx(ctx, W)
+		if err != nil {
+			return err
+		}
+		cs := machine.Stats
+		fmt.Fprintf(out, "distributed evaluation (%d ranks, %d rhs): %.4fs, %d messages, %d bytes\n",
+			*ranks, *r, time.Since(t0).Seconds(), cs.Messages, cs.Bytes)
+		if cs.Retries > 0 || cs.Drops > 0 {
+			fmt.Fprintf(out, "  message faults: %d dropped, %d retries, %d bytes redelivered\n",
+				cs.Drops, cs.Retries, cs.RedeliveredBytes)
+		}
+	} else {
+		U, err = h.MatvecCtx(ctx, W)
+		if err != nil {
+			return err
+		}
+		st = h.Stats
+		fmt.Fprintf(out, "evaluation (%d rhs): %.4fs, %.2f GFLOP, %.2f GFLOPS\n",
+			*r, st.EvalTime, st.EvalFlops/1e9, st.EvalFlops/st.EvalTime/1e9)
+	}
 
 	entry := h.EntryErrors(W, U, 10)
 	fmt.Fprintf(out, "per-entry relative error (first 10): ")
@@ -195,6 +267,14 @@ func run(args []string, out io.Writer) error {
 	}
 	fmt.Fprintln(out)
 	fmt.Fprintf(out, "sampled relative error ε₂ (100 rows): %.3e\n", h.SampleRelErr(W, U, 100, *seed+9))
+
+	if chaos != nil {
+		inj := chaos.Injected()
+		fmt.Fprintf(out, "chaos summary: %d task failures, %d msg drops, %d msg corruptions, %d msg delays, %d poisoned reads\n",
+			inj["task_fail"], inj["msg_drop"], inj["msg_corrupt"], inj["msg_delay"], inj["oracle_poison"])
+		fmt.Fprintf(out, "  recovered: %d task retries, %d message retries\n",
+			rec.Counter("sched.task_retries").Value(), rec.Counter("dist.msg.retries").Value())
+	}
 
 	if *traceFile != "" {
 		if err := writeFileWith(*traceFile, rec.WriteChromeTrace); err != nil {

@@ -134,3 +134,66 @@ func TestRunTelemetryFlags(t *testing.T) {
 		t.Fatalf("metrics schema = %v", snap["schema"])
 	}
 }
+
+func TestRunChaosFlags(t *testing.T) {
+	var sb strings.Builder
+	err := run([]string{"-matrix", "K05", "-n", "512", "-m", "64", "-s", "64", "-r", "2",
+		"-budget", "0.03", "-workers", "4", "-ranks", "8",
+		"-chaos-seed", "3", "-chaos-task-fail", "0.05", "-chaos-msg-drop", "0.05"}, &sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"chaos: seed 3", "distributed evaluation (8 ranks",
+		"chaos summary:", "recovered:"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunDistributedNoChaos(t *testing.T) {
+	var sb strings.Builder
+	err := run([]string{"-matrix", "K09", "-n", "256", "-m", "32", "-s", "16", "-r", "1",
+		"-exec", "seq", "-ranks", "4"}, &sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "distributed evaluation (4 ranks") {
+		t.Fatalf("distributed path not taken:\n%s", sb.String())
+	}
+	if strings.Contains(sb.String(), "chaos") {
+		t.Fatal("chaos output printed without chaos flags")
+	}
+}
+
+func TestRunDegradeFlag(t *testing.T) {
+	var sb strings.Builder
+	// A full-rank random problem at tiny tolerance: strict mode must fail…
+	err := run([]string{"-matrix", "K06", "-n", "256", "-m", "32", "-s", "8", "-tol", "1e-12",
+		"-budget", "0", "-r", "1", "-exec", "seq", "-degrade", "strict"}, &sb)
+	if err == nil {
+		t.Fatal("expected strict-mode tolerance failure")
+	}
+	// …dense mode must succeed and report the fallbacks.
+	sb.Reset()
+	if err := run([]string{"-matrix", "K06", "-n", "256", "-m", "32", "-s", "8", "-tol", "1e-12",
+		"-budget", "0", "-r", "1", "-exec", "seq", "-degrade", "dense"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "graceful degradation:") {
+		t.Fatalf("degradation report missing:\n%s", sb.String())
+	}
+	if err := run([]string{"-degrade", "NOPE", "-n", "64"}, &sb); err == nil {
+		t.Fatal("expected error for unknown degrade policy")
+	}
+}
+
+func TestRunTimeoutFlag(t *testing.T) {
+	var sb strings.Builder
+	err := run([]string{"-matrix", "K05", "-n", "512", "-m", "32", "-s", "64", "-r", "2",
+		"-timeout", "1ns"}, &sb)
+	if err == nil {
+		t.Fatal("expected deadline error with -timeout 1ns")
+	}
+}

@@ -32,12 +32,14 @@
 package gofmm
 
 import (
+	"context"
 	"io"
 
 	"gofmm/internal/core"
 	"gofmm/internal/dist"
 	"gofmm/internal/hss"
 	"gofmm/internal/linalg"
+	"gofmm/internal/resilience"
 	"gofmm/internal/sched"
 	"gofmm/internal/telemetry"
 )
@@ -119,6 +121,12 @@ type WorkerSpec = sched.WorkerSpec
 // neighbor search, metric tree, near/far lists, nested skeletonization).
 func Compress(K SPD, cfg Config) (*Hierarchical, error) { return core.Compress(K, cfg) }
 
+// CompressCtx is Compress with cancellation and deadline support: the
+// returned error wraps ErrCancelled or ErrTimeout when ctx fires mid-phase.
+func CompressCtx(ctx context.Context, K SPD, cfg Config) (*Hierarchical, error) {
+	return core.CompressCtx(ctx, K, cfg)
+}
+
 // ExactMatvec computes K·W exactly from entries in O(N²·r) — the dense
 // baseline (use for verification on small problems).
 func ExactMatvec(K SPD, W *Matrix) *Matrix { return core.ExactMatvec(K, W) }
@@ -152,13 +160,21 @@ var ErrNotHSS = hss.ErrNotHSS
 
 // Factor builds a direct solver for an HSS-mode compression (Budget 0).
 // Use it to solve K̃x = b directly, or as a preconditioner for CG on the
-// exact matrix (see examples/fastsolve).
+// exact matrix (see examples/fastsolve). A diagonal block that lost
+// positive definiteness to compression error is rescued with escalating
+// diagonal regularization; the perturbation is reported in
+// Factorization.Jitter and Factorization.RegularizedNodes.
 func Factor(h *Hierarchical) (*Factorization, error) {
+	return FactorCtx(context.Background(), h)
+}
+
+// FactorCtx is Factor with cancellation and deadline support.
+func FactorCtx(ctx context.Context, h *Hierarchical) (*Factorization, error) {
 	hs, err := hss.FromGOFMM(h)
 	if err != nil {
 		return nil, err
 	}
-	return hs.Factor()
+	return hs.FactorCtx(ctx)
 }
 
 // Machine is a simulated distributed-memory execution of the compressed
@@ -176,6 +192,80 @@ type CommStats = dist.CommStats
 func Distribute(h *Hierarchical, ranks int) (*Machine, error) {
 	return dist.Distribute(h, ranks)
 }
+
+// DistributeCtx is Distribute with cancellation support.
+func DistributeCtx(ctx context.Context, h *Hierarchical, ranks int) (*Machine, error) {
+	return dist.DistributeCtx(ctx, h, ranks)
+}
+
+// --- Resilience ---------------------------------------------------------
+
+// Typed error taxonomy. Every failure surfaced by the ctx-aware API wraps
+// one of these sentinels (test with errors.Is); legacy entry points keep
+// their original panic/error behavior.
+var (
+	// ErrCancelled wraps failures caused by context cancellation.
+	ErrCancelled = resilience.ErrCancelled
+	// ErrTimeout wraps failures caused by a context deadline.
+	ErrTimeout = resilience.ErrTimeout
+	// ErrStalled is reported by the scheduler watchdog for deadlocked or
+	// hung DAG execution, together with the stuck task frontier.
+	ErrStalled = resilience.ErrStalled
+	// ErrTaskFailed marks a task (or message) whose retry budget ran out.
+	ErrTaskFailed = resilience.ErrTaskFailed
+	// ErrMessageLost marks a simulated-MPI message lost in flight.
+	ErrMessageLost = resilience.ErrMessageLost
+	// ErrTolerance is returned under DegradeStrict when a node cannot reach
+	// the requested tolerance at MaxRank.
+	ErrTolerance = resilience.ErrTolerance
+	// ErrInvalidInput marks rejected arguments (dimension mismatches, nil
+	// operands) that previously panicked.
+	ErrInvalidInput = resilience.ErrInvalidInput
+	// ErrBadOracle is returned by Compress when oracle validation finds
+	// NaN/Inf entries, asymmetry, or non-positive diagonals.
+	ErrBadOracle = core.ErrBadOracle
+	// ErrNotSPD is the root cause wrapped by factorization failures that
+	// even escalating regularization could not rescue.
+	ErrNotSPD = linalg.ErrNotSPD
+)
+
+// PanicError is the typed error a recovered worker panic is converted to;
+// it carries the task label, the panic value, and the stack.
+type PanicError = resilience.PanicError
+
+// DegradeMode selects what happens when a node cannot reach Config.Tol at
+// Config.MaxRank (see Config.Degrade).
+type DegradeMode = core.DegradeMode
+
+// DegradeMode values.
+const (
+	// DegradeTruncate accepts the rank-MaxRank truncation (default; the
+	// paper's behavior — the sampled error estimate reports the damage).
+	DegradeTruncate = core.DegradeTruncate
+	// DegradeDense stores the node exactly (identity interpolation) instead
+	// of a too-lossy skeleton; flagged in Inspect and counted in Stats.
+	DegradeDense = core.DegradeDense
+	// DegradeStrict fails the compression with ErrTolerance.
+	DegradeStrict = core.DegradeStrict
+)
+
+// ChaosConfig configures the deterministic fault-injection harness:
+// seedable probabilities for task failures, simulated-MPI message drops,
+// corruption and delays, and oracle-entry poisoning.
+type ChaosConfig = resilience.ChaosConfig
+
+// Chaos is a deterministic fault injector; attach via Config.Chaos and
+// Machine.Chaos. Nil is inert. Injection decisions are pure functions of
+// (seed, site), independent of goroutine interleaving.
+type Chaos = resilience.Chaos
+
+// NewChaos builds a fault injector recording injection counts to rec
+// (rec may be nil).
+func NewChaos(cfg ChaosConfig, rec *Recorder) *Chaos { return resilience.NewChaos(cfg, rec) }
+
+// Backoff is the bounded exponential backoff (with deterministic jitter)
+// used by the distributed router's retry loop.
+type Backoff = resilience.Backoff
 
 // Recorder is the telemetry sink for compression, evaluation, solver and
 // distributed runs: a hierarchical span tracer plus a registry of named

@@ -163,7 +163,10 @@ func TestDistributeThroughPublicAPI(t *testing.T) {
 	rng := rand.New(rand.NewSource(6))
 	W := linalg.GaussianMatrix(rng, p.K.Dim(), 2)
 	want := H.Matvec(W)
-	got := M.Matvec(W)
+	got, err := M.Matvec(W)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if d := linalg.RelFrobDiff(got, want); d > 1e-12 {
 		t.Fatalf("distributed differs by %g", d)
 	}

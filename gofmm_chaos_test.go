@@ -1,0 +1,132 @@
+package gofmm
+
+import (
+	"math/rand"
+	"testing"
+
+	"gofmm/internal/linalg"
+	"gofmm/testmat"
+)
+
+// End-to-end acceptance test for the resilience layer: with deterministic
+// fault injection running at the ISSUE's reference rates (5% task failures,
+// 5% message drops, fixed seed), the full pipeline — Compress with the
+// Dynamic executor, Distribute, Machine.Matvec — must complete, stay
+// numerically within 10× of the fault-free run, and account for every
+// injected fault in the telemetry registry.
+func TestChaosEndToEnd(t *testing.T) {
+	p, err := testmat.Generate("K05", 1024, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := Config{
+		LeafSize: 64, MaxRank: 64, Tol: 1e-5, Budget: 0.03,
+		Distance: Angle, Exec: Dynamic, NumWorkers: 4, Seed: 17,
+		CacheBlocks: true,
+	}
+	rng := rand.New(rand.NewSource(18))
+	W := linalg.GaussianMatrix(rng, 1024, 4)
+
+	// Fault-free baseline.
+	H0, err := Compress(p.K, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	M0, err := Distribute(H0, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	U0, err := M0.Matvec(W)
+	if err != nil {
+		t.Fatal(err)
+	}
+	baseErr := H0.SampleRelErr(W, U0, 100, 19)
+
+	// Chaos run: same configuration plus injected faults.
+	rec := NewRecorder()
+	chaos := NewChaos(ChaosConfig{Seed: 20, TaskFail: 0.05, MsgDrop: 0.05}, rec)
+	cfg := base
+	cfg.Chaos = chaos
+	cfg.Telemetry = rec
+	H1, err := Compress(p.K, cfg)
+	if err != nil {
+		t.Fatalf("Compress under fault injection: %v", err)
+	}
+	M1, err := Distribute(H1, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	M1.Chaos = chaos
+	M1.Telemetry = rec
+	U1, err := M1.Matvec(W)
+	if err != nil {
+		t.Fatalf("Machine.Matvec under fault injection: %v", err)
+	}
+	chaosErr := H1.SampleRelErr(W, U1, 100, 19)
+	if chaosErr > 10*baseErr {
+		t.Fatalf("chaos error %g exceeds 10× baseline %g", chaosErr, baseErr)
+	}
+
+	// Every injected fault must be visible in telemetry, and every fault
+	// must have been recovered by exactly one retry (exhaustion would have
+	// failed the calls above).
+	inj := chaos.Injected()
+	taskFails := inj["task_fail"]
+	msgDrops := inj["msg_drop"]
+	if taskFails == 0 {
+		t.Fatal("no task failures injected at p=0.05 over a 1024-point compression")
+	}
+	if msgDrops == 0 {
+		t.Fatal("no message drops injected at p=0.05 over an 8-rank matvec")
+	}
+	if got := rec.Counter("chaos.task_fail.injected").Value(); got != taskFails {
+		t.Fatalf("chaos.task_fail.injected=%d, injector says %d", got, taskFails)
+	}
+	if got := rec.Counter("chaos.msg_drop.injected").Value(); got != msgDrops {
+		t.Fatalf("chaos.msg_drop.injected=%d, injector says %d", got, msgDrops)
+	}
+	if got := rec.Counter("sched.task_retries").Value(); got != taskFails {
+		t.Fatalf("sched.task_retries=%d, want %d (one retry per injected failure)", got, taskFails)
+	}
+	if got := rec.Counter("dist.msg.retries").Value(); got != msgDrops {
+		t.Fatalf("dist.msg.retries=%d, want %d", got, msgDrops)
+	}
+	if int64(M1.Stats.Retries) != msgDrops {
+		t.Fatalf("CommStats.Retries=%d, want %d", M1.Stats.Retries, msgDrops)
+	}
+
+	// With retries hiding the faults completely, the chaos compression is
+	// bit-identical to the baseline.
+	if !linalg.EqualApprox(U0, U1, 0) {
+		t.Fatal("chaos run diverged from fault-free run")
+	}
+}
+
+// TestChaosDisabledMatchesBaseline: a nil chaos injector must leave the
+// pipeline untouched (guards against accidental overhead or perturbation
+// when the harness is off).
+func TestChaosDisabledMatchesBaseline(t *testing.T) {
+	p, err := testmat.Generate("K05", 512, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{
+		LeafSize: 64, MaxRank: 32, Tol: 1e-5, Budget: 0.03,
+		Distance: Angle, Exec: Dynamic, NumWorkers: 2, Seed: 21,
+		CacheBlocks: true,
+	}
+	H0, err := Compress(p.K, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Chaos = NewChaos(ChaosConfig{Seed: 22}, nil) // all probabilities zero
+	H1, err := Compress(p.K, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(23))
+	W := linalg.GaussianMatrix(rng, 512, 2)
+	if !linalg.EqualApprox(H0.Matvec(W), H1.Matvec(W), 0) {
+		t.Fatal("zero-probability chaos config changed the result")
+	}
+}

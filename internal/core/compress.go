@@ -1,15 +1,18 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
 	"math/rand"
+	"runtime/debug"
 	"sync/atomic"
 	"time"
 
 	"gofmm/internal/ann"
 	"gofmm/internal/metric"
+	"gofmm/internal/resilience"
 	"gofmm/internal/sched"
 	"gofmm/internal/telemetry"
 	"gofmm/internal/tree"
@@ -45,13 +48,49 @@ func validateOracle(K SPD, seed int64) error {
 	return nil
 }
 
+// poisonedSPD injects oracle faults: with probability OraclePoison a given
+// entry reads as NaN. The decision is a pure hash of (seed, i, j), so a
+// poisoned entry is poisoned on every read — the model is a corrupted value
+// in the backing store, not a flaky wire. It deliberately does not implement
+// Bulk so every gathered entry passes through the fault check.
+type poisonedSPD struct {
+	K     SPD
+	chaos *resilience.Chaos
+}
+
+func (p *poisonedSPD) Dim() int { return p.K.Dim() }
+
+func (p *poisonedSPD) At(i, j int) float64 {
+	if v, ok := p.chaos.PoisonOracle(fmt.Sprintf("K[%d,%d]", i, j)); ok {
+		return v
+	}
+	return p.K.At(i, j)
+}
+
 // Compress builds the hierarchical approximation K̃ of K following
 // Algorithm 2.2. The returned Hierarchical supports fast matvecs via
 // Matvec/Evaluate.
 func Compress(K SPD, cfg Config) (*Hierarchical, error) {
+	return CompressCtx(context.Background(), K, cfg)
+}
+
+// CompressCtx is Compress with cancellation: the context is checked between
+// pipeline phases, the Dynamic/TaskDepend executors abort mid-phase, and all
+// failures — including worker panics, injected task-failure exhaustion and
+// strict-mode tolerance misses — surface as typed errors rather than panics.
+func CompressCtx(ctx context.Context, K SPD, cfg Config) (h *Hierarchical, err error) {
+	// Backstop: no panic escapes the public entry point.
+	defer func() {
+		if r := recover(); r != nil {
+			h, err = nil, &resilience.PanicError{Label: "compress", Value: r, Stack: debug.Stack()}
+		}
+	}()
+	if K == nil {
+		return nil, fmt.Errorf("%w: core: nil matrix", resilience.ErrInvalidInput)
+	}
 	n := K.Dim()
 	if n == 0 {
-		return nil, errors.New("core: empty matrix")
+		return nil, fmt.Errorf("%w: core: empty matrix", resilience.ErrInvalidInput)
 	}
 	cfg = cfg.withDefaults(n)
 	if cfg.Distance == Geometric {
@@ -59,17 +98,24 @@ func Compress(K SPD, cfg Config) (*Hierarchical, error) {
 			return nil, ErrNeedPoints
 		}
 		if cfg.Points.Cols != n {
-			return nil, fmt.Errorf("core: %d points for a %d-dim matrix", cfg.Points.Cols, n)
+			return nil, fmt.Errorf("%w: core: %d points for a %d-dim matrix",
+				resilience.ErrInvalidInput, cfg.Points.Cols, n)
 		}
 	}
+	if cfg.Chaos != nil && cfg.Chaos.Config().OraclePoison > 0 {
+		K = &poisonedSPD{K: K, chaos: cfg.Chaos}
+	}
 	if err := validateOracle(K, cfg.Seed); err != nil {
+		return nil, err
+	}
+	if err := resilience.FromContext(ctx); err != nil {
 		return nil, err
 	}
 	rec := cfg.Telemetry
 	// With a recorder attached, every oracle access from here on (ANN
 	// distances, tree splits, sampling, caching) is counted.
 	K = newTracedSPD(K, rec)
-	h := &Hierarchical{K: K, Cfg: cfg}
+	h = &Hierarchical{K: K, Cfg: cfg}
 	start := time.Now()
 	root := rec.StartSpan("compress")
 
@@ -95,6 +141,11 @@ func Compress(K SPD, cfg Config) (*Hierarchical, error) {
 		h.Stats.ANNTime = p.End()
 	}
 
+	if err := resilience.FromContext(ctx); err != nil {
+		root.End()
+		return nil, err
+	}
+
 	// Step 4: metric ball tree (SPLI tasks in a preorder traversal).
 	p := startPhase(root, "tree")
 	rng := rand.New(rand.NewSource(cfg.Seed + 1))
@@ -117,15 +168,31 @@ func Compress(K SPD, cfg Config) (*Hierarchical, error) {
 	h.buildFarLists()
 	h.Stats.ListsTime = p.End()
 
+	if err := resilience.FromContext(ctx); err != nil {
+		root.End()
+		return nil, err
+	}
+
 	// Steps 8–9 (and optionally 10–11): skeletonization, coefficients,
 	// caching — per the configured executor.
 	p = startPhase(root, "skel")
-	h.skeletonize(p.sp)
+	skelErr := h.skeletonize(ctx, p.sp)
 	h.Stats.SkelTime = p.End()
+	if skelErr == nil {
+		skelErr = h.toleranceErr()
+	}
+	if skelErr != nil {
+		root.End()
+		return nil, skelErr
+	}
 	if cfg.CacheBlocks {
 		p = startPhase(root, "cache")
-		h.runCaching()
+		cacheErr := h.runCaching(ctx)
 		h.Stats.CacheTime = p.End()
+		if cacheErr != nil {
+			root.End()
+			return nil, cacheErr
+		}
 	}
 
 	if d := root.End(); d > 0 {
@@ -156,22 +223,28 @@ func (h *Hierarchical) nodeRng(id int) *rand.Rand {
 // skeletonize dispatches SKEL/COEF over all non-root nodes with the
 // configured executor. sp is the enclosing "skel" phase span (nil when
 // telemetry is off); the executors hang per-level or per-task-kind child
-// spans off it.
-func (h *Hierarchical) skeletonize(sp *telemetry.Span) {
+// spans off it. Every executor propagates cancellation and recovers task
+// panics into typed errors.
+func (h *Hierarchical) skeletonize(ctx context.Context, sp *telemetry.Span) error {
 	t := h.Tree
 	if len(t.Nodes) == 1 {
-		return // single leaf: K̃ = K, no off-diagonal blocks
+		return nil // single leaf: K̃ = K, no off-diagonal blocks
 	}
 	works := make([]*skelWork, len(t.Nodes))
 	switch h.Cfg.Exec {
 	case Sequential:
+		var serr error
 		t.PostOrder(func(nd *tree.Node) {
-			if nd.ID == 0 {
+			if serr != nil || nd.ID == 0 {
+				return
+			}
+			if serr = resilience.FromContext(ctx); serr != nil {
 				return
 			}
 			works[nd.ID] = h.skelNode(nd.ID, h.nodeRng(nd.ID))
 			h.coefNode(nd.ID, works[nd.ID])
 		})
+		return serr
 
 	case LevelByLevel:
 		p := h.Cfg.workerCount()
@@ -186,8 +259,11 @@ func (h *Hierarchical) skeletonize(sp *telemetry.Span) {
 				batch = append(batch, func() { works[id] = h.skelNode(id, h.nodeRng(id)) })
 			}
 			lp := sp.StartSpan(fmt.Sprintf("SKEL.level.%02d", l))
-			sched.RunLevels([][]func(){batch}, p)
+			err := sched.RunLevelsCtx(ctx, [][]func(){batch}, p)
 			lp.End()
+			if err != nil {
+				return err
+			}
 		}
 		// COEF is an "any order" task: one big dynamic batch.
 		coefBatch := make([]func(), 0, len(t.Nodes)-1)
@@ -196,8 +272,9 @@ func (h *Hierarchical) skeletonize(sp *telemetry.Span) {
 			coefBatch = append(coefBatch, func() { h.coefNode(id, works[id]) })
 		}
 		cp := sp.StartSpan("COEF")
-		sched.RunLevels([][]func(){coefBatch}, p)
+		err := sched.RunLevelsCtx(ctx, [][]func(){coefBatch}, p)
 		cp.End()
+		return err
 
 	case Dynamic, TaskDepend:
 		g := sched.NewGraph()
@@ -221,6 +298,9 @@ func (h *Hierarchical) skeletonize(sp *telemetry.Span) {
 				g.AddDep(skelTasks[t.Right(id)], skelTasks[id])
 			}
 		}
+		if err := g.Err(); err != nil {
+			return err
+		}
 		policy := sched.HEFT
 		if h.Cfg.Exec == TaskDepend {
 			policy = sched.FIFO
@@ -230,17 +310,28 @@ func (h *Hierarchical) skeletonize(sp *telemetry.Span) {
 		if h.Cfg.CaptureTrace || rec != nil {
 			eng.EnableTrace()
 		}
+		if c := h.Cfg.Chaos; c != nil && c.Config().TaskFail > 0 {
+			eng.SetFaultInjector(c.TaskFail)
+		}
+		if h.Cfg.StallTimeout > 0 {
+			eng.SetStallTimeout(h.Cfg.StallTimeout)
+		}
 		runStart := rec.Since()
-		eng.Run(g)
+		err := eng.RunCtx(ctx, g)
+		if n := eng.Retries(); n > 0 && rec != nil {
+			rec.Counter("sched.task_retries").Add(n)
+		}
 		if h.Cfg.CaptureTrace || rec != nil {
 			h.LastTrace = eng.Trace()
 		}
 		exportEngineTrace(rec, sp, "sched.compress", eng, runStart)
+		return err
 	}
+	return nil
 }
 
 // runCaching executes the Kba and SKba tasks (any order).
-func (h *Hierarchical) runCaching() {
+func (h *Hierarchical) runCaching(ctx context.Context) error {
 	t := h.Tree
 	var batch []func()
 	for _, beta := range t.Leaves() {
@@ -253,7 +344,7 @@ func (h *Hierarchical) runCaching() {
 			batch = append(batch, func() { h.cacheFarBlock(id) })
 		}
 	}
-	sched.RunLevels([][]func(){batch}, h.Cfg.workerCount())
+	return sched.RunLevelsCtx(ctx, [][]func(){batch}, h.Cfg.workerCount())
 }
 
 // finishStats derives the summary statistics.
@@ -263,6 +354,9 @@ func (h *Hierarchical) finishStats() {
 	for id := 1; id < len(t.Nodes); id++ {
 		totalRank += len(h.nodes[id].skel)
 		cnt++
+		if h.nodes[id].denseFallback {
+			h.Stats.DenseFallbacks++
+		}
 	}
 	if cnt > 0 {
 		h.Stats.AvgRank = float64(totalRank) / float64(cnt)
@@ -281,5 +375,6 @@ func (h *Hierarchical) finishStats() {
 		rec.Gauge("compress.avg_rank").Set(h.Stats.AvgRank)
 		rec.Gauge("compress.direct_frac").Set(h.Stats.DirectFrac)
 		rec.Gauge("compress.max_near").Set(float64(h.Stats.MaxNear))
+		rec.Gauge("compress.dense_fallbacks").Set(float64(h.Stats.DenseFallbacks))
 	}
 }

@@ -21,9 +21,12 @@ package core
 
 import (
 	"fmt"
+	"sync"
+	"time"
 
 	"gofmm/internal/ann"
 	"gofmm/internal/linalg"
+	"gofmm/internal/resilience"
 	"gofmm/internal/sched"
 	"gofmm/internal/telemetry"
 	"gofmm/internal/tree"
@@ -139,6 +142,36 @@ func (e ExecMode) String() string {
 	return fmt.Sprintf("ExecMode(%d)", int(e))
 }
 
+// DegradeMode selects how compression responds when a node's sampled
+// off-diagonal block cannot reach Tol at MaxRank — the numerical failure
+// mode of the interpolative decomposition.
+type DegradeMode int
+
+const (
+	// DegradeTruncate accepts the rank-MaxRank approximation and moves on
+	// (the historical behavior; the miss is recorded in telemetry).
+	DegradeTruncate DegradeMode = iota
+	// DegradeDense falls back to exact storage for the failing node: all
+	// candidate columns become the skeleton with identity interpolation.
+	// Costlier but never less accurate than requested; the node is flagged
+	// in Inspect and counted in Stats.DenseFallbacks.
+	DegradeDense
+	// DegradeStrict fails the whole compression with ErrTolerance.
+	DegradeStrict
+)
+
+func (d DegradeMode) String() string {
+	switch d {
+	case DegradeTruncate:
+		return "truncate"
+	case DegradeDense:
+		return "dense"
+	case DegradeStrict:
+		return "strict"
+	}
+	return fmt.Sprintf("DegradeMode(%d)", int(d))
+}
+
 // Config collects GOFMM's tuning parameters; zero values choose the paper's
 // defaults (m=256, s=m, τ=1e-5, κ=32, 3% budget, angle distance).
 type Config struct {
@@ -197,6 +230,17 @@ type Config struct {
 	// recorder. Nil disables all recording; every instrumentation point is a
 	// no-op on a nil recorder, so the hot paths carry no conditionals.
 	Telemetry *telemetry.Recorder
+	// Chaos, when non-nil and enabled, injects deterministic faults (task
+	// failures during skeletonization, oracle poisoning, message loss in
+	// dist) to exercise the recovery paths. Nil disables all injection.
+	Chaos *resilience.Chaos
+	// Degrade selects what happens when a node cannot reach Tol at MaxRank
+	// (default DegradeTruncate, the historical behavior).
+	Degrade DegradeMode
+	// StallTimeout arms the scheduler watchdog for Dynamic/TaskDepend runs:
+	// if no task completes for this long while work remains, CompressCtx
+	// fails with ErrStalled naming the stuck frontier. 0 disables.
+	StallTimeout time.Duration
 }
 
 // withDefaults fills in unset fields.
@@ -234,6 +278,10 @@ type node struct {
 	proj *linalg.Matrix // P_α̃α (leaf) or P_α̃[l̃r̃] (interior); nil for root
 	near []int          // near node IDs (leaves only, includes self)
 	far  []int          // far node IDs (after MergeFar)
+	// denseFallback marks a node whose sampled block could not reach Tol at
+	// MaxRank: all candidate columns were kept as the skeleton with identity
+	// interpolation (exact but uncompressed — graceful degradation).
+	denseFallback bool
 
 	cacheNear []*linalg.Matrix // K_βα per near α (optional)
 	cacheFar  []*linalg.Matrix // K_β̃α̃ per far α (optional)
@@ -264,6 +312,9 @@ type Stats struct {
 	// ANNRecallProxy is the final neighbor-list update rate (lower means
 	// converged).
 	ANNRecallProxy float64
+	// DenseFallbacks counts nodes that missed Tol at MaxRank and degraded to
+	// dense (identity-interpolation) storage.
+	DenseFallbacks int
 }
 
 // Hierarchical is the compressed H-matrix representation K̃ = D + S + UV.
@@ -283,6 +334,27 @@ type Hierarchical struct {
 	LastTrace []sched.Event
 
 	compressFlops, evalFlops int64 // atomic counters
+
+	errMu  sync.Mutex
+	tolErr error // first StrictTolerance miss (checked after skeletonize)
+}
+
+// recordToleranceMiss remembers the first strict-mode tolerance failure
+// (skeletonization tasks run concurrently; CompressCtx surfaces it after the
+// phase drains).
+func (h *Hierarchical) recordToleranceMiss(err error) {
+	h.errMu.Lock()
+	if h.tolErr == nil {
+		h.tolErr = err
+	}
+	h.errMu.Unlock()
+}
+
+// toleranceErr returns the recorded strict-mode failure, if any.
+func (h *Hierarchical) toleranceErr() error {
+	h.errMu.Lock()
+	defer h.errMu.Unlock()
+	return h.tolErr
 }
 
 // N returns the matrix dimension.
@@ -294,6 +366,18 @@ func (h *Hierarchical) Rank(id int) int { return len(h.nodes[id].skel) }
 // NearList and FarList expose the interaction lists (for tests/inspection).
 func (h *Hierarchical) NearList(id int) []int { return h.nodes[id].near }
 func (h *Hierarchical) FarList(id int) []int  { return h.nodes[id].far }
+
+// DenseFallbacks returns the IDs of nodes that missed the tolerance at
+// MaxRank and degraded to dense (identity-interpolation) storage.
+func (h *Hierarchical) DenseFallbacks() []int {
+	var ids []int
+	for id := range h.nodes {
+		if h.nodes[id].denseFallback {
+			ids = append(ids, id)
+		}
+	}
+	return ids
+}
 
 // engine constructs a sched engine for the configured pool.
 func (c *Config) engine(policy sched.Policy) *sched.Engine {

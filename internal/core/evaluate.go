@@ -1,12 +1,15 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"io"
+	"runtime/debug"
 	"sync/atomic"
 	"time"
 
 	"gofmm/internal/linalg"
+	"gofmm/internal/resilience"
 	"gofmm/internal/sched"
 	"gofmm/internal/telemetry"
 	"gofmm/internal/tree"
@@ -30,10 +33,37 @@ type evalState struct {
 // compressed representation (Algorithm 2.7: N2S, S2S, S2N, L2L) under the
 // configured executor. GOFMM's support for multiple right-hand sides is what
 // makes it useful for block Krylov and Monte Carlo sampling workloads.
+// Matvec is the legacy uncancellable entry point; it panics on the errors
+// MatvecCtx would return.
 func (h *Hierarchical) Matvec(W *linalg.Matrix) *linalg.Matrix {
+	U, err := h.MatvecCtx(context.Background(), W)
+	if err != nil {
+		panic(err)
+	}
+	return U
+}
+
+// MatvecCtx is Matvec with cancellation and typed errors: invalid weights
+// return ErrInvalidInput, the context is honoured between (and for the task
+// executors, within) the four phases, and a panic in any task body surfaces
+// as a *resilience.PanicError instead of escaping.
+func (h *Hierarchical) MatvecCtx(ctx context.Context, W *linalg.Matrix) (U *linalg.Matrix, err error) {
+	// Backstop: no panic escapes the public entry point.
+	defer func() {
+		if r := recover(); r != nil {
+			U, err = nil, &resilience.PanicError{Label: "matvec", Value: r, Stack: debug.Stack()}
+		}
+	}()
 	n := h.K.Dim()
+	if W == nil {
+		return nil, fmt.Errorf("%w: core: Matvec weights are nil", resilience.ErrInvalidInput)
+	}
 	if W.Rows != n {
-		panic(fmt.Sprintf("core: Matvec with %d rows, matrix dim %d", W.Rows, n))
+		return nil, fmt.Errorf("%w: core: Matvec with %d rows, matrix dim %d",
+			resilience.ErrInvalidInput, W.Rows, n)
+	}
+	if err := resilience.FromContext(ctx); err != nil {
+		return nil, err
 	}
 	start := time.Now()
 	rec := h.Cfg.Telemetry
@@ -54,26 +84,39 @@ func (h *Hierarchical) Matvec(W *linalg.Matrix) *linalg.Matrix {
 		sp := root.StartSpan("N2S")
 		t.PostOrder(func(nd *tree.Node) { h.n2s(st, nd.ID) })
 		sp.End()
+		if err = resilience.FromContext(ctx); err != nil {
+			break
+		}
 		sp = root.StartSpan("S2S")
 		for id := range t.Nodes {
 			h.s2s(st, id)
 		}
 		sp.End()
+		if err = resilience.FromContext(ctx); err != nil {
+			break
+		}
 		sp = root.StartSpan("S2N")
 		t.PreOrder(func(nd *tree.Node) { h.s2n(st, nd.ID) })
 		sp.End()
+		if err = resilience.FromContext(ctx); err != nil {
+			break
+		}
 		sp = root.StartSpan("L2L")
 		for _, beta := range t.Leaves() {
 			h.l2l(st, beta)
 		}
 		sp.End()
 	case LevelByLevel:
-		h.evalLevelByLevel(st, root)
+		err = h.evalLevelByLevel(ctx, st, root)
 	case Dynamic, TaskDepend:
-		h.evalTasked(st, root)
+		err = h.evalTasked(ctx, st, root)
+	}
+	if err != nil {
+		root.End()
+		return nil, err
 	}
 	st.Ufar.AddScaled(1, st.Unear)
-	U := st.Ufar.RowsGather(t.IPerm)
+	U = st.Ufar.RowsGather(t.IPerm)
 	if d := root.End(); d > 0 {
 		h.Stats.EvalTime = d.Seconds()
 	} else {
@@ -85,7 +128,7 @@ func (h *Hierarchical) Matvec(W *linalg.Matrix) *linalg.Matrix {
 		rec.Counter("matvec.flops").Add(atomic.LoadInt64(&h.evalFlops))
 		rec.Gauge("matvec.rhs").Set(float64(W.Cols))
 	}
-	return U
+	return U, nil
 }
 
 // n2s computes the skeleton weights w̃α = P_α̃α w_α (leaf) or
@@ -234,7 +277,7 @@ func stackRows(a, b *linalg.Matrix, cols int) *linalg.Matrix {
 // sp is the enclosing "matvec" span (nil when telemetry is off); each of the
 // four passes gets a child span. Splitting the RunLevels call per pass keeps
 // the same semantics — RunLevels already barriers after every batch.
-func (h *Hierarchical) evalLevelByLevel(st *evalState, sp *telemetry.Span) {
+func (h *Hierarchical) evalLevelByLevel(ctx context.Context, st *evalState, sp *telemetry.Span) error {
 	t := h.Tree
 	p := h.Cfg.workerCount()
 	levels := t.LevelNodes()
@@ -248,16 +291,22 @@ func (h *Hierarchical) evalLevelByLevel(st *evalState, sp *telemetry.Span) {
 		n2sBatches = append(n2sBatches, batch)
 	}
 	ps := sp.StartSpan("N2S")
-	sched.RunLevels(n2sBatches, p)
+	err := sched.RunLevelsCtx(ctx, n2sBatches, p)
 	ps.End()
+	if err != nil {
+		return err
+	}
 	s2sBatch := make([]func(), 0, len(t.Nodes))
 	for id := range t.Nodes {
 		id := id
 		s2sBatch = append(s2sBatch, func() { h.s2s(st, id) })
 	}
 	ps = sp.StartSpan("S2S")
-	sched.RunLevels([][]func(){s2sBatch}, p)
+	err = sched.RunLevelsCtx(ctx, [][]func(){s2sBatch}, p)
 	ps.End()
+	if err != nil {
+		return err
+	}
 	var s2nBatches [][]func()
 	for l := 0; l <= t.Depth; l++ {
 		batch := make([]func(), 0, len(levels[l]))
@@ -268,16 +317,20 @@ func (h *Hierarchical) evalLevelByLevel(st *evalState, sp *telemetry.Span) {
 		s2nBatches = append(s2nBatches, batch)
 	}
 	ps = sp.StartSpan("S2N")
-	sched.RunLevels(s2nBatches, p)
+	err = sched.RunLevelsCtx(ctx, s2nBatches, p)
 	ps.End()
+	if err != nil {
+		return err
+	}
 	l2lBatch := make([]func(), 0, t.NumLeaves())
 	for _, beta := range t.Leaves() {
 		beta := beta
 		l2lBatch = append(l2lBatch, func() { h.l2l(st, beta) })
 	}
 	ps = sp.StartSpan("L2L")
-	sched.RunLevels([][]func(){l2lBatch}, p)
+	err = sched.RunLevelsCtx(ctx, [][]func(){l2lBatch}, p)
 	ps.End()
+	return err
 }
 
 // evalTasked builds the Figure 3 dependency DAG by symbolic traversal and
@@ -288,8 +341,11 @@ func (h *Hierarchical) evalLevelByLevel(st *evalState, sp *telemetry.Span) {
 //	S2S(β)  ← N2S(α) for α ∈ Far(β)     (reads w̃α — unknown at compile time)
 //	S2N(β)  ← S2S(β), S2N(parent(β))    (reads ũβ and the parent hand-down)
 //	L2L(β)  independent                  (separate output accumulator)
-func (h *Hierarchical) evalTasked(st *evalState, sp *telemetry.Span) {
+func (h *Hierarchical) evalTasked(ctx context.Context, st *evalState, sp *telemetry.Span) error {
 	g := h.buildEvalGraph(st)
+	if err := g.Err(); err != nil {
+		return err
+	}
 	policy := sched.HEFT
 	if h.Cfg.Exec == TaskDepend {
 		policy = sched.FIFO
@@ -299,12 +355,22 @@ func (h *Hierarchical) evalTasked(st *evalState, sp *telemetry.Span) {
 	if h.Cfg.CaptureTrace || rec != nil {
 		eng.EnableTrace()
 	}
+	if c := h.Cfg.Chaos; c != nil && c.Config().TaskFail > 0 {
+		eng.SetFaultInjector(c.TaskFail)
+	}
+	if h.Cfg.StallTimeout > 0 {
+		eng.SetStallTimeout(h.Cfg.StallTimeout)
+	}
 	runStart := rec.Since()
-	eng.Run(g)
+	err := eng.RunCtx(ctx, g)
+	if n := eng.Retries(); n > 0 && rec != nil {
+		rec.Counter("sched.task_retries").Add(n)
+	}
 	if h.Cfg.CaptureTrace || rec != nil {
 		h.LastTrace = eng.Trace()
 	}
 	exportEngineTrace(rec, sp, "sched.matvec", eng, runStart)
+	return err
 }
 
 // buildEvalGraph performs the symbolic traversal that discovers the RAW

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"fmt"
 	"strings"
 	"sync/atomic"
 
@@ -133,6 +134,13 @@ func (h *Hierarchical) StructureString() string {
 	var sb strings.Builder
 	for _, row := range grid {
 		sb.Write(row)
+		sb.WriteByte('\n')
+	}
+	if fb := h.DenseFallbacks(); len(fb) > 0 {
+		sb.WriteString("dense-fallback nodes:")
+		for _, id := range fb {
+			fmt.Fprintf(&sb, " %d", id)
+		}
 		sb.WriteByte('\n')
 	}
 	return sb.String()

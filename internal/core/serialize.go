@@ -6,6 +6,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math"
 
 	"gofmm/internal/linalg"
 	"gofmm/internal/tree"
@@ -19,8 +20,16 @@ import (
 // cached near/far blocks — everything Matvec needs.
 
 const (
-	serialMagic   = 0x474F464D // "GOFM"
-	serialVersion = 1
+	serialMagic = 0x474F464D // "GOFM"
+	// Version 2 adds the per-node denseFallback flag (graceful numerical
+	// degradation); version-1 streams are still accepted (flag false).
+	serialVersion    = 2
+	serialMinVersion = 1
+
+	// maxSerialDim bounds every dimension-like quantity in the stream. A
+	// corrupted or adversarial length field must produce ErrBadFormat, not
+	// a multi-gigabyte allocation.
+	maxSerialDim = 1 << 31
 )
 
 // ErrBadFormat is returned when the input is not a GOFMM serialization.
@@ -102,6 +111,9 @@ func (h *Hierarchical) WriteTo(w io.Writer) (int64, error) {
 		if err := writeInts(nd.far); err != nil {
 			return cw.n, err
 		}
+		if err := wr(nd.denseFallback); err != nil {
+			return cw.n, err
+		}
 		if err := wr(nd.cacheNear != nil); err != nil {
 			return cw.n, err
 		}
@@ -130,6 +142,12 @@ func (h *Hierarchical) WriteTo(w io.Writer) (int64, error) {
 // matrix; only its dimension is validated). Executor-related fields of the
 // returned Cfg (Exec, NumWorkers, WorkerSpecs) are zero — set them before
 // calling Matvec if a parallel executor is wanted.
+//
+// The stream is treated as untrusted: truncated, corrupted or adversarial
+// input yields an error (usually wrapping ErrBadFormat) — never a panic and
+// never an allocation sized by an unvalidated length field. Every length is
+// bounded, every index range-checked, and the permutation verified to be a
+// permutation before the tree is rebuilt.
 func ReadFrom(r io.Reader, K SPD) (*Hierarchical, error) {
 	br := bufio.NewReader(r)
 	le := binary.LittleEndian
@@ -143,10 +161,17 @@ func ReadFrom(r io.Reader, K SPD) (*Hierarchical, error) {
 	}
 	readInt := func() (int, error) {
 		var v int64
-		err := rd(&v)
-		return int(v), err
+		if err := rd(&v); err != nil {
+			return 0, err
+		}
+		if v < -1 || v > maxSerialDim {
+			return 0, fmt.Errorf("%w: length field %d out of range", ErrBadFormat, v)
+		}
+		return int(v), nil
 	}
-	readInts := func() ([]int, error) {
+	// readInts reads a length-prefixed index list of at most maxLen entries,
+	// each in [0, bound).
+	readInts := func(maxLen, bound int) ([]int, error) {
 		n, err := readInt()
 		if err != nil {
 			return nil, err
@@ -154,15 +179,22 @@ func ReadFrom(r io.Reader, K SPD) (*Hierarchical, error) {
 		if n < 0 {
 			return nil, nil
 		}
+		if n > maxLen {
+			return nil, fmt.Errorf("%w: list of %d exceeds limit %d", ErrBadFormat, n, maxLen)
+		}
 		out := make([]int, n)
 		for i := range out {
 			if out[i], err = readInt(); err != nil {
 				return nil, err
 			}
+			if out[i] < 0 || out[i] >= bound {
+				return nil, fmt.Errorf("%w: index %d out of [0,%d)", ErrBadFormat, out[i], bound)
+			}
 		}
 		return out, nil
 	}
-	readMat := func() (*linalg.Matrix, error) {
+	// readMat reads a matrix with both dimensions in [0, maxDim].
+	readMat := func(maxDim int) (*linalg.Matrix, error) {
 		rows, err := readInt()
 		if err != nil {
 			return nil, err
@@ -173,6 +205,9 @@ func ReadFrom(r io.Reader, K SPD) (*Hierarchical, error) {
 		cols, err := readInt()
 		if err != nil {
 			return nil, err
+		}
+		if rows > maxDim || cols < 0 || cols > maxDim {
+			return nil, fmt.Errorf("%w: %d×%d matrix exceeds limit %d", ErrBadFormat, rows, cols, maxDim)
 		}
 		m := linalg.NewMatrix(rows, cols)
 		for j := 0; j < cols; j++ {
@@ -189,7 +224,7 @@ func ReadFrom(r io.Reader, K SPD) (*Hierarchical, error) {
 	if magic != serialMagic {
 		return nil, ErrBadFormat
 	}
-	if version != serialVersion {
+	if version < serialMinVersion || version > serialVersion {
 		return nil, fmt.Errorf("%w: version %d", ErrBadFormat, version)
 	}
 	var n64, leaf, maxRank, kappa, dist, sampleRows, seed int64
@@ -198,7 +233,21 @@ func ReadFrom(r io.Reader, K SPD) (*Hierarchical, error) {
 	if err := rd(&n64, &leaf, &maxRank, &tol, &kappa, &budget, &dist, &cache, &sampleRows, &seed); err != nil {
 		return nil, err
 	}
-	if K.Dim() != int(n64) {
+	if n64 <= 0 || n64 > maxSerialDim {
+		return nil, fmt.Errorf("%w: dimension %d", ErrBadFormat, n64)
+	}
+	n := int(n64)
+	if leaf < 1 || leaf > n64 {
+		return nil, fmt.Errorf("%w: leaf size %d for dimension %d", ErrBadFormat, leaf, n64)
+	}
+	if maxRank < 0 || maxRank > maxSerialDim || kappa < 0 || kappa > maxSerialDim ||
+		sampleRows < 0 || sampleRows > maxSerialDim {
+		return nil, fmt.Errorf("%w: negative or oversized parameter", ErrBadFormat)
+	}
+	if math.IsNaN(tol) || math.IsInf(tol, 0) || math.IsNaN(budget) || math.IsInf(budget, 0) {
+		return nil, fmt.Errorf("%w: non-finite tolerance or budget", ErrBadFormat)
+	}
+	if K.Dim() != n {
 		return nil, fmt.Errorf("core: oracle dimension %d does not match stored %d", K.Dim(), n64)
 	}
 	h := &Hierarchical{K: K, Cfg: Config{
@@ -206,12 +255,19 @@ func ReadFrom(r io.Reader, K SPD) (*Hierarchical, error) {
 		Budget: budget, Distance: Distance(dist), CacheBlocks: cache,
 		SampleRows: int(sampleRows), Seed: seed, Exec: Sequential, NumWorkers: 1,
 	}}
-	perm, err := readInts()
+	perm, err := readInts(n, n)
 	if err != nil {
 		return nil, err
 	}
-	if len(perm) != int(n64) {
+	if len(perm) != n {
 		return nil, fmt.Errorf("%w: permutation length %d", ErrBadFormat, len(perm))
+	}
+	seen := make([]bool, n)
+	for _, p := range perm {
+		if seen[p] {
+			return nil, fmt.Errorf("%w: duplicate index %d in permutation", ErrBadFormat, p)
+		}
+		seen[p] = true
 	}
 	h.Tree = tree.FromPermutation(perm, int(leaf))
 	numNodes, err := readInt()
@@ -224,17 +280,22 @@ func ReadFrom(r io.Reader, K SPD) (*Hierarchical, error) {
 	h.nodes = make([]node, numNodes)
 	for id := 0; id < numNodes; id++ {
 		nd := &h.nodes[id]
-		if nd.skel, err = readInts(); err != nil {
+		if nd.skel, err = readInts(n, n); err != nil {
 			return nil, err
 		}
-		if nd.proj, err = readMat(); err != nil {
+		if nd.proj, err = readMat(n); err != nil {
 			return nil, err
 		}
-		if nd.near, err = readInts(); err != nil {
+		if nd.near, err = readInts(numNodes, numNodes); err != nil {
 			return nil, err
 		}
-		if nd.far, err = readInts(); err != nil {
+		if nd.far, err = readInts(numNodes, numNodes); err != nil {
 			return nil, err
+		}
+		if version >= 2 {
+			if err := rd(&nd.denseFallback); err != nil {
+				return nil, err
+			}
 		}
 		var hasNear, hasFar bool
 		if err := rd(&hasNear); err != nil {
@@ -243,7 +304,7 @@ func ReadFrom(r io.Reader, K SPD) (*Hierarchical, error) {
 		if hasNear {
 			nd.cacheNear = make([]*linalg.Matrix, len(nd.near))
 			for k := range nd.cacheNear {
-				if nd.cacheNear[k], err = readMat(); err != nil {
+				if nd.cacheNear[k], err = readMat(n); err != nil {
 					return nil, err
 				}
 			}
@@ -254,7 +315,7 @@ func ReadFrom(r io.Reader, K SPD) (*Hierarchical, error) {
 		if hasFar {
 			nd.cacheFar = make([]*linalg.Matrix, len(nd.far))
 			for k := range nd.cacheFar {
-				if nd.cacheFar[k], err = readMat(); err != nil {
+				if nd.cacheFar[k], err = readMat(n); err != nil {
 					return nil, err
 				}
 			}

@@ -1,11 +1,13 @@
 package core
 
 import (
+	"fmt"
 	"math/rand"
 	"sort"
 	"time"
 
 	"gofmm/internal/linalg"
+	"gofmm/internal/resilience"
 )
 
 // skelWork holds the transient state passed from a SKEL task to its COEF
@@ -124,6 +126,28 @@ func (h *Hierarchical) skelNode(id int, rng *rand.Rand) *skelWork {
 	sub := NewGathered(h.K, rows, cols)
 	maxRank := min(h.Cfg.MaxRank, min(len(rows), len(cols)))
 	w.fact = linalg.QRColumnPivot(sub, h.Cfg.Tol, maxRank)
+	// Tolerance miss at MaxRank: the trailing-block estimate of σ_{s+1} is
+	// still above Tol·σ₁, so the interpolative decomposition would silently
+	// exceed the requested accuracy. Config.Degrade decides: accept the
+	// truncation (default), degrade this node to exact identity-interpolation
+	// storage, or fail the compression.
+	if h.Cfg.Degrade != DegradeTruncate &&
+		w.fact.Rank >= maxRank && w.fact.Rank < len(cols) && h.Cfg.Tol > 0 &&
+		w.fact.Sigma1 > 0 && w.fact.ResidNorm > h.Cfg.Tol*w.fact.Sigma1 {
+		if h.Cfg.Degrade == DegradeStrict {
+			h.recordToleranceMiss(fmt.Errorf(
+				"%w: node %d: rank %d residual %.3g exceeds %.3g·σ₁ (σ₁=%.3g)",
+				resilience.ErrTolerance, id, w.fact.Rank, w.fact.ResidNorm,
+				h.Cfg.Tol, w.fact.Sigma1))
+		}
+		h.nodes[id].skel = cols
+		h.nodes[id].denseFallback = true
+		w.fact = nil
+		if rec := h.Cfg.Telemetry; rec != nil {
+			rec.Counter("compress.dense_fallback").Add(1)
+		}
+		return w
+	}
 	s := w.fact.Rank
 	skel := make([]int, s)
 	for k := 0; k < s; k++ {

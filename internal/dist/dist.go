@@ -20,10 +20,13 @@
 package dist
 
 import (
+	"context"
 	"fmt"
+	"time"
 
 	"gofmm/internal/core"
 	"gofmm/internal/linalg"
+	"gofmm/internal/resilience"
 	"gofmm/internal/telemetry"
 )
 
@@ -35,6 +38,14 @@ type CommStats struct {
 	// skeleton weights), "halo" (L2L near-field blocks), "down"
 	// (distributed S2N).
 	ByPhase map[string]int64
+	// Drops counts deliveries that failed (dropped outright or rejected by
+	// the receiver's checksum) and had to be retransmitted — nonzero only
+	// under fault injection.
+	Drops int
+	// Retries counts retransmission attempts; RedeliveredBytes is the extra
+	// traffic those retransmissions cost.
+	Retries          int
+	RedeliveredBytes int64
 }
 
 // Machine is a set of virtual ranks sharing a compressed operator.
@@ -47,6 +58,15 @@ type Machine struct {
 	// each Matvec. Inherited from the operator's Config.Telemetry by
 	// Distribute; nil disables all recording.
 	Telemetry *telemetry.Recorder
+	// Chaos injects message drops/corruption/delays into the router.
+	// Inherited from the operator's Config.Chaos by Distribute; nil disables
+	// injection.
+	Chaos *resilience.Chaos
+	// Backoff is the retransmission policy for lost messages (zero value =
+	// defaults: 50µs base, 5ms cap, 8 retries).
+	Backoff resilience.Backoff
+	// PhaseTimeout bounds each Matvec phase (up/far/down/halo); 0 disables.
+	PhaseTimeout time.Duration
 
 	leavesPerRank int
 	// proj/skel are snapshots of the per-node model data (replicated,
@@ -58,19 +78,29 @@ type Machine struct {
 // Distribute prepares a P-rank machine for the compressed operator. P must
 // be a power of two and at most the number of leaves.
 func Distribute(h *core.Hierarchical, ranks int) (*Machine, error) {
+	return DistributeCtx(context.Background(), h, ranks)
+}
+
+// DistributeCtx is Distribute with cancellation.
+func DistributeCtx(ctx context.Context, h *core.Hierarchical, ranks int) (*Machine, error) {
+	if err := resilience.FromContext(ctx); err != nil {
+		return nil, err
+	}
 	if ranks < 1 || ranks&(ranks-1) != 0 {
-		return nil, fmt.Errorf("dist: ranks must be a power of two, got %d", ranks)
+		return nil, fmt.Errorf("%w: dist: ranks must be a power of two, got %d",
+			resilience.ErrInvalidInput, ranks)
 	}
 	numLeaves := h.Tree.NumLeaves()
 	if ranks > numLeaves {
-		return nil, fmt.Errorf("dist: %d ranks exceed %d leaves", ranks, numLeaves)
+		return nil, fmt.Errorf("%w: dist: %d ranks exceed %d leaves",
+			resilience.ErrInvalidInput, ranks, numLeaves)
 	}
 	L := 0
 	for 1<<L < ranks {
 		L++
 	}
 	m := &Machine{H: h, P: ranks, L: L, leavesPerRank: numLeaves / ranks,
-		Telemetry: h.Cfg.Telemetry}
+		Telemetry: h.Cfg.Telemetry, Chaos: h.Cfg.Chaos}
 	t := h.Tree
 	m.proj = make([]*linalg.Matrix, len(t.Nodes))
 	m.skel = make([][]int, len(t.Nodes))
@@ -91,17 +121,51 @@ func (m *Machine) ownerOf(id int) int {
 
 // router records simulated messages. Payload transfer is modelled by the
 // byte count; the data itself is handed over directly (we are simulating).
+// Under fault injection a delivery can be dropped or arrive corrupted (the
+// receiver's checksum catches it); either way the router retransmits with
+// bounded exponential backoff and gives up with ErrMessageLost only when the
+// retry budget is exhausted.
 type router struct {
 	stats *CommStats
 	rec   *telemetry.Recorder
+	chaos *resilience.Chaos
+	bo    resilience.Backoff
+	ctx   context.Context
 }
 
-func (r *router) send(phase string, src, dst int, floats int) {
+func (r *router) send(phase string, src, dst int, floats int) error {
 	if src == dst {
-		return
+		return nil
+	}
+	b := int64(floats) * 8
+	site := fmt.Sprintf("%s.%d->%d", phase, src, dst)
+	drops := 0
+	attempts, err := resilience.Retry(r.ctx, r.bo, site, func(int) error {
+		if r.chaos.MsgDrop(site) {
+			drops++
+			return fmt.Errorf("%w: %s dropped in flight", resilience.ErrMessageLost, site)
+		}
+		if r.chaos.MsgCorrupt(site) {
+			drops++
+			return fmt.Errorf("%w: %s failed receiver checksum", resilience.ErrMessageLost, site)
+		}
+		if d := r.chaos.MsgDelay(site); d > 0 {
+			time.Sleep(d)
+		}
+		return nil
+	})
+	retries := attempts - 1
+	r.stats.Drops += drops
+	r.stats.Retries += retries
+	r.stats.RedeliveredBytes += int64(retries) * b
+	if r.rec != nil && retries > 0 {
+		r.rec.Counter("dist.msg.retries").Add(int64(retries))
+		r.rec.Counter("dist.redelivered_bytes").Add(int64(retries) * b)
+	}
+	if err != nil {
+		return err
 	}
 	r.stats.Messages++
-	b := int64(floats) * 8
 	r.stats.Bytes += b
 	if r.stats.ByPhase == nil {
 		r.stats.ByPhase = map[string]int64{}
@@ -112,21 +176,46 @@ func (r *router) send(phase string, src, dst int, floats int) {
 		r.rec.Counter("dist.bytes." + phase).Add(b)
 		r.rec.Counter(fmt.Sprintf("dist.rank.%02d.sent_bytes", src)).Add(b)
 	}
+	return nil
 }
 
 // Matvec evaluates U ≈ K·W with the distributed algorithm and returns the
 // gathered result. Stats is reset per call.
-func (m *Machine) Matvec(W *linalg.Matrix) *linalg.Matrix {
+func (m *Machine) Matvec(W *linalg.Matrix) (*linalg.Matrix, error) {
+	return m.MatvecCtx(context.Background(), W)
+}
+
+// phaseCtx derives the per-phase context: the parent bounded by PhaseTimeout
+// when one is configured.
+func (m *Machine) phaseCtx(ctx context.Context) (context.Context, context.CancelFunc) {
+	if m.PhaseTimeout > 0 {
+		return context.WithTimeout(ctx, m.PhaseTimeout)
+	}
+	return ctx, func() {}
+}
+
+// MatvecCtx is Matvec with cancellation: the context is checked at every
+// tree node, each phase is additionally bounded by PhaseTimeout when set,
+// and message loss injected by the chaos harness is retransmitted with
+// bounded backoff (surfacing as ErrMessageLost only on budget exhaustion).
+// Invalid weight dimensions return ErrInvalidInput; no input panics.
+func (m *Machine) MatvecCtx(ctx context.Context, W *linalg.Matrix) (*linalg.Matrix, error) {
 	h := m.H
 	t := h.Tree
 	n := h.K.Dim()
+	if W == nil {
+		return nil, fmt.Errorf("%w: dist: Matvec weights are nil", resilience.ErrInvalidInput)
+	}
 	if W.Rows != n {
-		panic("dist: Matvec dimension mismatch")
+		return nil, fmt.Errorf("%w: dist: Matvec weights have %d rows, operator dimension is %d",
+			resilience.ErrInvalidInput, W.Rows, n)
 	}
 	r := W.Cols
 	m.Stats = CommStats{}
-	net := &router{stats: &m.Stats, rec: m.Telemetry}
+	net := &router{stats: &m.Stats, rec: m.Telemetry, chaos: m.Chaos,
+		bo: m.Backoff, ctx: ctx}
 	root := m.Telemetry.StartSpan("dist.matvec")
+	defer root.End()
 
 	// Input/output in tree order; each rank owns a contiguous slice of
 	// positions (the scatter/gather are part of the data distribution, not
@@ -141,15 +230,24 @@ func (m *Machine) Matvec(W *linalg.Matrix) *linalg.Matrix {
 	// Phase 1+2 — upward N2S. Postorder guarantees children first; when the
 	// right child lives on another rank, its skeleton weights are messaged
 	// to the node owner ("up").
-	var upward func(id int)
-	upward = func(id int) {
+	upCtx, upCancel := m.phaseCtx(ctx)
+	net.ctx = upCtx
+	var upward func(id int) error
+	upward = func(id int) error {
+		if err := resilience.FromContext(upCtx); err != nil {
+			return err
+		}
 		if !t.IsLeaf(id) {
-			upward(t.Left(id))
-			upward(t.Right(id))
+			if err := upward(t.Left(id)); err != nil {
+				return err
+			}
+			if err := upward(t.Right(id)); err != nil {
+				return err
+			}
 		}
 		proj := m.proj[id]
 		if proj == nil {
-			return
+			return nil
 		}
 		out := linalg.NewMatrix(proj.Rows, r)
 		if t.IsLeaf(id) {
@@ -158,24 +256,36 @@ func (m *Machine) Matvec(W *linalg.Matrix) *linalg.Matrix {
 		} else {
 			l, rr := t.Left(id), t.Right(id)
 			if m.ownerOf(rr) != m.ownerOf(id) && skelW[rr] != nil {
-				net.send("up", m.ownerOf(rr), m.ownerOf(id), skelW[rr].Rows*r)
+				if err := net.send("up", m.ownerOf(rr), m.ownerOf(id), skelW[rr].Rows*r); err != nil {
+					return err
+				}
 			}
 			stacked := stack(skelW[l], skelW[rr], r)
 			linalg.Gemm(false, false, 1, proj, stacked, 0, out)
 		}
 		skelW[id] = out
+		return nil
 	}
 	sp := root.StartSpan("up")
-	upward(0)
+	err := upward(0)
 	sp.End()
+	upCancel()
+	if err != nil {
+		return nil, err
+	}
 
 	// Phase 3 — S2S. Remote far-node skeleton weights are imported ("far");
 	// the blocks K_β̃α̃ are owned by β's rank (cached there at setup).
+	farCtx, farCancel := m.phaseCtx(ctx)
+	net.ctx = farCtx
 	sp = root.StartSpan("far")
 	for id := range t.Nodes {
 		far := h.FarList(id)
 		if len(far) == 0 || len(m.skel[id]) == 0 {
 			continue
+		}
+		if err = resilience.FromContext(farCtx); err != nil {
+			break
 		}
 		acc := linalg.NewMatrix(len(m.skel[id]), r)
 		for _, alpha := range far {
@@ -184,19 +294,33 @@ func (m *Machine) Matvec(W *linalg.Matrix) *linalg.Matrix {
 				continue
 			}
 			if m.ownerOf(alpha) != m.ownerOf(id) {
-				net.send("far", m.ownerOf(alpha), m.ownerOf(id), wa.Rows*r)
+				if err = net.send("far", m.ownerOf(alpha), m.ownerOf(id), wa.Rows*r); err != nil {
+					break
+				}
 			}
 			block := core.NewGathered(h.K, m.skel[id], m.skel[alpha])
 			linalg.Gemm(false, false, 1, block, wa, 1, acc)
 		}
+		if err != nil {
+			break
+		}
 		skelU[id] = acc
 	}
 	sp.End()
+	farCancel()
+	if err != nil {
+		return nil, err
+	}
 
 	// Phase 4+5 — downward S2N. Parent owners push the child slice of
 	// Pᵀũ to remote child owners ("down").
-	var downward func(id int)
-	downward = func(id int) {
+	downCtx, downCancel := m.phaseCtx(ctx)
+	net.ctx = downCtx
+	var downward func(id int) error
+	downward = func(id int) error {
+		if err := resilience.FromContext(downCtx); err != nil {
+			return err
+		}
 		if p := t.Parent(id); p >= 0 && down[p] != nil {
 			ls := len(m.skel[t.Left(p)])
 			var part *linalg.Matrix
@@ -205,7 +329,9 @@ func (m *Machine) Matvec(W *linalg.Matrix) *linalg.Matrix {
 			} else {
 				part = down[p].View(ls, 0, down[p].Rows-ls, r)
 				if m.ownerOf(id) != m.ownerOf(p) && part.Rows > 0 {
-					net.send("down", m.ownerOf(p), m.ownerOf(id), part.Rows*r)
+					if err := net.send("down", m.ownerOf(p), m.ownerOf(id), part.Rows*r); err != nil {
+						return err
+					}
 				}
 			}
 			if part.Rows > 0 {
@@ -228,35 +354,56 @@ func (m *Machine) Matvec(W *linalg.Matrix) *linalg.Matrix {
 			}
 		}
 		if !t.IsLeaf(id) {
-			downward(t.Left(id))
-			downward(t.Right(id))
+			if err := downward(t.Left(id)); err != nil {
+				return err
+			}
+			if err := downward(t.Right(id)); err != nil {
+				return err
+			}
 		}
+		return nil
 	}
 	sp = root.StartSpan("down")
-	downward(0)
+	err = downward(0)
 	sp.End()
+	downCancel()
+	if err != nil {
+		return nil, err
+	}
 
 	// Phase 6 — L2L with near-field halo: remote near leaves ship their
 	// W rows ("halo").
+	haloCtx, haloCancel := m.phaseCtx(ctx)
+	net.ctx = haloCtx
 	sp = root.StartSpan("halo")
 	for _, beta := range t.Leaves() {
+		if err = resilience.FromContext(haloCtx); err != nil {
+			break
+		}
 		tb := &t.Nodes[beta]
 		uview := Unear.View(tb.Lo, 0, tb.Size(), r)
 		for _, alpha := range h.NearList(beta) {
 			ta := &t.Nodes[alpha]
 			if m.ownerOf(alpha) != m.ownerOf(beta) {
-				net.send("halo", m.ownerOf(alpha), m.ownerOf(beta), ta.Size()*r)
+				if err = net.send("halo", m.ownerOf(alpha), m.ownerOf(beta), ta.Size()*r); err != nil {
+					break
+				}
 			}
 			block := core.NewGathered(h.K, t.Indices(beta), t.Indices(alpha))
 			linalg.Gemm(false, false, 1, block, Wt.View(ta.Lo, 0, ta.Size(), r), 1, uview)
 		}
+		if err != nil {
+			break
+		}
+	}
+	sp.End()
+	haloCancel()
+	if err != nil {
+		return nil, err
 	}
 
-	sp.End()
-
 	Ufar.AddScaled(1, Unear)
-	root.End()
-	return Ufar.RowsGather(t.IPerm)
+	return Ufar.RowsGather(t.IPerm), nil
 }
 
 // stack returns [a; b], treating nil as empty.

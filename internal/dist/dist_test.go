@@ -67,7 +67,10 @@ func TestDistributedMatchesSequential(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			got := m.Matvec(W)
+			got, err := m.Matvec(W)
+			if err != nil {
+				t.Fatal(err)
+			}
 			if d := linalg.RelFrobDiff(got, want); d > 1e-12 {
 				t.Fatalf("budget %g, P=%d: distributed result differs by %g", budget, p, d)
 			}
@@ -92,7 +95,9 @@ func TestSingleRankNoCommunication(t *testing.T) {
 		t.Fatal(err)
 	}
 	rng := rand.New(rand.NewSource(193))
-	m.Matvec(linalg.GaussianMatrix(rng, 256, 2))
+	if _, err := m.Matvec(linalg.GaussianMatrix(rng, 256, 2)); err != nil {
+		t.Fatal(err)
+	}
 	if m.Stats.Messages != 0 || m.Stats.Bytes != 0 {
 		t.Fatalf("single rank communicated: %+v", m.Stats)
 	}
@@ -109,7 +114,9 @@ func TestHSSCommVolumeIndependentOfN(t *testing.T) {
 			t.Fatal(err)
 		}
 		rng := rand.New(rand.NewSource(194))
-		m.Matvec(linalg.GaussianMatrix(rng, n, 2))
+		if _, err := m.Matvec(linalg.GaussianMatrix(rng, n, 2)); err != nil {
+			t.Fatal(err)
+		}
 		if m.Stats.ByPhase["halo"] != 0 {
 			t.Fatalf("HSS mode produced halo traffic: %+v", m.Stats.ByPhase)
 		}
@@ -132,7 +139,9 @@ func TestFMMHaloOnlyAcrossRankBoundaries(t *testing.T) {
 		t.Fatal(err)
 	}
 	rng := rand.New(rand.NewSource(195))
-	m.Matvec(linalg.GaussianMatrix(rng, 512, 2))
+	if _, err := m.Matvec(linalg.GaussianMatrix(rng, 512, 2)); err != nil {
+		t.Fatal(err)
+	}
 	// Count the near pairs that cross rank boundaries; the halo volume must
 	// match exactly (sizeof(block rows)·r·8).
 	var want int64
@@ -158,7 +167,9 @@ func TestMorePartitionsMoreMessages(t *testing.T) {
 			t.Fatal(err)
 		}
 		rng := rand.New(rand.NewSource(196))
-		m.Matvec(linalg.GaussianMatrix(rng, 512, 2))
+		if _, err := m.Matvec(linalg.GaussianMatrix(rng, 512, 2)); err != nil {
+			t.Fatal(err)
+		}
 		msgs = append(msgs, m.Stats.Messages)
 	}
 	if !(msgs[0] < msgs[1] && msgs[1] < msgs[2]) {

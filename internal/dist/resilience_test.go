@@ -1,0 +1,151 @@
+package dist
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"testing"
+
+	"gofmm/internal/linalg"
+	"gofmm/internal/resilience"
+	"gofmm/internal/telemetry"
+)
+
+func TestMatvecDimensionMismatchIsTypedError(t *testing.T) {
+	h, _ := compress(t, 256, 0.05)
+	m, err := Distribute(h, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if r := recover(); r != nil {
+			t.Fatalf("panic escaped Matvec: %v", r)
+		}
+	}()
+	if _, err := m.Matvec(nil); !errors.Is(err, resilience.ErrInvalidInput) {
+		t.Fatalf("nil W: expected ErrInvalidInput, got %v", err)
+	}
+	wrong := linalg.NewMatrix(255, 2)
+	if _, err := m.Matvec(wrong); !errors.Is(err, resilience.ErrInvalidInput) {
+		t.Fatalf("wrong rows: expected ErrInvalidInput, got %v", err)
+	}
+}
+
+func TestDistributeCtxValidation(t *testing.T) {
+	h, _ := compress(t, 256, 0.05)
+	if _, err := Distribute(h, 3); !errors.Is(err, resilience.ErrInvalidInput) {
+		t.Fatalf("non-power-of-two ranks: expected ErrInvalidInput, got %v", err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := DistributeCtx(ctx, h, 4); !errors.Is(err, resilience.ErrCancelled) {
+		t.Fatalf("cancelled ctx: expected ErrCancelled, got %v", err)
+	}
+}
+
+func TestRouterRetriesDroppedMessages(t *testing.T) {
+	h, K := compress(t, 512, 0.05)
+	rng := rand.New(rand.NewSource(200))
+	W := linalg.GaussianMatrix(rng, 512, 2)
+
+	clean, err := Distribute(h, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := clean.Matvec(W)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	rec := telemetry.New()
+	chaos := resilience.NewChaos(resilience.ChaosConfig{Seed: 11, MsgDrop: 0.1, MsgCorrupt: 0.05}, rec)
+	m, err := Distribute(h, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Chaos = chaos
+	m.Telemetry = rec
+	got, err := m.Matvec(W)
+	if err != nil {
+		t.Fatalf("matvec under 10%% drop + 5%% corruption should recover: %v", err)
+	}
+	// Drops are retransmitted, corruption is checksum-detected and
+	// retransmitted: the numerics must be exactly those of the clean run.
+	if !linalg.EqualApprox(got, want, 0) {
+		t.Fatal("chaos matvec differs from clean run")
+	}
+	inj := chaos.Injected()
+	dropped := inj["msg_drop"] + inj["msg_corrupt"]
+	if dropped == 0 {
+		t.Fatal("no message faults injected — chaos not wired into the router")
+	}
+	if int64(m.Stats.Retries) != dropped {
+		t.Fatalf("%d faults injected but %d retries recorded", dropped, m.Stats.Retries)
+	}
+	if int64(m.Stats.Drops) != dropped {
+		t.Fatalf("%d faults injected but %d drops recorded", dropped, m.Stats.Drops)
+	}
+	if m.Stats.RedeliveredBytes == 0 {
+		t.Fatal("retries recorded but no redelivered bytes")
+	}
+	if got := rec.Counter("dist.msg.retries").Value(); got != dropped {
+		t.Fatalf("telemetry dist.msg.retries=%d, want %d", got, dropped)
+	}
+	_ = K
+}
+
+func TestRouterRetryExhaustionIsTyped(t *testing.T) {
+	h, _ := compress(t, 256, 0.05)
+	m, err := Distribute(h, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every message dropped: the backoff budget must run out and surface a
+	// typed error identifying both the retry exhaustion and the root cause.
+	m.Chaos = resilience.NewChaos(resilience.ChaosConfig{Seed: 12, MsgDrop: 1.0}, nil)
+	rng := rand.New(rand.NewSource(201))
+	W := linalg.GaussianMatrix(rng, 256, 1)
+	_, err = m.Matvec(W)
+	if !errors.Is(err, resilience.ErrTaskFailed) {
+		t.Fatalf("expected ErrTaskFailed wrap, got %v", err)
+	}
+	if !errors.Is(err, resilience.ErrMessageLost) {
+		t.Fatalf("expected ErrMessageLost root cause, got %v", err)
+	}
+}
+
+func TestRouterChaosDeterminism(t *testing.T) {
+	h, _ := compress(t, 512, 0.05)
+	rng := rand.New(rand.NewSource(202))
+	W := linalg.GaussianMatrix(rng, 512, 2)
+	run := func() (int, int64) {
+		m, err := Distribute(h, 8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m.Chaos = resilience.NewChaos(resilience.ChaosConfig{Seed: 13, MsgDrop: 0.1}, nil)
+		if _, err := m.Matvec(W); err != nil {
+			t.Fatal(err)
+		}
+		return m.Stats.Retries, m.Stats.RedeliveredBytes
+	}
+	r1, b1 := run()
+	r2, b2 := run()
+	if r1 != r2 || b1 != b2 {
+		t.Fatalf("same seed, different injection: (%d,%d) vs (%d,%d)", r1, b1, r2, b2)
+	}
+}
+
+func TestMatvecCtxPhaseTimeout(t *testing.T) {
+	h, _ := compress(t, 256, 0.05)
+	m, err := Distribute(h, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.PhaseTimeout = 1 // 1ns: the first per-phase deadline check must fire
+	rng := rand.New(rand.NewSource(203))
+	W := linalg.GaussianMatrix(rng, 256, 1)
+	if _, err := m.Matvec(W); !errors.Is(err, resilience.ErrTimeout) {
+		t.Fatalf("expected ErrTimeout, got %v", err)
+	}
+}

@@ -1,9 +1,11 @@
 package hss
 
 import (
+	"context"
 	"fmt"
 
 	"gofmm/internal/linalg"
+	"gofmm/internal/resilience"
 	"gofmm/internal/tree"
 )
 
@@ -31,12 +33,110 @@ type Factorization struct {
 	schur []*linalg.Matrix
 	lu    []*linalg.LU
 	luRt  *linalg.LU // root coupled system
+
+	// Jitter is the largest diagonal regularization λ that had to be added
+	// to recover a failed factorization (0 when everything factored clean);
+	// RegularizedNodes counts the nodes that needed it. A nonzero Jitter
+	// means Solve targets K̃ + λI rather than K̃ on those blocks — graceful
+	// degradation, recorded so the caller can judge the perturbation.
+	Jitter           float64
+	RegularizedNodes int
 }
 
-// Factor builds the direct solver. It fails if a leaf diagonal block is not
-// positive definite (K̃ can lose definiteness when the compression error is
-// large — a limitation the paper notes).
+// factorRetries is the escalation budget: λ starts at ~1e-12·avg(diag) and
+// multiplies by 100 per attempt, so the last attempt is a perturbation of
+// roughly 1e-2·avg(diag).
+const factorRetries = 6
+
+// jitteredDiag returns a copy of A with λ added to the diagonal.
+func jitteredDiag(A *linalg.Matrix, lam float64) *linalg.Matrix {
+	J := A.Clone()
+	for i := 0; i < J.Rows && i < J.Cols; i++ {
+		J.Add(i, i, lam)
+	}
+	return J
+}
+
+// baseJitter picks the starting regularization from the magnitude of A's
+// diagonal so the escalation is scale-invariant.
+func baseJitter(A *linalg.Matrix) float64 {
+	n := min(A.Rows, A.Cols)
+	if n == 0 {
+		return 1e-12
+	}
+	var avg float64
+	for i := 0; i < n; i++ {
+		v := A.At(i, i)
+		if v < 0 {
+			v = -v
+		}
+		avg += v
+	}
+	avg /= float64(n)
+	if avg == 0 {
+		return 1e-12
+	}
+	return 1e-12 * avg
+}
+
+// recordJitter folds one recovered factorization into the degradation stats.
+func (f *Factorization) recordJitter(lam float64) {
+	if lam <= 0 {
+		return
+	}
+	f.RegularizedNodes++
+	if lam > f.Jitter {
+		f.Jitter = lam
+	}
+}
+
+// cholJittered factors D, retrying with escalating diagonal regularization
+// when D is not numerically SPD (compression error can push small
+// eigenvalues negative). Returns the factor and the λ that was needed.
+func cholJittered(D *linalg.Matrix) (*linalg.Matrix, float64, error) {
+	L, err := linalg.Cholesky(D)
+	if err == nil {
+		return L, 0, nil
+	}
+	lam := baseJitter(D)
+	for k := 0; k < factorRetries; k++ {
+		if L, jerr := linalg.Cholesky(jitteredDiag(D, lam)); jerr == nil {
+			return L, lam, nil
+		}
+		lam *= 100
+	}
+	return nil, 0, err
+}
+
+// luJittered factors M, retrying with escalating diagonal regularization
+// when M is numerically singular.
+func luJittered(M *linalg.Matrix) (*linalg.LU, float64, error) {
+	lu, err := linalg.LUFactor(M)
+	if err == nil {
+		return lu, 0, nil
+	}
+	lam := baseJitter(M)
+	for k := 0; k < factorRetries; k++ {
+		if lu, jerr := linalg.LUFactor(jitteredDiag(M, lam)); jerr == nil {
+			return lu, lam, nil
+		}
+		lam *= 100
+	}
+	return nil, 0, err
+}
+
+// Factor builds the direct solver. A leaf diagonal block that is not
+// numerically positive definite (K̃ can lose definiteness when the
+// compression error is large — a limitation the paper notes) is retried
+// with escalating diagonal regularization; Factor fails only when even the
+// largest jitter cannot rescue the block. The applied perturbation is
+// reported in Factorization.Jitter/RegularizedNodes and telemetry.
 func (h *HSS) Factor() (*Factorization, error) {
+	return h.FactorCtx(context.Background())
+}
+
+// FactorCtx is Factor with cancellation (checked at every tree node).
+func (h *HSS) FactorCtx(ctx context.Context) (*Factorization, error) {
 	defer h.Telemetry.StartSpan("hss.factor").End()
 	t := h.Tree
 	f := &Factorization{
@@ -50,18 +150,24 @@ func (h *HSS) Factor() (*Factorization, error) {
 		if err != nil {
 			return
 		}
+		if err = resilience.FromContext(ctx); err != nil {
+			return
+		}
 		id := nd.ID
 		if t.IsLeaf(id) {
 			if id == 0 {
 				// Single-leaf tree: plain dense Cholesky.
-				f.chol[0], err = linalg.Cholesky(h.nodes[0].D)
+				var lam float64
+				f.chol[0], lam, err = cholJittered(h.nodes[0].D)
+				f.recordJitter(lam)
 				return
 			}
-			L, cerr := linalg.Cholesky(h.nodes[id].D)
+			L, lam, cerr := cholJittered(h.nodes[id].D)
 			if cerr != nil {
 				err = fmt.Errorf("hss: leaf %d: %w", id, cerr)
 				return
 			}
+			f.recordJitter(lam)
 			f.chol[id] = L
 			// S = Eᵀ D⁻¹ E.
 			E := h.nodes[id].E
@@ -73,11 +179,12 @@ func (h *HSS) Factor() (*Factorization, error) {
 		l, r := t.Left(id), t.Right(id)
 		sl, sr := f.schur[l], f.schur[r]
 		M := coupledSystem(h.nodes[id].B, sl, sr)
-		lu, lerr := linalg.LUFactor(M)
+		lu, lam, lerr := luJittered(M)
 		if lerr != nil {
 			err = fmt.Errorf("hss: node %d reduced system: %w", id, lerr)
 			return
 		}
+		f.recordJitter(lam)
 		if id == 0 {
 			f.luRt = lu
 			return
@@ -92,6 +199,10 @@ func (h *HSS) Factor() (*Factorization, error) {
 	})
 	if err != nil {
 		return nil, err
+	}
+	if rec := h.Telemetry; rec != nil && f.RegularizedNodes > 0 {
+		rec.Counter("hss.factor.regularized_nodes").Add(int64(f.RegularizedNodes))
+		rec.Gauge("hss.factor.jitter").Set(f.Jitter)
 	}
 	return f, nil
 }

@@ -1,11 +1,16 @@
 package hss
 
 import (
+	"context"
+	"errors"
+	"math"
 	"math/rand"
 	"testing"
 	"testing/quick"
 
 	"gofmm/internal/linalg"
+	"gofmm/internal/resilience"
+	"gofmm/internal/telemetry"
 )
 
 func TestFactorSolveMatchesDense(t *testing.T) {
@@ -133,6 +138,133 @@ func TestLogDetSingleLeaf(t *testing.T) {
 	want := linalg.LogDetFromCholesky(L)
 	if d := f.LogDet() - want; d > 1e-9 || d < -1e-9 {
 		t.Fatalf("single-leaf LogDet off by %g", d)
+	}
+}
+
+func TestCholJitteredRescuesIndefinite(t *testing.T) {
+	// diag(1, -1e-9) is indefinite by an amount far below the last-resort
+	// jitter, so the escalation must find a λ that factors it.
+	D := linalg.NewMatrix(2, 2)
+	D.Set(0, 0, 1)
+	D.Set(1, 1, -1e-9)
+	if _, err := linalg.Cholesky(D); err == nil {
+		t.Fatal("sanity: plain Cholesky should reject an indefinite matrix")
+	}
+	L, lam, err := cholJittered(D)
+	if err != nil {
+		t.Fatalf("cholJittered failed: %v", err)
+	}
+	if L == nil || lam <= 1e-9 || lam > 1e-2 {
+		t.Fatalf("unexpected jitter λ=%g", lam)
+	}
+	// An SPD input must not be perturbed at all.
+	rng := rand.New(rand.NewSource(96))
+	S := linalg.RandomSPD(rng, 16, 8)
+	if _, lam, err := cholJittered(S); err != nil || lam != 0 {
+		t.Fatalf("SPD input: λ=%g err=%v, want λ=0 err=nil", lam, err)
+	}
+}
+
+func TestLUJitteredRescuesSingular(t *testing.T) {
+	// The all-ones matrix is exactly singular; jitter makes it factorable.
+	n := 8
+	M := linalg.NewMatrix(n, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			M.Set(i, j, 1)
+		}
+	}
+	if _, err := linalg.LUFactor(M); err == nil {
+		t.Fatal("sanity: plain LU should reject a singular matrix")
+	}
+	lu, lam, err := luJittered(M)
+	if err != nil {
+		t.Fatalf("luJittered failed: %v", err)
+	}
+	if lu == nil || lam <= 0 {
+		t.Fatalf("expected a positive jitter, got λ=%g", lam)
+	}
+}
+
+func TestFactorRegularizesIndefiniteLeaf(t *testing.T) {
+	// Build a matrix with clean low-rank off-diagonal structure whose first
+	// leaf block is indefinite by exactly 1e-8: C·Cᵀ with a 4-dim null space
+	// shifted down by 1e-8. Plain Factor used to fail here; now it must
+	// recover with a diagonal jitter, report it, and still produce a finite
+	// solve.
+	rng := rand.New(rand.NewSource(95))
+	n, m := 128, 64
+	G := linalg.GaussianMatrix(rng, n, 3)
+	K := linalg.MatMul(false, true, G, G)
+	for i := 0; i < n; i++ {
+		K.Add(i, i, 2)
+	}
+	C := linalg.GaussianMatrix(rng, m, m-4)
+	B0 := linalg.MatMul(false, true, C, C)
+	for i := 0; i < m; i++ {
+		for j := 0; j < m; j++ {
+			K.Set(i, j, B0.At(i, j))
+		}
+		K.Add(i, i, -1e-8)
+	}
+	h := Compress(denseOracle{K}, Config{LeafSize: 64, Rank: 16, Tol: 1e-12, Seed: 13})
+	rec := telemetry.New()
+	h.Telemetry = rec
+	f, err := h.Factor()
+	if err != nil {
+		t.Fatalf("Factor should degrade gracefully, got %v", err)
+	}
+	if f.RegularizedNodes < 1 {
+		t.Fatal("no node reported as regularized")
+	}
+	if f.Jitter <= 0 || f.Jitter > 1 {
+		t.Fatalf("implausible recorded jitter %g", f.Jitter)
+	}
+	if got := rec.Counter("hss.factor.regularized_nodes").Value(); got < 1 {
+		t.Fatalf("telemetry counter hss.factor.regularized_nodes = %d", got)
+	}
+	if got := rec.Gauge("hss.factor.jitter").Value(); got != f.Jitter {
+		t.Fatalf("telemetry gauge %g != recorded jitter %g", got, f.Jitter)
+	}
+	B := linalg.GaussianMatrix(rng, n, 2)
+	X := f.Solve(B)
+	for j := 0; j < X.Cols; j++ {
+		for _, v := range X.Col(j) {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				t.Fatal("regularized solve produced non-finite entries")
+			}
+		}
+	}
+}
+
+func TestFactorCleanRunReportsNoJitter(t *testing.T) {
+	n := 256
+	K := kern1D(n, 0.05)
+	for i := 0; i < n; i++ {
+		K.Add(i, i, 0.5)
+	}
+	h := Compress(denseOracle{K}, Config{LeafSize: 32, Rank: 48, Tol: 1e-12, Seed: 14})
+	f, err := h.Factor()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.RegularizedNodes != 0 || f.Jitter != 0 {
+		t.Fatalf("clean factorization reported regularization: nodes=%d λ=%g",
+			f.RegularizedNodes, f.Jitter)
+	}
+}
+
+func TestFactorCtxCancellation(t *testing.T) {
+	n := 256
+	K := kern1D(n, 0.05)
+	for i := 0; i < n; i++ {
+		K.Add(i, i, 0.5)
+	}
+	h := Compress(denseOracle{K}, Config{LeafSize: 32, Rank: 32, Tol: 1e-10, Seed: 15})
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := h.FactorCtx(ctx); !errors.Is(err, resilience.ErrCancelled) {
+		t.Fatalf("expected ErrCancelled, got %v", err)
 	}
 }
 

@@ -1,0 +1,78 @@
+// Package resilience is the cross-cutting fault-tolerance layer of the
+// repository: a typed error taxonomy shared by every public entry point, a
+// deterministic seedable fault-injection harness (chaos hooks) that makes
+// recovery paths testable in CI, and a bounded exponential-backoff retry
+// policy used by the simulated-MPI message router.
+//
+// The paper's runtime (§2.3) assumes every task and every message completes;
+// a production GOFMM service cannot. The two seams where hierarchical
+// pipelines are brittle — rank-revealing factorization that misses tolerance
+// and cross-rank communication — each get an explicit recovery path, and the
+// chaos harness exists so those paths run on every CI build rather than only
+// on the bad day.
+//
+// All injection decisions are drawn from per-site deterministic RNG streams
+// keyed by (seed, site), so a chaos run is reproducible regardless of
+// goroutine interleaving: the k-th decision at a given site is the same in
+// every run with the same seed.
+package resilience
+
+import (
+	"context"
+	"errors"
+	"fmt"
+)
+
+// The error taxonomy of the resilience layer. Every recovery path that gives
+// up resolves to one of these sentinels (wrapped with context), so callers
+// can dispatch with errors.Is instead of string matching.
+var (
+	// ErrCancelled is returned when a context is cancelled mid-operation.
+	ErrCancelled = errors.New("resilience: operation cancelled")
+	// ErrTimeout is returned when a context deadline expires mid-operation.
+	ErrTimeout = errors.New("resilience: operation timed out")
+	// ErrStalled is returned by the scheduler watchdog when DAG execution
+	// makes no progress: either a dependency cycle left tasks that can never
+	// become ready, or a task body hung past the stall timeout.
+	ErrStalled = errors.New("resilience: execution stalled")
+	// ErrTaskFailed is returned when a task keeps failing after exhausting
+	// its retry budget.
+	ErrTaskFailed = errors.New("resilience: task failed after retries")
+	// ErrMessageLost is returned when a simulated message is dropped or
+	// corrupted on every delivery attempt.
+	ErrMessageLost = errors.New("resilience: message lost after retries")
+	// ErrTolerance is returned (in strict mode) when an interpolative
+	// decomposition cannot reach the requested tolerance at MaxRank.
+	ErrTolerance = errors.New("resilience: tolerance not reached at maximum rank")
+	// ErrInvalidInput is returned for dimension mismatches and other caller
+	// errors that previously panicked.
+	ErrInvalidInput = errors.New("resilience: invalid input")
+)
+
+// PanicError is a worker panic recovered into a typed error: the task label,
+// the recovered value and the goroutine stack at the recovery point.
+type PanicError struct {
+	Label string
+	Value any
+	Stack []byte
+}
+
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("resilience: panic in task %q: %v", e.Label, e.Value)
+}
+
+// FromContext translates a context's state into the taxonomy: nil when the
+// context is live, ErrCancelled/ErrTimeout (wrapping the cause) otherwise.
+func FromContext(ctx context.Context) error {
+	if ctx == nil {
+		return nil
+	}
+	switch err := ctx.Err(); err {
+	case nil:
+		return nil
+	case context.DeadlineExceeded:
+		return fmt.Errorf("%w: %v", ErrTimeout, err)
+	default:
+		return fmt.Errorf("%w: %v", ErrCancelled, err)
+	}
+}

@@ -1,0 +1,173 @@
+package resilience
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"gofmm/internal/telemetry"
+)
+
+func TestNilChaosIsInert(t *testing.T) {
+	var c *Chaos
+	if c.Enabled() {
+		t.Fatal("nil chaos reports enabled")
+	}
+	if c.TaskFail("x") || c.MsgDrop("x") || c.MsgCorrupt("x") {
+		t.Fatal("nil chaos injected a fault")
+	}
+	if d := c.MsgDelay("x"); d != 0 {
+		t.Fatalf("nil chaos delay %v", d)
+	}
+	if _, ok := c.PoisonOracle("x"); ok {
+		t.Fatal("nil chaos poisoned")
+	}
+	if c.Injected() != nil {
+		t.Fatal("nil chaos has injections")
+	}
+}
+
+func TestChaosDeterministicPerSite(t *testing.T) {
+	draw := func() []bool {
+		c := NewChaos(ChaosConfig{Seed: 42, TaskFail: 0.3}, nil)
+		out := make([]bool, 0, 200)
+		for i := 0; i < 100; i++ {
+			out = append(out, c.TaskFail("a"))
+		}
+		for i := 0; i < 100; i++ {
+			out = append(out, c.TaskFail("b"))
+		}
+		return out
+	}
+	a, b := draw(), draw()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("decision %d differs between identical runs", i)
+		}
+	}
+	// Interleaving sites differently must not change per-site sequences.
+	c := NewChaos(ChaosConfig{Seed: 42, TaskFail: 0.3}, nil)
+	mixed := make(map[string][]bool)
+	for i := 0; i < 100; i++ {
+		mixed["a"] = append(mixed["a"], c.TaskFail("a"))
+		mixed["b"] = append(mixed["b"], c.TaskFail("b"))
+	}
+	for i := 0; i < 100; i++ {
+		if mixed["a"][i] != a[i] || mixed["b"][i] != a[100+i] {
+			t.Fatalf("per-site stream %d depends on interleaving", i)
+		}
+	}
+}
+
+func TestChaosCountsAndTelemetry(t *testing.T) {
+	rec := telemetry.New()
+	c := NewChaos(ChaosConfig{Seed: 7, MsgDrop: 0.5}, rec)
+	hits := int64(0)
+	for i := 0; i < 400; i++ {
+		if c.MsgDrop("up") {
+			hits++
+		}
+	}
+	if hits == 0 || hits == 400 {
+		t.Fatalf("p=0.5 produced %d/400 drops", hits)
+	}
+	if got := c.Injected()["msg_drop"]; got != hits {
+		t.Fatalf("Injected()=%d, observed %d", got, hits)
+	}
+	if got := rec.Counter("chaos.msg_drop.injected").Value(); got != hits {
+		t.Fatalf("telemetry counter %d, observed %d", got, hits)
+	}
+}
+
+func TestChaosConcurrentUse(t *testing.T) {
+	c := NewChaos(ChaosConfig{Seed: 1, TaskFail: 0.2, MsgDrop: 0.2}, telemetry.New())
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			site := fmt.Sprintf("w%d", w)
+			for i := 0; i < 200; i++ {
+				c.TaskFail(site)
+				c.MsgDrop(site)
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
+func TestBackoffBoundedAndDeterministic(t *testing.T) {
+	b := Backoff{Base: 100 * time.Microsecond, Max: time.Millisecond, Factor: 2, MaxRetries: 5}
+	prev := time.Duration(0)
+	for attempt := 0; attempt < 10; attempt++ {
+		d := b.Delay("s", attempt)
+		if d != b.Delay("s", attempt) {
+			t.Fatalf("jitter not deterministic at attempt %d", attempt)
+		}
+		if d <= 0 || d > time.Duration(1.25*float64(time.Millisecond)) {
+			t.Fatalf("delay %v out of bounds at attempt %d", d, attempt)
+		}
+		if attempt > 0 && attempt < 3 && d < prev/4 {
+			t.Fatalf("delay shrank unexpectedly: %v after %v", d, prev)
+		}
+		prev = d
+	}
+}
+
+func TestRetrySucceedsAfterTransientFailures(t *testing.T) {
+	b := Backoff{Base: time.Microsecond, Max: 10 * time.Microsecond}
+	calls := 0
+	attempts, err := Retry(context.Background(), b, "op", func(int) error {
+		calls++
+		if calls < 3 {
+			return errors.New("transient")
+		}
+		return nil
+	})
+	if err != nil || attempts != 3 {
+		t.Fatalf("attempts=%d err=%v", attempts, err)
+	}
+}
+
+func TestRetryExhaustionIsTyped(t *testing.T) {
+	b := Backoff{Base: time.Microsecond, Max: 2 * time.Microsecond, MaxRetries: 2}
+	_, err := Retry(context.Background(), b, "op", func(int) error { return errors.New("always") })
+	if !errors.Is(err, ErrTaskFailed) {
+		t.Fatalf("want ErrTaskFailed, got %v", err)
+	}
+}
+
+func TestRetryHonoursCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := Retry(ctx, Backoff{}, "op", func(int) error { return errors.New("never runs") })
+	if !errors.Is(err, ErrCancelled) {
+		t.Fatalf("want ErrCancelled, got %v", err)
+	}
+}
+
+func TestFromContext(t *testing.T) {
+	if err := FromContext(context.Background()); err != nil {
+		t.Fatalf("live context: %v", err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := FromContext(ctx); !errors.Is(err, ErrCancelled) {
+		t.Fatalf("cancelled: %v", err)
+	}
+	dctx, dcancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+	defer dcancel()
+	if err := FromContext(dctx); !errors.Is(err, ErrTimeout) {
+		t.Fatalf("deadline: %v", err)
+	}
+}
+
+func TestPanicErrorMessage(t *testing.T) {
+	e := &PanicError{Label: "SKEL(3)", Value: "boom"}
+	if got := e.Error(); got == "" || !errors.As(error(e), new(*PanicError)) {
+		t.Fatalf("bad PanicError: %q", got)
+	}
+}

@@ -1,0 +1,100 @@
+package resilience
+
+import (
+	"context"
+	"fmt"
+	"hash/fnv"
+	"time"
+)
+
+// Backoff is a bounded exponential-backoff retry policy with deterministic
+// jitter. The zero value is usable: withDefaults fills in a policy suited to
+// the simulated-MPI router (tiny base delay, a handful of attempts).
+type Backoff struct {
+	// Base is the delay before the first retry (default 50µs).
+	Base time.Duration
+	// Max caps the per-retry delay after exponential growth (default 5ms).
+	Max time.Duration
+	// Factor multiplies the delay per retry (default 2).
+	Factor float64
+	// MaxRetries bounds the number of retries after the initial attempt
+	// (default 8).
+	MaxRetries int
+	// JitterSeed seeds the deterministic jitter (±25% of the delay).
+	JitterSeed int64
+}
+
+// WithDefaults returns the policy with unset fields filled in.
+func (b Backoff) WithDefaults() Backoff {
+	if b.Base <= 0 {
+		b.Base = 50 * time.Microsecond
+	}
+	if b.Max <= 0 {
+		b.Max = 5 * time.Millisecond
+	}
+	if b.Factor < 1 {
+		b.Factor = 2
+	}
+	if b.MaxRetries <= 0 {
+		b.MaxRetries = 8
+	}
+	return b
+}
+
+// Delay returns the backoff before retry attempt (0-based): Base·Factor^attempt
+// capped at Max, jittered by ±25% deterministically from (JitterSeed, site,
+// attempt).
+func (b Backoff) Delay(site string, attempt int) time.Duration {
+	b = b.WithDefaults()
+	d := float64(b.Base)
+	for i := 0; i < attempt && d < float64(b.Max); i++ {
+		d *= b.Factor
+	}
+	if d > float64(b.Max) {
+		d = float64(b.Max)
+	}
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%s|%d|%d", site, attempt, b.JitterSeed)
+	// Map the hash to a jitter factor in [0.75, 1.25).
+	frac := float64(h.Sum64()%1024) / 1024
+	return time.Duration(d * (0.75 + 0.5*frac))
+}
+
+// Retry runs op until it succeeds, the context dies, or the retry budget is
+// exhausted. op receives the 0-based attempt number. It returns the number
+// of attempts made and the final error (nil on success; the last op error
+// wrapped in ErrTaskFailed on exhaustion; an ErrCancelled/ErrTimeout
+// wrapper when the context ends the loop).
+func Retry(ctx context.Context, b Backoff, site string, op func(attempt int) error) (int, error) {
+	b = b.WithDefaults()
+	var last error
+	for attempt := 0; attempt <= b.MaxRetries; attempt++ {
+		if err := FromContext(ctx); err != nil {
+			return attempt, err
+		}
+		if last = op(attempt); last == nil {
+			return attempt + 1, nil
+		}
+		if attempt < b.MaxRetries {
+			sleepCtx(ctx, b.Delay(site, attempt))
+		}
+	}
+	return b.MaxRetries + 1, fmt.Errorf("%w: %s: %w", ErrTaskFailed, site, last)
+}
+
+// sleepCtx sleeps for d or until the context is done, whichever is first.
+func sleepCtx(ctx context.Context, d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	if ctx == nil {
+		time.Sleep(d)
+		return
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+	case <-ctx.Done():
+	}
+}

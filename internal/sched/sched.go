@@ -21,12 +21,24 @@
 package sched
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"io"
+	"runtime/debug"
+	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"gofmm/internal/resilience"
 )
+
+// ErrSelfDependency is recorded by AddDep for a task depending on itself —
+// a graph that could never run. The error is also remembered on the Graph so
+// RunCtx refuses to execute it even if the caller ignored the return value.
+var ErrSelfDependency = errors.New("sched: self dependency")
 
 // Ctx is passed to every task body; it identifies the executing worker so
 // compute kernels can exploit nested parallelism on fat workers.
@@ -52,12 +64,17 @@ type Task struct {
 	// Tracing bookkeeping (written under Engine.mu when tracing is on).
 	readyAt    time.Time // when the task was dispatched to a ready queue
 	stolenFrom int       // queue the task was stolen from, or -1
+
+	// Resilience bookkeeping (written under Engine.mu).
+	attempts int  // failed execution attempts so far
+	done     bool // body completed successfully
 }
 
 // Graph is a DAG of tasks built by symbolic execution of an algorithm phase.
 type Graph struct {
 	tasks []*Task
 	edges int
+	err   error // first construction error (e.g. self dependency)
 }
 
 // NewGraph returns an empty DAG.
@@ -72,15 +89,31 @@ func (g *Graph) Add(label string, cost float64, run func(ctx *Ctx)) *Task {
 
 // AddDep records that after cannot start until before finishes (a RAW edge
 // in the paper's data-flow analysis). Duplicate edges are permitted and
-// counted; self-edges are rejected.
-func (g *Graph) AddDep(before, after *Task) {
+// counted; self-edges are rejected with ErrSelfDependency, which is also
+// remembered on the graph so a later Run refuses to execute it.
+func (g *Graph) AddDep(before, after *Task) error {
+	if before == nil || after == nil {
+		err := fmt.Errorf("%w: nil task", ErrSelfDependency)
+		if g.err == nil {
+			g.err = err
+		}
+		return err
+	}
 	if before == after {
-		panic("sched: self dependency")
+		err := fmt.Errorf("%w: task %q", ErrSelfDependency, after.Label)
+		if g.err == nil {
+			g.err = err
+		}
+		return err
 	}
 	before.succ = append(before.succ, after)
 	atomic.AddInt32(&after.nprec, 1)
 	g.edges++
+	return nil
 }
+
+// Err returns the first construction error recorded on the graph, if any.
+func (g *Graph) Err() error { return g.err }
 
 // Size returns the number of tasks; Edges the number of dependency edges.
 func (g *Graph) Size() int  { return len(g.tasks) }
@@ -148,6 +181,19 @@ type Engine struct {
 	backlog []float64 // estimated queued work per worker (HEFT)
 	pending int       // tasks not yet finished
 
+	// Resilience state (all under mu unless noted).
+	curGraph    *Graph
+	running     int   // tasks currently inside exec
+	completions int64 // tasks finished this Run (watchdog progress signal)
+	retries     int64 // failed attempts redelivered this Run
+	cancelled   bool  // stop dispatching; workers drain and exit
+	runErr      error // first fatal error of the Run
+
+	// Resilience configuration (set before Run).
+	failTask       func(label string) bool // fault-injection hook (may be nil)
+	maxTaskRetries int                     // redeliveries per task (default 8)
+	stallTimeout   time.Duration           // watchdog; 0 disables
+
 	// trace support
 	traceOn  bool
 	clock    int64
@@ -191,13 +237,40 @@ func NewEngine(policy Policy, specs []WorkerSpec) *Engine {
 			specs[i].Batch = 1
 		}
 	}
-	e := &Engine{specs: specs, policy: policy}
+	e := &Engine{specs: specs, policy: policy, maxTaskRetries: 8}
 	e.cond = sync.NewCond(&e.mu)
 	return e
 }
 
 // EnableTrace turns on event recording (Run resets the trace).
 func (e *Engine) EnableTrace() { e.traceOn = true }
+
+// SetFaultInjector installs a chaos hook consulted before every task
+// execution attempt; returning true fails the attempt (the engine
+// redelivers the task, up to the retry budget). Pass nil to disable.
+func (e *Engine) SetFaultInjector(f func(label string) bool) { e.failTask = f }
+
+// SetMaxTaskRetries bounds redeliveries per task (n ≤ 0 restores the
+// default of 8).
+func (e *Engine) SetMaxTaskRetries(n int) {
+	if n <= 0 {
+		n = 8
+	}
+	e.maxTaskRetries = n
+}
+
+// SetStallTimeout arms the watchdog: if no task completes for d while work
+// remains, RunCtx gives up and returns ErrStalled with the stuck frontier.
+// Zero disables the timer (provable deadlocks are still detected instantly).
+func (e *Engine) SetStallTimeout(d time.Duration) { e.stallTimeout = d }
+
+// Retries returns the number of failed task attempts redelivered during the
+// last Run.
+func (e *Engine) Retries() int64 {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.retries
+}
 
 // Trace returns the events of the last Run.
 func (e *Engine) Trace() []Event { return e.trace }
@@ -207,8 +280,29 @@ func (e *Engine) Workers() int { return len(e.specs) }
 
 // Run executes every task of g respecting dependencies, blocking until all
 // finish. A Graph can only be run once (its dependency counters are
-// consumed).
+// consumed). Run is the legacy uncancellable entry point; it panics on the
+// errors RunCtx would return (invalid graph, unrecovered task failure) —
+// prefer RunCtx.
 func (e *Engine) Run(g *Graph) {
+	if err := e.RunCtx(context.Background(), g); err != nil {
+		panic(err)
+	}
+}
+
+// RunCtx executes every task of g respecting dependencies, blocking until
+// all finish, the context is cancelled, or execution fails. Worker panics
+// are recovered into *resilience.PanicError; injected task failures are
+// redelivered up to the retry budget and surface as ErrTaskFailed when it
+// is exhausted; a DAG that can make no progress (dependency cycle) is
+// detected immediately and a hung task body is caught by the stall-timeout
+// watchdog, both reported as ErrStalled with the stuck frontier. On
+// cancellation, queued tasks are abandoned and running bodies are allowed
+// to finish. A Graph can only be run once (its dependency counters are
+// consumed).
+func (e *Engine) RunCtx(ctx context.Context, g *Graph) error {
+	if g.err != nil {
+		return g.err
+	}
 	nq := len(e.specs)
 	if e.policy == FIFO {
 		nq = 1
@@ -217,6 +311,12 @@ func (e *Engine) Run(g *Graph) {
 	e.queues = make([][]*Task, nq)
 	e.backlog = make([]float64, nq)
 	e.pending = len(g.tasks)
+	e.curGraph = g
+	e.running = 0
+	e.completions = 0
+	e.retries = 0
+	e.cancelled = false
+	e.runErr = nil
 	e.trace = nil
 	e.clock = 0
 	e.runStart = time.Now()
@@ -230,18 +330,140 @@ func (e *Engine) Run(g *Graph) {
 	}
 	e.mu.Unlock()
 	if len(g.tasks) == 0 {
-		return
+		return nil
 	}
 	var wg sync.WaitGroup
+	wg.Add(len(e.specs))
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	stop := make(chan struct{})
+	defer close(stop)
+	// Cancellation watcher: flips the cancelled flag so sleeping workers
+	// wake up and drain.
+	go func() {
+		select {
+		case <-ctx.Done():
+			e.abort(resilience.FromContext(ctx))
+		case <-stop:
+		}
+	}()
+	// Stall watchdog: fires when no task completes for stallTimeout while
+	// work remains (a hung task body — running workers cannot be interrupted,
+	// so RunCtx abandons them and reports the stuck frontier).
+	var stalled chan struct{}
+	if e.stallTimeout > 0 {
+		stalled = make(chan struct{})
+		go e.watchdog(stalled, stop)
+	}
+	// Workers spawn last so they are first in line for the scheduler (on a
+	// single P the last-spawned goroutine runs next — keep that a worker,
+	// not a watcher, so heterogeneous pools start the way they always have).
 	for w := range e.specs {
-		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
 			e.worker(w)
 		}(w)
 	}
-	wg.Wait()
+	if stalled != nil {
+		select {
+		case <-done:
+		case <-stalled:
+		}
+	} else {
+		<-done
+	}
+	e.mu.Lock()
 	e.runWall = time.Since(e.runStart)
+	err := e.runErr
+	e.mu.Unlock()
+	return err
+}
+
+// abort records the first fatal error, stops dispatch and wakes the pool.
+func (e *Engine) abort(err error) {
+	e.mu.Lock()
+	if e.runErr == nil {
+		e.runErr = err
+	}
+	e.cancelled = true
+	e.cond.Broadcast()
+	e.mu.Unlock()
+}
+
+// watchdog monitors completion progress and closes fired when the Run makes
+// none for stallTimeout while tasks remain.
+func (e *Engine) watchdog(fired, stop chan struct{}) {
+	period := e.stallTimeout / 4
+	if period < time.Millisecond {
+		period = time.Millisecond
+	}
+	tick := time.NewTicker(period)
+	defer tick.Stop()
+	lastSeen := int64(-1)
+	lastProgress := time.Now()
+	for {
+		select {
+		case <-stop:
+			return
+		case <-tick.C:
+		}
+		e.mu.Lock()
+		comp, pending := e.completions, e.pending
+		if pending == 0 || e.cancelled {
+			e.mu.Unlock()
+			return
+		}
+		if comp != lastSeen {
+			lastSeen = comp
+			lastProgress = time.Now()
+			e.mu.Unlock()
+			continue
+		}
+		if time.Since(lastProgress) < e.stallTimeout {
+			e.mu.Unlock()
+			continue
+		}
+		frontier := e.frontierLocked()
+		if e.runErr == nil {
+			e.runErr = fmt.Errorf("%w: no task completed in %v; stuck frontier: %s",
+				resilience.ErrStalled, e.stallTimeout, frontier)
+		}
+		e.cancelled = true
+		e.cond.Broadcast()
+		e.mu.Unlock()
+		close(fired)
+		return
+	}
+}
+
+// frontierLocked describes the unfinished tasks blocking progress: running
+// and ready tasks first, then blocked ones with their open-predecessor
+// counts. Caller holds e.mu.
+func (e *Engine) frontierLocked() string {
+	if e.curGraph == nil {
+		return "(unknown)"
+	}
+	var active, blocked []string
+	for _, t := range e.curGraph.tasks {
+		if t.done {
+			continue
+		}
+		if n := atomic.LoadInt32(&t.nprec); n > 0 {
+			blocked = append(blocked, fmt.Sprintf("%s(+%d deps)", t.Label, n))
+		} else {
+			active = append(active, t.Label)
+		}
+	}
+	sort.Strings(active)
+	sort.Strings(blocked)
+	const maxShown = 8
+	out := append(active, blocked...)
+	suffix := ""
+	if len(out) > maxShown {
+		suffix = fmt.Sprintf(" … and %d more", len(out)-maxShown)
+		out = out[:maxShown]
+	}
+	return strings.Join(out, ", ") + suffix
 }
 
 // dispatchLocked places a ready task on a queue according to the policy.
@@ -289,6 +511,10 @@ func (e *Engine) worker(w int) {
 	for {
 		e.mu.Lock()
 		for {
+			if e.cancelled {
+				e.mu.Unlock()
+				return
+			}
 			if len(e.queues[own]) > 0 {
 				n := min(spec.Batch, len(e.queues[own]))
 				batch = append(batch[:0], e.queues[own][:n]...)
@@ -296,15 +522,31 @@ func (e *Engine) worker(w int) {
 				for _, t := range batch {
 					e.backlog[own] -= t.Cost
 				}
+				e.running += len(batch)
 				break
 			}
 			if e.policy == HEFT && !spec.NoSteal {
 				if t := e.stealLocked(own); t != nil {
 					batch = append(batch[:0], t)
+					e.running++
 					break
 				}
 			}
 			if e.pending == 0 {
+				e.mu.Unlock()
+				return
+			}
+			// Provable deadlock: nothing queued anywhere, nothing running,
+			// yet tasks remain — their predecessors can never finish (a
+			// dependency cycle or a corrupted counter). Report the frontier
+			// instead of sleeping forever.
+			if e.running == 0 && e.allQueuesEmptyLocked() {
+				if e.runErr == nil {
+					e.runErr = fmt.Errorf("%w: %d tasks can never become ready; stuck frontier: %s",
+						resilience.ErrStalled, e.pending, e.frontierLocked())
+				}
+				e.cancelled = true
+				e.cond.Broadcast()
 				e.mu.Unlock()
 				return
 			}
@@ -315,6 +557,17 @@ func (e *Engine) worker(w int) {
 			e.exec(w, spec, t)
 		}
 	}
+}
+
+// allQueuesEmptyLocked reports whether every ready queue is empty. Caller
+// holds e.mu.
+func (e *Engine) allQueuesEmptyLocked() bool {
+	for _, q := range e.queues {
+		if len(q) > 0 {
+			return false
+		}
+	}
+	return true
 }
 
 // stealLocked takes one task from the back of the most-loaded other queue.
@@ -342,8 +595,39 @@ func (e *Engine) stealLocked(self int) *Task {
 	return t
 }
 
-// exec runs one task and releases its successors.
+// exec runs one task and releases its successors. Injected failures are
+// redelivered up to the retry budget; panics in the task body are recovered
+// into a typed error that aborts the Run.
 func (e *Engine) exec(w int, spec WorkerSpec, t *Task) {
+	e.mu.Lock()
+	if e.cancelled {
+		e.running--
+		e.mu.Unlock()
+		return
+	}
+	// Fault injection (chaos hook): fail this attempt before the body runs,
+	// so redelivery is clean.
+	if e.failTask != nil && e.failTask(t.Label) {
+		if t.attempts < e.maxTaskRetries {
+			t.attempts++
+			e.retries++
+			e.running--
+			e.dispatchLocked(t)
+			e.mu.Unlock()
+			return
+		}
+		if e.runErr == nil {
+			e.runErr = fmt.Errorf("%w: task %q failed %d attempts",
+				resilience.ErrTaskFailed, t.Label, t.attempts+1)
+		}
+		e.cancelled = true
+		e.running--
+		e.cond.Broadcast()
+		e.mu.Unlock()
+		return
+	}
+	e.mu.Unlock()
+
 	var start int64
 	var wall time.Time
 	if e.traceOn {
@@ -351,8 +635,18 @@ func (e *Engine) exec(w int, spec WorkerSpec, t *Task) {
 		wall = time.Now()
 	}
 	ctx := &Ctx{Worker: w, Spec: spec}
-	t.Run(ctx)
+	perr := runRecovered(t, ctx)
 	e.mu.Lock()
+	e.running--
+	if perr != nil {
+		if e.runErr == nil {
+			e.runErr = perr
+		}
+		e.cancelled = true
+		e.cond.Broadcast()
+		e.mu.Unlock()
+		return
+	}
 	if e.traceOn {
 		end := atomic.AddInt64(&e.clock, 1)
 		e.trace = append(e.trace, Event{
@@ -362,6 +656,8 @@ func (e *Engine) exec(w int, spec WorkerSpec, t *Task) {
 			StolenFrom: t.stolenFrom,
 		})
 	}
+	t.done = true
+	e.completions++
 	for _, s := range t.succ {
 		if atomic.AddInt32(&s.nprec, -1) == 0 {
 			e.dispatchLocked(s)
@@ -372,6 +668,18 @@ func (e *Engine) exec(w int, spec WorkerSpec, t *Task) {
 		e.cond.Broadcast()
 	}
 	e.mu.Unlock()
+}
+
+// runRecovered executes the task body, converting a panic into a typed
+// *resilience.PanicError carrying the label and stack.
+func runRecovered(t *Task, ctx *Ctx) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = &resilience.PanicError{Label: t.Label, Value: r, Stack: debug.Stack()}
+		}
+	}()
+	t.Run(ctx)
+	return nil
 }
 
 // Utilization summarizes the last traced Run: per-worker busy wall-clock
@@ -401,6 +709,9 @@ type Summary struct {
 	// Steals counts tasks executed by a worker other than the one HEFT
 	// dispatched them to.
 	Steals int
+	// Retries counts failed task attempts that were redelivered (nonzero
+	// only under fault injection).
+	Retries int64
 	// TotalQueueWait sums the ready-to-execution latency over all tasks.
 	TotalQueueWait time.Duration
 	// MaxQueueDepth is the deepest any ready queue got during the Run.
@@ -413,7 +724,7 @@ type Summary struct {
 // from Workers when tracing was off).
 func (e *Engine) Summary() Summary {
 	s := Summary{Workers: len(e.specs), Tasks: len(e.trace), Wall: e.runWall,
-		Busy: e.Utilization(), MaxQueueDepth: e.maxDepth}
+		Busy: e.Utilization(), MaxQueueDepth: e.maxDepth, Retries: e.retries}
 	if len(e.trace) == 0 {
 		return s
 	}
@@ -481,41 +792,101 @@ func (e *Engine) WriteTraceCSV(w io.Writer) error {
 // closures run on up to p goroutines (dynamic self-scheduling, like
 // `omp parallel for schedule(dynamic)`).
 func RunLevels(levels [][]func(), p int) {
+	if err := RunLevelsCtx(context.Background(), levels, p); err != nil {
+		panic(err)
+	}
+}
+
+// RunLevelsCtx is RunLevels with cancellation and panic safety: the context
+// is checked at each barrier and before each closure (pending closures of the
+// current batch are abandoned on cancellation, running ones finish), and a
+// closure panic is recovered into a *resilience.PanicError that aborts the
+// traversal after the current batch drains.
+func RunLevelsCtx(ctx context.Context, levels [][]func(), p int) error {
 	if p < 1 {
 		p = 1
 	}
 	for _, batch := range levels {
-		runBatch(batch, p)
+		if err := resilience.FromContext(ctx); err != nil {
+			return err
+		}
+		if err := runBatch(ctx, batch, p); err != nil {
+			return err
+		}
 	}
+	return nil
 }
 
-func runBatch(batch []func(), p int) {
+func runBatch(ctx context.Context, batch []func(), p int) error {
 	if len(batch) == 0 {
-		return
+		return nil
 	}
 	if p == 1 || len(batch) == 1 {
-		for _, f := range batch {
-			f()
+		for i, f := range batch {
+			if err := resilience.FromContext(ctx); err != nil {
+				return err
+			}
+			if err := recovered(i, f); err != nil {
+				return err
+			}
 		}
-		return
+		return nil
 	}
 	var next int64 = -1
 	var wg sync.WaitGroup
+	var mu sync.Mutex
+	var firstErr error
 	workers := min(p, len(batch))
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			for {
+				mu.Lock()
+				stop := firstErr != nil
+				mu.Unlock()
+				if stop {
+					return
+				}
+				if err := resilience.FromContext(ctx); err != nil {
+					mu.Lock()
+					if firstErr == nil {
+						firstErr = err
+					}
+					mu.Unlock()
+					return
+				}
 				i := int(atomic.AddInt64(&next, 1))
 				if i >= len(batch) {
 					return
 				}
-				batch[i]()
+				if err := recovered(i, batch[i]); err != nil {
+					mu.Lock()
+					if firstErr == nil {
+						firstErr = err
+					}
+					mu.Unlock()
+					return
+				}
 			}
 		}()
 	}
 	wg.Wait()
+	return firstErr
+}
+
+// recovered runs one level closure, converting a panic into a typed error.
+func recovered(i int, f func()) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = &resilience.PanicError{
+				Label: fmt.Sprintf("level-closure(%d)", i),
+				Value: r, Stack: debug.Stack(),
+			}
+		}
+	}()
+	f()
+	return nil
 }
 
 // WriteDOT renders the dependency DAG in Graphviz DOT format — the

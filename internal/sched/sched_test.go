@@ -1,6 +1,9 @@
 package sched
 
 import (
+	"context"
+	"errors"
+	"fmt"
 	"math/rand"
 	"strings"
 	"sync"
@@ -8,6 +11,8 @@ import (
 	"testing"
 	"testing/quick"
 	"time"
+
+	"gofmm/internal/resilience"
 )
 
 func TestEmptyGraph(t *testing.T) {
@@ -149,15 +154,198 @@ func TestDiamondDependency(t *testing.T) {
 	}
 }
 
-func TestSelfDependencyPanics(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Fatal("expected panic")
-		}
-	}()
+func TestSelfDependencyIsTypedError(t *testing.T) {
 	g := NewGraph()
 	a := g.Add("a", 1, func(*Ctx) {})
-	g.AddDep(a, a)
+	if err := g.AddDep(a, a); !errors.Is(err, ErrSelfDependency) {
+		t.Fatalf("AddDep(a, a) = %v, want ErrSelfDependency", err)
+	}
+	if !errors.Is(g.Err(), ErrSelfDependency) {
+		t.Fatalf("Graph.Err() = %v, want ErrSelfDependency", g.Err())
+	}
+	// Even if the caller ignored the AddDep error, the engine must refuse to
+	// run the broken graph instead of deadlocking.
+	e := NewEngine(HEFT, Homogeneous(2))
+	if err := e.RunCtx(context.Background(), g); !errors.Is(err, ErrSelfDependency) {
+		t.Fatalf("RunCtx = %v, want ErrSelfDependency", err)
+	}
+	if err := g.AddDep(nil, a); !errors.Is(err, ErrSelfDependency) {
+		t.Fatalf("AddDep(nil, a) = %v", err)
+	}
+}
+
+func TestPanicRecoveredIntoTypedError(t *testing.T) {
+	for _, pol := range []Policy{HEFT, FIFO} {
+		g := NewGraph()
+		g.Add("ok", 1, func(*Ctx) {})
+		g.Add("boom", 1, func(*Ctx) { panic("kaboom") })
+		err := NewEngine(pol, Homogeneous(4)).RunCtx(context.Background(), g)
+		var pe *resilience.PanicError
+		if !errors.As(err, &pe) {
+			t.Fatalf("%v: RunCtx = %v, want *resilience.PanicError", pol, err)
+		}
+		if pe.Label != "boom" || pe.Value != "kaboom" || len(pe.Stack) == 0 {
+			t.Fatalf("%v: PanicError = %+v", pol, pe)
+		}
+	}
+}
+
+func TestRunCtxCancellation(t *testing.T) {
+	// A long chain with slow bodies: cancel partway through and check that
+	// the run stops early with ErrCancelled.
+	g := NewGraph()
+	var ran int64
+	var prev *Task
+	for i := 0; i < 100; i++ {
+		task := g.Add("step", 1, func(*Ctx) {
+			atomic.AddInt64(&ran, 1)
+			time.Sleep(time.Millisecond)
+		})
+		if prev != nil {
+			g.AddDep(prev, task)
+		}
+		prev = task
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(10 * time.Millisecond)
+		cancel()
+	}()
+	err := NewEngine(HEFT, Homogeneous(2)).RunCtx(ctx, g)
+	if !errors.Is(err, resilience.ErrCancelled) {
+		t.Fatalf("RunCtx = %v, want ErrCancelled", err)
+	}
+	if n := atomic.LoadInt64(&ran); n == 100 {
+		t.Fatal("cancellation did not stop the run early")
+	}
+}
+
+func TestRunCtxDeadline(t *testing.T) {
+	g := NewGraph()
+	var prev *Task
+	for i := 0; i < 100; i++ {
+		task := g.Add("step", 1, func(*Ctx) { time.Sleep(time.Millisecond) })
+		if prev != nil {
+			g.AddDep(prev, task)
+		}
+		prev = task
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel()
+	err := NewEngine(FIFO, Homogeneous(2)).RunCtx(ctx, g)
+	if !errors.Is(err, resilience.ErrTimeout) {
+		t.Fatalf("RunCtx = %v, want ErrTimeout", err)
+	}
+}
+
+func TestDeadlockDetectedWithFrontier(t *testing.T) {
+	// Build a cycle by corrupting the predecessor counter: task b waits on a
+	// predecessor that never completes. The engine must detect the provable
+	// deadlock immediately (no watchdog armed) and name the stuck task.
+	g := NewGraph()
+	a := g.Add("a", 1, func(*Ctx) {})
+	b := g.Add("blocked-task", 1, func(*Ctx) {})
+	g.AddDep(a, b)
+	atomic.AddInt32(&b.nprec, 1) // phantom predecessor — b can never run
+	err := NewEngine(HEFT, Homogeneous(2)).RunCtx(context.Background(), g)
+	if !errors.Is(err, resilience.ErrStalled) {
+		t.Fatalf("RunCtx = %v, want ErrStalled", err)
+	}
+	if !strings.Contains(err.Error(), "blocked-task") {
+		t.Fatalf("stalled error does not name the stuck frontier: %v", err)
+	}
+}
+
+func TestWatchdogCatchesHungTask(t *testing.T) {
+	g := NewGraph()
+	release := make(chan struct{})
+	g.Add("hung", 1, func(*Ctx) { <-release })
+	e := NewEngine(HEFT, Homogeneous(2))
+	e.SetStallTimeout(20 * time.Millisecond)
+	err := e.RunCtx(context.Background(), g)
+	close(release) // let the abandoned worker exit
+	if !errors.Is(err, resilience.ErrStalled) {
+		t.Fatalf("RunCtx = %v, want ErrStalled", err)
+	}
+	if !strings.Contains(err.Error(), "hung") {
+		t.Fatalf("watchdog error does not name the hung task: %v", err)
+	}
+}
+
+func TestInjectedFailuresAreRetried(t *testing.T) {
+	for _, pol := range []Policy{HEFT, FIFO} {
+		g := NewGraph()
+		var count int64
+		n := 50
+		for i := 0; i < n; i++ {
+			g.Add(fmt.Sprintf("t%d", i), 1, func(*Ctx) { atomic.AddInt64(&count, 1) })
+		}
+		e := NewEngine(pol, Homogeneous(4))
+		// Fail every task's first two attempts.
+		fails := make(map[string]int)
+		var mu sync.Mutex
+		e.SetFaultInjector(func(label string) bool {
+			mu.Lock()
+			defer mu.Unlock()
+			if fails[label] < 2 {
+				fails[label]++
+				return true
+			}
+			return false
+		})
+		if err := e.RunCtx(context.Background(), g); err != nil {
+			t.Fatalf("%v: RunCtx = %v", pol, err)
+		}
+		if count != int64(n) {
+			t.Fatalf("%v: ran %d of %d tasks", pol, count, n)
+		}
+		if got := e.Retries(); got != int64(2*n) {
+			t.Fatalf("%v: Retries() = %d, want %d", pol, got, 2*n)
+		}
+	}
+}
+
+func TestRetryBudgetExhaustionIsTyped(t *testing.T) {
+	g := NewGraph()
+	g.Add("doomed", 1, func(*Ctx) {})
+	e := NewEngine(HEFT, Homogeneous(2))
+	e.SetMaxTaskRetries(3)
+	e.SetFaultInjector(func(string) bool { return true })
+	err := e.RunCtx(context.Background(), g)
+	if !errors.Is(err, resilience.ErrTaskFailed) {
+		t.Fatalf("RunCtx = %v, want ErrTaskFailed", err)
+	}
+}
+
+func TestRunLevelsCtxPanicRecovered(t *testing.T) {
+	for _, p := range []int{1, 4} {
+		levels := [][]func(){
+			{func() {}, func() {}},
+			{func() { panic("level boom") }, func() {}},
+		}
+		err := RunLevelsCtx(context.Background(), levels, p)
+		var pe *resilience.PanicError
+		if !errors.As(err, &pe) {
+			t.Fatalf("p=%d: RunLevelsCtx = %v, want *resilience.PanicError", p, err)
+		}
+		if pe.Value != "level boom" {
+			t.Fatalf("p=%d: recovered value %v", p, pe.Value)
+		}
+	}
+}
+
+func TestRunLevelsCtxCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var ran int64
+	levels := [][]func(){{func() { atomic.AddInt64(&ran, 1) }}}
+	err := RunLevelsCtx(ctx, levels, 2)
+	if !errors.Is(err, resilience.ErrCancelled) {
+		t.Fatalf("RunLevelsCtx = %v, want ErrCancelled", err)
+	}
+	if ran != 0 {
+		t.Fatal("closure ran after cancellation")
+	}
 }
 
 func TestHEFTBalancesByCost(t *testing.T) {
