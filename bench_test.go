@@ -256,14 +256,29 @@ func BenchmarkAblateCacheSingle(b *testing.B) {
 	ablate(b, c)
 }
 
-func BenchmarkEvaluatorReuse(b *testing.B) {
+// matvecBenchSetup is the shared fixture of the fresh-vs-pooled matvec
+// benchmarks: identical operator, identical weights (fixed RNG seed), so the
+// timings differ only in buffer management. When pooled is set the operator
+// gets a workspace pool and the evaluation runs sequentially — the
+// configuration the allocs/op acceptance target is stated for.
+func matvecBenchSetup(b *testing.B, pooled bool) (*core.Hierarchical, *linalg.Matrix) {
+	b.Helper()
 	p := experiments.GetProblem("K05", 1024, 1)
-	h, err := core.Compress(p.K, baseCfg())
+	cfg := baseCfg()
+	if pooled {
+		cfg.Exec = core.Sequential
+		cfg.Workspace = NewWorkspacePool()
+	}
+	h, err := core.Compress(p.K, cfg)
 	if err != nil {
 		b.Fatal(err)
 	}
 	rng := rand.New(rand.NewSource(7))
-	W := linalg.GaussianMatrix(rng, p.K.Dim(), 4)
+	return h, linalg.GaussianMatrix(rng, p.K.Dim(), 4)
+}
+
+func BenchmarkEvaluatorReuse(b *testing.B) {
+	h, W := matvecBenchSetup(b, false)
 	ev := h.NewEvaluator(4)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -272,17 +287,27 @@ func BenchmarkEvaluatorReuse(b *testing.B) {
 }
 
 func BenchmarkMatvecFreshBuffers(b *testing.B) {
-	p := experiments.GetProblem("K05", 1024, 1)
-	h, err := core.Compress(p.K, baseCfg())
-	if err != nil {
-		b.Fatal(err)
-	}
-	rng := rand.New(rand.NewSource(7))
-	W := linalg.GaussianMatrix(rng, p.K.Dim(), 4)
+	h, W := matvecBenchSetup(b, false)
 	h.Cfg.Exec = core.Sequential
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		h.Matvec(W)
+	}
+}
+
+// BenchmarkMatvecPooled is the steady-state zero-allocation path: a pooled
+// evaluator writing into a caller-owned output. The allocs/op report is the
+// PR 3 acceptance metric (target: ≤10 in steady state).
+func BenchmarkMatvecPooled(b *testing.B) {
+	h, W := matvecBenchSetup(b, true)
+	ev := h.NewEvaluator(4)
+	defer ev.Close()
+	U := linalg.NewMatrix(W.Rows, 4)
+	ev.MatvecInto(W, U)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ev.MatvecInto(W, U)
 	}
 }
 

@@ -33,6 +33,7 @@ import (
 	"gofmm/internal/resilience"
 	"gofmm/internal/spdmat"
 	"gofmm/internal/telemetry"
+	"gofmm/internal/workspace"
 )
 
 func main() {
@@ -61,6 +62,7 @@ func run(args []string, out io.Writer) error {
 		r         = fs.Int("r", 16, "number of right-hand sides")
 		seed      = fs.Int64("seed", 1, "RNG seed")
 		nocache   = fs.Bool("nocache", false, "disable near/far block caching")
+		pool      = fs.Bool("pool", false, "pool evaluation/solve scratch buffers (workspace.* counters)")
 		structure = fs.Bool("structure", false, "print the leaf-level block structure (Figure 2 style)")
 		dotFile   = fs.String("dot", "", "write the evaluation dependency DAG (Figure 3) to this file in DOT format")
 		saveFile  = fs.String("save", "", "serialize the compressed form to this file after compression")
@@ -127,6 +129,12 @@ func run(args []string, out io.Writer) error {
 		NumWorkers: *workers, Seed: *seed, CacheBlocks: !*nocache,
 		Points: p.Points, Telemetry: rec, Chaos: chaos,
 	}
+	var ws *workspace.Pool
+	if *pool {
+		ws = workspace.New()
+		ws.AttachTelemetry(rec)
+		cfg.Workspace = ws
+	}
 	switch *degrade {
 	case "truncate":
 		cfg.Degrade = core.DegradeTruncate
@@ -178,6 +186,7 @@ func run(args []string, out io.Writer) error {
 		h.Cfg.Exec = cfg.Exec
 		h.Cfg.NumWorkers = cfg.NumWorkers
 		h.Cfg.Telemetry = cfg.Telemetry
+		h.Cfg.Workspace = cfg.Workspace
 		fmt.Fprintf(out, "loaded compressed form from %s\n", *loadFile)
 	} else {
 		h, err = core.CompressCtx(ctx, p.K, cfg)
@@ -258,6 +267,12 @@ func run(args []string, out io.Writer) error {
 		st = h.Stats
 		fmt.Fprintf(out, "evaluation (%d rhs): %.4fs, %.2f GFLOP, %.2f GFLOPS\n",
 			*r, st.EvalTime, st.EvalFlops/1e9, st.EvalFlops/st.EvalTime/1e9)
+	}
+
+	if ws != nil {
+		s := ws.Stats()
+		fmt.Fprintf(out, "workspace pool: %d hits, %d misses, %d returns, %.1f MB reused\n",
+			s.Hits, s.Misses, s.Returns, float64(s.BytesReused)/1e6)
 	}
 
 	entry := h.EntryErrors(W, U, 10)

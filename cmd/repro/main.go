@@ -62,7 +62,8 @@ func cli(args []string, w io.Writer) error {
 
 	known := map[string]bool{"fig1": true, "fig2": true, "fig3": true, "fig4": true,
 		"fig5": true, "fig6": true, "fig7": true,
-		"table3": true, "table4": true, "table5": true, "scaling": true}
+		"table3": true, "table4": true, "table5": true, "scaling": true,
+		"pr3": true}
 	run := func(name string) error {
 		fmt.Fprintf(w, "\n== %s ==\n", name)
 		var rows []experiments.Result
@@ -133,6 +134,18 @@ func cli(args []string, w io.Writer) error {
 			rows = experiments.Table4(w, sizes, *seed)
 		case "table5":
 			rows = experiments.Table5(w, size(2048, 512), *seed)
+		case "pr3":
+			// Hot-path kernel microbenchmarks (register-tiled GEMM, pooled
+			// matvec) — the record feeds the CI performance-regression gate.
+			rr := pr3Bench(w, size(4096, 1024), *seed)
+			if *benchDir != "" {
+				path, err := rr.WriteBenchFile(*benchDir)
+				if err != nil {
+					return err
+				}
+				fmt.Fprintf(w, "wrote run record to %s\n", path)
+			}
+			return nil
 		case "scaling":
 			sizes := []int{512, 1024, 2048, 4096}
 			if *quick {
@@ -176,5 +189,5 @@ func cli(args []string, w io.Writer) error {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: repro <fig1|fig2|fig3|fig4|fig5|fig6|fig7|table3|table4|table5|scaling|all> [-n N] [-quick] [-seed S]`)
+	fmt.Fprintln(os.Stderr, `usage: repro <fig1|fig2|fig3|fig4|fig5|fig6|fig7|table3|table4|table5|scaling|pr3|all> [-n N] [-quick] [-seed S]`)
 }

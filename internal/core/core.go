@@ -30,6 +30,7 @@ import (
 	"gofmm/internal/sched"
 	"gofmm/internal/telemetry"
 	"gofmm/internal/tree"
+	"gofmm/internal/workspace"
 )
 
 // SPD is the minimal access GOFMM requires from the input matrix: its
@@ -241,6 +242,12 @@ type Config struct {
 	// if no task completes for this long while work remains, CompressCtx
 	// fails with ErrStalled naming the stuck frontier. 0 disables.
 	StallTimeout time.Duration
+	// Workspace, when non-nil, supplies the per-call scratch of Matvec (and
+	// of the HSS and dist layers that inherit this Config) from a size-classed
+	// buffer pool instead of the allocator, so steady-state evaluation traffic
+	// stops churning the GC. Nil keeps the historical allocate-per-call
+	// behavior. The pool is safe for concurrent use across evaluations.
+	Workspace *workspace.Pool
 }
 
 // withDefaults fills in unset fields.

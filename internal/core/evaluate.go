@@ -13,6 +13,7 @@ import (
 	"gofmm/internal/sched"
 	"gofmm/internal/telemetry"
 	"gofmm/internal/tree"
+	"gofmm/internal/workspace"
 )
 
 // evalState holds the per-Matvec buffers of Algorithm 2.7.
@@ -27,6 +28,35 @@ type evalState struct {
 	// down[α] = P_α̃[l̃r̃]ᵀ · ũα, the contribution node α hands its children
 	// during S2N (nil for leaves and skeleton-less nodes).
 	down []*linalg.Matrix
+	// pool, when non-nil, is where every buffer above came from and where
+	// release() returns them. Kernels must route transient matrices through
+	// getMat so pooled and unpooled evaluations stay byte-identical.
+	pool *workspace.Pool
+}
+
+// getMat returns a zeroed rows×cols scratch matrix, pooled when possible.
+func (st *evalState) getMat(rows, cols int) *linalg.Matrix {
+	return st.pool.GetMatrix(rows, cols) // nil pool falls back to NewMatrix
+}
+
+// release returns every buffer to the pool. Safe to call with nil pool
+// (no-op) and with nil entries; the state must not be used afterwards.
+func (st *evalState) release() {
+	if st.pool == nil {
+		return
+	}
+	st.pool.PutMatrix(st.Wt)
+	st.pool.PutMatrix(st.Unear)
+	st.pool.PutMatrix(st.Ufar)
+	for _, m := range st.skelW {
+		st.pool.PutMatrix(m)
+	}
+	for _, m := range st.skelU {
+		st.pool.PutMatrix(m)
+	}
+	for _, m := range st.down {
+		st.pool.PutMatrix(m)
+	}
 }
 
 // Matvec computes U ≈ K·W for an N×r block of right-hand sides using the
@@ -70,15 +100,21 @@ func (h *Hierarchical) MatvecCtx(ctx context.Context, W *linalg.Matrix) (U *lina
 	root := rec.StartSpan("matvec")
 	atomic.StoreInt64(&h.evalFlops, 0)
 	t := h.Tree
+	pool := h.Cfg.Workspace
 	st := &evalState{
 		r:     W.Cols,
-		Wt:    W.RowsGather(t.Perm),
-		Unear: linalg.NewMatrix(n, W.Cols),
-		Ufar:  linalg.NewMatrix(n, W.Cols),
+		Wt:    pool.GetMatrix(n, W.Cols),
+		Unear: pool.GetMatrix(n, W.Cols),
+		Ufar:  pool.GetMatrix(n, W.Cols),
 		skelW: make([]*linalg.Matrix, len(t.Nodes)),
 		skelU: make([]*linalg.Matrix, len(t.Nodes)),
 		down:  make([]*linalg.Matrix, len(t.Nodes)),
+		pool:  pool,
 	}
+	// Release everything back to the pool on every exit path; the returned U
+	// below is always freshly allocated, never pooled.
+	defer st.release()
+	W.RowsGatherInto(t.Perm, st.Wt)
 	switch h.Cfg.Exec {
 	case Sequential:
 		sp := root.StartSpan("N2S")
@@ -140,7 +176,7 @@ func (h *Hierarchical) n2s(st *evalState, id int) {
 	}
 	t := h.Tree
 	s := nd.proj.Rows
-	out := linalg.NewMatrix(s, st.r)
+	out := st.getMat(s, st.r)
 	if t.IsLeaf(id) {
 		tn := &t.Nodes[id]
 		wview := st.Wt.View(tn.Lo, 0, tn.Size(), st.r)
@@ -149,9 +185,12 @@ func (h *Hierarchical) n2s(st *evalState, id int) {
 	} else {
 		wl := st.skelW[t.Left(id)]
 		wr := st.skelW[t.Right(id)]
-		stacked := stackRows(wl, wr, st.r)
+		stacked := st.stackRows(wl, wr)
 		linalg.Gemm(false, false, 1, nd.proj, stacked, 0, out)
 		h.addEvalFlops(2 * float64(s) * float64(stacked.Rows) * float64(st.r))
+		if st.pool != nil {
+			st.pool.PutMatrix(stacked) // transient: safe to recycle immediately
+		}
 	}
 	st.skelW[id] = out
 }
@@ -162,7 +201,7 @@ func (h *Hierarchical) s2s(st *evalState, id int) {
 	if len(nd.far) == 0 || len(nd.skel) == 0 {
 		return
 	}
-	acc := linalg.NewMatrix(len(nd.skel), st.r)
+	acc := st.getMat(len(nd.skel), st.r)
 	for k, alpha := range nd.far {
 		wa := st.skelW[alpha]
 		if wa == nil || wa.Rows == 0 {
@@ -203,7 +242,7 @@ func (h *Hierarchical) s2n(st *evalState, id int) {
 		}
 		if part.Rows > 0 {
 			if st.skelU[id] == nil {
-				st.skelU[id] = linalg.NewMatrix(part.Rows, st.r)
+				st.skelU[id] = st.getMat(part.Rows, st.r)
 			}
 			st.skelU[id].AddScaled(1, part)
 		}
@@ -218,7 +257,7 @@ func (h *Hierarchical) s2n(st *evalState, id int) {
 		linalg.Gemm(true, false, 1, nd.proj, u, 1, uview)
 		h.addEvalFlops(2 * float64(nd.proj.Rows) * float64(tn.Size()) * float64(st.r))
 	} else {
-		down := linalg.NewMatrix(nd.proj.Cols, st.r)
+		down := st.getMat(nd.proj.Cols, st.r)
 		linalg.Gemm(true, false, 1, nd.proj, u, 0, down)
 		st.down[id] = down
 		h.addEvalFlops(2 * float64(nd.proj.Rows) * float64(nd.proj.Cols) * float64(st.r))
@@ -252,8 +291,9 @@ func (h *Hierarchical) l2l(st *evalState, beta int) {
 	}
 }
 
-// stackRows returns [a; b] (either may be nil/empty).
-func stackRows(a, b *linalg.Matrix, cols int) *linalg.Matrix {
+// stackRows returns [a; b] (either may be nil/empty) as a pooled scratch
+// matrix; the caller returns it to the pool when done.
+func (st *evalState) stackRows(a, b *linalg.Matrix) *linalg.Matrix {
 	ra, rb := 0, 0
 	if a != nil {
 		ra = a.Rows
@@ -261,12 +301,12 @@ func stackRows(a, b *linalg.Matrix, cols int) *linalg.Matrix {
 	if b != nil {
 		rb = b.Rows
 	}
-	out := linalg.NewMatrix(ra+rb, cols)
+	out := st.getMat(ra+rb, st.r)
 	if ra > 0 {
-		out.View(0, 0, ra, cols).CopyFrom(a)
+		out.View(0, 0, ra, st.r).CopyFrom(a)
 	}
 	if rb > 0 {
-		out.View(ra, 0, rb, cols).CopyFrom(b)
+		out.View(ra, 0, rb, st.r).CopyFrom(b)
 	}
 	return out
 }

@@ -7,54 +7,146 @@ import (
 
 	"gofmm/internal/linalg"
 	"gofmm/internal/tree"
+	"gofmm/internal/workspace"
 )
 
 // Evaluator owns reusable evaluation workspaces for repeated matvecs with a
 // fixed number of right-hand sides — the iterative-solver workload (CG,
 // block Krylov, Monte Carlo sampling) where per-call allocation would
-// otherwise dominate at small r.
+// otherwise dominate at small r. Every buffer and every submatrix view the
+// four passes touch is precomputed at construction, so a steady-state
+// MatvecInto performs no heap allocation at all (when the blocks are cached;
+// an uncached evaluation still gathers K blocks on the fly). When
+// Config.Workspace is set the buffers are drawn from the pool and returned
+// by Close.
 type Evaluator struct {
-	h  *Hierarchical
-	r  int
-	st *evalState
+	h     *Hierarchical
+	r     int
+	st    *evalState
+	scope *workspace.Scope
+
+	// Precomputed per-node views into the evalState buffers (nil where a
+	// node has no such role). Views are headers only — they alias st's
+	// storage and are never returned to the pool.
+	leafW      []*linalg.Matrix   // leaf rows of Wt
+	leafU      []*linalg.Matrix   // leaf rows of Ufar (S2N output)
+	nearU      []*linalg.Matrix   // leaf rows of Unear (L2L output)
+	fromParent []*linalg.Matrix   // this node's slice of down[parent]
+	stacked    []*linalg.Matrix   // interior N2S input buffer [w̃l; w̃r]
+	stackTop   []*linalg.Matrix   // top rows of stacked (copy of w̃l)
+	stackBot   []*linalg.Matrix   // bottom rows of stacked (copy of w̃r)
+	nearW      [][]*linalg.Matrix // per near pair: source rows of Wt
 }
 
 // NewEvaluator prepares workspaces for Matvec calls with r right-hand sides.
 func (h *Hierarchical) NewEvaluator(r int) *Evaluator {
 	n := h.K.Dim()
 	t := h.Tree
+	scope := h.Cfg.Workspace.NewScope()
 	st := &evalState{
 		r:     r,
-		Wt:    linalg.NewMatrix(n, r),
-		Unear: linalg.NewMatrix(n, r),
-		Ufar:  linalg.NewMatrix(n, r),
+		Wt:    scope.Matrix(n, r),
+		Unear: scope.Matrix(n, r),
+		Ufar:  scope.Matrix(n, r),
 		skelW: make([]*linalg.Matrix, len(t.Nodes)),
 		skelU: make([]*linalg.Matrix, len(t.Nodes)),
 		down:  make([]*linalg.Matrix, len(t.Nodes)),
+	}
+	e := &Evaluator{
+		h:          h,
+		r:          r,
+		st:         st,
+		scope:      scope,
+		leafW:      make([]*linalg.Matrix, len(t.Nodes)),
+		leafU:      make([]*linalg.Matrix, len(t.Nodes)),
+		nearU:      make([]*linalg.Matrix, len(t.Nodes)),
+		fromParent: make([]*linalg.Matrix, len(t.Nodes)),
+		stacked:    make([]*linalg.Matrix, len(t.Nodes)),
+		stackTop:   make([]*linalg.Matrix, len(t.Nodes)),
+		stackBot:   make([]*linalg.Matrix, len(t.Nodes)),
+		nearW:      make([][]*linalg.Matrix, len(t.Nodes)),
 	}
 	// Pre-size the per-node buffers from the known skeleton ranks.
 	for id := range t.Nodes {
 		s := len(h.nodes[id].skel)
 		if h.nodes[id].proj != nil {
-			st.skelW[id] = linalg.NewMatrix(h.nodes[id].proj.Rows, r)
+			st.skelW[id] = scope.Matrix(h.nodes[id].proj.Rows, r)
 		}
 		if s > 0 {
-			st.skelU[id] = linalg.NewMatrix(s, r)
+			st.skelU[id] = scope.Matrix(s, r)
 		}
 		if !t.IsLeaf(id) && h.nodes[id].proj != nil {
-			st.down[id] = linalg.NewMatrix(h.nodes[id].proj.Cols, r)
+			st.down[id] = scope.Matrix(h.nodes[id].proj.Cols, r)
 		}
 	}
-	return &Evaluator{h: h, r: r, st: st}
+	// Precompute every view the passes need.
+	for id := range t.Nodes {
+		tn := &t.Nodes[id]
+		if t.IsLeaf(id) {
+			e.leafW[id] = st.Wt.View(tn.Lo, 0, tn.Size(), r)
+			e.leafU[id] = st.Ufar.View(tn.Lo, 0, tn.Size(), r)
+			e.nearU[id] = st.Unear.View(tn.Lo, 0, tn.Size(), r)
+			near := h.nodes[id].near
+			views := make([]*linalg.Matrix, len(near))
+			for k, alpha := range near {
+				ta := &t.Nodes[alpha]
+				views[k] = st.Wt.View(ta.Lo, 0, ta.Size(), r)
+			}
+			e.nearW[id] = views
+		} else if h.nodes[id].proj != nil {
+			wl, wr := st.skelW[t.Left(id)], st.skelW[t.Right(id)]
+			ra, rb := 0, 0
+			if wl != nil {
+				ra = wl.Rows
+			}
+			if wr != nil {
+				rb = wr.Rows
+			}
+			buf := scope.Matrix(ra+rb, r)
+			e.stacked[id] = buf
+			if ra > 0 {
+				e.stackTop[id] = buf.View(0, 0, ra, r)
+			}
+			if rb > 0 {
+				e.stackBot[id] = buf.View(ra, 0, rb, r)
+			}
+		}
+		if p := t.Parent(id); p >= 0 && st.down[p] != nil {
+			ls := len(h.nodes[t.Left(p)].skel)
+			if id == t.Left(p) {
+				if ls > 0 {
+					e.fromParent[id] = st.down[p].View(0, 0, ls, r)
+				}
+			} else if st.down[p].Rows-ls > 0 {
+				e.fromParent[id] = st.down[p].View(ls, 0, st.down[p].Rows-ls, r)
+			}
+		}
+	}
+	return e
 }
+
+// Close returns the evaluator's buffers to the configured workspace pool
+// (no-op without one). The evaluator must not be used afterwards.
+func (e *Evaluator) Close() { e.scope.Release() }
 
 // Matvec computes U ≈ K·W into a fresh output using the pre-allocated
 // workspaces. W must have exactly the configured number of columns.
 func (e *Evaluator) Matvec(W *linalg.Matrix) *linalg.Matrix {
+	U := linalg.NewMatrix(e.h.K.Dim(), e.r)
+	e.MatvecInto(W, U)
+	return U
+}
+
+// MatvecInto computes U ≈ K·W into the caller-provided U (n×r), allocating
+// nothing in steady state. W and U may not alias.
+func (e *Evaluator) MatvecInto(W, U *linalg.Matrix) {
 	h := e.h
 	n := h.K.Dim()
 	if W.Rows != n || W.Cols != e.r {
 		panic(fmt.Sprintf("core: Evaluator.Matvec with %d×%d input, want %d×%d", W.Rows, W.Cols, n, e.r))
+	}
+	if U.Rows != n || U.Cols != e.r {
+		panic(fmt.Sprintf("core: Evaluator.Matvec with %d×%d output, want %d×%d", U.Rows, U.Cols, n, e.r))
 	}
 	start := time.Now()
 	t := h.Tree
@@ -74,27 +166,28 @@ func (e *Evaluator) Matvec(W *linalg.Matrix) *linalg.Matrix {
 			st.skelU[id].Zero()
 		}
 	}
-	// The kernels overwrite skelW/down (Gemm with beta 0), but s2s/s2n rely
-	// on skelU being zeroed (done above) and on the "nil means absent"
-	// convention, so run a sequential evaluation with a zero-filled variant:
-	// s2s accumulates into the pre-zeroed skelU via a small shim below.
-	t.PostOrder(func(nd *tree.Node) { h.n2sInto(st, nd.ID) })
+	// The kernels overwrite skelW/down (Gemm with beta 0); s2sInto relies on
+	// skelU being zeroed above. All submatrix views were precomputed in
+	// NewEvaluator, so the four passes below allocate nothing.
+	t.PostOrder(func(nd *tree.Node) { e.n2sInto(nd.ID) })
 	for id := range t.Nodes {
 		h.s2sInto(st, id)
 	}
-	t.PreOrder(func(nd *tree.Node) { h.s2nInto(st, nd.ID) })
+	t.PreOrder(func(nd *tree.Node) { e.s2nInto(nd.ID) })
 	for _, beta := range t.Leaves() {
-		h.l2l(st, beta)
+		e.l2lInto(beta)
 	}
 	st.Ufar.AddScaled(1, st.Unear)
-	U := st.Ufar.RowsGather(t.IPerm)
+	st.Ufar.RowsGatherInto(t.IPerm, U)
 	h.Stats.EvalTime = time.Since(start).Seconds()
 	h.Stats.EvalFlops = float64(atomic.LoadInt64(&h.evalFlops))
-	return U
 }
 
-// n2sInto is n2s with a pre-allocated output buffer.
-func (h *Hierarchical) n2sInto(st *evalState, id int) {
+// n2sInto is n2s with pre-allocated outputs and a pre-allocated stacking
+// buffer for interior nodes.
+func (e *Evaluator) n2sInto(id int) {
+	h := e.h
+	st := e.st
 	nd := &h.nodes[id]
 	if nd.proj == nil || st.skelW[id] == nil {
 		return
@@ -102,14 +195,15 @@ func (h *Hierarchical) n2sInto(st *evalState, id int) {
 	t := h.Tree
 	out := st.skelW[id]
 	if t.IsLeaf(id) {
-		tn := &t.Nodes[id]
-		wview := st.Wt.View(tn.Lo, 0, tn.Size(), st.r)
-		linalg.Gemm(false, false, 1, nd.proj, wview, 0, out)
+		linalg.Gemm(false, false, 1, nd.proj, e.leafW[id], 0, out)
 	} else {
-		wl := st.skelW[t.Left(id)]
-		wr := st.skelW[t.Right(id)]
-		stacked := stackRows(wl, wr, st.r)
-		linalg.Gemm(false, false, 1, nd.proj, stacked, 0, out)
+		if v := e.stackTop[id]; v != nil {
+			v.CopyFrom(st.skelW[t.Left(id)])
+		}
+		if v := e.stackBot[id]; v != nil {
+			v.CopyFrom(st.skelW[t.Right(id)])
+		}
+		linalg.Gemm(false, false, 1, nd.proj, e.stacked[id], 0, out)
 	}
 	h.addEvalFlops(2 * float64(out.Rows) * float64(nd.proj.Cols) * float64(st.r))
 }
@@ -143,33 +237,50 @@ func (h *Hierarchical) s2sInto(st *evalState, id int) {
 	}
 }
 
-// s2nInto is s2n with pre-allocated down buffers.
-func (h *Hierarchical) s2nInto(st *evalState, id int) {
+// s2nInto is s2n with pre-allocated down buffers and precomputed views.
+func (e *Evaluator) s2nInto(id int) {
+	h := e.h
+	st := e.st
 	t := h.Tree
 	nd := &h.nodes[id]
-	if p := t.Parent(id); p >= 0 && st.down[p] != nil {
-		ls := len(h.nodes[t.Left(p)].skel)
-		var part *linalg.Matrix
-		if id == t.Left(p) {
-			part = st.down[p].View(0, 0, ls, st.r)
-		} else {
-			part = st.down[p].View(ls, 0, st.down[p].Rows-ls, st.r)
-		}
-		if part.Rows > 0 && st.skelU[id] != nil {
-			st.skelU[id].AddScaled(1, part)
-		}
+	if part := e.fromParent[id]; part != nil && st.skelU[id] != nil {
+		st.skelU[id].AddScaled(1, part)
 	}
 	u := st.skelU[id]
 	if u == nil || u.Rows == 0 || nd.proj == nil {
 		return
 	}
 	if t.IsLeaf(id) {
-		tn := &t.Nodes[id]
-		uview := st.Ufar.View(tn.Lo, 0, tn.Size(), st.r)
-		linalg.Gemm(true, false, 1, nd.proj, u, 1, uview)
-		h.addEvalFlops(2 * float64(nd.proj.Rows) * float64(tn.Size()) * float64(st.r))
+		linalg.Gemm(true, false, 1, nd.proj, u, 1, e.leafU[id])
+		h.addEvalFlops(2 * float64(nd.proj.Rows) * float64(nd.proj.Cols) * float64(st.r))
 	} else if st.down[id] != nil {
 		linalg.Gemm(true, false, 1, nd.proj, u, 0, st.down[id])
 		h.addEvalFlops(2 * float64(nd.proj.Rows) * float64(nd.proj.Cols) * float64(st.r))
+	}
+}
+
+// l2lInto is l2l with precomputed input/output views; only the uncached
+// block path still allocates (it must gather K entries somewhere).
+func (e *Evaluator) l2lInto(beta int) {
+	h := e.h
+	st := e.st
+	nd := &h.nodes[beta]
+	uview := e.nearU[beta]
+	for k, alpha := range nd.near {
+		wview := e.nearW[beta][k]
+		if nd.cacheNear32 != nil {
+			b := nd.cacheNear32[k]
+			linalg.GemmMixed(1, b, wview, 1, uview)
+			h.addEvalFlops(2 * float64(b.Rows) * float64(b.Cols) * float64(st.r))
+			continue
+		}
+		var block *linalg.Matrix
+		if nd.cacheNear != nil {
+			block = nd.cacheNear[k]
+		} else {
+			block = NewGathered(h.K, h.Tree.Indices(beta), h.Tree.Indices(alpha))
+		}
+		linalg.Gemm(false, false, 1, block, wview, 1, uview)
+		h.addEvalFlops(2 * float64(block.Rows) * float64(block.Cols) * float64(st.r))
 	}
 }

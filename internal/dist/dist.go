@@ -28,6 +28,7 @@ import (
 	"gofmm/internal/linalg"
 	"gofmm/internal/resilience"
 	"gofmm/internal/telemetry"
+	"gofmm/internal/workspace"
 )
 
 // CommStats aggregates the simulated network traffic of one operation.
@@ -219,10 +220,15 @@ func (m *Machine) MatvecCtx(ctx context.Context, W *linalg.Matrix) (*linalg.Matr
 
 	// Input/output in tree order; each rank owns a contiguous slice of
 	// positions (the scatter/gather are part of the data distribution, not
-	// counted as algorithm communication).
-	Wt := W.RowsGather(t.Perm)
-	Unear := linalg.NewMatrix(n, r)
-	Ufar := linalg.NewMatrix(n, r)
+	// counted as algorithm communication). Every per-call intermediate is
+	// drawn from the operator's workspace pool when one is configured; the
+	// returned matrix is always freshly allocated.
+	sc := h.Cfg.Workspace.NewScope()
+	defer sc.Release()
+	Wt := sc.Matrix(n, r)
+	W.RowsGatherInto(t.Perm, Wt)
+	Unear := sc.Matrix(n, r)
+	Ufar := sc.Matrix(n, r)
 	skelW := make([]*linalg.Matrix, len(t.Nodes))
 	skelU := make([]*linalg.Matrix, len(t.Nodes))
 	down := make([]*linalg.Matrix, len(t.Nodes))
@@ -249,7 +255,7 @@ func (m *Machine) MatvecCtx(ctx context.Context, W *linalg.Matrix) (*linalg.Matr
 		if proj == nil {
 			return nil
 		}
-		out := linalg.NewMatrix(proj.Rows, r)
+		out := sc.Matrix(proj.Rows, r)
 		if t.IsLeaf(id) {
 			nd := &t.Nodes[id]
 			linalg.Gemm(false, false, 1, proj, Wt.View(nd.Lo, 0, nd.Size(), r), 0, out)
@@ -260,7 +266,7 @@ func (m *Machine) MatvecCtx(ctx context.Context, W *linalg.Matrix) (*linalg.Matr
 					return err
 				}
 			}
-			stacked := stack(skelW[l], skelW[rr], r)
+			stacked := stack(sc, skelW[l], skelW[rr], r)
 			linalg.Gemm(false, false, 1, proj, stacked, 0, out)
 		}
 		skelW[id] = out
@@ -287,7 +293,7 @@ func (m *Machine) MatvecCtx(ctx context.Context, W *linalg.Matrix) (*linalg.Matr
 		if err = resilience.FromContext(farCtx); err != nil {
 			break
 		}
-		acc := linalg.NewMatrix(len(m.skel[id]), r)
+		acc := sc.Matrix(len(m.skel[id]), r)
 		for _, alpha := range far {
 			wa := skelW[alpha]
 			if wa == nil || wa.Rows == 0 {
@@ -336,7 +342,7 @@ func (m *Machine) MatvecCtx(ctx context.Context, W *linalg.Matrix) (*linalg.Matr
 			}
 			if part.Rows > 0 {
 				if skelU[id] == nil {
-					skelU[id] = linalg.NewMatrix(part.Rows, r)
+					skelU[id] = sc.Matrix(part.Rows, r)
 				}
 				skelU[id].AddScaled(1, part)
 			}
@@ -348,7 +354,7 @@ func (m *Machine) MatvecCtx(ctx context.Context, W *linalg.Matrix) (*linalg.Matr
 				nd := &t.Nodes[id]
 				linalg.Gemm(true, false, 1, proj, u, 1, Ufar.View(nd.Lo, 0, nd.Size(), r))
 			} else {
-				d := linalg.NewMatrix(proj.Cols, r)
+				d := sc.Matrix(proj.Cols, r)
 				linalg.Gemm(true, false, 1, proj, u, 0, d)
 				down[id] = d
 			}
@@ -406,8 +412,8 @@ func (m *Machine) MatvecCtx(ctx context.Context, W *linalg.Matrix) (*linalg.Matr
 	return Ufar.RowsGather(t.IPerm), nil
 }
 
-// stack returns [a; b], treating nil as empty.
-func stack(a, b *linalg.Matrix, cols int) *linalg.Matrix {
+// stack returns [a; b] in scope-owned storage, treating nil as empty.
+func stack(sc *workspace.Scope, a, b *linalg.Matrix, cols int) *linalg.Matrix {
 	ra, rb := 0, 0
 	if a != nil {
 		ra = a.Rows
@@ -415,7 +421,7 @@ func stack(a, b *linalg.Matrix, cols int) *linalg.Matrix {
 	if b != nil {
 		rb = b.Rows
 	}
-	out := linalg.NewMatrix(ra+rb, cols)
+	out := sc.Matrix(ra+rb, cols)
 	if ra > 0 {
 		out.View(0, 0, ra, cols).CopyFrom(a)
 	}

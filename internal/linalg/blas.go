@@ -113,107 +113,8 @@ func parallelFor(n, grain int, fn func(lo, hi int)) {
 	wg.Wait()
 }
 
-// Gemm computes C = alpha*op(A)*op(B) + beta*C where op is identity or
-// transpose. It is the workhorse behind both the dense baseline ("SGEMM" in
-// the paper's Figure 1) and all block operations inside GOFMM. The kernel is
-// a column-major jki/axpy formulation with 4×4 register blocking, and the
-// columns of C are processed in parallel panels.
-func Gemm(transA, transB bool, alpha float64, A, B *Matrix, beta float64, C *Matrix) {
-	m, k := A.Rows, A.Cols
-	if transA {
-		m, k = A.Cols, A.Rows
-	}
-	kb, n := B.Rows, B.Cols
-	if transB {
-		kb, n = B.Cols, B.Rows
-	}
-	if k != kb || C.Rows != m || C.Cols != n {
-		panic("linalg: Gemm dimension mismatch")
-	}
-	if beta != 1 {
-		if beta == 0 {
-			C.Zero()
-		} else {
-			C.Scale(beta)
-		}
-	}
-	if alpha == 0 || m == 0 || n == 0 || k == 0 {
-		return
-	}
-	// The kernel walks columns of op(A); a transposed A would make that a
-	// strided walk, so materialize Aᵀ once instead.
-	if transA {
-		A = A.Transposed()
-	}
-	bAt := func(kk, j int) float64 { return B.At(kk, j) }
-	if transB {
-		bAt = func(kk, j int) float64 { return B.At(j, kk) }
-	}
-	grain := max(1, 64*64*64/max(1, m*k)) // aim for ≥ ~256k flops per task
-	parallelFor(n, grain, func(jlo, jhi int) {
-		gemmPanel(alpha, A, bAt, C, k, jlo, jhi)
-	})
-}
-
-// gemmPanel computes C[:, jlo:jhi] += alpha * A * B[:, jlo:jhi] with A
-// column-major and B accessed through bAt.
-func gemmPanel(alpha float64, A *Matrix, bAt func(k, j int) float64, C *Matrix, k, jlo, jhi int) {
-	m := A.Rows
-	j := jlo
-	for ; j+4 <= jhi; j += 4 {
-		c0, c1, c2, c3 := C.Col(j), C.Col(j+1), C.Col(j+2), C.Col(j+3)
-		kk := 0
-		// 4×4 register block: 16 multiply-adds per iteration over four A
-		// columns (measured ~8% faster than the 4×2 variant on this kernel).
-		for ; kk+4 <= k; kk += 4 {
-			a0, a1, a2, a3 := A.Col(kk), A.Col(kk+1), A.Col(kk+2), A.Col(kk+3)
-			var b [4][4]float64
-			for p := 0; p < 4; p++ {
-				b[p][0] = alpha * bAt(kk+p, j)
-				b[p][1] = alpha * bAt(kk+p, j+1)
-				b[p][2] = alpha * bAt(kk+p, j+2)
-				b[p][3] = alpha * bAt(kk+p, j+3)
-			}
-			for i := 0; i < m; i++ {
-				av0, av1, av2, av3 := a0[i], a1[i], a2[i], a3[i]
-				c0[i] += av0*b[0][0] + av1*b[1][0] + av2*b[2][0] + av3*b[3][0]
-				c1[i] += av0*b[0][1] + av1*b[1][1] + av2*b[2][1] + av3*b[3][1]
-				c2[i] += av0*b[0][2] + av1*b[1][2] + av2*b[2][2] + av3*b[3][2]
-				c3[i] += av0*b[0][3] + av1*b[1][3] + av2*b[2][3] + av3*b[3][3]
-			}
-		}
-		for ; kk+2 <= k; kk += 2 {
-			a0 := A.Col(kk)
-			a1 := A.Col(kk + 1)
-			b00, b01, b02, b03 := alpha*bAt(kk, j), alpha*bAt(kk, j+1), alpha*bAt(kk, j+2), alpha*bAt(kk, j+3)
-			b10, b11, b12, b13 := alpha*bAt(kk+1, j), alpha*bAt(kk+1, j+1), alpha*bAt(kk+1, j+2), alpha*bAt(kk+1, j+3)
-			for i := 0; i < m; i++ {
-				av0, av1 := a0[i], a1[i]
-				c0[i] += av0*b00 + av1*b10
-				c1[i] += av0*b01 + av1*b11
-				c2[i] += av0*b02 + av1*b12
-				c3[i] += av0*b03 + av1*b13
-			}
-		}
-		for ; kk < k; kk++ {
-			a0 := A.Col(kk)
-			b0, b1, b2, b3 := alpha*bAt(kk, j), alpha*bAt(kk, j+1), alpha*bAt(kk, j+2), alpha*bAt(kk, j+3)
-			for i := 0; i < m; i++ {
-				av := a0[i]
-				c0[i] += av * b0
-				c1[i] += av * b1
-				c2[i] += av * b2
-				c3[i] += av * b3
-			}
-		}
-	}
-	for ; j < jhi; j++ {
-		cj := C.Col(j)
-		for kk := 0; kk < k; kk++ {
-			Axpy(alpha*bAt(kk, j), A.Col(kk), cj)
-		}
-	}
-}
+// Gemm lives in gemm.go (packed blocked driver + register-tiled
+// micro-kernels).
 
 // MatMul returns op(A)*op(B) as a new matrix.
 func MatMul(transA, transB bool, A, B *Matrix) *Matrix {
@@ -257,71 +158,172 @@ func Gemv(trans bool, alpha float64, A *Matrix, x []float64, beta float64, y []f
 
 // TrsmLeftUpper solves op(R)·X = B in place (B becomes X) for an upper
 // triangular R, with op = identity or transpose. Only the leading n×n
-// triangle of R is referenced where n = B.Rows.
+// triangle of R is referenced where n = B.Rows. Columns are solved in
+// register tiles of four so every (strided) load of an R element is reused
+// across four right-hand sides; small problems run serially with no
+// goroutine or closure overhead.
 func TrsmLeftUpper(transR bool, R, B *Matrix) {
 	n := B.Rows
 	if R.Rows < n || R.Cols < n {
 		panic("linalg: TrsmLeftUpper triangle too small")
 	}
-	parallelFor(B.Cols, 8, func(jlo, jhi int) {
-		for j := jlo; j < jhi; j++ {
-			x := B.Col(j)
-			if !transR {
-				// Back substitution: R x = b.
-				for i := n - 1; i >= 0; i-- {
-					s := x[i]
-					ri := R.Data[i:] // row i via strided access
-					for kk := i + 1; kk < n; kk++ {
-						s -= ri[kk*R.Stride] * x[kk]
-					}
-					x[i] = s / R.At(i, i)
+	if B.Cols >= 16 && workers() > 1 {
+		parallelFor(B.Cols, 8, func(jlo, jhi int) {
+			trsmUpperPanel(transR, R, B, n, jlo, jhi)
+		})
+		return
+	}
+	trsmUpperPanel(transR, R, B, n, 0, B.Cols)
+}
+
+func trsmUpperPanel(transR bool, R, B *Matrix, n, jlo, jhi int) {
+	rd, rs := R.Data, R.Stride
+	j := jlo
+	for ; j+4 <= jhi; j += 4 {
+		x0, x1, x2, x3 := B.Col(j), B.Col(j+1), B.Col(j+2), B.Col(j+3)
+		if !transR {
+			// Back substitution: R x = b, row i of R loaded once per tile.
+			for i := n - 1; i >= 0; i-- {
+				s0, s1, s2, s3 := x0[i], x1[i], x2[i], x3[i]
+				ri := rd[i:]
+				for kk := i + 1; kk < n; kk++ {
+					r := ri[kk*rs]
+					s0 -= r * x0[kk]
+					s1 -= r * x1[kk]
+					s2 -= r * x2[kk]
+					s3 -= r * x3[kk]
 				}
-			} else {
-				// Forward substitution: Rᵀ x = b, where Rᵀ is lower
-				// triangular with column i equal to row i of R.
-				for i := 0; i < n; i++ {
-					x[i] /= R.At(i, i)
-					xi := x[i]
-					for kk := i + 1; kk < n; kk++ {
-						x[kk] -= R.At(i, kk) * xi
-					}
+				d := ri[i*rs]
+				x0[i] = s0 / d
+				x1[i] = s1 / d
+				x2[i] = s2 / d
+				x3[i] = s3 / d
+			}
+		} else {
+			// Forward substitution: Rᵀ x = b, where Rᵀ is lower triangular
+			// with column i equal to row i of R.
+			for i := 0; i < n; i++ {
+				ri := rd[i:]
+				d := ri[i*rs]
+				xi0 := x0[i] / d
+				xi1 := x1[i] / d
+				xi2 := x2[i] / d
+				xi3 := x3[i] / d
+				x0[i], x1[i], x2[i], x3[i] = xi0, xi1, xi2, xi3
+				for kk := i + 1; kk < n; kk++ {
+					r := ri[kk*rs]
+					x0[kk] -= r * xi0
+					x1[kk] -= r * xi1
+					x2[kk] -= r * xi2
+					x3[kk] -= r * xi3
 				}
 			}
 		}
-	})
+	}
+	for ; j < jhi; j++ {
+		x := B.Col(j)
+		if !transR {
+			for i := n - 1; i >= 0; i-- {
+				s := x[i]
+				ri := rd[i:]
+				for kk := i + 1; kk < n; kk++ {
+					s -= ri[kk*rs] * x[kk]
+				}
+				x[i] = s / ri[i*rs]
+			}
+		} else {
+			for i := 0; i < n; i++ {
+				ri := rd[i:]
+				xi := x[i] / ri[i*rs]
+				x[i] = xi
+				for kk := i + 1; kk < n; kk++ {
+					x[kk] -= ri[kk*rs] * xi
+				}
+			}
+		}
+	}
 }
 
-// TrsmLeftLower solves op(L)·X = B in place for a lower triangular L.
+// TrsmLeftLower solves op(L)·X = B in place for a lower triangular L, with
+// the same 4-column register tiling as TrsmLeftUpper (here the reused L
+// loads are contiguous column slices).
 func TrsmLeftLower(transL bool, L, B *Matrix) {
 	n := B.Rows
 	if L.Rows < n || L.Cols < n {
 		panic("linalg: TrsmLeftLower triangle too small")
 	}
-	parallelFor(B.Cols, 8, func(jlo, jhi int) {
-		for j := jlo; j < jhi; j++ {
-			x := B.Col(j)
-			if !transL {
-				// Forward substitution with contiguous column access:
-				// after computing x[i], subtract x[i]*L[i+1:,i].
-				for i := 0; i < n; i++ {
-					x[i] /= L.At(i, i)
-					xi := x[i]
-					col := L.Col(i)
-					for kk := i + 1; kk < n; kk++ {
-						x[kk] -= col[kk] * xi
-					}
-				}
-			} else {
-				// Back substitution on Lᵀ (upper): x[i] = (b[i] - L[i+1:,i]ᵀ x[i+1:]) / L[i,i].
-				for i := n - 1; i >= 0; i-- {
-					col := L.Col(i)
-					s := x[i]
-					for kk := i + 1; kk < n; kk++ {
-						s -= col[kk] * x[kk]
-					}
-					x[i] = s / L.At(i, i)
+	if B.Cols >= 16 && workers() > 1 {
+		parallelFor(B.Cols, 8, func(jlo, jhi int) {
+			trsmLowerPanel(transL, L, B, n, jlo, jhi)
+		})
+		return
+	}
+	trsmLowerPanel(transL, L, B, n, 0, B.Cols)
+}
+
+func trsmLowerPanel(transL bool, L, B *Matrix, n, jlo, jhi int) {
+	j := jlo
+	for ; j+4 <= jhi; j += 4 {
+		x0, x1, x2, x3 := B.Col(j), B.Col(j+1), B.Col(j+2), B.Col(j+3)
+		if !transL {
+			// Forward substitution: after fixing x[i], subtract x[i]*L[i+1:, i].
+			for i := 0; i < n; i++ {
+				col := L.Col(i)
+				d := col[i]
+				xi0 := x0[i] / d
+				xi1 := x1[i] / d
+				xi2 := x2[i] / d
+				xi3 := x3[i] / d
+				x0[i], x1[i], x2[i], x3[i] = xi0, xi1, xi2, xi3
+				for kk := i + 1; kk < n; kk++ {
+					l := col[kk]
+					x0[kk] -= l * xi0
+					x1[kk] -= l * xi1
+					x2[kk] -= l * xi2
+					x3[kk] -= l * xi3
 				}
 			}
+		} else {
+			// Back substitution on Lᵀ (upper):
+			// x[i] = (b[i] - L[i+1:, i]ᵀ x[i+1:]) / L[i, i].
+			for i := n - 1; i >= 0; i-- {
+				col := L.Col(i)
+				s0, s1, s2, s3 := x0[i], x1[i], x2[i], x3[i]
+				for kk := i + 1; kk < n; kk++ {
+					l := col[kk]
+					s0 -= l * x0[kk]
+					s1 -= l * x1[kk]
+					s2 -= l * x2[kk]
+					s3 -= l * x3[kk]
+				}
+				d := col[i]
+				x0[i] = s0 / d
+				x1[i] = s1 / d
+				x2[i] = s2 / d
+				x3[i] = s3 / d
+			}
 		}
-	})
+	}
+	for ; j < jhi; j++ {
+		x := B.Col(j)
+		if !transL {
+			for i := 0; i < n; i++ {
+				col := L.Col(i)
+				xi := x[i] / col[i]
+				x[i] = xi
+				for kk := i + 1; kk < n; kk++ {
+					x[kk] -= col[kk] * xi
+				}
+			}
+		} else {
+			for i := n - 1; i >= 0; i-- {
+				col := L.Col(i)
+				s := x[i]
+				for kk := i + 1; kk < n; kk++ {
+					s -= col[kk] * x[kk]
+				}
+				x[i] = s / col[i]
+			}
+		}
+	}
 }

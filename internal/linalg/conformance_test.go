@@ -1,0 +1,311 @@
+package linalg
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"runtime"
+	"testing"
+)
+
+// Kernel conformance suite: every GEMM/TRSM variant is checked against a
+// naive triple-loop reference over a grid of adversarial shapes (empty
+// dimensions, single rows/columns, tall-skinny, fat-short, sizes straddling
+// the micro-tile and the packed-path threshold) and over strided submatrix
+// views. Run under -race this also exercises the parallel macro-block path.
+
+// refGemm is the ~20-line reference: C = alpha*op(A)*op(B) + beta*C.
+func refGemm(transA, transB bool, alpha float64, A, B *Matrix, beta float64, C *Matrix) {
+	opA := func(i, k int) float64 { return A.At(i, k) }
+	if transA {
+		opA = func(i, k int) float64 { return A.At(k, i) }
+	}
+	opB := func(k, j int) float64 { return B.At(k, j) }
+	if transB {
+		opB = func(k, j int) float64 { return B.At(j, k) }
+	}
+	k := A.Cols
+	if transA {
+		k = A.Rows
+	}
+	for j := 0; j < C.Cols; j++ {
+		for i := 0; i < C.Rows; i++ {
+			s := 0.0
+			for kk := 0; kk < k; kk++ {
+				s += opA(i, kk) * opB(kk, j)
+			}
+			C.Set(i, j, alpha*s+beta*C.At(i, j))
+		}
+	}
+}
+
+func randMatrix(rng *rand.Rand, r, c int) *Matrix {
+	M := NewMatrix(r, c)
+	for i := range M.Data {
+		M.Data[i] = rng.NormFloat64()
+	}
+	return M
+}
+
+// maxAbsDiff returns max |X[i,j] - Y[i,j]|.
+func maxAbsDiff(X, Y *Matrix) float64 {
+	d := 0.0
+	for j := 0; j < X.Cols; j++ {
+		for i := 0; i < X.Rows; i++ {
+			d = math.Max(d, math.Abs(X.At(i, j)-Y.At(i, j)))
+		}
+	}
+	return d
+}
+
+// gemmShapes is the (m, n, k) grid. It deliberately includes shapes that are
+// 0 in some dimension, below/above the micro-tile (8×6), non-multiples of
+// the tile, and large enough to cross the packed-path threshold.
+var gemmShapes = [][3]int{
+	{0, 5, 3}, {5, 0, 3}, {5, 3, 0}, {0, 0, 0},
+	{1, 1, 1}, {1, 7, 5}, {7, 1, 5}, {7, 5, 1},
+	{3, 3, 3}, {8, 6, 4}, {9, 7, 5}, {16, 12, 8},
+	{130, 3, 2}, {2, 130, 3}, {200, 5, 64}, {5, 200, 64},
+	{64, 64, 64}, {65, 61, 37}, {96, 96, 96}, {128, 48, 300},
+	{257, 131, 67},
+}
+
+func TestGemmConformance(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for _, sh := range gemmShapes {
+		m, n, k := sh[0], sh[1], sh[2]
+		for _, transA := range []bool{false, true} {
+			for _, transB := range []bool{false, true} {
+				for _, ab := range [][2]float64{{1, 0}, {1, 1}, {-0.5, 0.25}, {2, -1}, {0, 0.5}} {
+					alpha, beta := ab[0], ab[1]
+					name := fmt.Sprintf("m%d_n%d_k%d_tA%v_tB%v_a%g_b%g", m, n, k, transA, transB, alpha, beta)
+					t.Run(name, func(t *testing.T) {
+						A := randMatrix(rng, m, k)
+						if transA {
+							A = randMatrix(rng, k, m)
+						}
+						B := randMatrix(rng, k, n)
+						if transB {
+							B = randMatrix(rng, n, k)
+						}
+						C := randMatrix(rng, m, n)
+						want := C.Clone()
+						refGemm(transA, transB, alpha, A, B, beta, want)
+						Gemm(transA, transB, alpha, A, B, beta, C)
+						// k accumulated products, each O(1) magnitude.
+						tol := 1e-13 * float64(k+1) * math.Max(1, math.Abs(alpha))
+						if d := maxAbsDiff(C, want); d > tol {
+							t.Fatalf("Gemm deviates from reference by %g (tol %g)", d, tol)
+						}
+					})
+				}
+			}
+		}
+	}
+}
+
+// TestGemmConformanceStrided runs the same check through submatrix views, so
+// Stride > Rows on every operand.
+func TestGemmConformanceStrided(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	shapes := [][3]int{{5, 3, 4}, {9, 7, 5}, {65, 61, 37}, {130, 9, 40}}
+	for _, sh := range shapes {
+		m, n, k := sh[0], sh[1], sh[2]
+		for _, transA := range []bool{false, true} {
+			for _, transB := range []bool{false, true} {
+				name := fmt.Sprintf("m%d_n%d_k%d_tA%v_tB%v", m, n, k, transA, transB)
+				t.Run(name, func(t *testing.T) {
+					ar, ac := m, k
+					if transA {
+						ar, ac = k, m
+					}
+					br, bc := k, n
+					if transB {
+						br, bc = n, k
+					}
+					Abig := randMatrix(rng, ar+3, ac+2)
+					Bbig := randMatrix(rng, br+5, bc+1)
+					Cbig := randMatrix(rng, m+2, n+4)
+					A := Abig.View(2, 1, ar, ac)
+					B := Bbig.View(3, 0, br, bc)
+					C := Cbig.View(1, 2, m, n)
+					want := C.Clone()
+					refGemm(transA, transB, 1.5, A, B, -0.5, want)
+					Gemm(transA, transB, 1.5, A, B, -0.5, C)
+					tol := 1e-13 * float64(k+1) * 1.5
+					if d := maxAbsDiff(C, want); d > tol {
+						t.Fatalf("strided Gemm deviates from reference by %g (tol %g)", d, tol)
+					}
+				})
+			}
+		}
+	}
+}
+
+// refTrsm solves op(T)·X = B by explicit forward/back substitution, one
+// column at a time, straight from the textbook formulas.
+func refTrsm(upper, trans bool, T, B *Matrix) {
+	n := B.Rows
+	// Effective matrix M = op(T) restricted to the leading n×n triangle.
+	at := func(i, k int) float64 {
+		if trans {
+			i, k = k, i
+		}
+		if upper && k < i || !upper && k > i {
+			return 0
+		}
+		return T.At(i, k)
+	}
+	lowerSolve := upper == trans // op flips the triangle orientation
+	for j := 0; j < B.Cols; j++ {
+		x := B.Col(j)
+		if lowerSolve {
+			for i := 0; i < n; i++ {
+				s := x[i]
+				for kk := 0; kk < i; kk++ {
+					s -= at(i, kk) * x[kk]
+				}
+				x[i] = s / at(i, i)
+			}
+		} else {
+			for i := n - 1; i >= 0; i-- {
+				s := x[i]
+				for kk := i + 1; kk < n; kk++ {
+					s -= at(i, kk) * x[kk]
+				}
+				x[i] = s / at(i, i)
+			}
+		}
+	}
+}
+
+// randTriangular returns a well-conditioned n×n triangular matrix (unit-ish
+// diagonal, small off-diagonal entries) embedded in an r×r matrix, r ≥ n.
+func randTriangular(rng *rand.Rand, upper bool, r, n int) *Matrix {
+	T := randMatrix(rng, r, r)
+	for i := 0; i < n; i++ {
+		T.Set(i, i, 1+0.1*rng.Float64())
+		for k := 0; k < n; k++ {
+			if upper && k < i || !upper && k > i {
+				T.Set(i, k, 0)
+			} else if k != i {
+				T.Set(i, k, 0.3*T.At(i, k))
+			}
+		}
+	}
+	return T
+}
+
+func TestTrsmConformance(t *testing.T) {
+	rng := rand.New(rand.NewSource(44))
+	// (n, nrhs) grid: empty, single, tile edges, parallel-path sizes.
+	shapes := [][2]int{
+		{0, 3}, {1, 1}, {1, 9}, {3, 1}, {5, 4}, {7, 6},
+		{8, 8}, {13, 5}, {32, 3}, {64, 33}, {65, 40}, {40, 130},
+	}
+	for _, sh := range shapes {
+		n, nrhs := sh[0], sh[1]
+		for _, upper := range []bool{true, false} {
+			for _, trans := range []bool{false, true} {
+				name := fmt.Sprintf("n%d_rhs%d_upper%v_trans%v", n, nrhs, upper, trans)
+				t.Run(name, func(t *testing.T) {
+					T := randTriangular(rng, upper, n+2, n) // triangle larger than B.Rows
+					B := randMatrix(rng, n, nrhs)
+					want := B.Clone()
+					refTrsm(upper, trans, T, want)
+					if upper {
+						TrsmLeftUpper(trans, T, B)
+					} else {
+						TrsmLeftLower(trans, T, B)
+					}
+					tol := 1e-12 * float64(n+1)
+					if d := maxAbsDiff(B, want); d > tol {
+						t.Fatalf("Trsm deviates from reference by %g (tol %g)", d, tol)
+					}
+				})
+			}
+		}
+	}
+}
+
+// TestTrsmSolvesSystem closes the loop: X = op(T)⁻¹B must satisfy
+// op(T)·X ≈ B through an independent Gemm.
+func TestTrsmSolvesSystem(t *testing.T) {
+	rng := rand.New(rand.NewSource(45))
+	for _, upper := range []bool{true, false} {
+		for _, trans := range []bool{false, true} {
+			n, nrhs := 48, 7
+			T := randTriangular(rng, upper, n, n)
+			B := randMatrix(rng, n, nrhs)
+			X := B.Clone()
+			if upper {
+				TrsmLeftUpper(trans, T, X)
+			} else {
+				TrsmLeftLower(trans, T, X)
+			}
+			got := NewMatrix(n, nrhs)
+			Gemm(trans, false, 1, T, X, 0, got)
+			if d := maxAbsDiff(got, B); d > 1e-10 {
+				t.Fatalf("upper=%v trans=%v: op(T)·X differs from B by %g", upper, trans, d)
+			}
+		}
+	}
+}
+
+// TestGemmConformanceParallel forces GOMAXPROCS up so the goroutine-parallel
+// macro-block path runs even on single-core CI, then checks a shape large
+// enough to span several mc blocks. Under -race this is the data-race guard
+// for the packed driver.
+func TestGemmConformanceParallel(t *testing.T) {
+	old := runtime.GOMAXPROCS(4)
+	defer runtime.GOMAXPROCS(old)
+	rng := rand.New(rand.NewSource(47))
+	for _, sh := range [][3]int{{400, 96, 64}, {513, 130, 70}} {
+		m, n, k := sh[0], sh[1], sh[2]
+		for _, transA := range []bool{false, true} {
+			for _, transB := range []bool{false, true} {
+				A := randMatrix(rng, m, k)
+				if transA {
+					A = randMatrix(rng, k, m)
+				}
+				B := randMatrix(rng, k, n)
+				if transB {
+					B = randMatrix(rng, n, k)
+				}
+				C := NewMatrix(m, n)
+				want := NewMatrix(m, n)
+				refGemm(transA, transB, 1, A, B, 0, want)
+				Gemm(transA, transB, 1, A, B, 0, C)
+				tol := 1e-13 * float64(k+1)
+				if d := maxAbsDiff(C, want); d > tol {
+					t.Fatalf("parallel Gemm m=%d n=%d k=%d tA=%v tB=%v off by %g", m, n, k, transA, transB, d)
+				}
+			}
+		}
+	}
+}
+
+// TestGemmAccumulatesIntoViews guards the in-place convention used all over
+// the evaluator: writing through a view must only touch the viewed window.
+func TestGemmAccumulatesIntoViews(t *testing.T) {
+	rng := rand.New(rand.NewSource(46))
+	big := randMatrix(rng, 20, 20)
+	orig := big.Clone()
+	A := randMatrix(rng, 6, 9)
+	B := randMatrix(rng, 9, 5)
+	C := big.View(4, 3, 6, 5)
+	want := C.Clone()
+	refGemm(false, false, 1, A, B, 1, want)
+	Gemm(false, false, 1, A, B, 1, C)
+	if d := maxAbsDiff(C, want); d > 1e-12 {
+		t.Fatalf("view Gemm off by %g", d)
+	}
+	for j := 0; j < 20; j++ {
+		for i := 0; i < 20; i++ {
+			inside := i >= 4 && i < 10 && j >= 3 && j < 8
+			if !inside && big.At(i, j) != orig.At(i, j) {
+				t.Fatalf("Gemm wrote outside the view at (%d,%d)", i, j)
+			}
+		}
+	}
+}

@@ -1,0 +1,327 @@
+package linalg
+
+import "sync"
+
+// Blocked, register-tiled GEMM.
+//
+// The kernel follows the classic three-level blocking scheme (Goto/BLIS):
+// op(B) is packed kc×nc at a time into column micro-panels of width gemmNR,
+// op(A) is packed mc×kc at a time into row micro-panels of height gemmMR,
+// and an mr×nr micro-kernel runs over the packed panels with the C tile held
+// in registers. Packing makes both transpose variants free (the packers read
+// strided, the micro-kernel never does), keeps the A block resident in L2
+// and the active B micro-panel in L1, and folds alpha into the packed B so
+// the inner loop is pure multiply-add.
+//
+// On amd64 with AVX2+FMA (detected at startup) full 8×6 tiles are computed
+// by a hand-written assembly micro-kernel holding the tile in 12 YMM
+// accumulators; edge tiles and other platforms use a portable Go kernel over
+// the same packed panels. Matrices smaller than gemmPackedMNK skip packing
+// entirely and run serial register-blocked loops (axpy-style for op(A) = A,
+// dot-style for op(A) = Aᵀ) that allocate nothing.
+
+const (
+	gemmMR = 8 // micro-tile rows (two 4-wide vectors)
+	gemmNR = 6 // micro-tile columns (12 accumulators = 12 YMM registers)
+	gemmKC = 256
+	gemmMC = 128  // A block: gemmMC×gemmKC ≈ 256 KiB, sized for L2
+	gemmNC = 1536 // B block: gemmKC×gemmNC upper bound, sized for L3
+
+	// gemmPackedMNK is the m·n·k product above which the packed path engages;
+	// below it the packing traffic is not amortized.
+	gemmPackedMNK = 64 * 1024
+)
+
+// panelPool recycles packing buffers across Gemm calls (pointers so that
+// Put does not allocate).
+var panelPool = sync.Pool{New: func() any { return new([]float64) }}
+
+func getPanel(n int) *[]float64 {
+	p := panelPool.Get().(*[]float64)
+	if cap(*p) < n {
+		*p = make([]float64, n)
+	}
+	*p = (*p)[:n]
+	return p
+}
+
+func putPanel(p *[]float64) { panelPool.Put(p) }
+
+// Gemm computes C = alpha*op(A)*op(B) + beta*C where op is identity or
+// transpose. It is the workhorse behind both the dense baseline ("SGEMM" in
+// the paper's Figure 1) and all block operations inside GOFMM.
+func Gemm(transA, transB bool, alpha float64, A, B *Matrix, beta float64, C *Matrix) {
+	m, k := A.Rows, A.Cols
+	if transA {
+		m, k = A.Cols, A.Rows
+	}
+	kb, n := B.Rows, B.Cols
+	if transB {
+		kb, n = B.Cols, B.Rows
+	}
+	if k != kb || C.Rows != m || C.Cols != n {
+		panic("linalg: Gemm dimension mismatch")
+	}
+	if beta != 1 {
+		if beta == 0 {
+			C.Zero()
+		} else {
+			C.Scale(beta)
+		}
+	}
+	if alpha == 0 || m == 0 || n == 0 || k == 0 {
+		return
+	}
+	// Packing only pays off when the n edge is at least one full micro-tile
+	// (thin right-hand sides would waste up to ⅔ of every 8×6 tile on
+	// zero-padding) and the flop count amortizes the packing traffic.
+	if m >= gemmMR && n >= gemmNR && k >= 4 && m*n*k >= gemmPackedMNK {
+		gemmPacked(transA, transB, alpha, A, B, C, m, n, k)
+		return
+	}
+	if transA {
+		gemmSmallT(alpha, A, B, C, m, n, k, transB)
+	} else {
+		gemmSmallN(alpha, A, B, C, n, k, transB)
+	}
+}
+
+// --- packed path ---------------------------------------------------------
+
+func gemmPacked(transA, transB bool, alpha float64, A, B, C *Matrix, m, n, k int) {
+	for jc := 0; jc < n; jc += gemmNC {
+		ncb := min(gemmNC, n-jc)
+		bPanels := (ncb + gemmNR - 1) / gemmNR
+		for pc := 0; pc < k; pc += gemmKC {
+			kcb := min(gemmKC, k-pc)
+			bp := getPanel(bPanels * gemmNR * kcb)
+			packB(transB, alpha, B, pc, jc, kcb, ncb, *bp)
+			nic := (m + gemmMC - 1) / gemmMC
+			if nic > 1 && workers() > 1 {
+				jcv, pcv, kcv, ncv := jc, pc, kcb, ncb // capture copies for the closure
+				parallelFor(nic, 1, func(lo, hi int) {
+					gemmMacro(transA, A, C, *bp, pcv, jcv, kcv, ncv, lo, hi, m)
+				})
+			} else {
+				gemmMacro(transA, A, C, *bp, pc, jc, kcb, ncb, 0, nic, m)
+			}
+			putPanel(bp)
+		}
+	}
+}
+
+// gemmMacro processes A blocks [icLo, icHi) of the mc-grid against the
+// packed B block bp, packing each A block into a per-call panel.
+func gemmMacro(transA bool, A, C *Matrix, bp []float64, pc, jc, kcb, ncb, icLo, icHi, m int) {
+	ap := getPanel(gemmMC * kcb)
+	for ib := icLo; ib < icHi; ib++ {
+		ic := ib * gemmMC
+		if ic >= m {
+			break
+		}
+		mcb := min(gemmMC, m-ic)
+		packA(transA, A, pc, ic, kcb, mcb, *ap)
+		mPanels := (mcb + gemmMR - 1) / gemmMR
+		for jr := 0; jr < ncb; jr += gemmNR {
+			nrb := min(gemmNR, ncb-jr)
+			bpan := bp[(jr/gemmNR)*gemmNR*kcb:]
+			for pi := 0; pi < mPanels; pi++ {
+				apan := (*ap)[pi*gemmMR*kcb:]
+				mrb := min(gemmMR, mcb-pi*gemmMR)
+				cOff := (jc+jr)*C.Stride + ic + pi*gemmMR
+				if mrb == gemmMR && nrb == gemmNR && haveFMAKernel {
+					gemmKernel8x6(kcb, apan, bpan, &C.Data[cOff], C.Stride)
+				} else {
+					gemmKernelGeneric(kcb, apan, bpan, C.Data[cOff:], C.Stride, mrb, nrb)
+				}
+			}
+		}
+	}
+	putPanel(ap)
+}
+
+// packA packs op(A)[ic:ic+mcb, pc:pc+kcb] into gemmMR-row micro-panels:
+// panel pi holds rows [pi·mr, pi·mr+mr) as kcb consecutive mr-vectors,
+// zero-padded so the micro-kernel never branches on the row edge.
+func packA(transA bool, A *Matrix, pc, ic, kcb, mcb int, ap []float64) {
+	panels := (mcb + gemmMR - 1) / gemmMR
+	for pi := 0; pi < panels; pi++ {
+		ir := pi * gemmMR
+		rows := min(gemmMR, mcb-ir)
+		dst := ap[pi*gemmMR*kcb : (pi+1)*gemmMR*kcb]
+		if !transA {
+			for kk := 0; kk < kcb; kk++ {
+				src := A.Data[(pc+kk)*A.Stride+ic+ir:]
+				d := dst[kk*gemmMR : kk*gemmMR+gemmMR]
+				for q := 0; q < rows; q++ {
+					d[q] = src[q]
+				}
+				for q := rows; q < gemmMR; q++ {
+					d[q] = 0
+				}
+			}
+			continue
+		}
+		// op(A)[i, kk] = A[kk, i]: column ic+ir+q of A is contiguous over kk.
+		for q := 0; q < rows; q++ {
+			src := A.Data[(ic+ir+q)*A.Stride+pc:]
+			for kk := 0; kk < kcb; kk++ {
+				dst[kk*gemmMR+q] = src[kk]
+			}
+		}
+		for q := rows; q < gemmMR; q++ {
+			for kk := 0; kk < kcb; kk++ {
+				dst[kk*gemmMR+q] = 0
+			}
+		}
+	}
+}
+
+// packB packs alpha*op(B)[pc:pc+kcb, jc:jc+ncb] into gemmNR-column
+// micro-panels (kcb consecutive nr-vectors each, zero-padded on the column
+// edge), folding alpha so the micro-kernel is a pure multiply-add.
+func packB(transB bool, alpha float64, B *Matrix, pc, jc, kcb, ncb int, bp []float64) {
+	panels := (ncb + gemmNR - 1) / gemmNR
+	for qi := 0; qi < panels; qi++ {
+		jr := qi * gemmNR
+		cols := min(gemmNR, ncb-jr)
+		dst := bp[qi*gemmNR*kcb : (qi+1)*gemmNR*kcb]
+		if !transB {
+			for t := 0; t < cols; t++ {
+				src := B.Data[(jc+jr+t)*B.Stride+pc:]
+				for kk := 0; kk < kcb; kk++ {
+					dst[kk*gemmNR+t] = alpha * src[kk]
+				}
+			}
+			for t := cols; t < gemmNR; t++ {
+				for kk := 0; kk < kcb; kk++ {
+					dst[kk*gemmNR+t] = 0
+				}
+			}
+			continue
+		}
+		// op(B)[kk, j] = B[j, kk]: row pc+kk of B is contiguous over j.
+		for kk := 0; kk < kcb; kk++ {
+			src := B.Data[(pc+kk)*B.Stride+jc+jr:]
+			d := dst[kk*gemmNR : kk*gemmNR+gemmNR]
+			for t := 0; t < cols; t++ {
+				d[t] = alpha * src[t]
+			}
+			for t := cols; t < gemmNR; t++ {
+				d[t] = 0
+			}
+		}
+	}
+}
+
+// gemmKernelGeneric is the portable micro-kernel: it computes the full
+// (zero-padded) mr×nr tile into a stack buffer and accumulates the live
+// mrb×nrb corner into C. cd is C.Data from the tile origin; ldc its stride.
+func gemmKernelGeneric(kc int, a, b []float64, cd []float64, ldc, mrb, nrb int) {
+	var acc [gemmMR * gemmNR]float64
+	for kk := 0; kk < kc; kk++ {
+		av := a[kk*gemmMR : kk*gemmMR+gemmMR]
+		bv := b[kk*gemmNR : kk*gemmNR+gemmNR]
+		for j := 0; j < gemmNR; j++ {
+			bj := bv[j]
+			if bj == 0 {
+				continue
+			}
+			aj := acc[j*gemmMR : j*gemmMR+gemmMR]
+			for q := 0; q < gemmMR; q++ {
+				aj[q] += av[q] * bj
+			}
+		}
+	}
+	for j := 0; j < nrb; j++ {
+		col := cd[j*ldc : j*ldc+mrb]
+		aj := acc[j*gemmMR:]
+		for q := range col {
+			col[q] += aj[q]
+		}
+	}
+}
+
+// --- small path ----------------------------------------------------------
+
+// gemmSmallN computes C += alpha*A*op(B) serially with the 4×4
+// register-blocked axpy kernel (columns of A are walked contiguously). It
+// allocates nothing.
+func gemmSmallN(alpha float64, A, B, C *Matrix, n, k int, transB bool) {
+	m := A.Rows
+	bd := B.Data
+	rs, cs := 1, B.Stride // op(B)[kk, j] = bd[kk*rs+j*cs]
+	if transB {
+		rs, cs = B.Stride, 1
+	}
+	j := 0
+	for ; j+4 <= n; j += 4 {
+		c0, c1, c2, c3 := C.Col(j), C.Col(j+1), C.Col(j+2), C.Col(j+3)
+		kk := 0
+		for ; kk+4 <= k; kk += 4 {
+			a0, a1, a2, a3 := A.Col(kk), A.Col(kk+1), A.Col(kk+2), A.Col(kk+3)
+			var b [4][4]float64
+			for p := 0; p < 4; p++ {
+				off := (kk + p) * rs
+				b[p][0] = alpha * bd[off+j*cs]
+				b[p][1] = alpha * bd[off+(j+1)*cs]
+				b[p][2] = alpha * bd[off+(j+2)*cs]
+				b[p][3] = alpha * bd[off+(j+3)*cs]
+			}
+			for i := 0; i < m; i++ {
+				av0, av1, av2, av3 := a0[i], a1[i], a2[i], a3[i]
+				c0[i] += av0*b[0][0] + av1*b[1][0] + av2*b[2][0] + av3*b[3][0]
+				c1[i] += av0*b[0][1] + av1*b[1][1] + av2*b[2][1] + av3*b[3][1]
+				c2[i] += av0*b[0][2] + av1*b[1][2] + av2*b[2][2] + av3*b[3][2]
+				c3[i] += av0*b[0][3] + av1*b[1][3] + av2*b[2][3] + av3*b[3][3]
+			}
+		}
+		for ; kk < k; kk++ {
+			a0 := A.Col(kk)
+			off := kk * rs
+			b0 := alpha * bd[off+j*cs]
+			b1 := alpha * bd[off+(j+1)*cs]
+			b2 := alpha * bd[off+(j+2)*cs]
+			b3 := alpha * bd[off+(j+3)*cs]
+			for i := 0; i < m; i++ {
+				av := a0[i]
+				c0[i] += av * b0
+				c1[i] += av * b1
+				c2[i] += av * b2
+				c3[i] += av * b3
+			}
+		}
+	}
+	for ; j < n; j++ {
+		cj := C.Col(j)
+		for kk := 0; kk < k; kk++ {
+			Axpy(alpha*bd[kk*rs+j*cs], A.Col(kk), cj)
+		}
+	}
+}
+
+// gemmSmallT computes C += alpha*Aᵀ*op(B) serially as dot products — column
+// i of A is exactly row i of op(A) and is contiguous, so no transpose is
+// ever materialized. It allocates nothing.
+func gemmSmallT(alpha float64, A, B, C *Matrix, m, n, k int, transB bool) {
+	bd := B.Data
+	for j := 0; j < n; j++ {
+		cj := C.Col(j)
+		if !transB {
+			bj := bd[j*B.Stride : j*B.Stride+k]
+			for i := 0; i < m; i++ {
+				cj[i] += alpha * Dot(A.Col(i)[:k], bj)
+			}
+			continue
+		}
+		// op(B) column j is row j of B, strided.
+		for i := 0; i < m; i++ {
+			ai := A.Col(i)
+			var s float64
+			for kk := 0; kk < k; kk++ {
+				s += ai[kk] * bd[kk*B.Stride+j]
+			}
+			cj[i] += alpha * s
+		}
+	}
+}

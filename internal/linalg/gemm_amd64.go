@@ -1,0 +1,47 @@
+//go:build amd64
+
+package linalg
+
+// haveFMAKernel reports whether the AVX2+FMA assembly micro-kernel is
+// usable on this CPU. Go is built with GOAMD64=v1 by default, so the
+// baseline compiler output is SSE2 scalar code; the hand-written kernel
+// needs AVX2 (for 4-wide f64 vectors and VBROADCASTSD) and FMA, and the OS
+// must have enabled YMM state saving (OSXSAVE + XCR0 bits 1:2).
+var haveFMAKernel = detectFMAKernel()
+
+func detectFMAKernel() bool {
+	maxLeaf, _, _, _ := cpuidex(0, 0)
+	if maxLeaf < 7 {
+		return false
+	}
+	const (
+		cpuidFMA     = 1 << 12 // CPUID.1:ECX
+		cpuidOSXSAVE = 1 << 27
+		cpuidAVX     = 1 << 28
+		cpuidAVX2    = 1 << 5 // CPUID.(7,0):EBX
+	)
+	_, _, c, _ := cpuidex(1, 0)
+	if c&cpuidFMA == 0 || c&cpuidOSXSAVE == 0 || c&cpuidAVX == 0 {
+		return false
+	}
+	_, b, _, _ := cpuidex(7, 0)
+	if b&cpuidAVX2 == 0 {
+		return false
+	}
+	xcr0, _ := xgetbv0()
+	return xcr0&6 == 6 // OS saves XMM and YMM state
+}
+
+//go:noescape
+func cpuidex(leaf, subleaf uint32) (eax, ebx, ecx, edx uint32)
+
+//go:noescape
+func xgetbv0() (eax, edx uint32)
+
+// gemmKernel8x6 computes an 8×6 tile C += A·B over packed micro-panels:
+// a holds kc consecutive 8-vectors (one per k step), b holds kc consecutive
+// 6-vectors, c points at C[0,0] of the tile and ldc is C's column stride in
+// elements. Requires haveFMAKernel and kc ≥ 1.
+//
+//go:noescape
+func gemmKernel8x6(kc int, a, b []float64, c *float64, ldc int)

@@ -1,0 +1,134 @@
+//go:build amd64
+
+#include "textflag.h"
+
+// func cpuidex(leaf, subleaf uint32) (eax, ebx, ecx, edx uint32)
+TEXT ·cpuidex(SB), NOSPLIT, $0-24
+	MOVL leaf+0(FP), AX
+	MOVL subleaf+4(FP), CX
+	CPUID
+	MOVL AX, eax+8(FP)
+	MOVL BX, ebx+12(FP)
+	MOVL CX, ecx+16(FP)
+	MOVL DX, edx+20(FP)
+	RET
+
+// func xgetbv0() (eax, edx uint32)
+TEXT ·xgetbv0(SB), NOSPLIT, $0-8
+	XORL CX, CX
+	XGETBV
+	MOVL AX, eax+0(FP)
+	MOVL DX, edx+4(FP)
+	RET
+
+// func gemmKernel8x6(kc int, a, b []float64, c *float64, ldc int)
+//
+// 8×6 micro-kernel over packed panels. The C tile lives in 12 YMM
+// accumulators (two 4-wide vectors per column):
+//
+//	col j rows 0-3 → Y(4+2j), rows 4-7 → Y(5+2j)
+//
+// Per k step: two loads of the packed A 8-vector (Y0, Y1), six broadcasts
+// of packed B entries (alternating Y2/Y3), twelve FMAs. A panel entries are
+// 64 bytes apart per step, B panel entries 48 bytes.
+TEXT ·gemmKernel8x6(SB), NOSPLIT, $0-72
+	MOVQ kc+0(FP), CX
+	MOVQ a_base+8(FP), SI
+	MOVQ b_base+32(FP), DX
+	MOVQ c+56(FP), DI
+	MOVQ ldc+64(FP), R8
+	SHLQ $3, R8              // column stride in bytes
+
+	VXORPD Y4, Y4, Y4
+	VXORPD Y5, Y5, Y5
+	VXORPD Y6, Y6, Y6
+	VXORPD Y7, Y7, Y7
+	VXORPD Y8, Y8, Y8
+	VXORPD Y9, Y9, Y9
+	VXORPD Y10, Y10, Y10
+	VXORPD Y11, Y11, Y11
+	VXORPD Y12, Y12, Y12
+	VXORPD Y13, Y13, Y13
+	VXORPD Y14, Y14, Y14
+	VXORPD Y15, Y15, Y15
+
+	TESTQ CX, CX
+	JZ    accum
+
+kloop:
+	VMOVUPD      (SI), Y0
+	VMOVUPD      32(SI), Y1
+	VBROADCASTSD (DX), Y2
+	VFMADD231PD  Y0, Y2, Y4
+	VFMADD231PD  Y1, Y2, Y5
+	VBROADCASTSD 8(DX), Y3
+	VFMADD231PD  Y0, Y3, Y6
+	VFMADD231PD  Y1, Y3, Y7
+	VBROADCASTSD 16(DX), Y2
+	VFMADD231PD  Y0, Y2, Y8
+	VFMADD231PD  Y1, Y2, Y9
+	VBROADCASTSD 24(DX), Y3
+	VFMADD231PD  Y0, Y3, Y10
+	VFMADD231PD  Y1, Y3, Y11
+	VBROADCASTSD 32(DX), Y2
+	VFMADD231PD  Y0, Y2, Y12
+	VFMADD231PD  Y1, Y2, Y13
+	VBROADCASTSD 40(DX), Y3
+	VFMADD231PD  Y0, Y3, Y14
+	VFMADD231PD  Y1, Y3, Y15
+	ADDQ         $64, SI
+	ADDQ         $48, DX
+	DECQ         CX
+	JNZ          kloop
+
+accum:
+	// C[:, j] += accumulators, one column at a time.
+	VMOVUPD (DI), Y0
+	VADDPD  Y4, Y0, Y0
+	VMOVUPD Y0, (DI)
+	VMOVUPD 32(DI), Y1
+	VADDPD  Y5, Y1, Y1
+	VMOVUPD Y1, 32(DI)
+	ADDQ    R8, DI
+
+	VMOVUPD (DI), Y0
+	VADDPD  Y6, Y0, Y0
+	VMOVUPD Y0, (DI)
+	VMOVUPD 32(DI), Y1
+	VADDPD  Y7, Y1, Y1
+	VMOVUPD Y1, 32(DI)
+	ADDQ    R8, DI
+
+	VMOVUPD (DI), Y0
+	VADDPD  Y8, Y0, Y0
+	VMOVUPD Y0, (DI)
+	VMOVUPD 32(DI), Y1
+	VADDPD  Y9, Y1, Y1
+	VMOVUPD Y1, 32(DI)
+	ADDQ    R8, DI
+
+	VMOVUPD (DI), Y0
+	VADDPD  Y10, Y0, Y0
+	VMOVUPD Y0, (DI)
+	VMOVUPD 32(DI), Y1
+	VADDPD  Y11, Y1, Y1
+	VMOVUPD Y1, 32(DI)
+	ADDQ    R8, DI
+
+	VMOVUPD (DI), Y0
+	VADDPD  Y12, Y0, Y0
+	VMOVUPD Y0, (DI)
+	VMOVUPD 32(DI), Y1
+	VADDPD  Y13, Y1, Y1
+	VMOVUPD Y1, 32(DI)
+	ADDQ    R8, DI
+
+	VMOVUPD (DI), Y0
+	VADDPD  Y14, Y0, Y0
+	VMOVUPD Y0, (DI)
+	VMOVUPD 32(DI), Y1
+	VADDPD  Y15, Y1, Y1
+	VMOVUPD Y1, 32(DI)
+
+	VZEROUPPER
+	RET

@@ -1,0 +1,10 @@
+//go:build !amd64
+
+package linalg
+
+// Non-amd64 platforms always take the portable micro-kernel.
+const haveFMAKernel = false
+
+func gemmKernel8x6(kc int, a, b []float64, c *float64, ldc int) {
+	panic("linalg: assembly micro-kernel unavailable on this platform")
+}

@@ -195,6 +195,21 @@ func (m *Matrix) RowsGather(idx []int) *Matrix {
 	return out
 }
 
+// RowsGatherInto copies rows given by idx into dst, which must be
+// len(idx)×Cols. It is the allocation-free form of RowsGather.
+func (m *Matrix) RowsGatherInto(idx []int, dst *Matrix) {
+	if dst.Rows != len(idx) || dst.Cols != m.Cols {
+		panic("linalg: RowsGatherInto dimension mismatch")
+	}
+	for j := 0; j < m.Cols; j++ {
+		src := m.Col(j)
+		d := dst.Col(j)
+		for k, i := range idx {
+			d[k] = src[i]
+		}
+	}
+}
+
 // ColsGather copies columns given by idx into a new Rows×len(idx) matrix.
 func (m *Matrix) ColsGather(idx []int) *Matrix {
 	out := NewMatrix(m.Rows, len(idx))
