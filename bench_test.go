@@ -7,6 +7,7 @@ package gofmm
 // sampling) and micro-benchmarks of the linalg substrate.
 
 import (
+	"fmt"
 	"io"
 	"math/rand"
 	"os"
@@ -143,6 +144,34 @@ func BenchmarkMatvecOnly(b *testing.B) {
 	emitBenchRecord(b, b.Name(), nil, map[string]float64{
 		"eval_seconds": h.Stats.EvalTime, "eval_gflops": h.Stats.EvalFlops / h.Stats.EvalTime / 1e9,
 	})
+}
+
+// BenchmarkMatmatWidths sweeps the batched-evaluation block width on one
+// compressed operator: matvecs/sec should climb with r as the GEMM-shaped
+// passes amortize the traversal (repro pr4 gates the r=16 ratio in CI).
+func BenchmarkMatmatWidths(b *testing.B) {
+	p := experiments.GetProblem("K05", 2048, 1)
+	h, err := core.Compress(p.K, core.Config{
+		LeafSize: 128, MaxRank: 128, Tol: 1e-5, Budget: 0.03,
+		Distance: core.Angle, Exec: core.Sequential,
+		CacheBlocks: true, Seed: 1,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(3))
+	for _, r := range []int{1, 4, 16, 64} {
+		W := linalg.GaussianMatrix(rng, p.K.Dim(), r)
+		b.Run(fmt.Sprintf("r%d", r), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				h.Matmat(W)
+			}
+			b.StopTimer()
+			rate := float64(r) * float64(b.N) / b.Elapsed().Seconds()
+			b.ReportMetric(rate, "matvecs/s")
+			emitBenchRecord(b, b.Name(), nil, map[string]float64{"matvecs_per_sec": rate})
+		})
+	}
 }
 
 // --- Ablations ----------------------------------------------------------

@@ -72,6 +72,10 @@ func run(args []string, out io.Writer) error {
 		report    = fs.Bool("report", false, "print the telemetry phase/metric report after the run")
 		pprofAddr = fs.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060) for the run's duration")
 
+		batch       = fs.Int("batch", 0, "serve the r right-hand sides as this many concurrent clients through a coalescing BatchEvaluator (0 = direct block evaluation)")
+		batchWindow = fs.Duration("batch-window", 250*time.Microsecond, "BatchEvaluator coalescing window (max delay before a flush)")
+		batchMax    = fs.Int("batch-max", 32, "BatchEvaluator maximum columns per flush")
+
 		ranks   = fs.Int("ranks", 0, "run the matvec on a P-rank simulated distributed machine (0 = shared memory)")
 		timeout = fs.Duration("timeout", 0, "overall deadline for compression and evaluation (0 = none)")
 		degrade = fs.String("degrade", "truncate", "tolerance-miss policy: truncate|dense|strict")
@@ -259,6 +263,46 @@ func run(args []string, out io.Writer) error {
 			fmt.Fprintf(out, "  message faults: %d dropped, %d retries, %d bytes redelivered\n",
 				cs.Drops, cs.Retries, cs.RedeliveredBytes)
 		}
+	} else if *batch > 0 {
+		// Batch-serving demo: the r right-hand sides arrive as concurrent
+		// single-vector requests from *batch clients; the evaluator coalesces
+		// them into Matmat flushes. Results are scattered back into U so the
+		// accuracy report below covers the batched path.
+		ev := h.NewBatchEvaluator(core.BatchOptions{MaxBatch: *batchMax, MaxDelay: *batchWindow})
+		U = linalg.NewMatrix(dim, *r)
+		cols := make(chan int)
+		errCh := make(chan error, *batch)
+		t0 := time.Now()
+		for c := 0; c < *batch; c++ {
+			go func() {
+				for j := range cols {
+					w := linalg.NewMatrix(dim, 1)
+					copy(w.Col(0), W.Col(j))
+					u, rerr := ev.Matvec(ctx, w)
+					if rerr != nil {
+						errCh <- rerr
+						return
+					}
+					copy(U.Col(j), u.Col(0))
+				}
+				errCh <- nil
+			}()
+		}
+		for j := 0; j < *r; j++ {
+			cols <- j
+		}
+		close(cols)
+		for c := 0; c < *batch; c++ {
+			if cerr := <-errCh; cerr != nil {
+				ev.Close()
+				return cerr
+			}
+		}
+		ev.Close()
+		bs := ev.Stats()
+		fmt.Fprintf(out, "batched evaluation (%d clients, %d rhs): %.4fs, %d requests in %d flushes (%.1f req/flush)\n",
+			*batch, *r, time.Since(t0).Seconds(), bs.Requests, bs.Flushes,
+			float64(bs.Requests)/float64(max(bs.Flushes, 1)))
 	} else {
 		U, err = h.MatvecCtx(ctx, W)
 		if err != nil {

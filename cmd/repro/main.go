@@ -63,7 +63,7 @@ func cli(args []string, w io.Writer) error {
 	known := map[string]bool{"fig1": true, "fig2": true, "fig3": true, "fig4": true,
 		"fig5": true, "fig6": true, "fig7": true,
 		"table3": true, "table4": true, "table5": true, "scaling": true,
-		"pr3": true}
+		"pr3": true, "pr4": true}
 	run := func(name string) error {
 		fmt.Fprintf(w, "\n== %s ==\n", name)
 		var rows []experiments.Result
@@ -146,6 +146,19 @@ func cli(args []string, w io.Writer) error {
 				fmt.Fprintf(w, "wrote run record to %s\n", path)
 			}
 			return nil
+		case "pr4":
+			// Batched multi-RHS evaluation: Matmat vs looped Matvec throughput
+			// across block widths, and BatchEvaluator coalescing — feeds the
+			// CI gate requiring ≥3× matvecs/sec at r=16.
+			rr := pr4Bench(w, size(4096, 1024), *seed)
+			if *benchDir != "" {
+				path, err := rr.WriteBenchFile(*benchDir)
+				if err != nil {
+					return err
+				}
+				fmt.Fprintf(w, "wrote run record to %s\n", path)
+			}
+			return nil
 		case "scaling":
 			sizes := []int{512, 1024, 2048, 4096}
 			if *quick {
@@ -189,5 +202,5 @@ func cli(args []string, w io.Writer) error {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: repro <fig1|fig2|fig3|fig4|fig5|fig6|fig7|table3|table4|table5|scaling|pr3|all> [-n N] [-quick] [-seed S]`)
+	fmt.Fprintln(os.Stderr, `usage: repro <fig1|fig2|fig3|fig4|fig5|fig6|fig7|table3|table4|table5|scaling|pr3|pr4|all> [-n N] [-quick] [-seed S]`)
 }

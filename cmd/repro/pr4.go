@@ -1,0 +1,115 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"math/rand"
+	"sync"
+	"time"
+
+	"gofmm/internal/core"
+	"gofmm/internal/experiments"
+	"gofmm/internal/linalg"
+	"gofmm/internal/telemetry"
+	"gofmm/internal/workspace"
+)
+
+// pr4Bench measures the PR 4 batched evaluation path: matvecs/sec for block
+// widths r ∈ {1, 4, 16, 64} via one Matmat versus r looped single-vector
+// Matvec calls, plus the coalescing factor of the BatchEvaluator under
+// concurrent single-vector traffic. The headline gate metric is
+// batched_x_speedup_r16: Matmat at r=16 must deliver ≥3× the matvecs/sec of
+// 16 sequential Matvec calls (the GEMM-vs-GEMV shaped passes are where the
+// win comes from). Best-of-R wall-clock, same rationale as pr3Bench.
+func pr4Bench(w io.Writer, n int, seed int64) *telemetry.RunRecord {
+	rr := telemetry.NewRunRecord("pr4")
+	rr.Params["n"] = n
+	rr.Params["seed"] = seed
+
+	p := experiments.GetProblem("K02", n, seed)
+	cfg := core.Config{
+		LeafSize: 128, MaxRank: 128, Tol: 1e-5, Kappa: 32, Budget: 0.03,
+		Distance: core.Angle, Exec: core.Sequential, Seed: seed,
+		CacheBlocks: true, Workspace: workspace.New(),
+	}
+	h, err := core.Compress(p.K, cfg)
+	if err != nil {
+		fmt.Fprintln(w, err)
+		return rr
+	}
+	dim := p.K.Dim()
+	rng := rand.New(rand.NewSource(seed))
+
+	best := func(reps int, f func()) time.Duration {
+		f() // warm up caches and workspace pool
+		b := time.Duration(1 << 62)
+		for rep := 0; rep < reps; rep++ {
+			t0 := time.Now()
+			f()
+			if d := time.Since(t0); d < b {
+				b = d
+			}
+		}
+		return b
+	}
+
+	fmt.Fprintf(w, "%-4s %14s %14s %9s\n", "r", "looped mv/s", "batched mv/s", "speedup")
+	for _, r := range []int{1, 4, 16, 64} {
+		W := linalg.GaussianMatrix(rng, dim, r)
+		cols := make([]*linalg.Matrix, r)
+		for j := 0; j < r; j++ {
+			cols[j] = linalg.NewMatrix(dim, 1)
+			copy(cols[j].Col(0), W.Col(j))
+		}
+		looped := best(5, func() {
+			for j := 0; j < r; j++ {
+				h.Matvec(cols[j])
+			}
+		})
+		batched := best(5, func() { h.Matmat(W) })
+		loopedRate := float64(r) / looped.Seconds()
+		batchedRate := float64(r) / batched.Seconds()
+		speedup := batchedRate / loopedRate
+		rr.Metrics[fmt.Sprintf("looped_mvs_r%d", r)] = loopedRate
+		rr.Metrics[fmt.Sprintf("batched_mvs_r%d", r)] = batchedRate
+		rr.Metrics[fmt.Sprintf("batched_x_speedup_r%d", r)] = speedup
+		fmt.Fprintf(w, "%-4d %14.1f %14.1f %8.2fx\n", r, loopedRate, batchedRate, speedup)
+	}
+
+	// Coalescing under concurrent traffic: 32 clients each push 8
+	// single-vector requests through one BatchEvaluator; the flusher folds
+	// them into Matmat calls. Report the achieved requests-per-flush.
+	ev := h.NewBatchEvaluator(core.BatchOptions{MaxBatch: 32, MaxDelay: 500 * time.Microsecond})
+	defer ev.Close()
+	const clients, perClient = 32, 8
+	reqs := make([]*linalg.Matrix, clients)
+	for g := range reqs {
+		reqs[g] = linalg.GaussianMatrix(rng, dim, 1)
+	}
+	t0 := time.Now()
+	var wg sync.WaitGroup
+	for g := 0; g < clients; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for k := 0; k < perClient; k++ {
+				if _, err := ev.Matvec(context.Background(), reqs[g]); err != nil {
+					fmt.Fprintf(w, "batch request failed: %v\n", err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	elapsed := time.Since(t0)
+	st := ev.Stats()
+	factor := float64(st.Requests) / float64(st.Flushes)
+	rr.Metrics["coalesce_requests"] = float64(st.Requests)
+	rr.Metrics["coalesce_flushes"] = float64(st.Flushes)
+	rr.Metrics["coalesce_factor"] = factor
+	rr.Metrics["coalesce_mvs"] = float64(st.Requests) / elapsed.Seconds()
+	fmt.Fprintf(w, "coalescing: %d concurrent requests in %d flushes (%.1f req/flush), %.1f mv/s end-to-end\n",
+		st.Requests, st.Flushes, factor, float64(st.Requests)/elapsed.Seconds())
+	return rr
+}

@@ -75,7 +75,8 @@ type Bulk = core.Bulk
 type Config = core.Config
 
 // Hierarchical is a compressed SPD matrix K̃ = D + S + UV supporting fast
-// Matvec, error estimation, and structural inspection.
+// Matvec, batched multi-RHS Matmat, error estimation, and structural
+// inspection.
 type Hierarchical = core.Hierarchical
 
 // Stats aggregates per-phase times, flop counts, average skeleton rank and
@@ -308,6 +309,30 @@ func NewWorkspacePool() *WorkspacePool { return workspace.New() }
 // allocation in steady state. Close returns its buffers to the configured
 // workspace pool.
 type Evaluator = core.Evaluator
+
+// --- Batched evaluation --------------------------------------------------
+
+// BatchEvaluator coalesces concurrent single-vector Matvec requests from
+// many goroutines into Matmat calls: requests gather until
+// BatchOptions.MaxBatch right-hand sides are pending or the oldest request
+// has waited BatchOptions.MaxDelay, then one batched four-pass sweep serves
+// the whole window and each caller receives exactly its own columns (or a
+// typed error). Obtain one with Hierarchical.NewBatchEvaluator; Close stops
+// the background flusher after a final drain. See the README "Batched
+// evaluation" section for the window semantics.
+type BatchEvaluator = core.BatchEvaluator
+
+// BatchOptions configures a BatchEvaluator's coalescing window (max batch
+// width, max delay, queue capacity); the zero value picks serving-oriented
+// defaults.
+type BatchOptions = core.BatchOptions
+
+// BatchStats is a snapshot of a BatchEvaluator's coalescing counters
+// (requests, columns, flushes).
+type BatchStats = core.BatchStats
+
+// ErrEvaluatorClosed is returned by BatchEvaluator.Matvec after Close.
+var ErrEvaluatorClosed = core.ErrEvaluatorClosed
 
 // Counting wraps an SPD oracle with an entry-evaluation counter, the
 // currency of GOFMM's O(N log N) compression claim.

@@ -77,27 +77,35 @@ func (h *Hierarchical) Matvec(W *linalg.Matrix) *linalg.Matrix {
 // return ErrInvalidInput, the context is honoured between (and for the task
 // executors, within) the four phases, and a panic in any task body surfaces
 // as a *resilience.PanicError instead of escaping.
-func (h *Hierarchical) MatvecCtx(ctx context.Context, W *linalg.Matrix) (U *linalg.Matrix, err error) {
-	// Backstop: no panic escapes the public entry point.
+func (h *Hierarchical) MatvecCtx(ctx context.Context, W *linalg.Matrix) (*linalg.Matrix, error) {
+	return h.evalBlock(ctx, W, "matvec")
+}
+
+// evalBlock is the shared four-pass block evaluation behind MatvecCtx and
+// MatmatCtx: one symbolic traversal and one workspace scope serve the whole
+// n×r block, so the per-pass kernels are r-wide GEMMs. op names the
+// telemetry span and counters ("matvec" or "matmat").
+func (h *Hierarchical) evalBlock(ctx context.Context, W *linalg.Matrix, op string) (U *linalg.Matrix, err error) {
+	// Backstop: no panic escapes the public entry points.
 	defer func() {
 		if r := recover(); r != nil {
-			U, err = nil, &resilience.PanicError{Label: "matvec", Value: r, Stack: debug.Stack()}
+			U, err = nil, &resilience.PanicError{Label: op, Value: r, Stack: debug.Stack()}
 		}
 	}()
 	n := h.K.Dim()
 	if W == nil {
-		return nil, fmt.Errorf("%w: core: Matvec weights are nil", resilience.ErrInvalidInput)
+		return nil, fmt.Errorf("%w: core: %s weights are nil", resilience.ErrInvalidInput, op)
 	}
 	if W.Rows != n {
-		return nil, fmt.Errorf("%w: core: Matvec with %d rows, matrix dim %d",
-			resilience.ErrInvalidInput, W.Rows, n)
+		return nil, fmt.Errorf("%w: core: %s with %d rows, matrix dim %d",
+			resilience.ErrInvalidInput, op, W.Rows, n)
 	}
 	if err := resilience.FromContext(ctx); err != nil {
 		return nil, err
 	}
 	start := time.Now()
 	rec := h.Cfg.Telemetry
-	root := rec.StartSpan("matvec")
+	root := rec.StartSpan(op)
 	atomic.StoreInt64(&h.evalFlops, 0)
 	t := h.Tree
 	pool := h.Cfg.Workspace
@@ -160,9 +168,9 @@ func (h *Hierarchical) MatvecCtx(ctx context.Context, W *linalg.Matrix) (U *lina
 	}
 	h.Stats.EvalFlops = float64(atomic.LoadInt64(&h.evalFlops))
 	if rec != nil {
-		rec.Counter("matvec.calls").Add(1)
-		rec.Counter("matvec.flops").Add(atomic.LoadInt64(&h.evalFlops))
-		rec.Gauge("matvec.rhs").Set(float64(W.Cols))
+		rec.Counter(op + ".calls").Add(1)
+		rec.Counter(op + ".flops").Add(atomic.LoadInt64(&h.evalFlops))
+		rec.Gauge(op + ".rhs").Set(float64(W.Cols))
 	}
 	return U, nil
 }
@@ -414,18 +422,22 @@ func (h *Hierarchical) evalTasked(ctx context.Context, st *evalState, sp *teleme
 }
 
 // buildEvalGraph performs the symbolic traversal that discovers the RAW
-// dependencies of Algorithm 2.7 and returns the task DAG.
+// dependencies of Algorithm 2.7 and returns the task DAG. Task costs are
+// predicted wall-clock, not raw flops: sched.BatchedCost discounts fat-RHS
+// blocks by the GEMM efficiency they actually reach, so HEFT ranks a
+// coalesced r-wide task correctly against r single-vector ones.
 func (h *Hierarchical) buildEvalGraph(st *evalState) *sched.Graph {
 	t := h.Tree
 	g := sched.NewGraph()
 	r := float64(st.r)
 	m := float64(h.Cfg.LeafSize)
+	cost := func(flops float64) float64 { return sched.BatchedCost(flops, st.r) }
 	n2sTasks := make([]*sched.Task, len(t.Nodes))
 	s2nTasks := make([]*sched.Task, len(t.Nodes))
 	for id := len(t.Nodes) - 1; id >= 0; id-- {
 		id := id
 		s := float64(len(h.nodes[id].skel))
-		n2sTasks[id] = g.Add(fmt.Sprintf("N2S(%d)", id), 2*m*s*r, func(*sched.Ctx) { h.n2s(st, id) })
+		n2sTasks[id] = g.Add(fmt.Sprintf("N2S(%d)", id), cost(2*m*s*r), func(*sched.Ctx) { h.n2s(st, id) })
 		if !t.IsLeaf(id) {
 			g.AddDep(n2sTasks[t.Left(id)], n2sTasks[id])
 			g.AddDep(n2sTasks[t.Right(id)], n2sTasks[id])
@@ -436,7 +448,7 @@ func (h *Hierarchical) buildEvalGraph(st *evalState) *sched.Graph {
 		id := id
 		nd := &h.nodes[id]
 		s := float64(len(nd.skel))
-		s2sTasks[id] = g.Add(fmt.Sprintf("S2S(%d)", id), 2*s*s*r*float64(len(nd.far)+1), func(*sched.Ctx) { h.s2s(st, id) })
+		s2sTasks[id] = g.Add(fmt.Sprintf("S2S(%d)", id), cost(2*s*s*r*float64(len(nd.far)+1)), func(*sched.Ctx) { h.s2s(st, id) })
 		for _, alpha := range nd.far {
 			g.AddDep(n2sTasks[alpha], s2sTasks[id])
 		}
@@ -444,7 +456,7 @@ func (h *Hierarchical) buildEvalGraph(st *evalState) *sched.Graph {
 	for id := 0; id < len(t.Nodes); id++ {
 		id := id
 		s := float64(len(h.nodes[id].skel))
-		s2nTasks[id] = g.Add(fmt.Sprintf("S2N(%d)", id), 2*m*s*r, func(*sched.Ctx) { h.s2n(st, id) })
+		s2nTasks[id] = g.Add(fmt.Sprintf("S2N(%d)", id), cost(2*m*s*r), func(*sched.Ctx) { h.s2n(st, id) })
 		g.AddDep(s2sTasks[id], s2nTasks[id])
 		if p := t.Parent(id); p >= 0 {
 			g.AddDep(s2nTasks[p], s2nTasks[id])
@@ -462,7 +474,7 @@ func (h *Hierarchical) buildEvalGraph(st *evalState) *sched.Graph {
 	for li, beta := range t.Leaves() {
 		beta := beta
 		nd := &h.nodes[beta]
-		task := g.Add(fmt.Sprintf("L2L(%d)", beta), 2*m*m*r*float64(len(nd.near)), func(*sched.Ctx) { h.l2l(st, beta) })
+		task := g.Add(fmt.Sprintf("L2L(%d)", beta), cost(2*m*m*r*float64(len(nd.near))), func(*sched.Ctx) { h.l2l(st, beta) })
 		if len(accel) > 0 {
 			task.Affinity = accel[li%len(accel)]
 		}

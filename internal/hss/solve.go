@@ -253,11 +253,32 @@ func applyDiagSchur(sc *workspace.Scope, sl, sr, X *linalg.Matrix) *linalg.Matri
 	return out
 }
 
-// Solve returns x with K̃·x = B (multiple right-hand sides supported). The
-// returned matrix is always freshly allocated; all intermediate sweeps draw
-// from the workspace pool when one is configured.
+// Solve returns x with K̃·x = B (multiple right-hand sides supported: both
+// sweeps process all of B's columns as one block, so a multi-column solve
+// amortizes every small factor application the same way Matmat amortizes
+// the evaluation passes). The returned matrix is always freshly allocated;
+// all intermediate sweeps draw from the workspace pool when one is
+// configured. Solve is the legacy uncancellable entry point; it panics on
+// the errors SolveCtx would return.
 func (f *Factorization) Solve(B *linalg.Matrix) *linalg.Matrix {
+	X, err := f.SolveCtx(context.Background(), B)
+	if err != nil {
+		panic(err)
+	}
+	return X
+}
+
+// SolveCtx is Solve with cancellation (checked at every tree node of both
+// sweeps) and typed errors for invalid input.
+func (f *Factorization) SolveCtx(ctx context.Context, B *linalg.Matrix) (*linalg.Matrix, error) {
 	h := f.h
+	if B == nil {
+		return nil, fmt.Errorf("%w: hss: Solve right-hand side is nil", resilience.ErrInvalidInput)
+	}
+	if B.Rows != h.n {
+		return nil, fmt.Errorf("%w: hss: Solve with %d rows, matrix dim %d",
+			resilience.ErrInvalidInput, B.Rows, h.n)
+	}
 	defer h.Telemetry.StartSpan("hss.solve").End()
 	t := h.Tree
 	sc := h.Workspace.NewScope()
@@ -274,15 +295,19 @@ func (f *Factorization) Solve(B *linalg.Matrix) *linalg.Matrix {
 		if h.IPerm != nil {
 			X = X.RowsGather(h.IPerm)
 		}
-		return X
+		return X, nil
 	}
 	// Upward sweep: g_τ = Eᵀ D⁻¹ b (leaf);
 	// g_α = E_αᵀ (I − diag(S)·M⁻¹·C) g_lr (interior).
+	var err error
 	g := make([]*linalg.Matrix, len(t.Nodes))
 	dinvB := make([]*linalg.Matrix, len(t.Nodes)) // leaf D⁻¹ b, reused later
 	t.PostOrder(func(nd *tree.Node) {
 		id := nd.ID
-		if id == 0 {
+		if id == 0 || err != nil {
+			return
+		}
+		if err = resilience.FromContext(ctx); err != nil {
 			return
 		}
 		E := h.nodes[id].E
@@ -301,11 +326,17 @@ func (f *Factorization) Solve(B *linalg.Matrix) *linalg.Matrix {
 		tmp.AddScaled(-1, ds)
 		g[id] = linalg.MatMul(true, false, E, tmp)
 	})
+	if err != nil {
+		return nil, err
+	}
 	// Downward sweep: y_lr = M⁻¹ (C·g_lr + E_α·y_α).
 	y := make([]*linalg.Matrix, len(t.Nodes))
 	t.PreOrder(func(nd *tree.Node) {
 		id := nd.ID
-		if t.IsLeaf(id) {
+		if t.IsLeaf(id) || err != nil {
+			return
+		}
+		if err = resilience.FromContext(ctx); err != nil {
 			return
 		}
 		l, rr := t.Left(id), t.Right(id)
@@ -323,6 +354,9 @@ func (f *Factorization) Solve(B *linalg.Matrix) *linalg.Matrix {
 		y[l] = cloneInto(sc, rhs.View(0, 0, nl, r))
 		y[rr] = cloneInto(sc, rhs.View(nl, 0, rhs.Rows-nl, r))
 	})
+	if err != nil {
+		return nil, err
+	}
 	// Leaves: x = D⁻¹(b − E·y) = D⁻¹b − D⁻¹E·y.
 	X := linalg.NewMatrix(B.Rows, r)
 	for _, leaf := range t.Leaves() {
@@ -338,7 +372,7 @@ func (f *Factorization) Solve(B *linalg.Matrix) *linalg.Matrix {
 	if h.IPerm != nil {
 		X = X.RowsGather(h.IPerm)
 	}
-	return X
+	return X, nil
 }
 
 // reduceDown computes M⁻¹·C·g for node id.

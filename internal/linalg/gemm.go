@@ -28,8 +28,11 @@ const (
 	gemmNC = 1536 // B block: gemmKC×gemmNC upper bound, sized for L3
 
 	// gemmPackedMNK is the m·n·k product above which the packed path engages;
-	// below it the packing traffic is not amortized.
-	gemmPackedMNK = 64 * 1024
+	// below it the packing traffic is not amortized. The threshold is tuned
+	// for the batched-evaluation shapes (m, k ≈ skeleton size 32–128, n = the
+	// RHS block width): with edge tiles padded through the FMA kernel, packing
+	// pays for itself down to roughly 48×16×48.
+	gemmPackedMNK = 16 * 1024
 )
 
 // panelPool recycles packing buffers across Gemm calls (pointers so that
@@ -129,9 +132,24 @@ func gemmMacro(transA bool, A, C *Matrix, bp []float64, pc, jc, kcb, ncb, icLo, 
 				apan := (*ap)[pi*gemmMR*kcb:]
 				mrb := min(gemmMR, mcb-pi*gemmMR)
 				cOff := (jc+jr)*C.Stride + ic + pi*gemmMR
-				if mrb == gemmMR && nrb == gemmNR && haveFMAKernel {
+				switch {
+				case mrb == gemmMR && nrb == gemmNR && haveFMAKernel:
 					gemmKernel8x6(kcb, apan, bpan, &C.Data[cOff], C.Stride)
-				} else {
+				case haveFMAKernel:
+					// Edge tile: both panels are zero-padded to full size, so
+					// run the FMA kernel into a scratch tile and accumulate
+					// the live mrb×nrb corner — far cheaper than the scalar
+					// kernel for any non-trivial kc.
+					var tile [gemmMR * gemmNR]float64
+					gemmKernel8x6(kcb, apan, bpan, &tile[0], gemmMR)
+					for j := 0; j < nrb; j++ {
+						col := C.Data[cOff+j*C.Stride : cOff+j*C.Stride+mrb]
+						tj := tile[j*gemmMR:]
+						for q := range col {
+							col[q] += tj[q]
+						}
+					}
+				default:
 					gemmKernelGeneric(kcb, apan, bpan, C.Data[cOff:], C.Stride, mrb, nrb)
 				}
 			}

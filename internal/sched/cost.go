@@ -1,0 +1,42 @@
+package sched
+
+// Batched task costs for HEFT.
+//
+// The cost attached to a task is its *predicted wall-clock*, not its flop
+// count. For the evaluation passes the flop count grows linearly in the
+// number of right-hand sides r, but the achieved throughput does too (up to
+// a point): at r = 1 every pass is a GEMV and runs at memory bandwidth,
+// while a fat block turns the same pass into a GEMM that approaches the
+// register-tiled kernel's peak. HEFT ranks tasks by cost, so feeding it raw
+// flops would systematically over-prioritize batched tasks relative to how
+// long they actually take and distort the schedule exactly when batching
+// matters most.
+
+// gemvEfficiency is the measured throughput of the r = 1 (GEMV-shaped) pass
+// relative to saturated-GEMM throughput, and rhsSaturation is the block
+// width at which the kernels stop gaining from extra columns (the macro
+// kernel's full register-tile width is reached; see EXPERIMENTS.md,
+// "Hot-path kernel parameters").
+const (
+	gemvEfficiency = 0.25
+	rhsSaturation  = 16
+)
+
+// BatchEfficiency returns the relative throughput (0, 1] of a GEMM-shaped
+// evaluation task with an n×r right-hand-side block: gemvEfficiency at
+// r = 1, rising linearly until it saturates at 1 for r ≥ rhsSaturation.
+func BatchEfficiency(r int) float64 {
+	if r >= rhsSaturation {
+		return 1
+	}
+	if r < 1 {
+		r = 1
+	}
+	return gemvEfficiency + (1-gemvEfficiency)*float64(r-1)/float64(rhsSaturation-1)
+}
+
+// BatchedCost converts a task's flop count into a HEFT cost, discounting by
+// the throughput the kernels actually reach at block width r.
+func BatchedCost(flops float64, r int) float64 {
+	return flops / BatchEfficiency(r)
+}

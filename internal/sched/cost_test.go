@@ -1,0 +1,38 @@
+package sched
+
+import "testing"
+
+func TestBatchEfficiencyMonotone(t *testing.T) {
+	prev := 0.0
+	for r := 1; r <= 64; r++ {
+		e := BatchEfficiency(r)
+		if e <= 0 || e > 1 {
+			t.Fatalf("BatchEfficiency(%d) = %g, want in (0, 1]", r, e)
+		}
+		if e < prev {
+			t.Fatalf("BatchEfficiency(%d) = %g < BatchEfficiency(%d) = %g, want monotone", r, e, r-1, prev)
+		}
+		prev = e
+	}
+	if BatchEfficiency(rhsSaturation) != 1 || BatchEfficiency(1000) != 1 {
+		t.Fatalf("BatchEfficiency must saturate at 1 for r >= %d", rhsSaturation)
+	}
+	if BatchEfficiency(0) != BatchEfficiency(1) {
+		t.Fatalf("degenerate widths must clamp to r = 1")
+	}
+}
+
+func TestBatchedCostDiscountsFatBlocks(t *testing.T) {
+	// Same flop volume: one r=16 task vs sixteen r=1 tasks. The batched task
+	// must be predicted strictly cheaper — that prediction is why HEFT
+	// prefers coalesced work.
+	flops := 1e9
+	batched := BatchedCost(16*flops, 16)
+	looped := 16 * BatchedCost(flops, 1)
+	if batched >= looped {
+		t.Fatalf("batched cost %g should be below looped cost %g", batched, looped)
+	}
+	if got, want := BatchedCost(flops, 16), flops; got != want {
+		t.Fatalf("saturated cost = %g, want raw flops %g", got, want)
+	}
+}
