@@ -1,0 +1,157 @@
+// Command gofmmlint runs the repo's analyzer suite (internal/analysis) in
+// two modes:
+//
+//	gofmmlint ./...                      # standalone, over go list patterns
+//	go vet -vettool=$(which gofmmlint) ./...   # unitchecker, driven by cmd/go
+//
+// The vettool protocol (see $GOROOT/src/cmd/go/internal/work/exec.go) is:
+// `-V=full` prints an identity line cmd/go hashes into the build cache key,
+// `-flags` prints the tool's flag schema as JSON, and a per-package
+// invocation passes a *.cfg file describing the package; diagnostics go to
+// stderr and a nonzero exit marks findings. The tool must write the
+// VetxOutput facts file even when it has no facts, or cmd/go reports the
+// tool as failed.
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/token"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"gofmm/internal/analysis/load"
+	"gofmm/internal/analysis/suite"
+)
+
+// version participates in cmd/go's content hash for vet results: bump it
+// whenever analyzer behavior changes so stale cached verdicts are not
+// reused. The -V=full reply must have ≥3 fields with f[1]=="version" and
+// f[2] != "devel" (cmd/go/internal/work/buildid.go).
+const version = "gofmm-pr5"
+
+func main() {
+	args := os.Args[1:]
+	if len(args) == 1 {
+		switch {
+		case strings.HasPrefix(args[0], "-V"):
+			fmt.Printf("%s version %s\n", filepath.Base(os.Args[0]), version)
+			return
+		case args[0] == "-flags":
+			fmt.Println("[]")
+			return
+		}
+	}
+	if len(args) == 1 && strings.HasSuffix(args[0], ".cfg") {
+		os.Exit(unitcheck(args[0]))
+	}
+	os.Exit(standalone(args))
+}
+
+// standalone loads patterns (default ./...) via `go list -export` and
+// prints findings ourselves — no cmd/go driver required.
+func standalone(patterns []string) int {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	pkgs, err := load.Load(".", patterns...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "gofmmlint:", err)
+		return 1
+	}
+	found := 0
+	for _, pkg := range pkgs {
+		findings, err := suite.Run(pkg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "gofmmlint: %s: %v\n", pkg.ImportPath, err)
+			return 1
+		}
+		for _, f := range findings {
+			fmt.Fprintf(os.Stderr, "%s: %s (%s)\n", f.Position, f.Diagnostic.Message, f.Analyzer)
+			found++
+		}
+	}
+	if found > 0 {
+		fmt.Fprintf(os.Stderr, "gofmmlint: %d finding(s)\n", found)
+		return 2
+	}
+	return 0
+}
+
+// vetConfig mirrors the JSON cmd/go writes next to each package it vets.
+type vetConfig struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoVersion                 string
+	GoFiles                   []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	Standard                  map[string]bool
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+func unitcheck(cfgPath string) int {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "gofmmlint:", err)
+		return 1
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fmt.Fprintf(os.Stderr, "gofmmlint: parsing %s: %v\n", cfgPath, err)
+		return 1
+	}
+	// cmd/go demands the facts file exist afterwards, findings or not.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, []byte("gofmmlint has no facts\n"), 0o666); err != nil {
+			fmt.Fprintln(os.Stderr, "gofmmlint:", err)
+			return 1
+		}
+	}
+	if cfg.VetxOnly {
+		return 0 // dependency pass: cmd/go only wants exported facts
+	}
+	fset := token.NewFileSet()
+	imp := load.NewImporter(fset, func(path string) (string, bool) {
+		canonical := path
+		if c, ok := cfg.ImportMap[path]; ok {
+			canonical = c
+		}
+		f, ok := cfg.PackageFile[canonical]
+		return f, ok
+	})
+	files := make([]string, len(cfg.GoFiles))
+	for i, gf := range cfg.GoFiles {
+		if filepath.IsAbs(gf) {
+			files[i] = gf
+		} else {
+			files[i] = filepath.Join(cfg.Dir, gf)
+		}
+	}
+	pkg, err := load.Check(fset, imp, cfg.ImportPath, files, cfg.GoVersion)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0
+		}
+		fmt.Fprintf(os.Stderr, "gofmmlint: typechecking %s: %v\n", cfg.ImportPath, err)
+		return 1
+	}
+	pkg.Dir = cfg.Dir
+	findings, err := suite.Run(pkg)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "gofmmlint: %s: %v\n", cfg.ImportPath, err)
+		return 1
+	}
+	for _, f := range findings {
+		fmt.Fprintf(os.Stderr, "%s: %s (%s)\n", f.Position, f.Diagnostic.Message, f.Analyzer)
+	}
+	if len(findings) > 0 {
+		return 2
+	}
+	return 0
+}

@@ -1,0 +1,180 @@
+// Package ctxcheck enforces context discipline inside the internal/
+// packages: a function that accepts a ctx must thread it (or a context
+// derived from it) into every context-aware callee, and fresh roots
+// (context.Background / context.TODO) are confined to the documented legacy
+// bridges — `func X(...)` forwarding to `func XCtx(ctx, ...)`. A dropped
+// ctx turns cancellation and phase timeouts into dead code on that path,
+// which the resilience runtime suite only catches for the call chains it
+// exercises.
+package ctxcheck
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"gofmm/internal/analysis/framework"
+)
+
+var Analyzer = &framework.Analyzer{
+	Name: "ctxcheck",
+	Doc: "flag context.Background()/TODO() outside legacy bridges and ctx-aware calls " +
+		"that do not receive the caller's ctx",
+	Run: run,
+}
+
+func run(pass *framework.Pass) error {
+	for _, file := range pass.Syntax {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || pass.InTestFile(fd.Pos()) {
+				continue
+			}
+			checkFunc(pass, fd)
+		}
+	}
+	return nil
+}
+
+func checkFunc(pass *framework.Pass, fd *ast.FuncDecl) {
+	sig, _ := pass.TypesInfo.Defs[fd.Name].Type().(*types.Signature)
+	ctxParam, hasCtx := framework.HasContextParam(sig)
+	parents := framework.BuildParents(fd)
+
+	if !hasCtx {
+		// Rule 1: fresh context roots only in the legacy bridge position —
+		// passed directly to the function's own Ctx variant.
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || !isFreshRoot(pass, call) {
+				return true
+			}
+			if outer, ok := parents[call].(*ast.CallExpr); ok {
+				if callee := framework.CalleeFunc(pass.TypesInfo, outer); callee != nil &&
+					callee.Name() == fd.Name.Name+"Ctx" {
+					return true // documented legacy bridge: X forwards to XCtx
+				}
+			}
+			pass.Reportf(call.Pos(),
+				"%s in internal package: accept a ctx parameter or forward through the Ctx variant",
+				types.ExprString(call.Fun)+"()")
+			return true
+		})
+		return
+	}
+
+	// Rule 2a: a function that was handed a ctx must not mint fresh roots.
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || !isFreshRoot(pass, call) {
+			return true
+		}
+		pass.Reportf(call.Pos(),
+			"%s drops the caller's ctx %q; derive from it instead (context.WithTimeout, ...)",
+			types.ExprString(call.Fun)+"()", ctxParam.Name())
+		return true
+	})
+
+	// Rule 2b: every context-aware callee gets the ctx param or a context
+	// derived from it.
+	derived := derivedSet(pass, fd, ctxParam)
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || len(call.Args) == 0 {
+			return true
+		}
+		callee := framework.CalleeFunc(pass.TypesInfo, call)
+		if callee == nil {
+			return true
+		}
+		calleeSig, _ := callee.Type().(*types.Signature)
+		if _, aware := framework.HasContextParam(calleeSig); !aware {
+			return true
+		}
+		arg := ast.Unparen(call.Args[0])
+		if argCall, ok := arg.(*ast.CallExpr); ok && isFreshRoot(pass, argCall) {
+			return true // already reported by rule 2a
+		}
+		if id, ok := arg.(*ast.Ident); ok {
+			obj := framework.ObjectOf(pass.TypesInfo, id)
+			if obj != nil && !derived[obj] {
+				pass.Reportf(call.Pos(),
+					"call to ctx-aware %s passes %q, which does not derive from the caller's ctx %q",
+					callee.Name(), id.Name, ctxParam.Name())
+			}
+		}
+		return true
+	})
+
+	// Rule 2c: an exported ...Ctx function must actually use its ctx.
+	if fd.Name.IsExported() && strings.HasSuffix(fd.Name.Name, "Ctx") && ctxParam.Name() != "_" {
+		used := false
+		for id, obj := range pass.TypesInfo.Uses {
+			if obj == ctxParam && id.Pos() > fd.Body.Pos() && id.Pos() < fd.Body.End() {
+				used = true
+				break
+			}
+		}
+		if !used {
+			pass.Reportf(fd.Name.Pos(),
+				"exported %s never uses its ctx parameter %q: cancellation is dead code on this path",
+				fd.Name.Name, ctxParam.Name())
+		}
+	}
+}
+
+// isFreshRoot reports context.Background() / context.TODO().
+func isFreshRoot(pass *framework.Pass, call *ast.CallExpr) bool {
+	return framework.IsPkgFunc(pass.TypesInfo, call, "context", "Background") ||
+		framework.IsPkgFunc(pass.TypesInfo, call, "context", "TODO")
+}
+
+// derivedSet computes, to a fixpoint, the set of variables in fd holding
+// the ctx param or a context derived from it: any variable assigned from a
+// call or expression that mentions a derived variable (covers
+// context.WithTimeout(ctx, d) and m.phaseCtx(ctx) multi-assignment alike).
+// Context-typed closure parameters are also admitted: the value they carry
+// is the caller's at each call site, which rule 2b checks there.
+func derivedSet(pass *framework.Pass, fd *ast.FuncDecl, ctxParam *types.Var) map[types.Object]bool {
+	derived := map[types.Object]bool{ctxParam: true}
+	for {
+		grew := false
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			switch nn := n.(type) {
+			case *ast.AssignStmt:
+				mentions := false
+				for _, rhs := range nn.Rhs {
+					ast.Inspect(rhs, func(m ast.Node) bool {
+						if id, ok := m.(*ast.Ident); ok {
+							if obj := framework.ObjectOf(pass.TypesInfo, id); obj != nil && derived[obj] {
+								mentions = true
+							}
+						}
+						return true
+					})
+				}
+				if !mentions {
+					return true
+				}
+				for _, lhs := range nn.Lhs {
+					obj := framework.ObjectOf(pass.TypesInfo, lhs)
+					if obj != nil && !derived[obj] && framework.IsContextType(obj.Type()) {
+						derived[obj] = true
+						grew = true
+					}
+				}
+			case *ast.FuncLit:
+				if sig, ok := pass.TypesInfo.Types[nn].Type.(*types.Signature); ok {
+					if p, ok := framework.HasContextParam(sig); ok && !derived[p] {
+						derived[p] = true
+						grew = true
+					}
+				}
+			}
+			return true
+		})
+		if !grew {
+			return derived
+		}
+	}
+}

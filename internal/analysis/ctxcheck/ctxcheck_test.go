@@ -1,0 +1,12 @@
+package ctxcheck_test
+
+import (
+	"testing"
+
+	"gofmm/internal/analysis/analyzertest"
+	"gofmm/internal/analysis/ctxcheck"
+)
+
+func TestCtxCheck(t *testing.T) {
+	analyzertest.Run(t, analyzertest.TestData(), ctxcheck.Analyzer, "ctxcheck")
+}

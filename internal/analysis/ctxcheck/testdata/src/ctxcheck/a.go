@@ -1,0 +1,93 @@
+// Package ctxcheck is the golden fixture for the ctxcheck analyzer.
+package ctxcheck
+
+import (
+	"context"
+	"time"
+)
+
+func doWork(ctx context.Context) error {
+	<-ctx.Done()
+	return nil
+}
+
+func run(ctx context.Context, f func(context.Context) error) error {
+	return f(ctx)
+}
+
+// LegacyCtx is the ctx-aware variant behind the legacy bridge below.
+func LegacyCtx(ctx context.Context) error { return doWork(ctx) }
+
+// Legacy forwards through its own Ctx variant: the one sanctioned use of a
+// fresh root in a ctx-less function.
+func Legacy() error {
+	return LegacyCtx(context.Background())
+}
+
+// A ctx-less function handing a fresh root to an unrelated callee: flagged.
+func Orphan() error {
+	return doWork(context.Background()) // want `context\.Background\(\) in internal package`
+}
+
+// TODO is no better than Background here: flagged.
+func OrphanTODO() error {
+	return doWork(context.TODO()) // want `context\.TODO\(\) in internal package`
+}
+
+// Threading the caller's ctx straight through: clean.
+func Threads(ctx context.Context) error {
+	return doWork(ctx)
+}
+
+// Deriving a child context before passing it on: clean.
+func Derives(ctx context.Context) error {
+	sub, cancel := context.WithTimeout(ctx, time.Second)
+	defer cancel()
+	return doWork(sub)
+}
+
+// Multi-assignment through a helper still derives: clean.
+func phaseCtx(ctx context.Context) (context.Context, context.CancelFunc) {
+	return context.WithCancel(ctx)
+}
+
+func DerivesViaHelper(ctx context.Context) error {
+	upCtx, upCancel := phaseCtx(ctx)
+	defer upCancel()
+	return doWork(upCtx)
+}
+
+// A function that was handed a ctx must not mint a fresh root: flagged.
+func Drops(ctx context.Context) error {
+	return doWork(context.Background()) // want `context\.Background\(\) drops the caller's ctx "ctx"`
+}
+
+var staleCtx context.Context
+
+// Passing a context unrelated to the caller's: flagged.
+func Stale(ctx context.Context) error {
+	saved := staleCtx
+	return doWork(saved) // want `passes "saved", which does not derive from the caller's ctx "ctx"`
+}
+
+// Context-typed closure parameters carry the caller's ctx per call site:
+// clean here, checked at each call.
+func Closure(ctx context.Context) error {
+	return run(ctx, func(c context.Context) error {
+		return doWork(c)
+	})
+}
+
+type sink struct{ buf []byte }
+
+func (s *sink) flush() error { return nil }
+
+// FlushCtx advertises ctx-awareness but never consumes it: flagged.
+func (s *sink) FlushCtx(ctx context.Context) error { // want `exported FlushCtx never uses its ctx parameter "ctx"`
+	return s.flush()
+}
+
+// DrainCtx explicitly opts out with the blank name: clean.
+func (s *sink) DrainCtx(_ context.Context) error {
+	return s.flush()
+}

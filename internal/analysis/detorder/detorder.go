@@ -1,0 +1,154 @@
+// Package detorder flags `range` loops over maps whose bodies feed
+// order-sensitive numeric state: appending to a slice that outlives the
+// loop, or accumulating into floating-point variables. Go randomizes map
+// iteration order per run, so such loops make results differ between
+// otherwise identical executions — exactly the class of bug the PR 4
+// bit-identical determinism golden test exists to catch at runtime, except
+// the runtime test only sees the configurations it happens to run. Loops
+// whose collected slice is sorted afterwards in the same function are
+// recognized as the standard collect-then-sort idiom and not flagged.
+package detorder
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"gofmm/internal/analysis/framework"
+)
+
+var Analyzer = &framework.Analyzer{
+	Name: "detorder",
+	Doc: "flag map iteration feeding order-sensitive numeric state (float accumulation, " +
+		"slice append) in the deterministic numeric packages",
+	Run: run,
+}
+
+func run(pass *framework.Pass) error {
+	for _, file := range pass.Syntax {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || pass.InTestFile(fd.Pos()) {
+				continue
+			}
+			checkFunc(pass, fd)
+		}
+	}
+	return nil
+}
+
+func checkFunc(pass *framework.Pass, fd *ast.FuncDecl) {
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		rs, ok := n.(*ast.RangeStmt)
+		if !ok {
+			return true
+		}
+		tv, ok := pass.TypesInfo.Types[rs.X]
+		if !ok {
+			return true
+		}
+		if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+			return true
+		}
+		checkMapRange(pass, fd, rs)
+		return true
+	})
+}
+
+func checkMapRange(pass *framework.Pass, fd *ast.FuncDecl, rs *ast.RangeStmt) {
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		switch as.Tok {
+		case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN, token.QUO_ASSIGN:
+			for _, lhs := range as.Lhs {
+				if isFloat(pass, lhs) && declaredOutside(pass, lhs, rs) {
+					pass.Reportf(as.Pos(),
+						"floating-point accumulation into %s inside map iteration is "+
+							"nondeterministic (map order varies per run); iterate sorted keys",
+						types.ExprString(lhs))
+				}
+			}
+		case token.ASSIGN, token.DEFINE:
+			for i, rhs := range as.Rhs {
+				if i >= len(as.Lhs) {
+					break
+				}
+				call, ok := ast.Unparen(rhs).(*ast.CallExpr)
+				if !ok || !isBuiltinAppend(pass, call) {
+					continue
+				}
+				lhs := as.Lhs[i]
+				if !declaredOutside(pass, lhs, rs) {
+					continue
+				}
+				if obj := framework.ObjectOf(pass.TypesInfo, lhs); obj != nil && sortedAfter(pass, fd, rs, obj) {
+					continue // collect-then-sort idiom
+				}
+				pass.Reportf(as.Pos(),
+					"append to %s inside map iteration is nondeterministic (map order "+
+						"varies per run); sort the collected slice or iterate sorted keys",
+					types.ExprString(lhs))
+			}
+		}
+		return true
+	})
+}
+
+func isFloat(pass *framework.Pass, e ast.Expr) bool {
+	tv, ok := pass.TypesInfo.Types[e]
+	if !ok {
+		return false
+	}
+	b, ok := tv.Type.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}
+
+// declaredOutside reports whether the lvalue outlives the range body: a
+// variable declared before the loop, or any selector/index lvalue (which
+// reaches state owned elsewhere).
+func declaredOutside(pass *framework.Pass, lhs ast.Expr, rs *ast.RangeStmt) bool {
+	if id, ok := ast.Unparen(lhs).(*ast.Ident); ok {
+		obj := framework.ObjectOf(pass.TypesInfo, id)
+		return obj != nil && obj.Pos() < rs.Pos()
+	}
+	return true // x.f, x[i]: state that outlives the loop
+}
+
+func isBuiltinAppend(pass *framework.Pass, call *ast.CallExpr) bool {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	_, isBuiltin := pass.TypesInfo.Uses[id].(*types.Builtin)
+	return isBuiltin && id.Name == "append"
+}
+
+// sortedAfter reports whether obj is passed to a sort.* / slices.Sort* call
+// positioned after the range loop in the same function — the deterministic
+// collect-then-sort idiom.
+func sortedAfter(pass *framework.Pass, fd *ast.FuncDecl, rs *ast.RangeStmt, obj types.Object) bool {
+	found := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < rs.End() || found {
+			return true
+		}
+		fn := framework.CalleeFunc(pass.TypesInfo, call)
+		if fn == nil || fn.Pkg() == nil {
+			return true
+		}
+		if p := fn.Pkg().Path(); p != "sort" && p != "slices" {
+			return true
+		}
+		for _, arg := range call.Args {
+			if framework.ObjectOf(pass.TypesInfo, arg) == obj {
+				found = true
+			}
+		}
+		return true
+	})
+	return found
+}

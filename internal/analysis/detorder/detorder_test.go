@@ -1,0 +1,12 @@
+package detorder_test
+
+import (
+	"testing"
+
+	"gofmm/internal/analysis/analyzertest"
+	"gofmm/internal/analysis/detorder"
+)
+
+func TestDetOrder(t *testing.T) {
+	analyzertest.Run(t, analyzertest.TestData(), detorder.Analyzer, "detorder")
+}

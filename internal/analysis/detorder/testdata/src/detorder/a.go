@@ -1,0 +1,84 @@
+// Package detorder is the golden fixture for the detorder analyzer.
+package detorder
+
+import "sort"
+
+// Appending map keys without sorting: flagged.
+func CollectUnsorted(votes map[int]int) []int {
+	var out []int
+	for k := range votes {
+		out = append(out, k) // want `append to out inside map iteration is nondeterministic`
+	}
+	return out
+}
+
+// The collect-then-sort idiom: clean.
+func CollectSorted(votes map[int]int) []int {
+	var out []int
+	for k := range votes {
+		out = append(out, k)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// sort.Slice with a comparator also counts: clean.
+func CollectSortSlice(votes map[int]int) []int {
+	cand := make([]int, 0, len(votes))
+	for leaf := range votes {
+		cand = append(cand, leaf)
+	}
+	sort.Slice(cand, func(a, b int) bool { return cand[a] < cand[b] })
+	return cand
+}
+
+// Float accumulation over a map is order-sensitive (FP addition does not
+// commute in rounding): flagged.
+func SumWeights(w map[string]float64) float64 {
+	var total float64
+	for _, v := range w {
+		total += v // want `floating-point accumulation into total inside map iteration`
+	}
+	return total
+}
+
+// Appending to state reached through a selector: flagged (the caller may
+// never sort it).
+type node struct{ far []int }
+
+type tree struct{ nodes []node }
+
+func (t *tree) MergeCommon(alpha int, common map[int]bool) {
+	for a := range common {
+		t.nodes[alpha].far = append(t.nodes[alpha].far, a) // want `append to t\.nodes\[alpha\]\.far inside map iteration`
+	}
+}
+
+// Integer accumulation commutes exactly: clean.
+func CountVotes(votes map[int]int) int {
+	n := 0
+	for _, v := range votes {
+		n += v
+	}
+	return n
+}
+
+// A slice declared inside the loop body dies each iteration: clean.
+func PerKeyScratch(m map[int][]float64) int {
+	total := 0
+	for _, vs := range m {
+		var scratch []float64
+		scratch = append(scratch, vs...)
+		total += len(scratch)
+	}
+	return total
+}
+
+// Ranging over a slice is ordered: clean.
+func SumSlice(xs []float64) float64 {
+	var total float64
+	for _, v := range xs {
+		total += v
+	}
+	return total
+}

@@ -1,0 +1,184 @@
+// Package errtaxonomy flags error values that would cross the internal/ →
+// public gofmm boundary without carrying the resilience error taxonomy:
+// a `return errors.New(...)` or a `return fmt.Errorf(...)` whose format
+// wraps nothing (`%w` absent) inside an exported function of an internal
+// package. Callers of the public API dispatch on the taxonomy with
+// errors.Is (ErrInvalidInput, ErrTolerance, ...); an untyped error at the
+// boundary silently breaks that dispatch, which the resilience runtime
+// tests only notice for the paths they happen to exercise. Package-level
+// sentinel declarations (the taxonomy itself) are untouched: only returns
+// are checked.
+//
+// When the format already renders an error with %v, the fix is mechanical
+// (%v → %w) and is attached as a suggested fix.
+package errtaxonomy
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strconv"
+	"strings"
+
+	"gofmm/internal/analysis/framework"
+)
+
+var Analyzer = &framework.Analyzer{
+	Name: "errtaxonomy",
+	Doc: "flag untyped errors returned from exported functions of internal packages; " +
+		"boundary errors must wrap a resilience sentinel with %w",
+	Run: run,
+}
+
+func run(pass *framework.Pass) error {
+	for _, file := range pass.Syntax {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !fd.Name.IsExported() {
+				continue
+			}
+			if pass.InTestFile(fd.Pos()) {
+				continue
+			}
+			checkFunc(pass, fd)
+		}
+	}
+	return nil
+}
+
+// checkFunc flags untyped error constructions that reach a return statement
+// of fd, either directly (`return errors.New(...)`) or through a local
+// variable assigned exactly once.
+func checkFunc(pass *framework.Pass, fd *ast.FuncDecl) {
+	// singleAssign[v] = the flaggable call assigned to local v, when v has
+	// exactly one assignment in the function.
+	assignCount := map[types.Object]int{}
+	singleAssign := map[types.Object]*ast.CallExpr{}
+	reported := map[*ast.CallExpr]bool{}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != len(as.Rhs) {
+			return true
+		}
+		for i, lhs := range as.Lhs {
+			obj := framework.ObjectOf(pass.TypesInfo, lhs)
+			if obj == nil {
+				continue
+			}
+			assignCount[obj]++
+			if call, ok := ast.Unparen(as.Rhs[i]).(*ast.CallExpr); ok && classify(pass, call) != "" {
+				singleAssign[obj] = call
+			}
+		}
+		return true
+	})
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if fl, ok := n.(*ast.FuncLit); ok && fl != nil {
+			// Closures often feed errgroup-style machinery, not the public
+			// boundary; returns inside them are out of scope.
+			return false
+		}
+		ret, ok := n.(*ast.ReturnStmt)
+		if !ok {
+			return true
+		}
+		for _, res := range ret.Results {
+			var call *ast.CallExpr
+			switch e := ast.Unparen(res).(type) {
+			case *ast.CallExpr:
+				call = e
+			case *ast.Ident:
+				if obj := framework.ObjectOf(pass.TypesInfo, e); obj != nil && assignCount[obj] == 1 {
+					call = singleAssign[obj]
+				}
+			}
+			if call != nil && !reported[call] {
+				reported[call] = true
+				report(pass, fd, call)
+			}
+		}
+		return true
+	})
+}
+
+// classify returns a non-empty kind when call constructs an untyped error:
+// "errors.New" or "fmt.Errorf" (without %w).
+func classify(pass *framework.Pass, call *ast.CallExpr) string {
+	if framework.IsPkgFunc(pass.TypesInfo, call, "errors", "New") {
+		return "errors.New"
+	}
+	if framework.IsPkgFunc(pass.TypesInfo, call, "fmt", "Errorf") {
+		if format, ok := formatLiteral(call); ok && !strings.Contains(format, "%w") {
+			return "fmt.Errorf"
+		}
+	}
+	return ""
+}
+
+func formatLiteral(call *ast.CallExpr) (string, bool) {
+	if len(call.Args) == 0 {
+		return "", false
+	}
+	lit, ok := ast.Unparen(call.Args[0]).(*ast.BasicLit)
+	if !ok || lit.Kind != token.STRING {
+		return "", false
+	}
+	s, err := strconv.Unquote(lit.Value)
+	if err != nil {
+		return "", false
+	}
+	return s, true
+}
+
+func report(pass *framework.Pass, fd *ast.FuncDecl, call *ast.CallExpr) {
+	kind := classify(pass, call)
+	if kind == "" {
+		return
+	}
+	d := framework.Diagnostic{
+		Pos: call.Pos(),
+		End: call.End(),
+		Message: kind + " returned from exported " + fd.Name.Name +
+			" crosses the internal/ boundary untyped; wrap a resilience sentinel with %w",
+	}
+	if fix, ok := vToWFix(pass, call); ok {
+		d.SuggestedFixes = []framework.SuggestedFix{fix}
+	}
+	pass.Report(d)
+}
+
+// vToWFix upgrades fmt.Errorf("... %v ...", err) to %w when the format has
+// exactly one %v and exactly one argument of type error — the only case
+// where the rewrite is unambiguous.
+func vToWFix(pass *framework.Pass, call *ast.CallExpr) (framework.SuggestedFix, bool) {
+	if !framework.IsPkgFunc(pass.TypesInfo, call, "fmt", "Errorf") {
+		return framework.SuggestedFix{}, false
+	}
+	format, ok := formatLiteral(call)
+	if !ok || strings.Count(format, "%v") != 1 {
+		return framework.SuggestedFix{}, false
+	}
+	errArgs := 0
+	for _, a := range call.Args[1:] {
+		if tv, ok := pass.TypesInfo.Types[a]; ok && isErrorType(tv.Type) {
+			errArgs++
+		}
+	}
+	if errArgs != 1 {
+		return framework.SuggestedFix{}, false
+	}
+	lit := ast.Unparen(call.Args[0]).(*ast.BasicLit)
+	fixed := strings.Replace(lit.Value, "%v", "%w", 1)
+	return framework.SuggestedFix{
+		Message: "wrap the error operand with %w instead of flattening it with %v",
+		TextEdits: []framework.TextEdit{{
+			Pos:     lit.Pos(),
+			End:     lit.End(),
+			NewText: []byte(fixed),
+		}},
+	}, true
+}
+
+func isErrorType(t types.Type) bool {
+	return types.AssignableTo(t, types.Universe.Lookup("error").Type())
+}

@@ -1,0 +1,12 @@
+package errtaxonomy_test
+
+import (
+	"testing"
+
+	"gofmm/internal/analysis/analyzertest"
+	"gofmm/internal/analysis/errtaxonomy"
+)
+
+func TestErrTaxonomy(t *testing.T) {
+	analyzertest.Run(t, analyzertest.TestData(), errtaxonomy.Analyzer, "errtaxonomy")
+}

@@ -1,0 +1,70 @@
+// Package errtaxonomy is the golden fixture for the errtaxonomy analyzer.
+package errtaxonomy
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrSentinel is a package-level sentinel: the taxonomy itself, never
+// flagged (only returns are checked).
+var ErrSentinel = errors.New("errtaxonomy: sentinel")
+
+// Exported returning a bare errors.New: flagged.
+func Open(name string) error {
+	if name == "" {
+		return errors.New("empty name") // want `errors\.New returned from exported Open crosses the internal/ boundary untyped`
+	}
+	return nil
+}
+
+// Exported returning fmt.Errorf with no %w: flagged.
+func Parse(n int) error {
+	if n < 0 {
+		return fmt.Errorf("negative count %d", n) // want `fmt\.Errorf returned from exported Parse crosses the internal/ boundary untyped`
+	}
+	return nil
+}
+
+// The untyped error can hide behind a single-assignment local: flagged at
+// the construction site.
+func Indirect() error {
+	err := errors.New("indirect") // want `errors\.New returned from exported Indirect`
+	return err
+}
+
+// Wrapping a sentinel with %w is the taxonomy-correct form: clean.
+func Wrapped(n int) error {
+	if n < 0 {
+		return fmt.Errorf("%w: negative count %d", ErrSentinel, n)
+	}
+	return nil
+}
+
+// Unexported helpers wrap at the boundary, not here: clean.
+func helper() error {
+	return errors.New("internal detail")
+}
+
+// Reassigned locals are not tracked (the second assignment may wrap): clean.
+func Reassigned() error {
+	err := errors.New("first")
+	err = fmt.Errorf("%w: wrapped", err)
+	return err
+}
+
+// Propagating a callee's error verbatim: clean.
+func Propagate() error {
+	if err := helper(); err != nil {
+		return err
+	}
+	return nil
+}
+
+// Returns inside closures do not cross the public boundary: clean.
+func WithClosure() error {
+	f := func() error { return errors.New("inside closure") }
+	return nilOr(f())
+}
+
+func nilOr(err error) error { return nil }

@@ -1,0 +1,21 @@
+package errtaxonomy
+
+import "fmt"
+
+// Flattening an error with %v severs the Is/As chain; the fix upgrades the
+// verb to %w mechanically.
+func Flattened() error {
+	if err := helper(); err != nil {
+		return fmt.Errorf("flattened cause: %v", err) // want `fmt\.Errorf returned from exported Flattened`
+	}
+	return nil
+}
+
+// Two error operands make the rewrite ambiguous: flagged, but no fix.
+func TwoCauses() error {
+	e1, e2 := helper(), helper()
+	if e1 != nil {
+		return fmt.Errorf("both failed: %v and %s", e1, e2) // want `fmt\.Errorf returned from exported TwoCauses`
+	}
+	return nil
+}

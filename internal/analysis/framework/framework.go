@@ -1,0 +1,87 @@
+// Package framework is a minimal, dependency-free reimplementation of the
+// golang.org/x/tools/go/analysis core: an Analyzer runs over one
+// type-checked package (a Pass) and reports position-anchored Diagnostics,
+// optionally carrying mechanical SuggestedFixes. The repository cannot
+// vendor x/tools (the build is fully offline), so this package mirrors the
+// subset of the upstream API the gofmmlint suite needs; if x/tools ever
+// becomes available the analyzers port by changing one import line.
+package framework
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// An Analyzer is one static check: a name (used in diagnostics and ignore
+// directives), one-paragraph documentation, and a Run function invoked once
+// per package.
+type Analyzer struct {
+	Name string
+	Doc  string
+	Run  func(*Pass) error
+}
+
+// A Pass presents one type-checked package to an analyzer. Syntax holds the
+// parsed files (test files included when the driver was given them), and
+// TypesInfo is fully populated (Types, Defs, Uses, Selections, Scopes).
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Syntax    []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	// Report delivers one diagnostic. The driver installs it.
+	Report func(Diagnostic)
+}
+
+// A Diagnostic is one finding, anchored at Pos (End optional).
+type Diagnostic struct {
+	Pos            token.Pos
+	End            token.Pos
+	Message        string
+	SuggestedFixes []SuggestedFix
+}
+
+// A SuggestedFix is a mechanical rewrite that resolves the diagnostic.
+type SuggestedFix struct {
+	Message   string
+	TextEdits []TextEdit
+}
+
+// A TextEdit replaces the source in [Pos, End) with NewText.
+type TextEdit struct {
+	Pos     token.Pos
+	End     token.Pos
+	NewText []byte
+}
+
+// Reportf reports a formatted diagnostic at pos with no fix.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// InTestFile reports whether pos lies in a _test.go file. The gofmmlint
+// invariants guard production code; tests deliberately violate several of
+// them (open spans, context.Background, unreleased scopes) as fixtures.
+func (p *Pass) InTestFile(pos token.Pos) bool {
+	f := p.Fset.File(pos)
+	return f != nil && strings.HasSuffix(f.Name(), "_test.go")
+}
+
+// NewInfo returns a types.Info with every map the analyzers consult
+// allocated. Drivers pass it to types.Config.Check.
+func NewInfo() *types.Info {
+	return &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Implicits:  map[ast.Node]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Scopes:     map[ast.Node]*types.Scope{},
+		Instances:  map[*ast.Ident]types.Instance{},
+	}
+}

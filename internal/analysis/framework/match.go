@@ -1,0 +1,108 @@
+package framework
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// CalleeFunc resolves a call expression to the *types.Func it invokes, or
+// nil for calls through function-typed variables, conversions, and builtins.
+func CalleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, _ := info.Uses[id].(*types.Func)
+	return fn
+}
+
+// IsMethod reports whether call invokes a method named methodName whose
+// receiver is (a pointer to) a named type recvType defined in a package
+// named pkgName. Matching is by package *name*, not full path, so analyzer
+// golden tests can exercise stub packages that mimic the real API.
+func IsMethod(info *types.Info, call *ast.CallExpr, pkgName, recvType, methodName string) bool {
+	fn := CalleeFunc(info, call)
+	if fn == nil || fn.Name() != methodName {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	named := namedOf(sig.Recv().Type())
+	if named == nil {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == recvType && obj.Pkg() != nil && obj.Pkg().Name() == pkgName
+}
+
+// IsPkgFunc reports whether call invokes a package-level function funcName
+// from a package whose path is pkgPath (exact; used for stdlib packages).
+func IsPkgFunc(info *types.Info, call *ast.CallExpr, pkgPath, funcName string) bool {
+	fn := CalleeFunc(info, call)
+	if fn == nil || fn.Name() != funcName {
+		return false
+	}
+	sig, _ := fn.Type().(*types.Signature)
+	if sig != nil && sig.Recv() != nil {
+		return false
+	}
+	return fn.Pkg() != nil && fn.Pkg().Path() == pkgPath
+}
+
+// namedOf unwraps pointers and aliases down to the *types.Named, if any.
+func namedOf(t types.Type) *types.Named {
+	for {
+		switch tt := t.(type) {
+		case *types.Pointer:
+			t = tt.Elem()
+		case *types.Alias:
+			t = types.Unalias(tt)
+		case *types.Named:
+			return tt
+		default:
+			return nil
+		}
+	}
+}
+
+// ObjectOf resolves an expression that names a variable (a bare identifier,
+// possibly parenthesized) to its object; nil otherwise.
+func ObjectOf(info *types.Info, e ast.Expr) types.Object {
+	if id, ok := ast.Unparen(e).(*ast.Ident); ok {
+		if obj := info.Uses[id]; obj != nil {
+			return obj
+		}
+		return info.Defs[id]
+	}
+	return nil
+}
+
+// IsContextType reports whether t is the context.Context interface.
+func IsContextType(t types.Type) bool {
+	named := namedOf(t)
+	if named == nil {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Context" && obj.Pkg() != nil && obj.Pkg().Path() == "context"
+}
+
+// HasContextParam reports whether the function type's first parameter is a
+// context.Context, returning the parameter variable when so.
+func HasContextParam(sig *types.Signature) (*types.Var, bool) {
+	if sig == nil || sig.Params().Len() == 0 {
+		return nil, false
+	}
+	p := sig.Params().At(0)
+	if IsContextType(p.Type()) {
+		return p, true
+	}
+	return nil, false
+}

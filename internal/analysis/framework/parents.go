@@ -1,0 +1,47 @@
+package framework
+
+import "go/ast"
+
+// Parents maps every node of a subtree to its syntactic parent, letting
+// analyzers ask "what statement/expression encloses this call?" without
+// threading an inspection stack everywhere.
+type Parents map[ast.Node]ast.Node
+
+// BuildParents indexes root.
+func BuildParents(root ast.Node) Parents {
+	p := Parents{}
+	var stack []ast.Node
+	ast.Inspect(root, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return false
+		}
+		if len(stack) > 0 {
+			p[n] = stack[len(stack)-1]
+		}
+		stack = append(stack, n)
+		return true
+	})
+	return p
+}
+
+// EnclosingStmt returns the innermost statement containing n (or nil).
+func (p Parents) EnclosingStmt(n ast.Node) ast.Stmt {
+	for cur := n; cur != nil; cur = p[cur] {
+		if s, ok := cur.(ast.Stmt); ok {
+			return s
+		}
+	}
+	return nil
+}
+
+// Enclosing returns the nearest ancestor of n (inclusive) for which match
+// returns true.
+func (p Parents) Enclosing(n ast.Node, match func(ast.Node) bool) ast.Node {
+	for cur := n; cur != nil; cur = p[cur] {
+		if match(cur) {
+			return cur
+		}
+	}
+	return nil
+}

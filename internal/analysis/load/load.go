@@ -1,0 +1,189 @@
+// Package load turns Go packages into the type-checked form the gofmmlint
+// analyzers consume, without golang.org/x/tools: package metadata comes
+// from `go list -export -json -deps` (which also compiles export data for
+// every dependency into the build cache), source files are parsed with
+// go/parser, and imports are satisfied by the standard library's gc export
+// data reader. The same importer plumbing backs the standalone driver, the
+// `go vet -vettool` unitchecker mode, and the analyzertest harness.
+package load
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+
+	"gofmm/internal/analysis/framework"
+)
+
+// A Package is one type-checked package ready for analysis.
+type Package struct {
+	ImportPath string
+	Dir        string
+	GoFiles    []string // absolute paths
+	Fset       *token.FileSet
+	Syntax     []*ast.File
+	Types      *types.Package
+	TypesInfo  *types.Info
+}
+
+// listPackage is the subset of `go list -json` output the loader reads.
+type listPackage struct {
+	Dir        string
+	ImportPath string
+	Name       string
+	Standard   bool
+	Export     string
+	GoFiles    []string
+	DepOnly    bool
+	Module     *struct{ GoVersion string }
+}
+
+// Load lists patterns in dir, type-checks every matched (non-DepOnly,
+// non-standard) package from source against export data of its
+// dependencies, and returns them in dependency-safe (go list) order.
+// Test files are not loaded; `go vet -vettool` covers those.
+func Load(dir string, patterns ...string) ([]*Package, error) {
+	args := append([]string{"list", "-export", "-json", "-deps"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list %s: %v\n%s", strings.Join(patterns, " "), err, stderr.String())
+	}
+	exports := map[string]string{}
+	var targets []listPackage
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p listPackage
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("go list output: %v", err)
+		}
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+		if !p.DepOnly && !p.Standard && p.Name != "" {
+			targets = append(targets, p)
+		}
+	}
+	fset := token.NewFileSet()
+	imp := NewImporter(fset, func(path string) (string, bool) {
+		f, ok := exports[path]
+		return f, ok
+	})
+	var pkgs []*Package
+	for _, t := range targets {
+		files := make([]string, len(t.GoFiles))
+		for i, gf := range t.GoFiles {
+			files[i] = filepath.Join(t.Dir, gf)
+		}
+		goVersion := ""
+		if t.Module != nil {
+			goVersion = t.Module.GoVersion
+		}
+		pkg, err := Check(fset, imp, t.ImportPath, files, goVersion)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %v", t.ImportPath, err)
+		}
+		pkg.Dir = t.Dir
+		pkgs = append(pkgs, pkg)
+	}
+	return pkgs, nil
+}
+
+// Check parses filenames and type-checks them as one package. goVersion
+// (e.g. "1.22") may be empty.
+func Check(fset *token.FileSet, imp types.Importer, importPath string, filenames []string, goVersion string) (*Package, error) {
+	var syntax []*ast.File
+	for _, name := range filenames {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		syntax = append(syntax, f)
+	}
+	conf := types.Config{Importer: imp}
+	if goVersion != "" {
+		conf.GoVersion = "go" + strings.TrimPrefix(goVersion, "go")
+	}
+	info := framework.NewInfo()
+	tpkg, err := conf.Check(importPath, fset, syntax, info)
+	if err != nil {
+		return nil, err
+	}
+	return &Package{
+		ImportPath: importPath,
+		GoFiles:    filenames,
+		Fset:       fset,
+		Syntax:     syntax,
+		Types:      tpkg,
+		TypesInfo:  info,
+	}, nil
+}
+
+// NewImporter returns a types.Importer that reads gc export data located by
+// exportFile (import path → file). "unsafe" resolves to types.Unsafe.
+func NewImporter(fset *token.FileSet, exportFile func(path string) (string, bool)) types.Importer {
+	gc := importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+		f, ok := exportFile(path)
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(f)
+	})
+	return &unsafeAwareImporter{gc: gc}
+}
+
+type unsafeAwareImporter struct{ gc types.Importer }
+
+func (u *unsafeAwareImporter) Import(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	return u.gc.Import(path)
+}
+
+// StdExports runs `go list -export -json` for the given stdlib import paths
+// and returns path → export data file. Used by analyzertest, where golden
+// packages import a handful of std packages; results are cached by the
+// caller.
+func StdExports(paths []string) (map[string]string, error) {
+	if len(paths) == 0 {
+		return map[string]string{}, nil
+	}
+	args := append([]string{"list", "-export", "-json", "-deps"}, paths...)
+	cmd := exec.Command("go", args...)
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list -export %s: %v\n%s", strings.Join(paths, " "), err, stderr.String())
+	}
+	exports := map[string]string{}
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p listPackage
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, err
+		}
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+	}
+	return exports, nil
+}

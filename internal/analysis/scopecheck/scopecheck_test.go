@@ -1,0 +1,12 @@
+package scopecheck_test
+
+import (
+	"testing"
+
+	"gofmm/internal/analysis/analyzertest"
+	"gofmm/internal/analysis/scopecheck"
+)
+
+func TestScopeCheck(t *testing.T) {
+	analyzertest.Run(t, analyzertest.TestData(), scopecheck.Analyzer, "scopecheck")
+}

@@ -1,0 +1,9 @@
+// Package linalg carries just the Matrix shape the scopecheck golden tests
+// need.
+package linalg
+
+// Matrix is a dense row-major matrix over a pooled backing array.
+type Matrix struct {
+	Rows, Cols int
+	Data       []float64
+}

@@ -1,0 +1,140 @@
+// Package scopecheck is the golden fixture for the scopecheck analyzer.
+package scopecheck
+
+import (
+	"linalg"
+	"workspace"
+)
+
+// Deferred release right after the binding: clean.
+func DeferRelease(p *workspace.Pool) {
+	sc := p.NewScope()
+	defer sc.Release()
+	work(sc.Matrix(4, 4))
+}
+
+// Plain release at the end: clean.
+func PlainRelease(p *workspace.Pool) {
+	sc := p.NewScope()
+	work(sc.Matrix(4, 4))
+	sc.Release()
+}
+
+// The NewEvaluator pattern: the scope escapes into the returned struct,
+// whose Close releases it later. Clean.
+type evaluator struct {
+	sc *workspace.Scope
+}
+
+func (e *evaluator) Close() { e.sc.Release() }
+
+func NewEvaluator(p *workspace.Pool) *evaluator {
+	sc := p.NewScope()
+	return &evaluator{sc: sc}
+}
+
+// Passed to a helper that takes over: clean.
+func HandsOff(p *workspace.Pool) {
+	sc := p.NewScope()
+	adopt(sc)
+}
+
+func adopt(sc *workspace.Scope) { defer sc.Release() }
+
+// Never released, never escaping: flagged with the defer fix.
+func Leaks(p *workspace.Pool) {
+	sc := p.NewScope() // want `scope sc is never released`
+	work(sc.Matrix(8, 8))
+}
+
+// A matrix kept out of the scope may escape: clean.
+func KeepThenReturn(p *workspace.Pool) *linalg.Matrix {
+	sc := p.NewScope()
+	defer sc.Release()
+	out := sc.Matrix(4, 4)
+	sc.Keep(out)
+	return out
+}
+
+// Returning a matrix whose scope is released here: flagged.
+func ReturnFromReleased(p *workspace.Pool) *linalg.Matrix {
+	sc := p.NewScope()
+	defer sc.Release()
+	out := sc.Matrix(4, 4)
+	return out // want `matrix out from scope sc escapes via return`
+}
+
+// Returning the call result directly: flagged at the call.
+func ReturnCallDirect(p *workspace.Pool) *linalg.Matrix {
+	sc := p.NewScope()
+	defer sc.Release()
+	return sc.Matrix(4, 4) // want `matrix from scope sc is returned, but the scope is released`
+}
+
+// Storing into a field while the scope dies here: flagged.
+type holder struct {
+	m *linalg.Matrix
+}
+
+func (h *holder) Fill(p *workspace.Pool) {
+	sc := p.NewScope()
+	defer sc.Release()
+	m := sc.Matrix(4, 4)
+	h.m = m // want `matrix m from scope sc is stored into a field`
+}
+
+// Accumulating into a local slice element is the sanctioned idiom: clean.
+func SkeletonWeights(p *workspace.Pool, ids []int) {
+	sc := p.NewScope()
+	defer sc.Release()
+	skelW := make([]*linalg.Matrix, len(ids))
+	for i := range ids {
+		out := sc.Matrix(4, 4)
+		skelW[i] = out
+	}
+	use(skelW)
+}
+
+// A helper that receives a scope it does not own: no Release required here,
+// and its matrices are the caller's problem. Clean.
+func fillBlock(sc *workspace.Scope) *linalg.Matrix {
+	out := sc.Matrix(4, 4)
+	work(out)
+	return out
+}
+
+// Sending a matrix from a released scope on a channel: flagged.
+func SendFromReleased(p *workspace.Pool, ch chan *linalg.Matrix) {
+	sc := p.NewScope()
+	defer sc.Release()
+	m := sc.Matrix(4, 4)
+	ch <- m // want `matrix m from scope sc is sent on a channel`
+}
+
+// Returning the same buffer twice: flagged at the second Put.
+func DoublePut(p *workspace.Pool) {
+	buf := p.Get(64)
+	work2(buf)
+	p.Put(buf)
+	p.Put(buf) // want `buf is returned to the pool twice`
+}
+
+// Re-leasing between Puts resets ownership: clean.
+func PutGetPut(p *workspace.Pool) {
+	buf := p.Get(64)
+	p.Put(buf)
+	buf = p.Get(128)
+	p.Put(buf)
+}
+
+// Distinct buffers: clean.
+func TwoBuffers(p *workspace.Pool) {
+	a := p.Get(64)
+	b := p.Get(64)
+	p.Put(a)
+	p.Put(b)
+}
+
+func work(m *linalg.Matrix)   {}
+func work2(buf []float64)     {}
+func use(ms []*linalg.Matrix) {}

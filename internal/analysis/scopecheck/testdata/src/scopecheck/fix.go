@@ -1,0 +1,9 @@
+package scopecheck
+
+import "workspace"
+
+// Forgotten gets the mechanical fix: defer sc.Release() after the binding.
+func Forgotten(p *workspace.Pool) {
+	sc := p.NewScope() // want `scope sc is never released`
+	work(sc.Matrix(16, 16))
+}

@@ -1,0 +1,45 @@
+// Package workspace mirrors the pool/scope surface of the real
+// internal/workspace package for the scopecheck golden tests. The analyzer
+// matches by package name and receiver type, so this stub stands in exactly.
+package workspace
+
+import "linalg"
+
+// Pool recycles float64 buffers.
+type Pool struct{}
+
+// Get leases a buffer of at least n elements.
+func (p *Pool) Get(n int) []float64 { return make([]float64, n) }
+
+// Put returns a leased buffer.
+func (p *Pool) Put(buf []float64) {}
+
+// GetMatrix leases an r×c matrix.
+func (p *Pool) GetMatrix(r, c int) *linalg.Matrix {
+	return &linalg.Matrix{Rows: r, Cols: c, Data: p.Get(r * c)}
+}
+
+// PutMatrix returns a leased matrix.
+func (p *Pool) PutMatrix(M *linalg.Matrix) {}
+
+// NewScope opens a scope whose matrices are mass-released by Release.
+func (p *Pool) NewScope() *Scope { return &Scope{pool: p} }
+
+// Scope tracks leased matrices for bulk return.
+type Scope struct {
+	pool *Pool
+	out  []*linalg.Matrix
+}
+
+// Matrix leases an r×c matrix tracked by the scope.
+func (s *Scope) Matrix(r, c int) *linalg.Matrix {
+	m := s.pool.GetMatrix(r, c)
+	s.out = append(s.out, m)
+	return m
+}
+
+// Keep detaches M from the scope so Release leaves it alone.
+func (s *Scope) Keep(M *linalg.Matrix) {}
+
+// Release returns every tracked matrix to the pool.
+func (s *Scope) Release() {}

@@ -1,0 +1,237 @@
+// Package spancheck verifies that every telemetry span is ended on every
+// path. A span whose End never runs keeps its subtree open in the recorder:
+// timings attributed to it are garbage and the span tree assertions in the
+// telemetry tests only notice if that particular call chain is exercised.
+//
+// Accepted idioms, taken from the repo itself:
+//
+//	defer h.Telemetry.StartSpan("evaluate").End()   // chained
+//	root := rec.StartSpan("matvec"); defer root.End()
+//	sp := root.StartSpan("N2S"); ...; sp.End()      // segmented reuse
+//	sp = root.StartSpan("S2S"); ...; sp.End()
+//	return rec.StartSpan("x")                        // escapes to caller
+//
+// Flagged: a StartSpan result that is discarded outright, a binding with no
+// End in its live segment (with a `defer v.End()` suggested fix), and a
+// plain return sitting between the binding and its first non-deferred End —
+// the early-return leak.
+package spancheck
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"strings"
+
+	"gofmm/internal/analysis/framework"
+)
+
+var Analyzer = &framework.Analyzer{
+	Name: "spancheck",
+	Doc:  "flag telemetry spans that are not ended on every path",
+	Run:  run,
+}
+
+func run(pass *framework.Pass) error {
+	for _, file := range pass.Syntax {
+		if pass.InTestFile(file.Pos()) {
+			continue
+		}
+		parents := framework.BuildParents(file)
+		for _, scope := range collectScopes(file) {
+			checkScope(pass, parents, scope)
+		}
+	}
+	return nil
+}
+
+// collectScopes returns every function body in the file — declarations and
+// literals alike. Each is analyzed independently: a `return` inside a
+// closure does not exit the enclosing function, and a span bound in the
+// closure must be ended there.
+func collectScopes(file *ast.File) []*ast.BlockStmt {
+	var scopes []*ast.BlockStmt
+	ast.Inspect(file, func(n ast.Node) bool {
+		switch nn := n.(type) {
+		case *ast.FuncDecl:
+			if nn.Body != nil {
+				scopes = append(scopes, nn.Body)
+			}
+		case *ast.FuncLit:
+			scopes = append(scopes, nn.Body)
+		}
+		return true
+	})
+	return scopes
+}
+
+// inspectOwn walks body but does not descend into nested function literals,
+// which are scopes of their own.
+func inspectOwn(body *ast.BlockStmt, f func(ast.Node) bool) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		return f(n)
+	})
+}
+
+func checkScope(pass *framework.Pass, parents framework.Parents, body *ast.BlockStmt) {
+	inspectOwn(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || !isStartSpan(pass, call) {
+			return true
+		}
+		classify(pass, parents, body, call)
+		return true
+	})
+}
+
+func isStartSpan(pass *framework.Pass, call *ast.CallExpr) bool {
+	return framework.IsMethod(pass.TypesInfo, call, "telemetry", "Recorder", "StartSpan") ||
+		framework.IsMethod(pass.TypesInfo, call, "telemetry", "Span", "StartSpan")
+}
+
+func classify(pass *framework.Pass, parents framework.Parents, body *ast.BlockStmt, call *ast.CallExpr) {
+	switch parent := parents[call].(type) {
+	case *ast.SelectorExpr:
+		// Chained use: StartSpan("x").End() — or any other method hung
+		// directly off the result; only End closes the span.
+		if outer, ok := parents[parent].(*ast.CallExpr); ok && outer.Fun == parent {
+			if parent.Sel.Name == "End" {
+				return
+			}
+			classify(pass, parents, body, outer) // e.g. StartSpan("x").Annotate(...) chains
+			return
+		}
+	case *ast.ExprStmt:
+		pass.Reportf(call.Pos(),
+			"result of StartSpan is discarded: the span is never ended and stays open in the recorder")
+		return
+	case *ast.AssignStmt:
+		checkBinding(pass, parents, body, call, parent)
+		return
+	}
+	// Anything else — argument, return value, composite literal, channel
+	// send — escapes this scope; ownership of End moves with it.
+}
+
+func checkBinding(pass *framework.Pass, parents framework.Parents, body *ast.BlockStmt, call *ast.CallExpr, as *ast.AssignStmt) {
+	var lhs ast.Expr
+	for i, rhs := range as.Rhs {
+		if ast.Unparen(rhs) == call && i < len(as.Lhs) {
+			lhs = as.Lhs[i]
+		}
+	}
+	id, ok := ast.Unparen(lhs).(*ast.Ident)
+	if !ok {
+		return // stored through a selector or index: escapes
+	}
+	if id.Name == "_" {
+		pass.Reportf(call.Pos(),
+			"result of StartSpan is assigned to _: the span is never ended and stays open in the recorder")
+		return
+	}
+	obj := framework.ObjectOf(pass.TypesInfo, id)
+	if obj == nil {
+		return
+	}
+
+	// The binding is live from this assignment until the variable is next
+	// reassigned (segmented reuse: sp = root.StartSpan("S2S")) or the scope
+	// ends.
+	segEnd := body.End()
+	reassigned := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		a, ok := n.(*ast.AssignStmt)
+		if !ok || a == as || a.Pos() <= as.Pos() {
+			return true
+		}
+		for _, l := range a.Lhs {
+			if framework.ObjectOf(pass.TypesInfo, l) == obj {
+				reassigned = true
+				if a.Pos() < segEnd {
+					segEnd = a.Pos()
+				}
+			}
+		}
+		return true
+	})
+
+	// Collect obj.End() calls in the live segment, split by deferredness.
+	// Ends inside nested closures count too: handing the span to a literal
+	// that ends it is fine.
+	var plainEnds, deferredEnds []token.Pos
+	ast.Inspect(body, func(n ast.Node) bool {
+		c, ok := n.(*ast.CallExpr)
+		if !ok || c.Pos() <= as.End() || c.Pos() >= segEnd {
+			return true
+		}
+		sel, ok := c.Fun.(*ast.SelectorExpr)
+		if !ok || sel.Sel.Name != "End" || framework.ObjectOf(pass.TypesInfo, sel.X) != obj {
+			return true
+		}
+		if ds, ok := parents[c].(*ast.DeferStmt); ok && ds.Call == c {
+			deferredEnds = append(deferredEnds, c.Pos())
+		} else {
+			plainEnds = append(plainEnds, c.Pos())
+		}
+		return true
+	})
+
+	if len(plainEnds) == 0 && len(deferredEnds) == 0 {
+		d := framework.Diagnostic{
+			Pos: as.Pos(),
+			Message: fmt.Sprintf(
+				"span %s is never ended in its live segment; add %s.End() or defer it",
+				id.Name, id.Name),
+		}
+		if as.Tok == token.DEFINE && !reassigned {
+			if fix := deferEndFix(pass, id.Name, as); fix != nil {
+				d.SuggestedFixes = []framework.SuggestedFix{*fix}
+			}
+		}
+		pass.Report(d)
+		return
+	}
+
+	// A deferred End covers every exit; only the plain-End pattern leaks on
+	// an early return between the binding and the first End.
+	if len(deferredEnds) > 0 {
+		return
+	}
+	firstEnd := plainEnds[0]
+	for _, p := range plainEnds[1:] {
+		if p < firstEnd {
+			firstEnd = p
+		}
+	}
+	inspectOwn(body, func(n ast.Node) bool {
+		ret, ok := n.(*ast.ReturnStmt)
+		if !ok || ret.Pos() <= as.End() || ret.Pos() >= firstEnd {
+			return true
+		}
+		pass.Reportf(ret.Pos(),
+			"return leaks span %s: it was started before this return but %s.End() only runs later; use defer",
+			id.Name, id.Name)
+		return true
+	})
+}
+
+// deferEndFix inserts `defer <name>.End()` on the line after the binding,
+// reproducing the binding statement's indentation.
+func deferEndFix(pass *framework.Pass, name string, as *ast.AssignStmt) *framework.SuggestedFix {
+	pos := pass.Fset.Position(as.Pos())
+	if pos.Column < 1 {
+		return nil
+	}
+	indent := strings.Repeat("\t", pos.Column-1)
+	return &framework.SuggestedFix{
+		Message: fmt.Sprintf("defer %s.End() after the binding", name),
+		TextEdits: []framework.TextEdit{{
+			Pos:     as.End(),
+			End:     as.End(),
+			NewText: []byte("\n" + indent + "defer " + name + ".End()"),
+		}},
+	}
+}

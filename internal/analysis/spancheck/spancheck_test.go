@@ -1,0 +1,12 @@
+package spancheck_test
+
+import (
+	"testing"
+
+	"gofmm/internal/analysis/analyzertest"
+	"gofmm/internal/analysis/spancheck"
+)
+
+func TestSpanCheck(t *testing.T) {
+	analyzertest.Run(t, analyzertest.TestData(), spancheck.Analyzer, "spancheck")
+}

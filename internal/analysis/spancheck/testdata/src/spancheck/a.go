@@ -1,0 +1,135 @@
+// Package spancheck is the golden fixture for the spancheck analyzer.
+package spancheck
+
+import "telemetry"
+
+// The chained one-liner: clean.
+func Chained(rec *telemetry.Recorder) {
+	defer rec.StartSpan("evaluate").End()
+}
+
+// Chaining through another method before End: clean.
+func ChainedAnnotate(rec *telemetry.Recorder) {
+	defer rec.StartSpan("evaluate").Annotate("leaf").End()
+}
+
+// Root span with a deferred End: clean.
+func DeferredRoot(rec *telemetry.Recorder) {
+	root := rec.StartSpan("matvec")
+	defer root.End()
+	work()
+}
+
+// Straight-line start/work/end: clean.
+func PlainEnd(rec *telemetry.Recorder) {
+	sp := rec.StartSpan("pack")
+	work()
+	sp.End()
+}
+
+// Segmented reuse of one variable, each segment ended: clean.
+func Segmented(root *telemetry.Span) {
+	sp := root.StartSpan("N2S")
+	work()
+	sp.End()
+	sp = root.StartSpan("S2S")
+	work()
+	sp.End()
+}
+
+// The result escapes to the caller, which owns End: clean.
+func Escapes(rec *telemetry.Recorder) *telemetry.Span {
+	return rec.StartSpan("outer")
+}
+
+// Passed to a helper that owns it: clean.
+func EscapesArg(rec *telemetry.Recorder) {
+	finish(rec.StartSpan("helper"))
+}
+
+func finish(sp *telemetry.Span) { sp.End() }
+
+// A closure may end the span it captures: clean.
+func EndedInClosure(rec *telemetry.Recorder) {
+	sp := rec.StartSpan("async")
+	done := func() { sp.End() }
+	work()
+	done()
+}
+
+// Result dropped on the floor: flagged.
+func Discarded(rec *telemetry.Recorder) {
+	rec.StartSpan("oops") // want `result of StartSpan is discarded`
+	work()
+}
+
+// Assigned to blank: flagged.
+func Blank(rec *telemetry.Recorder) {
+	_ = rec.StartSpan("oops") // want `result of StartSpan is assigned to _`
+	work()
+}
+
+// Second segment never ended: flagged at its binding.
+func SegmentLeak(root *telemetry.Span) {
+	sp := root.StartSpan("N2S")
+	work()
+	sp.End()
+	sp = root.StartSpan("S2S") // want `span sp is never ended in its live segment`
+	work()
+}
+
+// Early return between binding and End: the End is unreachable on the error
+// path, flagged at the return.
+func EarlyReturn(rec *telemetry.Recorder, fail bool) error {
+	sp := rec.StartSpan("guarded")
+	if fail {
+		return errFail // want `return leaks span sp`
+	}
+	work()
+	sp.End()
+	return nil
+}
+
+// Ending before the early return is the correct shape: clean.
+func EndBeforeReturn(rec *telemetry.Recorder, fail bool) error {
+	sp := rec.StartSpan("guarded")
+	if fail {
+		sp.End()
+		return errFail
+	}
+	work()
+	sp.End()
+	return nil
+}
+
+// Deferred End covers every return: clean.
+func DeferCoversReturns(rec *telemetry.Recorder, fail bool) error {
+	sp := rec.StartSpan("guarded")
+	defer sp.End()
+	if fail {
+		return errFail
+	}
+	work()
+	return nil
+}
+
+// A return inside a nested closure does not exit this function: clean.
+func ClosureReturnIsFine(rec *telemetry.Recorder) {
+	sp := rec.StartSpan("outer")
+	f := func(x int) int {
+		if x < 0 {
+			return -x
+		}
+		return x
+	}
+	_ = f(3)
+	sp.End()
+}
+
+var errFail = errorString("fail")
+
+type errorString string
+
+func (e errorString) Error() string { return string(e) }
+
+func work() {}

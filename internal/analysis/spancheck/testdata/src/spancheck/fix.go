@@ -1,0 +1,10 @@
+package spancheck
+
+import "telemetry"
+
+// NeverEnded gets the mechanical fix: defer sp.End() after the binding.
+func NeverEnded(rec *telemetry.Recorder) {
+	sp := rec.StartSpan("forgotten") // want `span sp is never ended in its live segment`
+	work()
+	_ = sp
+}

@@ -1,0 +1,22 @@
+// Package telemetry mirrors the recorder/span surface of the real
+// internal/telemetry package for the spancheck golden tests. The analyzer
+// matches by package name and receiver type, so this stub stands in exactly.
+package telemetry
+
+// Recorder hands out root spans.
+type Recorder struct{}
+
+// StartSpan opens a root span.
+func (r *Recorder) StartSpan(name string) *Span { return &Span{name: name} }
+
+// Span is one timed region; child spans hang off it.
+type Span struct{ name string }
+
+// StartSpan opens a child span.
+func (s *Span) StartSpan(name string) *Span { return &Span{name: name} }
+
+// End closes the span.
+func (s *Span) End() {}
+
+// Annotate attaches a note and returns the span for chaining.
+func (s *Span) Annotate(note string) *Span { return s }

@@ -1,0 +1,167 @@
+// Package suite is the registry the gofmmlint drivers share: which
+// analyzers exist, which import paths each applies to, and how
+// `//gofmmlint:ignore` suppressions are honored. Keeping this in one place
+// means the standalone driver, the `go vet -vettool` unitchecker mode, and
+// CI cannot drift apart on what "the lint suite" means.
+package suite
+
+import (
+	"go/token"
+	"sort"
+	"strings"
+
+	"gofmm/internal/analysis/ctxcheck"
+	"gofmm/internal/analysis/detorder"
+	"gofmm/internal/analysis/errtaxonomy"
+	"gofmm/internal/analysis/framework"
+	"gofmm/internal/analysis/load"
+	"gofmm/internal/analysis/scopecheck"
+	"gofmm/internal/analysis/spancheck"
+)
+
+// Entry pairs an analyzer with the import paths it is meant for.
+type Entry struct {
+	Analyzer  *framework.Analyzer
+	AppliesTo func(importPath string) bool
+}
+
+// All returns the registered suite in stable order.
+//
+//   - scopecheck, spancheck: pooling and span contracts hold everywhere.
+//   - ctxcheck: context discipline is an internal/ convention; cmd/ mains
+//     legitimately start at context.Background.
+//   - detorder: bit-identical determinism is promised by the numeric
+//     packages (core, linalg, hss, tree), not by tooling or telemetry.
+//   - errtaxonomy: internal/ except resilience (it defines the taxonomy),
+//     telemetry (the import cycle resilience→telemetry forbids wrapping),
+//     and analysis itself (lint infrastructure, not library surface).
+func All() []Entry {
+	return []Entry{
+		{scopecheck.Analyzer, everywhere},
+		{spancheck.Analyzer, everywhere},
+		{ctxcheck.Analyzer, underAny("gofmm/internal/")},
+		{detorder.Analyzer, underAny(
+			"gofmm/internal/core", "gofmm/internal/linalg",
+			"gofmm/internal/hss", "gofmm/internal/tree")},
+		{errtaxonomy.Analyzer, func(path string) bool {
+			if !strings.HasPrefix(path, "gofmm/internal/") {
+				return false
+			}
+			return !underAny("gofmm/internal/resilience", "gofmm/internal/telemetry",
+				"gofmm/internal/analysis")(path)
+		}},
+	}
+}
+
+func everywhere(string) bool { return true }
+
+// underAny matches each prefix exactly or as a path parent.
+func underAny(prefixes ...string) func(string) bool {
+	return func(path string) bool {
+		for _, p := range prefixes {
+			if path == strings.TrimSuffix(p, "/") || strings.HasPrefix(path, strings.TrimSuffix(p, "/")+"/") {
+				return true
+			}
+		}
+		return false
+	}
+}
+
+// A Finding is one diagnostic that survived filtering, located for output.
+type Finding struct {
+	Analyzer   string
+	Position   token.Position
+	Diagnostic framework.Diagnostic
+}
+
+// Run applies every registered analyzer whose filter accepts pkg and
+// returns the surviving findings in file/line order. Diagnostics on a line
+// carrying (or directly below) a matching `//gofmmlint:ignore <analyzer>
+// <reason>` comment are dropped.
+func Run(pkg *load.Package) ([]Finding, error) {
+	ignores := ignoreIndex(pkg)
+	var out []Finding
+	for _, e := range All() {
+		if !e.AppliesTo(pkg.ImportPath) {
+			continue
+		}
+		pass := &framework.Pass{
+			Analyzer:  e.Analyzer,
+			Fset:      pkg.Fset,
+			Syntax:    pkg.Syntax,
+			Pkg:       pkg.Types,
+			TypesInfo: pkg.TypesInfo,
+		}
+		name := e.Analyzer.Name
+		pass.Report = func(d framework.Diagnostic) {
+			pos := pkg.Fset.Position(d.Pos)
+			if ignores.suppressed(name, pos) {
+				return
+			}
+			out = append(out, Finding{Analyzer: name, Position: pos, Diagnostic: d})
+		}
+		if err := e.Analyzer.Run(pass); err != nil {
+			return nil, err
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i].Position, out[j].Position
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Column != b.Column {
+			return a.Column < b.Column
+		}
+		return out[i].Analyzer < out[j].Analyzer
+	})
+	return out, nil
+}
+
+// ignoreDirective is the `//gofmmlint:ignore <analyzer|all> <reason>` form.
+const ignoreDirective = "//gofmmlint:ignore"
+
+type ignoreSet map[string]map[int]map[string]bool // file → line → analyzers
+
+func ignoreIndex(pkg *load.Package) ignoreSet {
+	set := ignoreSet{}
+	for _, f := range pkg.Syntax {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, ignoreDirective) {
+					continue
+				}
+				fields := strings.Fields(strings.TrimPrefix(c.Text, ignoreDirective))
+				if len(fields) == 0 {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				if set[pos.Filename] == nil {
+					set[pos.Filename] = map[int]map[string]bool{}
+				}
+				if set[pos.Filename][pos.Line] == nil {
+					set[pos.Filename][pos.Line] = map[string]bool{}
+				}
+				set[pos.Filename][pos.Line][fields[0]] = true
+			}
+		}
+	}
+	return set
+}
+
+// suppressed honors a directive on the diagnostic's own line (trailing
+// comment) or the line directly above it.
+func (s ignoreSet) suppressed(analyzer string, pos token.Position) bool {
+	lines := s[pos.Filename]
+	if lines == nil {
+		return false
+	}
+	for _, l := range []int{pos.Line, pos.Line - 1} {
+		if as := lines[l]; as != nil && (as[analyzer] || as["all"]) {
+			return true
+		}
+	}
+	return false
+}

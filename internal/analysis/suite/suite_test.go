@@ -1,0 +1,78 @@
+package suite_test
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"testing"
+
+	"gofmm/internal/analysis/framework"
+	"gofmm/internal/analysis/load"
+	"gofmm/internal/analysis/suite"
+)
+
+const src = `package core
+
+func collect(m map[int]int) []int {
+	var out []int
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}
+
+func collectIgnored(m map[int]int) []int {
+	var out []int
+	for k := range m {
+		//gofmmlint:ignore detorder caller rehashes into a set
+		out = append(out, k)
+	}
+	return out
+}
+`
+
+func checkAs(t *testing.T, importPath string) []suite.Finding {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "core.go", src, parser.ParseComments|parser.SkipObjectResolution)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info := framework.NewInfo()
+	conf := types.Config{}
+	tpkg, err := conf.Check(importPath, fset, []*ast.File{f}, info)
+	if err != nil {
+		t.Fatal(err)
+	}
+	findings, err := suite.Run(&load.Package{
+		ImportPath: importPath,
+		Fset:       fset,
+		Syntax:     []*ast.File{f},
+		Types:      tpkg,
+		TypesInfo:  info,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return findings
+}
+
+// In a deterministic numeric package the un-ignored loop is flagged and the
+// //gofmmlint:ignore directive suppresses the second.
+func TestIgnoreDirective(t *testing.T) {
+	findings := checkAs(t, "gofmm/internal/core")
+	if len(findings) != 1 {
+		t.Fatalf("got %d findings, want 1 (the ignored loop suppressed): %v", len(findings), findings)
+	}
+	if f := findings[0]; f.Analyzer != "detorder" || f.Position.Line != 6 {
+		t.Fatalf("got %s at line %d, want detorder at line 6", f.Analyzer, f.Position.Line)
+	}
+}
+
+// Outside detorder's package set the same code is not checked at all.
+func TestPathFilter(t *testing.T) {
+	if findings := checkAs(t, "gofmm/cmd/gofmm"); len(findings) != 0 {
+		t.Fatalf("detorder applied outside its package set: %v", findings)
+	}
+}

@@ -13,10 +13,11 @@
 package askit
 
 import (
-	"errors"
+	"fmt"
 
 	"gofmm/internal/core"
 	"gofmm/internal/linalg"
+	"gofmm/internal/resilience"
 )
 
 // Config tunes the ASKIT run.
@@ -37,7 +38,8 @@ type Treecode struct {
 // Compress builds the ASKIT approximation. Points (d×N) are mandatory.
 func Compress(K core.SPD, points *linalg.Matrix, cfg Config) (*Treecode, error) {
 	if points == nil {
-		return nil, errors.New("askit: points are required (use GOFMM for the geometry-oblivious case)")
+		return nil, fmt.Errorf("%w: askit requires points (use GOFMM for the geometry-oblivious case)",
+			resilience.ErrInvalidInput)
 	}
 	h, err := core.Compress(K, core.Config{
 		LeafSize: cfg.LeafSize,

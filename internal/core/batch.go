@@ -85,6 +85,7 @@ type batchReq struct {
 type BatchEvaluator struct {
 	h    *Hierarchical
 	opts BatchOptions
+	ctx  context.Context // bounds every flush; set at construction
 
 	reqs   chan *batchReq
 	quit   chan struct{} // closed by Close: stop coalescing, final drain
@@ -96,12 +97,20 @@ type BatchEvaluator struct {
 	flushes  atomic.Int64
 }
 
-// NewBatchEvaluator starts a coalescing evaluator over h. Close it to stop
-// the background flusher.
+// NewBatchEvaluator starts a coalescing evaluator over h with an unbounded
+// lifetime context. Close it to stop the background flusher.
 func (h *Hierarchical) NewBatchEvaluator(opts BatchOptions) *BatchEvaluator {
+	return h.NewBatchEvaluatorCtx(context.Background(), opts)
+}
+
+// NewBatchEvaluatorCtx starts a coalescing evaluator over h whose flushes
+// run under ctx: cancelling it aborts in-flight Matmat work for every
+// coalesced request at once. Close it to stop the background flusher.
+func (h *Hierarchical) NewBatchEvaluatorCtx(ctx context.Context, opts BatchOptions) *BatchEvaluator {
 	e := &BatchEvaluator{
 		h:    h,
 		opts: opts.withDefaults(),
+		ctx:  ctx,
 		quit: make(chan struct{}),
 		done: make(chan struct{}),
 	}
@@ -281,7 +290,7 @@ func (e *BatchEvaluator) flush(batch []*batchReq) {
 		X.View(0, at, n, req.W.Cols).CopyFrom(req.W)
 		at += req.W.Cols
 	}
-	U, err := e.h.MatmatCtx(context.Background(), X)
+	U, err := e.h.MatmatCtx(e.ctx, X)
 	pool.PutMatrix(X)
 	if err != nil {
 		for _, req := range live {

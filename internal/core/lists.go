@@ -269,7 +269,10 @@ func (h *Hierarchical) mergeFar(alpha int) {
 	}
 	h.nodes[l].far = filter(h.nodes[l].far)
 	h.nodes[r].far = filter(h.nodes[r].far)
+	merged := make([]int, 0, len(common))
 	for a := range common {
-		h.nodes[alpha].far = append(h.nodes[alpha].far, a)
+		merged = append(merged, a)
 	}
+	sort.Ints(merged)
+	h.nodes[alpha].far = append(h.nodes[alpha].far, merged...)
 }

@@ -9,6 +9,7 @@ import (
 	"math"
 
 	"gofmm/internal/linalg"
+	"gofmm/internal/resilience"
 	"gofmm/internal/tree"
 )
 
@@ -248,7 +249,8 @@ func ReadFrom(r io.Reader, K SPD) (*Hierarchical, error) {
 		return nil, fmt.Errorf("%w: non-finite tolerance or budget", ErrBadFormat)
 	}
 	if K.Dim() != n {
-		return nil, fmt.Errorf("core: oracle dimension %d does not match stored %d", K.Dim(), n64)
+		return nil, fmt.Errorf("%w: oracle dimension %d does not match stored %d",
+			resilience.ErrInvalidInput, K.Dim(), n64)
 	}
 	h := &Hierarchical{K: K, Cfg: Config{
 		LeafSize: int(leaf), MaxRank: int(maxRank), Tol: tol, Kappa: int(kappa),

@@ -2,8 +2,10 @@ package hss
 
 import (
 	"errors"
+	"fmt"
 
 	"gofmm/internal/core"
+	"gofmm/internal/resilience"
 )
 
 // ErrNotHSS is returned when a GOFMM compression has a nonzero sparse
@@ -50,7 +52,8 @@ func FromGOFMM(g *core.Hierarchical) (*HSS, error) {
 		}
 		p := g.Proj(id)
 		if p == nil {
-			return nil, errors.New("hss: GOFMM node missing interpolation matrix")
+			return nil, fmt.Errorf("%w: GOFMM node %d has no interpolation matrix",
+				resilience.ErrInvalidInput, id)
 		}
 		h.nodes[id].E = p.Transposed()
 		h.nodes[id].skel = g.Skeleton(id)

@@ -1,10 +1,11 @@
-//go:build !amd64
+//go:build !amd64 || purego
 
 package linalg
 
-// Non-amd64 platforms always take the portable micro-kernel.
+// Non-amd64 platforms — and any platform under the purego tag — always
+// take the portable micro-kernel.
 const haveFMAKernel = false
 
 func gemmKernel8x6(kc int, a, b []float64, c *float64, ldc int) {
-	panic("linalg: assembly micro-kernel unavailable on this platform")
+	panic("linalg: assembly micro-kernel unavailable in this build")
 }

@@ -5,6 +5,7 @@ import (
 	"math/rand"
 
 	"gofmm/internal/linalg"
+	"gofmm/internal/resilience"
 )
 
 // kernel6D builds one of the K04–K10 high-dimensional kernel matrices over
@@ -102,5 +103,6 @@ func Generate(name string, n int, seed int64) (*Problem, error) {
 	case "MNIST":
 		return Mnist(n, 1.0, seed), nil
 	}
-	return nil, fmt.Errorf("spdmat: unknown problem %q (known: %v)", name, Names())
+	return nil, fmt.Errorf("%w: unknown problem %q (known: %v)",
+		resilience.ErrInvalidInput, name, Names())
 }
