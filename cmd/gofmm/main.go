@@ -20,10 +20,12 @@ import (
 	"fmt"
 	"io"
 	"log"
+	"log/slog"
 	"math/rand"
 	"net/http"
 	_ "net/http/pprof"
 	"os"
+	"os/signal"
 	"strings"
 	"time"
 
@@ -33,6 +35,7 @@ import (
 	"gofmm/internal/resilience"
 	"gofmm/internal/spdmat"
 	"gofmm/internal/telemetry"
+	"gofmm/internal/telemetry/live"
 	"gofmm/internal/workspace"
 )
 
@@ -72,6 +75,11 @@ func run(args []string, out io.Writer) error {
 		report    = fs.Bool("report", false, "print the telemetry phase/metric report after the run")
 		pprofAddr = fs.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060) for the run's duration")
 
+		debugAddr   = fs.String("debug-addr", "", "serve the live introspection endpoints (/metrics Prometheus exposition, /healthz, /readyz, /debug/vars, /debug/pprof, /debug/spans NDJSON, POST /debug/flightrecord) on this address for the run's duration; shut down gracefully on completion or SIGINT")
+		debugLinger = fs.Duration("debug-linger", 0, "keep the -debug-addr server up this long after the run completes (so CI or a human can scrape post-run metrics); SIGINT ends the linger early")
+		flightDir   = fs.String("flight-dir", "", "enable the flight recorder and write automatic crash dumps (panic/stall/deadlock post-mortems, schema gofmm.flight/v1) into this directory")
+		logDest     = fs.String("log", "", "write structured JSON logs (span completions, chaos injections, scheduler health, crashes) to this file, or '-' for stderr")
+
 		batch       = fs.Int("batch", 0, "serve the r right-hand sides as this many concurrent clients through a coalescing BatchEvaluator (0 = direct block evaluation)")
 		batchWindow = fs.Duration("batch-window", 250*time.Microsecond, "BatchEvaluator coalescing window (max delay before a flush)")
 		batchMax    = fs.Int("batch-max", 32, "BatchEvaluator maximum columns per flush")
@@ -102,8 +110,30 @@ func run(args []string, out io.Writer) error {
 	chaosEnabled := *chaosTask > 0 || *chaosDrop > 0 || *chaosCorr > 0 ||
 		*chaosDelay > 0 || *chaosPoison > 0
 	var rec *telemetry.Recorder
-	if *traceFile != "" || *metrics != "" || *report || chaosEnabled {
+	if *traceFile != "" || *metrics != "" || *report || chaosEnabled ||
+		*debugAddr != "" || *flightDir != "" || *logDest != "" {
 		rec = telemetry.New()
+	}
+	if *logDest != "" {
+		lw := io.Writer(os.Stderr)
+		if *logDest != "-" {
+			f, ferr := os.Create(*logDest)
+			if ferr != nil {
+				return ferr
+			}
+			defer f.Close()
+			lw = f
+		}
+		rec.SetLogger(slog.New(slog.NewJSONHandler(lw,
+			&slog.HandlerOptions{Level: slog.LevelDebug})))
+	}
+	var flight *telemetry.FlightRecorder
+	if *debugAddr != "" || *flightDir != "" {
+		flight = telemetry.NewFlightRecorder(rec, 512)
+		if *flightDir != "" {
+			flight.SetDumpDir(*flightDir)
+			fmt.Fprintf(out, "flight recorder armed: crash dumps land in %s\n", *flightDir)
+		}
 	}
 	var chaos *resilience.Chaos
 	if chaosEnabled {
@@ -114,11 +144,39 @@ func run(args []string, out io.Writer) error {
 		fmt.Fprintf(out, "chaos: seed %d, task-fail %g, msg-drop %g, msg-corrupt %g, msg-delay %g, oracle-poison %g\n",
 			*chaosSeed, *chaosTask, *chaosDrop, *chaosCorr, *chaosDelay, *chaosPoison)
 	}
-	ctx := context.Background()
+	// SIGINT cancels the run's context: evaluation aborts with a typed
+	// cancellation error and the debug server (if any) shuts down cleanly.
+	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stopSignals()
 	if *timeout > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, *timeout)
 		defer cancel()
+	}
+	var srv *live.Server
+	if *debugAddr != "" {
+		srv = live.New(rec, live.WithFlightRecorder(flight))
+		if err := srv.Start(*debugAddr); err != nil {
+			return err
+		}
+		srv.SetReady(false) // not ready until compression completes
+		fmt.Fprintf(out, "live introspection on http://%s/ (metrics, healthz, readyz, debug/spans, debug/pprof, debug/flightrecord)\n", srv.Addr())
+		defer func() {
+			if *debugLinger > 0 {
+				fmt.Fprintf(out, "debug server lingering %s on http://%s/ (SIGINT to stop)\n",
+					*debugLinger, srv.Addr())
+				select {
+				case <-time.After(*debugLinger):
+				case <-ctx.Done():
+				}
+			}
+			sctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+			defer cancel()
+			if serr := srv.Shutdown(sctx); serr != nil {
+				log.Printf("debug server shutdown: %v", serr)
+			}
+		}()
+		defer srv.SetReady(true) // the run is over: linger-time probes succeed
 	}
 
 	p, err := spdmat.Generate(*matrix, *n, *seed)
@@ -229,6 +287,9 @@ func run(args []string, out io.Writer) error {
 			return err
 		}
 		fmt.Fprintf(out, "wrote evaluation DAG to %s\n", *dotFile)
+	}
+	if srv != nil {
+		srv.SetReady(true) // compressed form is in memory: the operator can serve
 	}
 	st := h.Stats
 	fmt.Fprintf(out, "compression: %.3fs (ann %.3fs, tree %.3fs, lists %.3fs, skel %.3fs, cache %.3fs)\n",

@@ -7,9 +7,11 @@
 //
 // Flags:
 //
-//	-n int      base problem size (default per experiment)
-//	-quick      reduced sizes for a fast smoke run
-//	-seed int   RNG seed (default 1)
+//	-n int              base problem size (default per experiment)
+//	-quick              reduced sizes for a fast smoke run
+//	-seed int           RNG seed (default 1)
+//	-debug-addr addr    serve live introspection (/metrics, /debug/pprof, ...)
+//	-debug-linger dur   keep the debug server up after the run finishes
 //
 // Each subcommand prints rows mirroring the corresponding paper artifact;
 // absolute numbers differ from the paper's hardware, the comparative shapes
@@ -17,14 +19,18 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
+	"time"
 
 	"gofmm/internal/core"
 	"gofmm/internal/experiments"
 	"gofmm/internal/telemetry"
+	"gofmm/internal/telemetry/live"
 )
 
 func main() {
@@ -46,8 +52,42 @@ func cli(args []string, w io.Writer) error {
 	quick := fs.Bool("quick", false, "reduced sizes for a fast smoke run")
 	seed := fs.Int64("seed", 1, "RNG seed")
 	benchDir := fs.String("benchjson", "", "also write each experiment's rows as a BENCH_<name>.json run record into this directory")
+	debugAddr := fs.String("debug-addr", "", "serve the live introspection endpoints (/metrics, /healthz, /readyz, /debug/vars, /debug/spans, /debug/pprof/*, /debug/flightrecord) on this address for the duration of the run")
+	debugLinger := fs.Duration("debug-linger", 0, "keep the -debug-addr server up this long after the run finishes (Ctrl-C ends the linger early)")
 	if err := fs.Parse(args[1:]); err != nil {
 		return err
+	}
+
+	// The pr3/pr4 benchmark paths thread this recorder into their core.Config
+	// so the debug server has live counters and histograms to expose; the
+	// other subcommands still get /healthz, /debug/pprof and the flight
+	// recorder's manual-dump endpoint.
+	var rec *telemetry.Recorder
+	if *debugAddr != "" {
+		rec = telemetry.New()
+		flight := telemetry.NewFlightRecorder(rec, 512)
+		srv := live.New(rec, live.WithFlightRecorder(flight))
+		if err := srv.Start(*debugAddr); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "live introspection on http://%s/\n", srv.Addr())
+		ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt)
+		defer stopSignals()
+		defer func() {
+			if *debugLinger > 0 {
+				fmt.Fprintf(w, "debug server lingering %s (Ctrl-C to stop)\n", *debugLinger)
+				select {
+				case <-time.After(*debugLinger):
+				case <-ctx.Done():
+				}
+			}
+			shutCtx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+			defer cancel()
+			if err := srv.Shutdown(shutCtx); err != nil {
+				fmt.Fprintf(os.Stderr, "debug server shutdown: %v\n", err)
+			}
+		}()
+		srv.SetReady(true)
 	}
 
 	size := func(def, quickDef int) int {
@@ -137,7 +177,7 @@ func cli(args []string, w io.Writer) error {
 		case "pr3":
 			// Hot-path kernel microbenchmarks (register-tiled GEMM, pooled
 			// matvec) — the record feeds the CI performance-regression gate.
-			rr := pr3Bench(w, size(4096, 1024), *seed)
+			rr := pr3Bench(w, size(4096, 1024), *seed, rec)
 			if *benchDir != "" {
 				path, err := rr.WriteBenchFile(*benchDir)
 				if err != nil {
@@ -150,7 +190,7 @@ func cli(args []string, w io.Writer) error {
 			// Batched multi-RHS evaluation: Matmat vs looped Matvec throughput
 			// across block widths, and BatchEvaluator coalescing — feeds the
 			// CI gate requiring ≥3× matvecs/sec at r=16.
-			rr := pr4Bench(w, size(4096, 1024), *seed)
+			rr := pr4Bench(w, size(4096, 1024), *seed, rec)
 			if *benchDir != "" {
 				path, err := rr.WriteBenchFile(*benchDir)
 				if err != nil {
@@ -202,5 +242,5 @@ func cli(args []string, w io.Writer) error {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: repro <fig1|fig2|fig3|fig4|fig5|fig6|fig7|table3|table4|table5|scaling|pr3|pr4|all> [-n N] [-quick] [-seed S]`)
+	fmt.Fprintln(os.Stderr, `usage: repro <fig1|fig2|fig3|fig4|fig5|fig6|fig7|table3|table4|table5|scaling|pr3|pr4|all> [-n N] [-quick] [-seed S] [-debug-addr HOST:PORT] [-debug-linger D]`)
 }

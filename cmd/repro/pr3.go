@@ -21,7 +21,7 @@ import (
 // wall-clock: the minimum is the right statistic for a throughput gate
 // because every source of noise (scheduler, turbo, page faults) only ever
 // slows a run down.
-func pr3Bench(w io.Writer, n int, seed int64) *telemetry.RunRecord {
+func pr3Bench(w io.Writer, n int, seed int64, rec *telemetry.Recorder) *telemetry.RunRecord {
 	rr := telemetry.NewRunRecord("pr3")
 	rr.Params["n"] = n
 	rr.Params["seed"] = seed
@@ -52,7 +52,7 @@ func pr3Bench(w io.Writer, n int, seed int64) *telemetry.RunRecord {
 	cfg := core.Config{
 		LeafSize: 128, MaxRank: 128, Tol: 1e-5, Kappa: 32, Budget: 0.03,
 		Distance: core.Angle, Exec: core.Sequential, Seed: seed,
-		CacheBlocks: true, Workspace: workspace.New(),
+		CacheBlocks: true, Workspace: workspace.New(), Telemetry: rec,
 	}
 	h, err := core.Compress(p.K, cfg)
 	if err != nil {

@@ -22,7 +22,7 @@ import (
 // batched_x_speedup_r16: Matmat at r=16 must deliver ≥3× the matvecs/sec of
 // 16 sequential Matvec calls (the GEMM-vs-GEMV shaped passes are where the
 // win comes from). Best-of-R wall-clock, same rationale as pr3Bench.
-func pr4Bench(w io.Writer, n int, seed int64) *telemetry.RunRecord {
+func pr4Bench(w io.Writer, n int, seed int64, rec *telemetry.Recorder) *telemetry.RunRecord {
 	rr := telemetry.NewRunRecord("pr4")
 	rr.Params["n"] = n
 	rr.Params["seed"] = seed
@@ -31,7 +31,7 @@ func pr4Bench(w io.Writer, n int, seed int64) *telemetry.RunRecord {
 	cfg := core.Config{
 		LeafSize: 128, MaxRank: 128, Tol: 1e-5, Kappa: 32, Budget: 0.03,
 		Distance: core.Angle, Exec: core.Sequential, Seed: seed,
-		CacheBlocks: true, Workspace: workspace.New(),
+		CacheBlocks: true, Workspace: workspace.New(), Telemetry: rec,
 	}
 	h, err := core.Compress(p.K, cfg)
 	if err != nil {

@@ -280,6 +280,33 @@ type Recorder = telemetry.Recorder
 // NewRecorder returns an empty telemetry recorder.
 func NewRecorder() *Recorder { return telemetry.New() }
 
+// FlightRecorder is the bounded post-mortem ring over a Recorder: the last
+// N completed spans, the recorded errors, and a metrics snapshot, dumped as
+// JSON (schema gofmm.flight/v1) automatically from the panic/stall/deadlock
+// crash paths (set a dump directory with SetDumpDir) or on demand. The live
+// debug server serves the same dump at POST /debug/flightrecord.
+type FlightRecorder = telemetry.FlightRecorder
+
+// NewFlightRecorder attaches a flight recorder retaining the last n span
+// completions to rec (nil rec returns a nil, inert recorder).
+func NewFlightRecorder(rec *Recorder, n int) *FlightRecorder {
+	return telemetry.NewFlightRecorder(rec, n)
+}
+
+// ContextWithTraceID returns ctx tagged with a request trace ID. The ID
+// rides through MatvecCtx/MatmatCtx and the BatchEvaluator onto every span
+// the request produces, linking coalesced requests to the batch flush that
+// served them. An empty id returns ctx unchanged.
+func ContextWithTraceID(ctx context.Context, id string) context.Context {
+	return telemetry.ContextWithTraceID(ctx, id)
+}
+
+// TraceIDFrom extracts the trace ID from ctx ("" , false when untagged).
+func TraceIDFrom(ctx context.Context) (string, bool) { return telemetry.TraceIDFrom(ctx) }
+
+// NewTraceID mints a fresh random 16-hex-digit trace ID.
+func NewTraceID() string { return telemetry.NewTraceID() }
+
 // RunRecord is the stable machine-readable benchmark/run format
 // (schema gofmm.bench/v1) shared by the benchmark harness, cmd/repro
 // -benchjson and CI artifacts.

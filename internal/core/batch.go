@@ -10,6 +10,7 @@ import (
 
 	"gofmm/internal/linalg"
 	"gofmm/internal/resilience"
+	"gofmm/internal/telemetry"
 )
 
 // ErrEvaluatorClosed is returned by BatchEvaluator.Matvec after Close.
@@ -59,10 +60,11 @@ type batchRes struct {
 }
 
 type batchReq struct {
-	W   *linalg.Matrix
-	ctx context.Context
-	enq time.Time
-	out chan batchRes // buffered(1): the flusher never blocks on delivery
+	W       *linalg.Matrix
+	ctx     context.Context
+	enq     time.Time
+	traceID string        // caller's trace ID, "" when the ctx carried none
+	out     chan batchRes // buffered(1): the flusher never blocks on delivery
 }
 
 // BatchEvaluator coalesces concurrent Matvec requests from many goroutines
@@ -138,6 +140,7 @@ func (e *BatchEvaluator) Matvec(ctx context.Context, W *linalg.Matrix) (*linalg.
 		return nil, ErrEvaluatorClosed
 	}
 	req := &batchReq{W: W, ctx: ctx, enq: time.Now(), out: make(chan batchRes, 1)}
+	req.traceID, _ = telemetry.TraceIDFrom(ctx)
 	select {
 	case e.reqs <- req:
 	case <-ctx.Done():
@@ -147,7 +150,7 @@ func (e *BatchEvaluator) Matvec(ctx context.Context, W *linalg.Matrix) (*linalg.
 	}
 	select {
 	case res := <-req.out:
-		return res.U, res.err
+		return e.finish(req, res)
 	case <-ctx.Done():
 		// The batch may still compute this request's columns; the buffered
 		// out channel lets the flusher deliver into the void.
@@ -157,11 +160,22 @@ func (e *BatchEvaluator) Matvec(ctx context.Context, W *linalg.Matrix) (*linalg.
 		// the result was delivered as part of the closing drain.
 		select {
 		case res := <-req.out:
-			return res.U, res.err
+			return e.finish(req, res)
 		default:
 			return nil, ErrEvaluatorClosed
 		}
 	}
+}
+
+// finish unwraps a delivered result, recording the caller-observed request
+// latency (enqueue to delivery, the number a serving SLO is written
+// against) on success.
+func (e *BatchEvaluator) finish(req *batchReq, res batchRes) (*linalg.Matrix, error) {
+	if res.err == nil {
+		e.h.Cfg.Telemetry.Histogram("matvec.latency_ms").
+			Observe(time.Since(req.enq).Seconds() * 1e3)
+	}
+	return res.U, res.err
 }
 
 // Close stops the flusher after a final drain of already-accepted requests
@@ -236,13 +250,23 @@ func (e *BatchEvaluator) drain() {
 // flush assembles the pending requests into one n×cols block, evaluates it
 // with a single Matmat, and scatters per-request results. All assembly
 // scratch comes from the configured workspace pool.
+//
+// Each flush mints its own trace ID: the flush span carries it, every
+// member request gets a zero-length "batch.request" child span linking the
+// caller's trace ID to it, and the Matmat runs under a context tagged with
+// it — so a slow or crashed batch is attributable to the exact requests it
+// coalesced, and each request's span feed entry names the flush that
+// served it.
 func (e *BatchEvaluator) flush(batch []*batchReq) {
+	rec := e.h.Cfg.Telemetry
+	flushID := telemetry.NewTraceID()
 	// A panic anywhere below must not kill the flusher: convert it to a
 	// typed error for this batch's members and keep serving. (MatmatCtx has
 	// its own recover; this backstop covers the assembly/scatter code.)
 	defer func() {
 		if r := recover(); r != nil {
 			err := &resilience.PanicError{Label: "batch.flush", Value: r, Stack: debug.Stack()}
+			rec.ReportCrash("batch.flush", flushID, err)
 			for _, req := range batch {
 				select {
 				case req.out <- batchRes{err: err}:
@@ -252,7 +276,6 @@ func (e *BatchEvaluator) flush(batch []*batchReq) {
 		}
 	}()
 	now := time.Now()
-	rec := e.h.Cfg.Telemetry
 	// Drop members whose context fired while they were queued: they already
 	// gave up, and shrinking the block is free at this point.
 	live := batch[:0]
@@ -273,6 +296,16 @@ func (e *BatchEvaluator) flush(batch []*batchReq) {
 	e.requests.Add(int64(len(live)))
 	e.columns.Add(int64(cols))
 	e.flushes.Add(1)
+	fsp := rec.StartSpan("batch.flush")
+	defer fsp.End()
+	fsp.SetAttr(telemetry.AttrTraceID, flushID)
+	fsp.SetAttr("batch.cols", fmt.Sprintf("%d", cols))
+	for _, req := range live {
+		rs := fsp.StartSpan("batch.request")
+		rs.SetAttr(telemetry.AttrTraceID, req.traceID)
+		rs.SetAttr("flush_trace_id", flushID)
+		rs.End()
+	}
 	if rec != nil {
 		rec.Gauge("batch.queue_depth").Set(float64(len(e.reqs)))
 		rec.Histogram("batch.size").Observe(float64(cols))
@@ -290,9 +323,10 @@ func (e *BatchEvaluator) flush(batch []*batchReq) {
 		X.View(0, at, n, req.W.Cols).CopyFrom(req.W)
 		at += req.W.Cols
 	}
-	U, err := e.h.MatmatCtx(e.ctx, X)
+	U, err := e.h.MatmatCtx(telemetry.ContextWithTraceID(e.ctx, flushID), X)
 	pool.PutMatrix(X)
 	if err != nil {
+		fsp.SetAttr("error", err.Error())
 		for _, req := range live {
 			req.out <- batchRes{err: err}
 		}

@@ -392,7 +392,11 @@ func (c *Config) engine(policy sched.Policy) *sched.Engine {
 	if specs == nil {
 		specs = sched.Homogeneous(c.NumWorkers)
 	}
-	return sched.NewEngine(policy, specs)
+	eng := sched.NewEngine(policy, specs)
+	// Scheduler health events (watchdog, deadlock, retries) flow into the
+	// same structured log as the telemetry layer's span/crash records.
+	eng.SetLogger(c.Telemetry.Logger())
+	return eng
 }
 
 // workerCount returns the effective pool size.

@@ -2,6 +2,7 @@ package core
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"io"
 	"runtime/debug"
@@ -86,10 +87,15 @@ func (h *Hierarchical) MatvecCtx(ctx context.Context, W *linalg.Matrix) (*linalg
 // n×r block, so the per-pass kernels are r-wide GEMMs. op names the
 // telemetry span and counters ("matvec" or "matmat").
 func (h *Hierarchical) evalBlock(ctx context.Context, W *linalg.Matrix, op string) (U *linalg.Matrix, err error) {
-	// Backstop: no panic escapes the public entry points.
+	rec := h.Cfg.Telemetry
+	tid, _ := telemetry.TraceIDFrom(ctx)
+	// Backstop: no panic escapes the public entry points. The crash is
+	// funneled to the flight recorder before the typed error returns.
 	defer func() {
 		if r := recover(); r != nil {
-			U, err = nil, &resilience.PanicError{Label: op, Value: r, Stack: debug.Stack()}
+			perr := &resilience.PanicError{Label: op, Value: r, Stack: debug.Stack()}
+			rec.ReportCrash(op, tid, perr)
+			U, err = nil, perr
 		}
 	}()
 	n := h.K.Dim()
@@ -104,8 +110,11 @@ func (h *Hierarchical) evalBlock(ctx context.Context, W *linalg.Matrix, op strin
 		return nil, err
 	}
 	start := time.Now()
-	rec := h.Cfg.Telemetry
 	root := rec.StartSpan(op)
+	// Idempotent safety net: if a kernel panics mid-pass the span still ends
+	// (and reaches the flight recorder) before the backstop above reports.
+	defer root.End()
+	root.SetAttr(telemetry.AttrTraceID, tid)
 	atomic.StoreInt64(&h.evalFlops, 0)
 	t := h.Tree
 	pool := h.Cfg.Workspace
@@ -156,7 +165,14 @@ func (h *Hierarchical) evalBlock(ctx context.Context, W *linalg.Matrix, op strin
 		err = h.evalTasked(ctx, st, root)
 	}
 	if err != nil {
+		root.SetAttr("error", err.Error())
 		root.End()
+		// Stalls and in-task panics are flight-recorder events: they are the
+		// post-mortems the ring exists for. Plain cancellations are not.
+		var perr *resilience.PanicError
+		if errors.As(err, &perr) || errors.Is(err, resilience.ErrStalled) {
+			rec.ReportCrash(op, tid, err)
+		}
 		return nil, err
 	}
 	st.Ufar.AddScaled(1, st.Unear)
@@ -171,6 +187,7 @@ func (h *Hierarchical) evalBlock(ctx context.Context, W *linalg.Matrix, op strin
 		rec.Counter(op + ".calls").Add(1)
 		rec.Counter(op + ".flops").Add(atomic.LoadInt64(&h.evalFlops))
 		rec.Gauge(op + ".rhs").Set(float64(W.Cols))
+		rec.Histogram(op + ".latency_ms").Observe(time.Since(start).Seconds() * 1e3)
 	}
 	return U, nil
 }

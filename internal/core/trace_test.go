@@ -1,0 +1,230 @@
+package core
+
+// End-to-end tests for trace-ID propagation (caller → BatchEvaluator →
+// coalesced flush → Matmat) and for the flight recorder's crash funnel: a
+// panic during evaluation must leave a dump on disk naming the trace ID of
+// the request that was in flight.
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"gofmm/internal/linalg"
+	"gofmm/internal/resilience"
+	"gofmm/internal/telemetry"
+)
+
+// findSpan returns the first recorded span event with the given name for
+// which ok returns true, polling briefly: span events are published from the
+// flusher goroutine, so the deferred flush-span end can trail the caller's
+// result delivery by a scheduling quantum.
+func findSpan(t *testing.T, flight *telemetry.FlightRecorder, name string, ok func(telemetry.SpanEvent) bool) telemetry.SpanEvent {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		for _, ev := range flight.RecentSpans(0) {
+			if ev.Name == name && ok(ev) {
+				return ev
+			}
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("span %q not recorded (have %v)", name, spanNames(flight))
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func spanNames(flight *telemetry.FlightRecorder) []string {
+	var names []string
+	for _, ev := range flight.RecentSpans(0) {
+		names = append(names, ev.Name)
+	}
+	return names
+}
+
+func TestBatchTraceIDPropagation(t *testing.T) {
+	rec := telemetry.New()
+	flight := telemetry.NewFlightRecorder(rec, 256)
+	h, _ := compressGauss(t, 192, Config{
+		LeafSize: 32, MaxRank: 32, Tol: 1e-5, Kappa: 8, Budget: 0.1,
+		Distance: Kernel, Exec: Sequential, Seed: 1,
+		CacheBlocks: true, Telemetry: rec,
+	})
+	ev := h.NewBatchEvaluator(BatchOptions{MaxBatch: 8, MaxDelay: time.Millisecond})
+	defer ev.Close()
+
+	callerID := telemetry.NewTraceID()
+	ctx := telemetry.ContextWithTraceID(context.Background(), callerID)
+	rng := rand.New(rand.NewSource(11))
+	if _, err := ev.Matvec(ctx, linalg.GaussianMatrix(rng, 192, 1)); err != nil {
+		t.Fatal(err)
+	}
+
+	// The coalesced request's span carries the caller's trace ID, is a child
+	// of the flush span, and names the flush trace it was served by.
+	reqSpan := findSpan(t, flight, "batch.request", func(ev telemetry.SpanEvent) bool {
+		return ev.TraceID == callerID
+	})
+	if reqSpan.Parent != "batch.flush" {
+		t.Fatalf("batch.request parent = %q", reqSpan.Parent)
+	}
+	flushID := reqSpan.Attrs["flush_trace_id"]
+	if flushID == "" || flushID == callerID {
+		t.Fatalf("flush_trace_id = %q (caller %q)", flushID, callerID)
+	}
+	// The flush span owns that flush trace ID...
+	findSpan(t, flight, "batch.flush", func(ev telemetry.SpanEvent) bool {
+		return ev.TraceID == flushID
+	})
+	// ...and the Matmat it issued ran under the same trace.
+	findSpan(t, flight, "matmat", func(ev telemetry.SpanEvent) bool {
+		return ev.TraceID == flushID
+	})
+
+	// Direct (uncoalesced) evaluation: MatvecCtx stamps the root span with
+	// the caller's trace ID and records the latency histogram.
+	directID := telemetry.NewTraceID()
+	if _, err := h.MatvecCtx(telemetry.ContextWithTraceID(context.Background(), directID),
+		linalg.GaussianMatrix(rng, 192, 2)); err != nil {
+		t.Fatal(err)
+	}
+	findSpan(t, flight, "matvec", func(ev telemetry.SpanEvent) bool {
+		return ev.TraceID == directID
+	})
+	snap := rec.Snapshot()
+	if snap.Histograms["matvec.latency_ms"].Count == 0 {
+		t.Fatal("matvec.latency_ms histogram empty")
+	}
+	if snap.Counters["batch.flushes"] == 0 {
+		t.Fatal("batch.flushes counter empty")
+	}
+}
+
+func TestChaosPanicFlightDump(t *testing.T) {
+	rec := telemetry.New()
+	flight := telemetry.NewFlightRecorder(rec, 128)
+	dir := t.TempDir()
+	flight.SetDumpDir(dir)
+
+	rng := rand.New(rand.NewSource(99))
+	K, X := gaussKernelMatrix(rng, 128, 0.8)
+	oracle := &panicSPD{SPD: denseSPD{K}}
+	h, err := Compress(oracle, Config{
+		LeafSize: 32, MaxRank: 32, Tol: 1e-5, Kappa: 8, Budget: 0.1,
+		Distance: Kernel, Exec: Sequential, Seed: 1, Points: X,
+		CacheBlocks: false, // evaluation consults the (armed) oracle
+		Telemetry:   rec,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	crashID := telemetry.NewTraceID()
+	ctx := telemetry.ContextWithTraceID(context.Background(), crashID)
+	oracle.armed.Store(true)
+	_, err = h.MatvecCtx(ctx, linalg.GaussianMatrix(rng, 128, 1))
+	oracle.armed.Store(false)
+	var pe *resilience.PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("want *resilience.PanicError, got %v", err)
+	}
+
+	// The crash funnel must have auto-dumped a post-mortem naming the trace.
+	matches, globErr := filepath.Glob(filepath.Join(dir, "flight-*.matvec.json"))
+	if globErr != nil || len(matches) == 0 {
+		t.Fatalf("no flight dump written (err %v)", globErr)
+	}
+	raw, readErr := os.ReadFile(matches[0])
+	if readErr != nil {
+		t.Fatal(readErr)
+	}
+	if !strings.Contains(string(raw), crashID) {
+		t.Fatalf("flight dump does not contain the panicking trace ID %s", crashID)
+	}
+	var d telemetry.FlightDump
+	if jsonErr := json.Unmarshal(raw, &d); jsonErr != nil {
+		t.Fatalf("dump not valid JSON: %v", jsonErr)
+	}
+	if d.Schema != telemetry.FlightDumpSchema {
+		t.Fatalf("schema = %q", d.Schema)
+	}
+	crashRecorded := false
+	for _, fe := range d.Errors {
+		if fe.Label == "matvec" && fe.TraceID == crashID {
+			crashRecorded = true
+		}
+	}
+	if !crashRecorded {
+		t.Fatalf("dump errors missing the crash: %+v", d.Errors)
+	}
+	// The panicking matvec's own span made it into the ring before the dump.
+	spanSeen := false
+	for _, ev := range d.Spans {
+		if ev.Name == "matvec" && ev.TraceID == crashID {
+			spanSeen = true
+		}
+	}
+	if !spanSeen {
+		t.Fatal("dump spans missing the panicking matvec span")
+	}
+
+	// Recovery: disarmed, the same operator evaluates cleanly.
+	if _, err := h.MatvecCtx(context.Background(), linalg.GaussianMatrix(rng, 128, 1)); err != nil {
+		t.Fatalf("operator did not recover after panic: %v", err)
+	}
+}
+
+func TestChaosStallFlightDump(t *testing.T) {
+	// A batch whose flush panics must funnel through ReportCrash with the
+	// flush's own trace ID (the caller's request may not carry one).
+	rec := telemetry.New()
+	flight := telemetry.NewFlightRecorder(rec, 64)
+	dir := t.TempDir()
+	flight.SetDumpDir(dir)
+
+	rng := rand.New(rand.NewSource(42))
+	K, X := gaussKernelMatrix(rng, 128, 0.8)
+	oracle := &panicSPD{SPD: denseSPD{K}}
+	h, err := Compress(oracle, Config{
+		LeafSize: 32, MaxRank: 32, Tol: 1e-5, Kappa: 8, Budget: 0.1,
+		Distance: Kernel, Exec: Sequential, Seed: 1, Points: X,
+		CacheBlocks: false, Telemetry: rec,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev := h.NewBatchEvaluator(BatchOptions{MaxBatch: 4, MaxDelay: time.Millisecond})
+	defer ev.Close()
+
+	oracle.armed.Store(true)
+	_, err = ev.Matvec(context.Background(), linalg.GaussianMatrix(rng, 128, 1))
+	oracle.armed.Store(false)
+	var pe *resilience.PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("want *resilience.PanicError, got %v", err)
+	}
+	errs := flight.Errors()
+	if len(errs) == 0 {
+		t.Fatal("no crash recorded in the flight ring")
+	}
+	found := false
+	for _, fe := range errs {
+		if fe.Label == "matmat" && fe.TraceID != "" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("no matmat crash with a flush trace ID: %+v", errs)
+	}
+	matches, _ := filepath.Glob(filepath.Join(dir, "flight-*.json"))
+	if len(matches) == 0 {
+		t.Fatal("no auto-dump written for the batched crash")
+	}
+}

@@ -217,6 +217,7 @@ func (m *Machine) MatvecCtx(ctx context.Context, W *linalg.Matrix) (*linalg.Matr
 		bo: m.Backoff, ctx: ctx}
 	root := m.Telemetry.StartSpan("dist.matvec")
 	defer root.End()
+	root.SetTraceIDFromContext(ctx)
 
 	// Input/output in tree order; each rank owns a contiguous slice of
 	// positions (the scatter/gather are part of the data distribution, not

@@ -104,6 +104,9 @@ func (c *Chaos) roll(kind, site string, p float64) bool {
 	c.mu.Unlock()
 	if hit && c.rec != nil {
 		c.rec.Counter("chaos." + kind + ".injected").Add(1)
+		if l := c.rec.Logger(); l != nil {
+			l.Warn("chaos injection", "kind", kind, "site", site)
+		}
 	}
 	return hit
 }
@@ -165,6 +168,9 @@ func (c *Chaos) PoisonOracle(site string) (float64, bool) {
 	c.mu.Unlock()
 	if c.rec != nil {
 		c.rec.Counter("chaos.oracle_poison.injected").Add(1)
+		if l := c.rec.Logger(); l != nil {
+			l.Warn("chaos injection", "kind", "oracle_poison", "site", site)
+		}
 	}
 	return math.NaN(), true
 }

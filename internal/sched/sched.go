@@ -25,6 +25,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"runtime/debug"
 	"sort"
 	"strings"
@@ -190,9 +191,10 @@ type Engine struct {
 	runErr      error // first fatal error of the Run
 
 	// Resilience configuration (set before Run).
-	failTask       func(label string) bool // fault-injection hook (may be nil)
-	maxTaskRetries int                     // redeliveries per task (default 8)
-	stallTimeout   time.Duration           // watchdog; 0 disables
+	failTask       func(label string) bool     // fault-injection hook (may be nil)
+	maxTaskRetries int                         // redeliveries per task (default 8)
+	stallTimeout   time.Duration               // watchdog; 0 disables
+	logger         atomic.Pointer[slog.Logger] // health-event sink (may be empty)
 
 	// trace support
 	traceOn  bool
@@ -263,6 +265,12 @@ func (e *Engine) SetMaxTaskRetries(n int) {
 // remains, RunCtx gives up and returns ErrStalled with the stuck frontier.
 // Zero disables the timer (provable deadlocks are still detected instantly).
 func (e *Engine) SetStallTimeout(d time.Duration) { e.stallTimeout = d }
+
+// SetLogger attaches a structured logger for scheduler health events —
+// stall-watchdog fires and provable deadlocks at Error, chaos-injected
+// retry redeliveries at Warn. Pass nil to detach; nothing is logged while
+// no logger is set. Safe to call concurrently with a Run.
+func (e *Engine) SetLogger(l *slog.Logger) { e.logger.Store(l) }
 
 // Retries returns the number of failed task attempts redelivered during the
 // last Run.
@@ -431,6 +439,10 @@ func (e *Engine) watchdog(fired, stop chan struct{}) {
 		e.cancelled = true
 		e.cond.Broadcast()
 		e.mu.Unlock()
+		if l := e.logger.Load(); l != nil {
+			l.Error("sched stall watchdog fired",
+				"timeout", e.stallTimeout.String(), "frontier", frontier)
+		}
 		close(fired)
 		return
 	}
@@ -541,13 +553,21 @@ func (e *Engine) worker(w int) {
 			// dependency cycle or a corrupted counter). Report the frontier
 			// instead of sleeping forever.
 			if e.running == 0 && e.allQueuesEmptyLocked() {
-				if e.runErr == nil {
+				first := e.runErr == nil
+				var frontier string
+				pending := e.pending
+				if first {
+					frontier = e.frontierLocked()
 					e.runErr = fmt.Errorf("%w: %d tasks can never become ready; stuck frontier: %s",
-						resilience.ErrStalled, e.pending, e.frontierLocked())
+						resilience.ErrStalled, pending, frontier)
 				}
 				e.cancelled = true
 				e.cond.Broadcast()
 				e.mu.Unlock()
+				if l := e.logger.Load(); first && l != nil {
+					l.Error("sched provable deadlock",
+						"pending", pending, "frontier", frontier)
+				}
 				return
 			}
 			e.cond.Wait()
@@ -611,19 +631,29 @@ func (e *Engine) exec(w int, spec WorkerSpec, t *Task) {
 		if t.attempts < e.maxTaskRetries {
 			t.attempts++
 			e.retries++
+			attempt := t.attempts
 			e.running--
 			e.dispatchLocked(t)
 			e.mu.Unlock()
+			if l := e.logger.Load(); l != nil {
+				l.Warn("task attempt failed; redelivered",
+					"task", t.Label, "attempt", attempt, "max", e.maxTaskRetries)
+			}
 			return
 		}
+		attempts := t.attempts + 1
 		if e.runErr == nil {
 			e.runErr = fmt.Errorf("%w: task %q failed %d attempts",
-				resilience.ErrTaskFailed, t.Label, t.attempts+1)
+				resilience.ErrTaskFailed, t.Label, attempts)
 		}
 		e.cancelled = true
 		e.running--
 		e.cond.Broadcast()
 		e.mu.Unlock()
+		if l := e.logger.Load(); l != nil {
+			l.Error("task failed permanently; retry budget exhausted",
+				"task", t.Label, "attempts", attempts)
+		}
 		return
 	}
 	e.mu.Unlock()

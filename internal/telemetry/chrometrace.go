@@ -55,7 +55,7 @@ func (r *Recorder) WriteChromeTrace(w io.Writer) error {
 				}
 				dur := micros(d)
 				trace.TraceEvents = append(trace.TraceEvents, chromeEvent{
-					Name: s.name, Ph: "X", Pid: 0, Tid: phasesTrack,
+					Name: SanitizeLabel(s.name), Ph: "X", Pid: 0, Tid: phasesTrack,
 					Ts: micros(s.start), Dur: &dur,
 					Args: map[string]any{"depth": depth},
 				})
@@ -72,7 +72,7 @@ func (r *Recorder) WriteChromeTrace(w io.Writer) error {
 				args["stolen_from"] = ev.StolenFrom
 			}
 			trace.TraceEvents = append(trace.TraceEvents, chromeEvent{
-				Name: ev.Name, Ph: "X", Pid: 0, Tid: ev.Worker + 1,
+				Name: SanitizeLabel(ev.Name), Ph: "X", Pid: 0, Tid: ev.Worker + 1,
 				Ts: micros(ev.Start), Dur: &dur, Args: args,
 			})
 		}

@@ -1,0 +1,99 @@
+// Package live is the embeddable HTTP introspection server for a running
+// gofmm process: Prometheus metrics, health/readiness probes, pprof, a
+// live NDJSON span feed, and on-demand flight-recorder dumps. Both CLIs
+// mount it behind -debug-addr, and the planned gofmmd serving daemon
+// (ROADMAP item 1) mounts the same Handler on its admin port.
+package live
+
+import (
+	"sync"
+
+	"gofmm/internal/telemetry"
+)
+
+// spanFeed fans completed spans out to any number of live /debug/spans
+// subscribers. Publishing never blocks: each subscriber owns a buffered
+// channel and a slow reader drops events (counted per subscriber) rather
+// than stalling the instrumented goroutine that ended the span — the same
+// contract Recorder.OnSpanEnd demands of its observers.
+type spanFeed struct {
+	mu     sync.Mutex
+	subs   map[int]*feedSub
+	nextID int
+	closed bool
+}
+
+type feedSub struct {
+	ch      chan telemetry.SpanEvent
+	dropped int64
+}
+
+func newSpanFeed() *spanFeed {
+	return &spanFeed{subs: map[int]*feedSub{}}
+}
+
+// publish delivers ev to every subscriber, dropping on full buffers.
+// Safe to call after close (no-op): the recorder's observer list cannot be
+// unregistered, so the feed outlives the server's HTTP lifecycle.
+func (f *spanFeed) publish(ev telemetry.SpanEvent) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.closed {
+		return
+	}
+	for _, s := range f.subs {
+		select {
+		case s.ch <- ev:
+		default:
+			s.dropped++
+		}
+	}
+}
+
+// subscribe registers a new subscriber with the given buffer size and
+// returns its id and receive channel. On a closed feed the channel is
+// returned already closed, so readers terminate immediately.
+func (f *spanFeed) subscribe(buf int) (int, <-chan telemetry.SpanEvent) {
+	if buf < 1 {
+		buf = 1
+	}
+	ch := make(chan telemetry.SpanEvent, buf)
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.closed {
+		close(ch)
+		return -1, ch
+	}
+	id := f.nextID
+	f.nextID++
+	f.subs[id] = &feedSub{ch: ch}
+	return id, ch
+}
+
+// unsubscribe removes a subscriber; its channel is closed so a reader
+// blocked on it wakes up. Unknown ids are ignored.
+func (f *spanFeed) unsubscribe(id int) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	s, ok := f.subs[id]
+	if !ok {
+		return
+	}
+	delete(f.subs, id)
+	close(s.ch)
+}
+
+// close terminates the feed: all subscriber channels close, and future
+// publishes and subscribes are no-ops.
+func (f *spanFeed) close() {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.closed {
+		return
+	}
+	f.closed = true
+	for id, s := range f.subs {
+		delete(f.subs, id)
+		close(s.ch)
+	}
+}

@@ -1,0 +1,400 @@
+package live
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"os"
+	"runtime"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+
+	"gofmm/internal/resilience"
+	"gofmm/internal/telemetry"
+)
+
+// Check is one pluggable health/readiness probe. It receives the probe
+// request's context (so a hung dependency cannot wedge the handler past the
+// client's deadline) and returns nil when healthy.
+type Check func(ctx context.Context) error
+
+// Server is the live introspection endpoint set over one telemetry
+// Recorder. Zero-dependency (stdlib only), embeddable two ways: Start/
+// Shutdown run it on its own listener (the CLIs' -debug-addr), or Handler
+// mounts the same routes inside another process's HTTP server (gofmmd's
+// admin port, ROADMAP item 1).
+//
+// Endpoints:
+//
+//	GET  /metrics            Prometheus text exposition (0.0.4)
+//	GET  /healthz            liveness + registered health checks
+//	GET  /readyz             readiness flag + registered ready checks
+//	GET  /debug/vars         cmdline, memstats, goroutines, metrics snapshot
+//	GET  /debug/pprof/*      stdlib profiling endpoints
+//	GET  /debug/spans        completed spans as NDJSON (?replay=N&limit=K)
+//	POST /debug/flightrecord flight-recorder dump as JSON
+type Server struct {
+	rec    *telemetry.Recorder
+	flight *telemetry.FlightRecorder
+	mux    *http.ServeMux
+	feed   *spanFeed
+
+	checkMu      sync.Mutex
+	healthChecks map[string]Check
+	readyChecks  map[string]Check
+	ready        atomic.Bool
+
+	lifeMu sync.Mutex
+	srv    *http.Server
+	ln     net.Listener
+	done   chan struct{}
+}
+
+// Option configures a Server at construction.
+type Option func(*Server)
+
+// WithFlightRecorder attaches a flight recorder so POST /debug/flightrecord
+// has a ring to dump and GET /debug/spans?replay=N has history to replay.
+func WithFlightRecorder(f *telemetry.FlightRecorder) Option {
+	return func(s *Server) { s.flight = f }
+}
+
+// New builds a Server over rec (which may be nil: every endpoint still
+// answers, exposing empty telemetry). The server subscribes to the
+// recorder's span-end feed immediately; spans completed before the first
+// /debug/spans client connects are only visible via ?replay= when a flight
+// recorder is attached.
+func New(rec *telemetry.Recorder, opts ...Option) *Server {
+	s := &Server{
+		rec:          rec,
+		feed:         newSpanFeed(),
+		healthChecks: map[string]Check{},
+		readyChecks:  map[string]Check{},
+	}
+	for _, o := range opts {
+		o(s)
+	}
+	s.ready.Store(true)
+	rec.OnSpanEnd(s.feed.publish)
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("/", s.handleIndex)
+	mux.HandleFunc("/metrics", s.handleMetrics)
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/readyz", s.handleReadyz)
+	mux.HandleFunc("/debug/vars", s.handleVars)
+	mux.HandleFunc("/debug/spans", s.handleSpans)
+	mux.HandleFunc("/debug/flightrecord", s.handleFlightRecord)
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	s.mux = mux
+	return s
+}
+
+// Handler returns the route set for mounting inside another server.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// AddHealthCheck registers a liveness probe under name (replacing any
+// previous check of that name).
+func (s *Server) AddHealthCheck(name string, c Check) {
+	s.checkMu.Lock()
+	s.healthChecks[name] = c
+	s.checkMu.Unlock()
+}
+
+// AddReadyCheck registers a readiness probe under name.
+func (s *Server) AddReadyCheck(name string, c Check) {
+	s.checkMu.Lock()
+	s.readyChecks[name] = c
+	s.checkMu.Unlock()
+}
+
+// SetReady flips the coarse readiness flag consulted by /readyz before the
+// registered checks run. Servers start ready; a CLI run flips it off while
+// compressing so load balancers (or CI probes) can tell warm-up from serving.
+func (s *Server) SetReady(ready bool) { s.ready.Store(ready) }
+
+// Start listens on addr (host:port; port 0 picks a free port) and serves in
+// a background goroutine until Shutdown. Call Addr to learn the bound
+// address.
+func (s *Server) Start(addr string) error {
+	s.lifeMu.Lock()
+	defer s.lifeMu.Unlock()
+	if s.ln != nil {
+		return fmt.Errorf("live: server already started on %s: %w",
+			s.ln.Addr(), resilience.ErrInvalidInput)
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("live: listen %s: %w", addr, err)
+	}
+	s.ln = ln
+	s.srv = &http.Server{Handler: s.mux}
+	s.done = make(chan struct{})
+	go func(srv *http.Server, ln net.Listener, done chan struct{}) {
+		defer close(done)
+		if err := srv.Serve(ln); err != nil && err != http.ErrServerClosed {
+			if l := s.rec.Logger(); l != nil {
+				l.Error("live server exited", "err", err.Error())
+			}
+		}
+	}(s.srv, ln, s.done)
+	return nil
+}
+
+// Addr returns the bound listen address ("" before Start).
+func (s *Server) Addr() string {
+	s.lifeMu.Lock()
+	defer s.lifeMu.Unlock()
+	if s.ln == nil {
+		return ""
+	}
+	return s.ln.Addr().String()
+}
+
+// Shutdown gracefully stops the server: in-flight requests get until ctx
+// expires, live span subscribers are disconnected, and the serve goroutine
+// is reaped. Safe to call without a prior Start (no-op) and safe to call
+// twice.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.lifeMu.Lock()
+	srv, done := s.srv, s.done
+	s.srv, s.ln = nil, nil
+	s.lifeMu.Unlock()
+	s.feed.close() // wakes /debug/spans streamers so Shutdown is not stuck on them
+	if srv == nil {
+		return nil
+	}
+	err := srv.Shutdown(ctx)
+	<-done
+	if err != nil {
+		return fmt.Errorf("live: shutdown: %w", err)
+	}
+	return nil
+}
+
+// handleIndex lists the endpoints (text/plain, for humans with curl).
+func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Path != "/" {
+		http.NotFound(w, r)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprint(w, `gofmm live introspection
+  GET  /metrics            Prometheus text exposition
+  GET  /healthz            liveness
+  GET  /readyz             readiness
+  GET  /debug/vars         process + telemetry snapshot (JSON)
+  GET  /debug/pprof/       profiling index
+  GET  /debug/spans        completed spans, NDJSON (?replay=N&limit=K)
+  POST /debug/flightrecord flight-recorder dump (JSON)
+`)
+}
+
+// handleMetrics renders the Prometheus exposition from a fresh snapshot.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet && r.Method != http.MethodHead {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	s.rec.Counter("live.scrapes").Add(1)
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	if err := telemetry.WritePrometheus(w, s.rec.Snapshot()); err != nil {
+		// Headers are gone; all we can do is log.
+		if l := s.rec.Logger(); l != nil {
+			l.Warn("metrics scrape failed", "err", err.Error())
+		}
+	}
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	s.runChecks(w, r, s.snapshotChecks(&s.healthChecks), true)
+}
+
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	s.runChecks(w, r, s.snapshotChecks(&s.readyChecks), s.ready.Load())
+}
+
+// snapshotChecks copies a check map under the lock so probes run unlocked.
+func (s *Server) snapshotChecks(m *map[string]Check) map[string]Check {
+	s.checkMu.Lock()
+	defer s.checkMu.Unlock()
+	out := make(map[string]Check, len(*m))
+	for k, v := range *m {
+		out[k] = v
+	}
+	return out
+}
+
+// runChecks executes the probes with the request context and writes a
+// plain-text verdict: 200 "ok" plus one line per check, or 503 when the
+// base condition is false or any check fails.
+func (s *Server) runChecks(w http.ResponseWriter, r *http.Request, checks map[string]Check, base bool) {
+	ctx := r.Context()
+	type result struct {
+		name string
+		err  error
+	}
+	results := make([]result, 0, len(checks))
+	failed := !base
+	for _, name := range sortedCheckNames(checks) {
+		err := checks[name](ctx)
+		if err != nil {
+			failed = true
+		}
+		results = append(results, result{name, err})
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	if failed {
+		w.WriteHeader(http.StatusServiceUnavailable)
+	}
+	if !base {
+		fmt.Fprintln(w, "not ready")
+	} else if failed {
+		fmt.Fprintln(w, "unhealthy")
+	} else {
+		fmt.Fprintln(w, "ok")
+	}
+	for _, res := range results {
+		if res.err != nil {
+			fmt.Fprintf(w, "fail %s: %s\n", res.name, res.err)
+		} else {
+			fmt.Fprintf(w, "ok   %s\n", res.name)
+		}
+	}
+}
+
+func sortedCheckNames(m map[string]Check) []string {
+	names := make([]string, 0, len(m))
+	for k := range m {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// handleVars serves an expvar-style JSON document: process identity, memory
+// statistics, goroutine count, and the full telemetry snapshot.
+func (s *Server) handleVars(w http.ResponseWriter, r *http.Request) {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	doc := map[string]any{
+		"cmdline":    os.Args,
+		"goroutines": runtime.NumGoroutine(),
+		"memstats":   ms,
+		"telemetry":  s.rec.Snapshot(),
+	}
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(doc); err != nil {
+		if l := s.rec.Logger(); l != nil {
+			l.Warn("debug/vars encode failed", "err", err.Error())
+		}
+	}
+}
+
+// handleSpans streams completed spans as NDJSON. ?replay=N first emits the
+// last N spans from the flight recorder's ring (when one is attached), then
+// the stream goes live; ?limit=K closes the response after K events total —
+// the knob that makes the endpoint usable from curl and CI without a
+// timeout. The connection also closes when the client goes away or the
+// server shuts down.
+func (s *Server) handleSpans(w http.ResponseWriter, r *http.Request) {
+	limit, err := queryInt(r, "limit")
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	replay, err := queryInt(r, "replay")
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+	sent := 0
+	emit := func(ev telemetry.SpanEvent) bool {
+		if encErr := enc.Encode(ev); encErr != nil {
+			return false
+		}
+		if flusher != nil {
+			flusher.Flush()
+		}
+		sent++
+		return limit <= 0 || sent < limit
+	}
+	if replay > 0 {
+		for _, ev := range s.flight.RecentSpans(replay) {
+			if !emit(ev) {
+				return
+			}
+		}
+	}
+	id, ch := s.feed.subscribe(256)
+	if id >= 0 {
+		defer s.feed.unsubscribe(id)
+	}
+	ctx := r.Context()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case ev, ok := <-ch:
+			if !ok {
+				return
+			}
+			if !emit(ev) {
+				return
+			}
+		}
+	}
+}
+
+// queryInt parses a non-negative integer query parameter (0 when absent).
+func queryInt(r *http.Request, key string) (int, error) {
+	raw := r.URL.Query().Get(key)
+	if raw == "" {
+		return 0, nil
+	}
+	n, err := strconv.Atoi(raw)
+	if err != nil || n < 0 {
+		return 0, fmt.Errorf("live: bad %s=%q: want non-negative integer: %w",
+			key, raw, resilience.ErrInvalidInput)
+	}
+	return n, nil
+}
+
+// handleFlightRecord answers POST with a full flight-recorder dump as JSON.
+// The request is itself recorded as a span (trace ID from the X-Trace-Id
+// header when the caller sets one), so the dump action appears in the very
+// history it captures.
+func (s *Server) handleFlightRecord(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "method not allowed (use POST)", http.StatusMethodNotAllowed)
+		return
+	}
+	if s.flight == nil {
+		http.Error(w, "no flight recorder attached", http.StatusNotFound)
+		return
+	}
+	sp := s.rec.StartSpan("live.flightrecord")
+	defer sp.End()
+	sp.SetTraceIDFromContext(
+		telemetry.ContextWithTraceID(r.Context(), r.Header.Get("X-Trace-Id")))
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	if err := s.flight.WriteDump(w, "manual"); err != nil {
+		if l := s.rec.Logger(); l != nil {
+			l.Warn("flight dump request failed", "err", err.Error())
+		}
+	}
+}

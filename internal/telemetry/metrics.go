@@ -159,10 +159,11 @@ type HistogramStat struct {
 
 // SpanStat is the exported view of one span subtree.
 type SpanStat struct {
-	Name         string     `json:"name"`
-	StartSeconds float64    `json:"start_seconds"`
-	Seconds      float64    `json:"seconds"`
-	Children     []SpanStat `json:"children,omitempty"`
+	Name         string            `json:"name"`
+	StartSeconds float64           `json:"start_seconds"`
+	Seconds      float64           `json:"seconds"`
+	Attrs        map[string]string `json:"attrs,omitempty"`
+	Children     []SpanStat        `json:"children,omitempty"`
 }
 
 // Snapshot is a point-in-time copy of everything the recorder holds, in the
@@ -252,6 +253,13 @@ func spanStats(spans []*Span, now time.Duration) []SpanStat {
 			StartSeconds: s.start.Seconds(),
 			Seconds:      d.Seconds(),
 			Children:     spanStats(s.children, now),
+		}
+		if len(s.attrs) > 0 {
+			attrs := make(map[string]string, len(s.attrs))
+			for k, v := range s.attrs {
+				attrs[k] = v
+			}
+			out[i].Attrs = attrs
 		}
 	}
 	return out

@@ -1,0 +1,72 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+)
+
+// Prometheus text exposition (format version 0.0.4) rendered from a metrics
+// snapshot. Internal dotted names are sanitized into the Prometheus charset
+// and namespaced under "gofmm_": the counter "batch.flushes" becomes
+// gofmm_batch_flushes_total, the histogram "matvec.latency_ms" becomes a
+// summary gofmm_matvec_latency_ms{quantile="0.5"|"0.95"|"0.99"} plus
+// _sum/_count. Output is sorted by metric name so scrapes are
+// byte-deterministic for a fixed snapshot (golden-testable).
+
+// promQuantiles are the summary quantiles exported for every histogram.
+var promQuantiles = []float64{0.5, 0.95, 0.99}
+
+// WritePrometheus renders the snapshot in Prometheus text exposition
+// format. The caller owns Content-Type (the live server sets
+// "text/plain; version=0.0.4").
+func WritePrometheus(w io.Writer, snap Snapshot) error {
+	for _, name := range sortedKeys(snap.Counters) {
+		pn := "gofmm_" + SanitizeMetricName(name) + "_total"
+		if _, err := fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n",
+			pn, pn, snap.Counters[name]); err != nil {
+			return err
+		}
+	}
+	for _, name := range sortedKeys(snap.Gauges) {
+		pn := "gofmm_" + SanitizeMetricName(name)
+		if _, err := fmt.Fprintf(w, "# TYPE %s gauge\n%s %s\n",
+			pn, pn, promFloat(snap.Gauges[name])); err != nil {
+			return err
+		}
+	}
+	for _, name := range sortedKeys(snap.Histograms) {
+		h := snap.Histograms[name]
+		pn := "gofmm_" + SanitizeMetricName(name)
+		if _, err := fmt.Fprintf(w, "# TYPE %s summary\n", pn); err != nil {
+			return err
+		}
+		for _, q := range promQuantiles {
+			if _, err := fmt.Fprintf(w, "%s{quantile=%q} %s\n",
+				pn, strconv.FormatFloat(q, 'g', -1, 64),
+				promFloat(h.Quantile(q))); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "%s_sum %s\n%s_count %d\n",
+			pn, promFloat(h.Sum), pn, h.Count); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// promFloat formats a float the way the exposition format expects,
+// including the special spellings of infinities and NaN.
+func promFloat(v float64) string {
+	switch {
+	case math.IsInf(v, +1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case math.IsNaN(v):
+		return "NaN"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}

@@ -1,0 +1,151 @@
+package telemetry
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestGoldenPrometheus(t *testing.T) {
+	r := goldenRecorder()
+	var buf bytes.Buffer
+	if err := WritePrometheus(&buf, r.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	// Structural checks that hold regardless of the fixture's exact numbers.
+	for _, want := range []string{
+		"# TYPE gofmm_oracle_at_total counter",
+		"gofmm_oracle_at_total 1234",
+		"# TYPE gofmm_sched_utilization gauge",
+		"gofmm_sched_utilization 0.875",
+		"# TYPE gofmm_skel_rank summary",
+		`gofmm_skel_rank{quantile="0.5"}`,
+		`gofmm_skel_rank{quantile="0.95"}`,
+		`gofmm_skel_rank{quantile="0.99"}`,
+		"gofmm_skel_rank_sum 72",
+		"gofmm_skel_rank_count 4",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	// Every non-comment line must be "name[{labels}] value" with a sanitized
+	// metric name — the same syntax check CI applies to the live scrape.
+	for _, line := range strings.Split(strings.TrimRight(out, "\n"), "\n") {
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 2 {
+			t.Fatalf("exposition line not 'name value': %q", line)
+		}
+		name := fields[0]
+		if i := strings.IndexByte(name, '{'); i >= 0 {
+			name = name[:i]
+		}
+		if got := SanitizeMetricName(name); got != name {
+			t.Fatalf("unsanitized metric name %q on line %q", name, line)
+		}
+	}
+	checkGolden(t, "prometheus.golden.txt", buf.Bytes())
+}
+
+func TestPrometheusDeterministic(t *testing.T) {
+	r := goldenRecorder()
+	var a, b bytes.Buffer
+	if err := WritePrometheus(&a, r.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	if err := WritePrometheus(&b, r.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("two scrapes of the same snapshot differ")
+	}
+}
+
+func TestPromFloatSpecials(t *testing.T) {
+	for v, want := range map[float64]string{
+		math.Inf(1):  "+Inf",
+		math.Inf(-1): "-Inf",
+		1.5:          "1.5",
+		0:            "0",
+	} {
+		if got := promFloat(v); got != want {
+			t.Fatalf("promFloat(%g) = %q, want %q", v, got, want)
+		}
+	}
+	if got := promFloat(math.NaN()); got != "NaN" {
+		t.Fatalf("promFloat(NaN) = %q", got)
+	}
+}
+
+func TestHistogramQuantile(t *testing.T) {
+	var h Histogram
+	// 100 samples at 10ms, 10 at 100ms, 1 at 1000ms: p50 must sit near the
+	// bulk, p99 near the tail, and everything stays inside [Min, Max].
+	for i := 0; i < 100; i++ {
+		h.Observe(10)
+	}
+	for i := 0; i < 10; i++ {
+		h.Observe(100)
+	}
+	h.Observe(1000)
+	st := h.stat()
+	if st.Count != 111 {
+		t.Fatalf("count = %d", st.Count)
+	}
+	p50 := st.Quantile(0.5)
+	p99 := st.Quantile(0.99)
+	if p50 < st.Min || p50 > 16 {
+		t.Fatalf("p50 = %g, want near the 10ms bulk", p50)
+	}
+	if p99 < 64 || p99 > st.Max {
+		t.Fatalf("p99 = %g, want near the 100ms tail", p99)
+	}
+	if p50 > p99 {
+		t.Fatalf("quantiles not monotone: p50 %g > p99 %g", p50, p99)
+	}
+	// Edge cases.
+	if got := st.Quantile(0); got != st.Min {
+		t.Fatalf("q=0 → %g, want Min %g", got, st.Min)
+	}
+	if got := st.Quantile(1); got != st.Max {
+		t.Fatalf("q=1 → %g, want Max %g", got, st.Max)
+	}
+	var empty HistogramStat
+	if got := empty.Quantile(0.5); got != 0 {
+		t.Fatalf("empty histogram quantile = %g", got)
+	}
+}
+
+func TestSanitizeMetricName(t *testing.T) {
+	for in, want := range map[string]string{
+		"matvec.latency_ms":  "matvec_latency_ms",
+		"batch.flushes":      "batch_flushes",
+		"already_clean:name": "already_clean:name",
+		"9lives":             "_9lives",
+		"":                   "_",
+		"a b/c":              "a_b_c",
+	} {
+		if got := SanitizeMetricName(in); got != want {
+			t.Fatalf("SanitizeMetricName(%q) = %q, want %q", in, got, want)
+		}
+	}
+	// Clean names must be returned unchanged (identity, no rebuild).
+	clean := "gofmm_matvec_latency_ms"
+	if got := SanitizeMetricName(clean); got != clean {
+		t.Fatalf("clean name mangled: %q", got)
+	}
+}
+
+func TestSanitizeLabel(t *testing.T) {
+	if got := SanitizeLabel("SKEL(1)"); got != "SKEL(1)" {
+		t.Fatalf("printable label changed: %q", got)
+	}
+	if got := SanitizeLabel("bad\nname\ttab\x7f"); got != "bad name tab " {
+		t.Fatalf("control chars not spaced: %q", got)
+	}
+}

@@ -1,0 +1,131 @@
+package telemetry
+
+import (
+	"math"
+	"strings"
+)
+
+// Shared helpers for every exporter that summarizes a histogram or embeds a
+// metric/span name in a format with a restricted charset: the Prometheus
+// exposition (prometheus.go), the text report (report.go), and the Chrome
+// trace (chrometrace.go). Keeping them here stops each exporter growing its
+// own slightly-different copy.
+
+// Quantile estimates the q-quantile (0 ≤ q ≤ 1) of the histogram from its
+// power-of-two buckets, using log-linear interpolation inside the target
+// bucket and clamping to the observed [Min, Max]. It returns Min for q ≤ 0,
+// Max for q ≥ 1, and 0 when the histogram is empty. With only bucket data
+// the estimate is coarse (buckets double in width) but monotone in q and
+// always inside the observed range — good enough for p50/p95/p99 latency
+// panels, which is what it exists for.
+func (h HistogramStat) Quantile(q float64) float64 {
+	if h.Count == 0 {
+		return 0
+	}
+	if q <= 0 {
+		return h.Min
+	}
+	if q >= 1 {
+		return h.Max
+	}
+	rank := q * float64(h.Count)
+	var cum float64
+	for i, c := range h.Buckets {
+		if c == 0 {
+			continue
+		}
+		next := cum + float64(c)
+		if rank <= next {
+			// Interpolate within bucket i: (lo, hi] = (2^(i-1), 2^i],
+			// bucket 0 is (-inf, 1]. Work in log2 space so the estimate
+			// respects the exponential bucket widths.
+			frac := (rank - cum) / float64(c)
+			var v float64
+			if i == 0 {
+				v = 1 // bucket 0 has no lower edge; clamp below via Min
+			} else {
+				lo := float64(i - 1)
+				v = math.Exp2(lo + frac)
+			}
+			return clamp(v, h.Min, h.Max)
+		}
+		cum = next
+	}
+	return h.Max
+}
+
+func clamp(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// SanitizeMetricName rewrites an internal metric name (dotted, e.g.
+// "matvec.latency_ms") into the Prometheus name charset
+// [a-zA-Z_:][a-zA-Z0-9_:]*: every illegal rune becomes '_', and a leading
+// digit gains a '_' prefix. Already-clean names pass through unchanged.
+func SanitizeMetricName(name string) string {
+	if name == "" {
+		return "_"
+	}
+	clean := true
+	for i, r := range name {
+		if !isMetricRune(r, i == 0) {
+			clean = false
+			break
+		}
+	}
+	if clean {
+		return name
+	}
+	var b strings.Builder
+	b.Grow(len(name) + 1)
+	for i, r := range name {
+		if isMetricRune(r, i == 0) {
+			b.WriteRune(r)
+		} else if i == 0 && r >= '0' && r <= '9' {
+			b.WriteByte('_')
+			b.WriteRune(r)
+		} else {
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+func isMetricRune(r rune, first bool) bool {
+	switch {
+	case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r == '_', r == ':':
+		return true
+	case r >= '0' && r <= '9':
+		return !first
+	}
+	return false
+}
+
+// SanitizeLabel makes a span/task name safe to embed in JSON- or
+// line-oriented exports: control characters (including newlines and tabs)
+// become spaces. Printable text — the overwhelmingly common case — passes
+// through unchanged, so golden traces are unaffected.
+func SanitizeLabel(name string) string {
+	clean := true
+	for _, r := range name {
+		if r < 0x20 || r == 0x7f {
+			clean = false
+			break
+		}
+	}
+	if clean {
+		return name
+	}
+	return strings.Map(func(r rune) rune {
+		if r < 0x20 || r == 0x7f {
+			return ' '
+		}
+		return r
+	}, name)
+}

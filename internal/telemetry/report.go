@@ -68,8 +68,9 @@ func writeMetricsReport(b *strings.Builder, snap Snapshot) {
 		fmt.Fprintf(b, "  histograms:\n")
 		for _, name := range sortedKeys(snap.Histograms) {
 			h := snap.Histograms[name]
-			fmt.Fprintf(b, "    %-34s n=%d mean=%.1f min=%g max=%g\n",
-				name, h.Count, h.Mean, h.Min, h.Max)
+			fmt.Fprintf(b, "    %-34s n=%d mean=%.1f min=%g max=%g p50=%g p95=%g p99=%g\n",
+				name, h.Count, h.Mean, h.Min, h.Max,
+				h.Quantile(0.5), h.Quantile(0.95), h.Quantile(0.99))
 		}
 	}
 }

@@ -19,7 +19,10 @@
 package telemetry
 
 import (
+	"context"
+	"log/slog"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -37,6 +40,12 @@ type Recorder struct {
 	counters  map[string]*Counter
 	gauges    map[string]*Gauge
 	hists     map[string]*Histogram
+
+	// Live-introspection hooks (see OnSpanEnd, SetLogger, ReportCrash).
+	obsMu     sync.RWMutex
+	observers []func(SpanEvent)
+	logger    atomic.Pointer[slog.Logger]
+	flight    atomic.Pointer[FlightRecorder]
 }
 
 // New returns an empty Recorder whose clock starts now.
@@ -64,14 +73,18 @@ func (r *Recorder) Since() time.Duration {
 
 // Span is one timed interval of the run, nestable into a tree. Spans are
 // created with StartSpan and closed with End; a Span may parent concurrent
-// child spans from multiple goroutines.
+// child spans from multiple goroutines. String key/value attributes (trace
+// IDs, error summaries, batch shapes) attach with SetAttr and ride along in
+// every export.
 type Span struct {
 	rec      *Recorder
+	parent   *Span // nil for roots
 	name     string
 	start    time.Duration // offset from the recorder epoch
 	dur      time.Duration
 	ended    bool
 	children []*Span
+	attrs    map[string]string
 }
 
 // StartSpan opens a root-level span. Returns nil on a nil recorder.
@@ -91,7 +104,7 @@ func (s *Span) StartSpan(name string) *Span {
 	if s == nil {
 		return nil
 	}
-	c := &Span{rec: s.rec, name: name, start: s.rec.Since()}
+	c := &Span{rec: s.rec, parent: s, name: name, start: s.rec.Since()}
 	s.rec.mu.Lock()
 	s.children = append(s.children, c)
 	s.rec.mu.Unlock()
@@ -108,27 +121,73 @@ func (s *Span) AddChild(name string, start, end time.Duration) *Span {
 	if end < start {
 		end = start
 	}
-	c := &Span{rec: s.rec, name: name, start: start, dur: end - start, ended: true}
+	c := &Span{rec: s.rec, parent: s, name: name, start: start, dur: end - start, ended: true}
 	s.rec.mu.Lock()
 	s.children = append(s.children, c)
 	s.rec.mu.Unlock()
+	s.rec.emitSpanEnd(c.eventLocked())
 	return c
 }
 
+// SetAttr attaches (or overwrites) a string attribute on the span. Setting
+// an attribute with an empty value is a no-op, so call sites can pass
+// possibly-absent trace IDs without a conditional. Nil-safe.
+func (s *Span) SetAttr(key, value string) {
+	if s == nil || value == "" {
+		return
+	}
+	s.rec.mu.Lock()
+	if s.attrs == nil {
+		s.attrs = make(map[string]string, 2)
+	}
+	s.attrs[key] = value
+	s.rec.mu.Unlock()
+}
+
+// Attr returns the named attribute ("" when absent or on a nil span).
+func (s *Span) Attr(key string) string {
+	if s == nil {
+		return ""
+	}
+	s.rec.mu.Lock()
+	defer s.rec.mu.Unlock()
+	return s.attrs[key]
+}
+
+// SetTraceIDFromContext copies the context's trace ID (if any) onto the
+// span as the "trace_id" attribute. Nil-safe on both ends.
+func (s *Span) SetTraceIDFromContext(ctx context.Context) {
+	if s == nil {
+		return
+	}
+	if id, ok := TraceIDFrom(ctx); ok {
+		s.SetAttr(AttrTraceID, id)
+	}
+}
+
 // End closes the span and returns its duration. Ending a span twice keeps
-// the first measurement; End on a nil span returns 0.
+// the first measurement (and only the first End notifies span observers);
+// End on a nil span returns 0.
 func (s *Span) End() time.Duration {
 	if s == nil {
 		return 0
 	}
 	d := s.rec.Since() - s.start
 	s.rec.mu.Lock()
-	if !s.ended {
+	first := !s.ended
+	if first {
 		s.ended = true
 		s.dur = d
 	}
 	d = s.dur
+	var ev SpanEvent
+	if first {
+		ev = s.eventLocked()
+	}
 	s.rec.mu.Unlock()
+	if first {
+		s.rec.emitSpanEnd(ev)
+	}
 	return d
 }
 
@@ -138,6 +197,74 @@ func (s *Span) Name() string {
 		return ""
 	}
 	return s.name
+}
+
+// SpanEvent is the flat record of one completed span, as delivered to
+// OnSpanEnd observers, streamed by the live debug server's /debug/spans
+// endpoint, and retained by the flight recorder.
+type SpanEvent struct {
+	Name string `json:"name"`
+	// Parent is the name of the enclosing span ("" for roots).
+	Parent string `json:"parent,omitempty"`
+	// TraceID mirrors the "trace_id" attribute when present.
+	TraceID      string            `json:"trace_id,omitempty"`
+	StartSeconds float64           `json:"start_seconds"`
+	Seconds      float64           `json:"seconds"`
+	Attrs        map[string]string `json:"attrs,omitempty"`
+}
+
+// eventLocked builds the completion event for s. Caller holds s.rec.mu.
+func (s *Span) eventLocked() SpanEvent {
+	ev := SpanEvent{
+		Name:         s.name,
+		TraceID:      s.attrs[AttrTraceID],
+		StartSeconds: s.start.Seconds(),
+		Seconds:      s.dur.Seconds(),
+	}
+	if s.parent != nil {
+		ev.Parent = s.parent.name
+	}
+	if len(s.attrs) > 0 {
+		ev.Attrs = make(map[string]string, len(s.attrs))
+		for k, v := range s.attrs {
+			ev.Attrs[k] = v
+		}
+	}
+	return ev
+}
+
+// OnSpanEnd registers an observer called once for every span completion
+// (first End or AddChild). Observers run synchronously on the ending
+// goroutine and must be fast and non-blocking — fan out through a buffered
+// channel for anything heavier (the live server's span feed does exactly
+// that). Observers cannot be removed; they live as long as the recorder.
+// No-op on a nil recorder.
+func (r *Recorder) OnSpanEnd(fn func(SpanEvent)) {
+	if r == nil || fn == nil {
+		return
+	}
+	r.obsMu.Lock()
+	r.observers = append(r.observers, fn)
+	r.obsMu.Unlock()
+}
+
+// emitSpanEnd delivers a completion event to every observer and, when a
+// logger is attached, emits a debug-level structured log record.
+func (r *Recorder) emitSpanEnd(ev SpanEvent) {
+	if r == nil {
+		return
+	}
+	r.obsMu.RLock()
+	obs := r.observers
+	r.obsMu.RUnlock()
+	for _, fn := range obs {
+		fn(ev)
+	}
+	if l := r.Logger(); l != nil {
+		l.Debug("span end",
+			"span", ev.Name, "parent", ev.Parent, "trace_id", ev.TraceID,
+			"start_s", ev.StartSeconds, "dur_s", ev.Seconds)
+	}
 }
 
 // TaskEvent is one task execution on a scheduler worker, as exported by the
