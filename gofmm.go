@@ -358,7 +358,11 @@ type BatchOptions = core.BatchOptions
 // (requests, columns, flushes).
 type BatchStats = core.BatchStats
 
-// ErrEvaluatorClosed is returned by BatchEvaluator.Matvec after Close.
+// ErrEvaluatorClosed is the typed error BatchEvaluator.Matvec returns for
+// submissions after Close: they fail fast instead of hanging or panicking.
+// Close itself is idempotent and safe to call concurrently with Matvec —
+// requests accepted before Close are served by the closing drain, and
+// every later submission gets this sentinel (dispatch with errors.Is).
 var ErrEvaluatorClosed = core.ErrEvaluatorClosed
 
 // Counting wraps an SPD oracle with an entry-evaluation counter, the

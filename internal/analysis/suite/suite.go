@@ -32,7 +32,9 @@ type Entry struct {
 //   - ctxcheck: context discipline is an internal/ convention; cmd/ mains
 //     legitimately start at context.Background. internal/telemetry/live is
 //     covered: handlers must thread the request context (r.Context()) into
-//     ctx-aware calls, never mint fresh roots.
+//     ctx-aware calls, never mint fresh roots. internal/serve likewise: the
+//     deadline-propagation contract (X-Deadline-Ms → evaluation context)
+//     only holds if no handler path mints a fresh root.
 //   - detorder: bit-identical determinism is promised by the numeric
 //     packages (core, linalg, hss, tree), not by tooling or telemetry.
 //   - errtaxonomy: internal/ except resilience (it defines the taxonomy),
@@ -40,7 +42,10 @@ type Entry struct {
 //     wrapping), and analysis itself (lint infrastructure, not library
 //     surface). internal/telemetry/live is carved back in: it sits outside
 //     the cycle (live→resilience is fine) and its exported Start/Shutdown
-//     return boundary errors that must carry the taxonomy.
+//     return boundary errors that must carry the taxonomy. internal/serve
+//     falls under the default internal/ rule: its 429-vs-503 status mapping
+//     dispatches on errors.Is, so every error it returns must wrap a
+//     sentinel.
 func All() []Entry {
 	return []Entry{
 		{scopecheck.Analyzer, everywhere},

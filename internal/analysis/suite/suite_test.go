@@ -76,3 +76,22 @@ func TestPathFilter(t *testing.T) {
 		t.Fatalf("detorder applied outside its package set: %v", findings)
 	}
 }
+
+// The serving layer must sit inside both behavioral nets: ctxcheck (the
+// X-Deadline-Ms contract only holds if no handler path mints a fresh
+// context root) and errtaxonomy (the 429-vs-503 mapping dispatches on
+// errors.Is, so every serve error must wrap a sentinel). This pins the
+// path filters so a future carve-out cannot silently drop the package.
+func TestServeInsideBehavioralAnalyzers(t *testing.T) {
+	covered := map[string]bool{"ctxcheck": false, "errtaxonomy": false}
+	for _, e := range suite.All() {
+		if _, tracked := covered[e.Analyzer.Name]; tracked && e.AppliesTo("gofmm/internal/serve") {
+			covered[e.Analyzer.Name] = true
+		}
+	}
+	for name, ok := range covered {
+		if !ok {
+			t.Errorf("%s does not apply to gofmm/internal/serve", name)
+		}
+	}
+}

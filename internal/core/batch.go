@@ -13,7 +13,11 @@ import (
 	"gofmm/internal/telemetry"
 )
 
-// ErrEvaluatorClosed is returned by BatchEvaluator.Matvec after Close.
+// ErrEvaluatorClosed is the typed error every BatchEvaluator.Matvec
+// submission receives once Close has begun: submissions after Close never
+// hang, panic, or silently drop — they fail fast with this sentinel
+// (dispatch with errors.Is). Requests accepted before Close are still
+// served by the closing drain.
 var ErrEvaluatorClosed = errors.New("core: batch evaluator closed")
 
 // BatchOptions configures a BatchEvaluator's coalescing window. The zero
@@ -180,13 +184,20 @@ func (e *BatchEvaluator) finish(req *batchReq, res batchRes) (*linalg.Matrix, er
 
 // Close stops the flusher after a final drain of already-accepted requests
 // and waits for it to exit. Subsequent Matvec calls return
-// ErrEvaluatorClosed. Close is idempotent.
+// ErrEvaluatorClosed. Close is idempotent and safe to call from any number
+// of goroutines concurrently with Matvec: every call blocks until the
+// drain completes, and no accepted request is lost.
 func (e *BatchEvaluator) Close() {
 	if e.closed.CompareAndSwap(false, true) {
 		close(e.quit)
 	}
 	<-e.done
 }
+
+// Closed reports whether Close has been initiated. Serving layers consult
+// it to distinguish "evaluator draining" from transient errors without
+// issuing a probe request.
+func (e *BatchEvaluator) Closed() bool { return e.closed.Load() }
 
 // Stats returns a snapshot of the coalescing counters.
 func (e *BatchEvaluator) Stats() BatchStats {

@@ -253,3 +253,46 @@ func TestBatchEvaluatorWideRequest(t *testing.T) {
 		t.Fatalf("wide request off by %.3e", d)
 	}
 }
+
+// TestBatchEvaluatorConcurrentClose hammers Close from many goroutines
+// while traffic is in flight: every Close must return (no deadlock), the
+// evaluator must report Closed, and post-close submissions must all get
+// the typed sentinel.
+func TestBatchEvaluatorConcurrentClose(t *testing.T) {
+	h := batchTestOperator(t)
+	n := h.K.Dim()
+	ev := h.NewBatchEvaluator(BatchOptions{MaxBatch: 8, MaxDelay: time.Millisecond})
+	if ev.Closed() {
+		t.Fatal("fresh evaluator reports Closed")
+	}
+	rng := rand.New(rand.NewSource(31))
+	W := linalg.GaussianMatrix(rng, n, 1)
+
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for k := 0; k < 4; k++ {
+				_, err := ev.Matvec(context.Background(), W)
+				if err != nil && !errors.Is(err, ErrEvaluatorClosed) {
+					t.Errorf("racing Matvec: want nil or ErrEvaluatorClosed, got %v", err)
+				}
+			}
+		}()
+	}
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			ev.Close()
+		}()
+	}
+	wg.Wait()
+	if !ev.Closed() {
+		t.Fatal("evaluator does not report Closed after Close")
+	}
+	if _, err := ev.Matvec(context.Background(), W); !errors.Is(err, ErrEvaluatorClosed) {
+		t.Fatalf("post-close Matvec: want ErrEvaluatorClosed, got %v", err)
+	}
+}

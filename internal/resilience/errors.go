@@ -21,6 +21,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"time"
 )
 
 // The error taxonomy of the resilience layer. Every recovery path that gives
@@ -48,6 +49,41 @@ var (
 	// errors that previously panicked.
 	ErrInvalidInput = errors.New("resilience: invalid input")
 )
+
+// retryAfterError decorates an error with a server-provided "try again in
+// d" hint. It stays in the taxonomy: errors.Is/As see through it to the
+// wrapped sentinel.
+type retryAfterError struct {
+	err   error
+	after time.Duration
+}
+
+func (e *retryAfterError) Error() string {
+	return fmt.Sprintf("%v (retry after %s)", e.err, e.after)
+}
+
+func (e *retryAfterError) Unwrap() error { return e.err }
+
+// WithRetryAfter attaches a retry hint to err: the serving layer maps it to
+// an HTTP Retry-After header, and Retry uses it as a delay floor in place
+// of blind exponential guessing. A nil err or non-positive hint returns err
+// unchanged.
+func WithRetryAfter(err error, after time.Duration) error {
+	if err == nil || after <= 0 {
+		return err
+	}
+	return &retryAfterError{err: err, after: after}
+}
+
+// RetryAfterHint extracts the innermost retry hint attached with
+// WithRetryAfter anywhere in err's chain (0, false when there is none).
+func RetryAfterHint(err error) (time.Duration, bool) {
+	var ra *retryAfterError
+	if errors.As(err, &ra) {
+		return ra.after, true
+	}
+	return 0, false
+}
 
 // PanicError is a worker panic recovered into a typed error: the task label,
 // the recovered value and the goroutine stack at the recovery point.

@@ -22,6 +22,13 @@ type Backoff struct {
 	MaxRetries int
 	// JitterSeed seeds the deterministic jitter (±25% of the delay).
 	JitterSeed int64
+	// FullJitter switches the jitter model from ±25% around the
+	// exponential delay to a uniform draw in [0, delay) — the AWS
+	// "full jitter" scheme, which decorrelates a thundering herd of
+	// clients retrying against one overloaded server far better than
+	// narrow-band jitter does. Still deterministic in (JitterSeed, site,
+	// attempt).
+	FullJitter bool
 }
 
 // WithDefaults returns the policy with unset fields filled in.
@@ -41,9 +48,10 @@ func (b Backoff) WithDefaults() Backoff {
 	return b
 }
 
-// Delay returns the backoff before retry attempt (0-based): Base·Factor^attempt
-// capped at Max, jittered by ±25% deterministically from (JitterSeed, site,
-// attempt).
+// Delay returns the backoff before retry attempt (0-based):
+// Base·Factor^attempt capped at Max, then jittered deterministically from
+// (JitterSeed, site, attempt) — by ±25% around the exponential delay, or
+// uniformly over [0, delay) when FullJitter is set.
 func (b Backoff) Delay(site string, attempt int) time.Duration {
 	b = b.WithDefaults()
 	d := float64(b.Base)
@@ -55,8 +63,12 @@ func (b Backoff) Delay(site string, attempt int) time.Duration {
 	}
 	h := fnv.New64a()
 	fmt.Fprintf(h, "%s|%d|%d", site, attempt, b.JitterSeed)
-	// Map the hash to a jitter factor in [0.75, 1.25).
 	frac := float64(h.Sum64()%1024) / 1024
+	if b.FullJitter {
+		// Uniform over [0, d).
+		return time.Duration(d * frac)
+	}
+	// Map the hash to a jitter factor in [0.75, 1.25).
 	return time.Duration(d * (0.75 + 0.5*frac))
 }
 
@@ -65,6 +77,13 @@ func (b Backoff) Delay(site string, attempt int) time.Duration {
 // of attempts made and the final error (nil on success; the last op error
 // wrapped in ErrTaskFailed on exhaustion; an ErrCancelled/ErrTimeout
 // wrapper when the context ends the loop).
+//
+// When a failed attempt's error carries a WithRetryAfter hint (a server
+// saying exactly when capacity returns — the 503 + Retry-After path of the
+// serving layer), the hint is honored as a floor on the next delay: Retry
+// waits max(backoff delay, hint), even past Backoff.Max. The policy's own
+// delay still applies when the hint is shorter, so jitter keeps herds
+// decorrelated.
 func Retry(ctx context.Context, b Backoff, site string, op func(attempt int) error) (int, error) {
 	b = b.WithDefaults()
 	var last error
@@ -76,7 +95,11 @@ func Retry(ctx context.Context, b Backoff, site string, op func(attempt int) err
 			return attempt + 1, nil
 		}
 		if attempt < b.MaxRetries {
-			sleepCtx(ctx, b.Delay(site, attempt))
+			d := b.Delay(site, attempt)
+			if hint, ok := RetryAfterHint(last); ok && hint > d {
+				d = hint
+			}
+			sleepCtx(ctx, d)
 		}
 	}
 	return b.MaxRetries + 1, fmt.Errorf("%w: %s: %w", ErrTaskFailed, site, last)

@@ -1,0 +1,114 @@
+package resilience
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+// Full jitter must draw uniformly from [0, delay): every value stays below
+// the undithered exponential delay, the draws are deterministic in
+// (seed, site, attempt), and different sites decorrelate.
+func TestBackoffFullJitterDeterministicAndBounded(t *testing.T) {
+	b := Backoff{Base: time.Millisecond, Max: 100 * time.Millisecond,
+		Factor: 2, MaxRetries: 8, JitterSeed: 42, FullJitter: true}
+	plain := Backoff{Base: b.Base, Max: b.Max, Factor: b.Factor, MaxRetries: b.MaxRetries}
+	for attempt := 0; attempt < 8; attempt++ {
+		d := b.Delay("site-a", attempt)
+		// Ceiling: the undithered exponential delay for this attempt.
+		ceil := time.Duration(float64(time.Millisecond) * pow2min(attempt, 100))
+		if d < 0 || d >= ceil {
+			t.Fatalf("attempt %d: full-jitter delay %v outside [0, %v)", attempt, d, ceil)
+		}
+		if again := b.Delay("site-a", attempt); again != d {
+			t.Fatalf("attempt %d: nondeterministic full jitter: %v vs %v", attempt, d, again)
+		}
+		_ = plain
+	}
+	// Different sites should not all land on the same fraction.
+	distinct := map[time.Duration]bool{}
+	for _, site := range []string{"a", "b", "c", "d", "e", "f"} {
+		distinct[b.Delay(site, 3)] = true
+	}
+	if len(distinct) < 2 {
+		t.Fatalf("full jitter degenerate: all sites drew the same delay")
+	}
+}
+
+func pow2min(attempt int, maxMs int) float64 {
+	d := 1.0
+	for i := 0; i < attempt && d < float64(maxMs); i++ {
+		d *= 2
+	}
+	if d > float64(maxMs) {
+		d = float64(maxMs)
+	}
+	return d
+}
+
+func TestWithRetryAfterRoundTrip(t *testing.T) {
+	base := errors.New("boom")
+	err := WithRetryAfter(base, 30*time.Millisecond)
+	if !errors.Is(err, base) {
+		t.Fatalf("WithRetryAfter broke errors.Is chain")
+	}
+	hint, ok := RetryAfterHint(err)
+	if !ok || hint != 30*time.Millisecond {
+		t.Fatalf("RetryAfterHint = %v, %v; want 30ms, true", hint, ok)
+	}
+	// Hints survive further wrapping.
+	wrapped := WithRetryAfter(base, 10*time.Millisecond)
+	outer := errors.Join(errors.New("context"), wrapped)
+	if hint, ok := RetryAfterHint(outer); !ok || hint != 10*time.Millisecond {
+		t.Fatalf("hint lost through wrapping: %v, %v", hint, ok)
+	}
+	if WithRetryAfter(nil, time.Second) != nil {
+		t.Fatalf("WithRetryAfter(nil) must stay nil")
+	}
+	if got := WithRetryAfter(base, 0); got != base {
+		t.Fatalf("non-positive hint must return err unchanged")
+	}
+	if _, ok := RetryAfterHint(base); ok {
+		t.Fatalf("hint reported on unhinted error")
+	}
+}
+
+// A Retry-After hint longer than the backoff's own schedule must stretch
+// the sleep: with a microsecond-scale policy and a 40ms hint, two retries
+// cannot complete faster than the hinted waits.
+func TestRetryHonoursRetryAfterHint(t *testing.T) {
+	b := Backoff{Base: time.Microsecond, Max: 2 * time.Microsecond, MaxRetries: 2, JitterSeed: 7}
+	hinted := WithRetryAfter(errors.New("overloaded"), 40*time.Millisecond)
+	start := time.Now()
+	calls := 0
+	attempts, err := Retry(context.Background(), b, "hinted", func(int) error {
+		calls++
+		if calls < 3 {
+			return hinted
+		}
+		return nil
+	})
+	if err != nil || attempts != 3 {
+		t.Fatalf("Retry = %d, %v; want 3 attempts, nil", attempts, err)
+	}
+	if elapsed := time.Since(start); elapsed < 80*time.Millisecond {
+		t.Fatalf("Retry ignored the Retry-After hints: elapsed %v < 80ms", elapsed)
+	}
+}
+
+// Hints shorter than the backoff schedule must not shorten it: the policy
+// delay is the floor for herd decorrelation.
+func TestRetryHintIsOnlyAFloor(t *testing.T) {
+	b := Backoff{Base: 30 * time.Millisecond, Max: 30 * time.Millisecond, MaxRetries: 1, JitterSeed: 7}
+	hinted := WithRetryAfter(errors.New("overloaded"), time.Microsecond)
+	start := time.Now()
+	_, err := Retry(context.Background(), b, "floor", func(int) error { return hinted })
+	if !errors.Is(err, ErrTaskFailed) {
+		t.Fatalf("want ErrTaskFailed, got %v", err)
+	}
+	// One inter-attempt sleep at ≥ 0.75·30ms jittered.
+	if elapsed := time.Since(start); elapsed < 20*time.Millisecond {
+		t.Fatalf("short hint shortened the policy delay: elapsed %v", elapsed)
+	}
+}

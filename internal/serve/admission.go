@@ -1,0 +1,90 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"gofmm/internal/resilience"
+)
+
+// AdmissionConfig bounds one operator's concurrency and queueing. The zero
+// value picks serving defaults.
+type AdmissionConfig struct {
+	// MaxConcurrent is the number of evaluations allowed to run at once
+	// (default 4). The BatchEvaluator coalesces what runs concurrently, so
+	// this bounds Matmat width pressure, not throughput.
+	MaxConcurrent int
+	// MaxQueue is the number of admitted-but-waiting requests beyond
+	// MaxConcurrent (default 8·MaxConcurrent). When the queue is full new
+	// requests are shed immediately with ErrOverloaded — the queue is the
+	// only place a request ever waits, and it is bounded by construction.
+	MaxQueue int
+	// RetryAfter is the hint attached to shed requests (default 1s).
+	RetryAfter time.Duration
+}
+
+func (c AdmissionConfig) withDefaults() AdmissionConfig {
+	if c.MaxConcurrent <= 0 {
+		c.MaxConcurrent = 4
+	}
+	if c.MaxQueue <= 0 {
+		c.MaxQueue = 8 * c.MaxConcurrent
+	}
+	if c.RetryAfter <= 0 {
+		c.RetryAfter = time.Second
+	}
+	return c
+}
+
+// admission is a two-stage gate: a semaphore of MaxConcurrent execution
+// slots, fronted by a bounded wait queue. A request either (a) grabs a free
+// slot immediately, (b) joins the queue and blocks until a slot frees or
+// its context fires, or (c) finds the queue full and is shed with a typed,
+// hinted ErrOverloaded. There is no path that waits without holding a
+// queue slot, so memory and goroutine usage under any flood is bounded by
+// MaxConcurrent + MaxQueue.
+type admission struct {
+	cfg   AdmissionConfig
+	slots chan struct{}
+	queue chan struct{}
+}
+
+func newAdmission(cfg AdmissionConfig) *admission {
+	cfg = cfg.withDefaults()
+	return &admission{
+		cfg:   cfg,
+		slots: make(chan struct{}, cfg.MaxConcurrent),
+		queue: make(chan struct{}, cfg.MaxQueue),
+	}
+}
+
+// acquire claims an execution slot, shedding instead of queueing past the
+// bound. The caller must pair a nil return with exactly one release.
+func (a *admission) acquire(ctx context.Context) error {
+	select {
+	case a.slots <- struct{}{}:
+		return nil
+	default:
+	}
+	select {
+	case a.queue <- struct{}{}:
+	default:
+		return resilience.WithRetryAfter(
+			fmt.Errorf("%w: %d executing, %d queued", ErrOverloaded,
+				cap(a.slots), cap(a.queue)),
+			a.cfg.RetryAfter)
+	}
+	defer func() { <-a.queue }()
+	select {
+	case a.slots <- struct{}{}:
+		return nil
+	case <-ctx.Done():
+		return resilience.FromContext(ctx)
+	}
+}
+
+func (a *admission) release() { <-a.slots }
+
+// depth reports (executing, queued) for telemetry gauges.
+func (a *admission) depth() (int, int) { return len(a.slots), len(a.queue) }

@@ -1,0 +1,185 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"gofmm/internal/resilience"
+)
+
+func panicErr() error {
+	return &resilience.PanicError{Label: "test", Value: "boom"}
+}
+
+// breakerHarness pairs a breaker with a fake clock and a state-transition
+// log.
+func breakerHarness(cfg BreakerConfig) (*breaker, *fakeClock, *[]BreakerState) {
+	clk := newFakeClock()
+	var transitions []BreakerState
+	b := newBreaker(cfg, clk.now, func(s BreakerState) { transitions = append(transitions, s) })
+	return b, clk, &transitions
+}
+
+func TestBreakerTripsOnConsecutivePanics(t *testing.T) {
+	b, clk, transitions := breakerHarness(BreakerConfig{Threshold: 3, Cooldown: time.Second})
+
+	// Two panics then a success: the consecutive counter resets.
+	for i := 0; i < 2; i++ {
+		if err := b.allow(); err != nil {
+			t.Fatal(err)
+		}
+		b.record(panicErr())
+	}
+	if err := b.allow(); err != nil {
+		t.Fatal(err)
+	}
+	b.record(nil)
+	if b.current() != BreakerClosed {
+		t.Fatalf("breaker tripped below threshold")
+	}
+	// Three consecutive panics open it.
+	for i := 0; i < 3; i++ {
+		if err := b.allow(); err != nil {
+			t.Fatal(err)
+		}
+		b.record(panicErr())
+	}
+	if b.current() != BreakerOpen {
+		t.Fatalf("breaker did not open at threshold")
+	}
+	// While open: typed rejection with the remaining cooldown as hint.
+	clk.advance(300 * time.Millisecond)
+	err := b.allow()
+	if !errors.Is(err, ErrBreakerOpen) {
+		t.Fatalf("open breaker admitted traffic: %v", err)
+	}
+	if hint, ok := resilience.RetryAfterHint(err); !ok || hint != 700*time.Millisecond {
+		t.Fatalf("open hint = %v, %v; want remaining cooldown 700ms", hint, ok)
+	}
+	// After the cooldown: half-open, one probe admitted, concurrent
+	// requests rejected while the probe is in flight.
+	clk.advance(time.Second)
+	if err := b.allow(); err != nil {
+		t.Fatalf("half-open probe rejected: %v", err)
+	}
+	if b.current() != BreakerHalfOpen {
+		t.Fatalf("state = %v, want half-open", b.current())
+	}
+	if err := b.allow(); !errors.Is(err, ErrBreakerOpen) {
+		t.Fatalf("second concurrent probe admitted: %v", err)
+	}
+	// Probe succeeds: closed again, traffic flows.
+	b.record(nil)
+	if b.current() != BreakerClosed {
+		t.Fatalf("successful probe did not close the breaker")
+	}
+	if err := b.allow(); err != nil {
+		t.Fatal(err)
+	}
+	b.record(nil)
+	want := []BreakerState{BreakerOpen, BreakerHalfOpen, BreakerClosed}
+	if len(*transitions) != len(want) {
+		t.Fatalf("transitions = %v, want %v", *transitions, want)
+	}
+	for i, s := range want {
+		if (*transitions)[i] != s {
+			t.Fatalf("transitions = %v, want %v", *transitions, want)
+		}
+	}
+}
+
+func TestBreakerFailedProbeReopens(t *testing.T) {
+	b, clk, _ := breakerHarness(BreakerConfig{Threshold: 1, Cooldown: time.Second})
+	if err := b.allow(); err != nil {
+		t.Fatal(err)
+	}
+	b.record(panicErr()) // threshold 1: opens immediately
+	clk.advance(time.Second)
+	if err := b.allow(); err != nil {
+		t.Fatalf("probe rejected: %v", err)
+	}
+	b.record(panicErr())
+	if b.current() != BreakerOpen {
+		t.Fatalf("failed probe did not reopen")
+	}
+	// The cooldown clock restarted at the failed probe.
+	clk.advance(900 * time.Millisecond)
+	if err := b.allow(); !errors.Is(err, ErrBreakerOpen) {
+		t.Fatalf("reopened breaker admitted early: %v", err)
+	}
+	clk.advance(200 * time.Millisecond)
+	if err := b.allow(); err != nil {
+		t.Fatalf("second probe window rejected: %v", err)
+	}
+	b.record(nil)
+	if b.current() != BreakerClosed {
+		t.Fatalf("recovered probe did not close")
+	}
+}
+
+// Stalls count as trippable; cancellations, overload sheds, and invalid
+// input are neutral in every state.
+func TestBreakerErrorClassification(t *testing.T) {
+	b, _, _ := breakerHarness(BreakerConfig{Threshold: 2, Cooldown: time.Second})
+	stall := resilience.ErrStalled
+	neutral := []error{
+		resilience.FromContext(canceledCtx()),
+		ErrOverloaded,
+		resilience.ErrInvalidInput,
+	}
+	if err := b.allow(); err != nil {
+		t.Fatal(err)
+	}
+	b.record(stall)
+	for _, err := range neutral {
+		if aerr := b.allow(); aerr != nil {
+			t.Fatal(aerr)
+		}
+		b.record(err)
+	}
+	if b.current() != BreakerClosed {
+		t.Fatalf("neutral errors moved the breaker")
+	}
+	if err := b.allow(); err != nil {
+		t.Fatal(err)
+	}
+	b.record(stall)
+	// Neutral errors must also not have reset the consecutive count:
+	// stall + neutrals + stall ... the count survives neutral outcomes.
+	if b.current() != BreakerOpen {
+		t.Fatalf("two stalls (with neutral noise between) did not open the breaker")
+	}
+}
+
+// A neutral outcome on the half-open probe frees the probe slot without
+// closing or reopening.
+func TestBreakerNeutralProbe(t *testing.T) {
+	b, clk, _ := breakerHarness(BreakerConfig{Threshold: 1, Cooldown: time.Second})
+	if err := b.allow(); err != nil {
+		t.Fatal(err)
+	}
+	b.record(panicErr())
+	clk.advance(time.Second)
+	if err := b.allow(); err != nil {
+		t.Fatal(err)
+	}
+	b.record(resilience.FromContext(canceledCtx())) // probe cancelled: neutral
+	if b.current() != BreakerHalfOpen {
+		t.Fatalf("neutral probe changed state to %v", b.current())
+	}
+	if err := b.allow(); err != nil {
+		t.Fatalf("probe slot not freed after neutral outcome: %v", err)
+	}
+	b.record(nil)
+	if b.current() != BreakerClosed {
+		t.Fatalf("probe success after neutral did not close")
+	}
+}
+
+func canceledCtx() context.Context {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	return ctx
+}

@@ -1,0 +1,448 @@
+package serve
+
+// The chaos suite: adversarial traffic against the full serving stack.
+// Every scenario here runs under -race in CI and asserts the robustness
+// headline of the serving layer — overload sheds instead of queueing,
+// panics trip the breaker instead of killing the process, slow clients
+// cannot starve fast ones, and drain answers what it admitted. Each test
+// also asserts zero goroutine leaks.
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"context"
+	"gofmm/internal/linalg"
+	"gofmm/internal/telemetry"
+)
+
+// checkGoroutines fails the test if the goroutine count has not returned
+// to its baseline (with slack for runtime helpers) once cleanup ran.
+func checkGoroutines(t *testing.T, before int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		now := runtime.NumGoroutine()
+		if now <= before+2 {
+			return
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<16)
+			n := runtime.Stack(buf, true)
+			t.Fatalf("goroutine leak: %d before, %d after\n%s", before, now, buf[:n])
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// gateOperator is an operator whose evaluations block on a gate until
+// released, so tests control exactly how many requests are in flight.
+type gateOperator struct {
+	executing atomic.Int64
+	peak      atomic.Int64
+	release   chan struct{}
+	panicArm  atomic.Bool
+}
+
+func newGateOperator() *gateOperator {
+	return &gateOperator{release: make(chan struct{})}
+}
+
+func (g *gateOperator) spec(dim int) OperatorSpec {
+	return OperatorSpec{
+		Name: "gate", Dim: dim,
+		Matvec: func(ctx context.Context, W *linalg.Matrix) (*linalg.Matrix, error) {
+			if g.panicArm.Load() {
+				panic("poisoned oracle")
+			}
+			cur := g.executing.Add(1)
+			defer g.executing.Add(-1)
+			for {
+				old := g.peak.Load()
+				if cur <= old || g.peak.CompareAndSwap(old, cur) {
+					break
+				}
+			}
+			select {
+			case <-g.release:
+			case <-ctx.Done():
+			}
+			U := linalg.NewMatrix(dim, W.Cols)
+			for j := 0; j < W.Cols; j++ {
+				copy(U.Col(j), W.Col(j))
+			}
+			return U, nil
+		},
+	}
+}
+
+func chaosServer(t *testing.T, lim Limits, spec OperatorSpec) (*Server, *httptest.Server, *telemetry.Recorder) {
+	t.Helper()
+	// Registered first so it runs last (cleanups are LIFO): the leak check
+	// must see the world after the test server and registry shut down.
+	before := runtime.NumGoroutine()
+	t.Cleanup(func() { checkGoroutines(t, before) })
+	rec := telemetry.New()
+	reg := NewRegistry(rec)
+	if _, err := reg.Register(spec, lim); err != nil {
+		t.Fatal(err)
+	}
+	s, err := NewServer(Config{Registry: reg, Telemetry: rec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	t.Cleanup(reg.Close)
+	return s, ts, rec
+}
+
+func fireMatvec(ts *httptest.Server, dim int, hdr map[string]string) (int, string, http.Header, error) {
+	vec := make([]float64, dim)
+	raw, _ := json.Marshal(map[string]any{"vector": vec})
+	req, err := http.NewRequest(http.MethodPost, ts.URL+"/v1/operators/gate/matvec", bytes.NewReader(raw))
+	if err != nil {
+		return 0, "", nil, err
+	}
+	for k, v := range hdr {
+		req.Header.Set(k, v)
+	}
+	resp, err := ts.Client().Do(req)
+	if err != nil {
+		return 0, "", nil, err
+	}
+	defer resp.Body.Close()
+	var doc struct {
+		Kind string `json:"kind"`
+	}
+	_ = json.NewDecoder(resp.Body).Decode(&doc)
+	return resp.StatusCode, doc.Kind, resp.Header, nil
+}
+
+// A 4× overload flood must shed with typed 503s, never queue unboundedly,
+// and never exceed the configured concurrency.
+func TestChaosFloodShedsBounded(t *testing.T) {
+	const dim, slots, queue = 8, 2, 2
+	gate := newGateOperator()
+	_, ts, rec := chaosServer(t,
+		Limits{Admission: AdmissionConfig{MaxConcurrent: slots, MaxQueue: queue, RetryAfter: 3 * time.Second}},
+		gate.spec(dim))
+
+	const flood = 4 * (slots + queue) // 4× the total capacity
+	var ok, shed, other atomic.Int64
+	var wg sync.WaitGroup
+	var sawRetryAfter atomic.Bool
+	for i := 0; i < flood; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			code, kind, hdr, err := fireMatvec(ts, dim, nil)
+			switch {
+			case err != nil:
+				t.Errorf("flood request failed at transport level: %v", err)
+			case code == http.StatusOK:
+				ok.Add(1)
+			case code == http.StatusServiceUnavailable && kind == "overloaded":
+				if hdr.Get("Retry-After") == "3" {
+					sawRetryAfter.Store(true)
+				}
+				shed.Add(1)
+			default:
+				other.Add(1)
+				t.Errorf("untyped flood response: %d kind=%q", code, kind)
+			}
+		}()
+	}
+	// Wait until the gate saturates (slots full, queue full, rest shed),
+	// then release the survivors.
+	deadline := time.Now().Add(5 * time.Second)
+	for shed.Load() < flood-(slots+queue) && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	close(gate.release)
+	wg.Wait()
+
+	if got := ok.Load(); got != slots+queue {
+		t.Errorf("admitted %d, want exactly capacity %d", got, slots+queue)
+	}
+	if got := shed.Load(); got != flood-(slots+queue) {
+		t.Errorf("shed %d, want %d", got, flood-(slots+queue))
+	}
+	if !sawRetryAfter.Load() {
+		t.Errorf("no shed response carried the configured Retry-After")
+	}
+	if peak := gate.peak.Load(); peak > slots {
+		t.Errorf("observed concurrency %d exceeded the %d-slot bound", peak, slots)
+	}
+	if admitted := rec.Counter("serve.admitted").Value(); admitted != slots+queue {
+		t.Errorf("serve.admitted = %d, want %d", admitted, slots+queue)
+	}
+	if counted := rec.Counter("serve.shed").Value(); counted != flood-(slots+queue) {
+		t.Errorf("serve.shed = %d, want %d", counted, flood-(slots+queue))
+	}
+}
+
+// A slowloris client trickling its body must be cut off by the read
+// timeout while concurrent fast requests keep being served.
+func TestChaosSlowlorisDoesNotStarve(t *testing.T) {
+	before := runtime.NumGoroutine()
+	t.Cleanup(func() { checkGoroutines(t, before) })
+	const dim = 8
+	gate := newGateOperator()
+	close(gate.release) // evaluations complete immediately
+	rec := telemetry.New()
+	reg := NewRegistry(rec)
+	if _, err := reg.Register(gate.spec(dim), Limits{}); err != nil {
+		t.Fatal(err)
+	}
+	s, err := NewServer(Config{Registry: reg, Telemetry: rec, ReadTimeout: 300 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Start("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		sctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		if err := s.Shutdown(sctx); err != nil {
+			t.Errorf("shutdown: %v", err)
+		}
+		reg.Close()
+	}()
+	addr := s.Addr()
+
+	// The slow client: valid headers, then one byte of body every 100ms.
+	// The 300ms ReadTimeout must kill the connection long before the
+	// declared body arrives.
+	slowDone := make(chan error, 1)
+	go func() {
+		conn, derr := net.Dial("tcp", addr)
+		if derr != nil {
+			slowDone <- derr
+			return
+		}
+		defer conn.Close()
+		body := fmt.Sprintf(`{"vector":[%s]}`, strings.Repeat("0,", dim-1)+"0")
+		fmt.Fprintf(conn, "POST /v1/operators/gate/matvec HTTP/1.1\r\nHost: %s\r\nContent-Type: application/json\r\nContent-Length: %d\r\n\r\n", addr, len(body))
+		for i := 0; i < len(body); i++ {
+			if _, werr := conn.Write([]byte{body[i]}); werr != nil {
+				slowDone <- nil // connection reset by the server: the defense worked
+				return
+			}
+			time.Sleep(100 * time.Millisecond)
+		}
+		// Writes can succeed into the kernel buffer even after the server
+		// stopped reading; the authoritative signal is the response read.
+		_ = conn.SetReadDeadline(time.Now().Add(2 * time.Second))
+		resp, rerr := http.ReadResponse(bufio.NewReader(conn), nil)
+		if rerr != nil {
+			slowDone <- nil // reset/EOF: terminated, good
+			return
+		}
+		resp.Body.Close()
+		if resp.StatusCode == http.StatusOK {
+			slowDone <- fmt.Errorf("slowloris request was served (200) despite ReadTimeout")
+			return
+		}
+		slowDone <- nil // 4xx/timeout response also means it was not served normally
+	}()
+
+	// Meanwhile fast clients are unaffected.
+	client := &http.Client{Timeout: 2 * time.Second}
+	vec, _ := json.Marshal(map[string]any{"vector": make([]float64, dim)})
+	for i := 0; i < 10; i++ {
+		resp, perr := client.Post("http://"+addr+"/v1/operators/gate/matvec", "application/json", bytes.NewReader(vec))
+		if perr != nil {
+			t.Fatalf("fast request %d failed beside a slowloris: %v", i, perr)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("fast request %d: status %d", i, resp.StatusCode)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	select {
+	case err := <-slowDone:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("slowloris connection was never terminated")
+	}
+}
+
+// A mid-flight panicking operator must cost only its own requests: the
+// panic comes back as a typed 500, repeated panics trip the breaker to
+// typed 503s, and after the fault heals a half-open probe restores
+// service.
+func TestChaosPanicTripsBreakerThenRecovers(t *testing.T) {
+	const dim = 8
+	gate := newGateOperator()
+	close(gate.release)
+	_, ts, rec := chaosServer(t,
+		Limits{Breaker: BreakerConfig{Threshold: 2, Cooldown: 100 * time.Millisecond}},
+		gate.spec(dim))
+	flight := telemetry.NewFlightRecorder(rec, 16)
+
+	// Healthy baseline.
+	if code, kind, _, err := fireMatvec(ts, dim, nil); err != nil || code != http.StatusOK {
+		t.Fatalf("baseline request: %d %q %v", code, kind, err)
+	}
+	// Poison the operator: two panics are contained as typed 500s.
+	gate.panicArm.Store(true)
+	for i := 0; i < 2; i++ {
+		code, kind, _, err := fireMatvec(ts, dim, nil)
+		if err != nil {
+			t.Fatalf("panicking request %d died at transport level (panic escaped?): %v", i, err)
+		}
+		if code != http.StatusInternalServerError || kind != "panic" {
+			t.Fatalf("panicking request %d: %d kind=%q, want 500 panic", i, code, kind)
+		}
+	}
+	// Threshold reached: the breaker is open, requests are rejected
+	// without touching the operator.
+	code, kind, hdr, err := fireMatvec(ts, dim, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != http.StatusServiceUnavailable || kind != "breaker_open" {
+		t.Fatalf("tripped breaker: %d kind=%q, want 503 breaker_open", code, kind)
+	}
+	if hdr.Get("Retry-After") == "" {
+		t.Fatalf("breaker rejection without Retry-After")
+	}
+	if rec.Counter("serve.breaker_rejects").Value() == 0 {
+		t.Fatalf("serve.breaker_rejects not incremented")
+	}
+	if got := rec.Gauge("serve.breaker_state").Value(); got != float64(BreakerOpen) {
+		t.Fatalf("serve.breaker_state = %v, want open (%d)", got, BreakerOpen)
+	}
+	// The crash funnel saw both contained panics.
+	if got := len(flight.Errors()); got < 2 {
+		t.Fatalf("flight recorder captured %d crash reports, want ≥ 2", got)
+	}
+
+	// Heal the fault and wait out the cooldown: the half-open probe must
+	// restore service.
+	gate.panicArm.Store(false)
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		code, kind, _, err = fireMatvec(ts, dim, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if code == http.StatusOK {
+			break
+		}
+		if kind != "breaker_open" {
+			t.Fatalf("during recovery: %d kind=%q", code, kind)
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("breaker never recovered after the fault healed")
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if got := rec.Gauge("serve.breaker_state").Value(); got != float64(BreakerClosed) {
+		t.Fatalf("serve.breaker_state = %v after recovery, want closed", got)
+	}
+}
+
+// Drain under load: requests in flight when drain begins are all
+// answered, new arrivals get typed draining 503s, and drain completes
+// once the stragglers finish.
+func TestChaosDrainUnderLoad(t *testing.T) {
+	const dim, inflight = 8, 3
+	gate := newGateOperator()
+	s, ts, rec := chaosServer(t,
+		Limits{Admission: AdmissionConfig{MaxConcurrent: inflight, MaxQueue: 1}},
+		gate.spec(dim))
+
+	// Park requests mid-evaluation.
+	results := make(chan int, inflight)
+	var wg sync.WaitGroup
+	for i := 0; i < inflight; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			code, _, _, err := fireMatvec(ts, dim, nil)
+			if err != nil {
+				t.Errorf("in-flight request failed: %v", err)
+				code = -1
+			}
+			results <- code
+		}()
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for gate.executing.Load() < inflight && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if gate.executing.Load() != inflight {
+		t.Fatalf("only %d requests in flight, want %d", gate.executing.Load(), inflight)
+	}
+
+	// Begin drain while they are parked.
+	drainDone := make(chan error, 1)
+	dctx, dcancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer dcancel()
+	go func() { drainDone <- s.Drain(dctx) }()
+
+	// New arrivals are refused with the draining taxonomy.
+	refusedDeadline := time.Now().Add(5 * time.Second)
+	for {
+		code, kind, _, err := fireMatvec(ts, dim, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if code == http.StatusServiceUnavailable && kind == "draining" {
+			break
+		}
+		if time.Now().After(refusedDeadline) {
+			t.Fatalf("drain never refused new work: last %d kind=%q", code, kind)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	select {
+	case <-drainDone:
+		t.Fatal("drain completed with requests still in flight")
+	case <-time.After(50 * time.Millisecond):
+	}
+
+	// Release the stragglers: every parked request is answered 200 and
+	// drain completes.
+	close(gate.release)
+	wg.Wait()
+	for i := 0; i < inflight; i++ {
+		if code := <-results; code != http.StatusOK {
+			t.Errorf("in-flight request %d answered %d during drain, want 200", i, code)
+		}
+	}
+	select {
+	case err := <-drainDone:
+		if err != nil {
+			t.Fatalf("drain: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("drain did not complete after in-flight requests finished")
+	}
+	if ms := rec.Gauge("serve.drain_ms").Value(); ms <= 0 {
+		t.Errorf("serve.drain_ms = %v, want > 0", ms)
+	}
+	// Drain is idempotent: a second call returns immediately.
+	if err := s.Drain(dctx); err != nil {
+		t.Errorf("second drain: %v", err)
+	}
+}
