@@ -39,6 +39,7 @@ import (
 	"gofmm/internal/dist"
 	"gofmm/internal/hss"
 	"gofmm/internal/linalg"
+	"gofmm/internal/plan"
 	"gofmm/internal/resilience"
 	"gofmm/internal/sched"
 	"gofmm/internal/telemetry"
@@ -364,6 +365,15 @@ type BatchStats = core.BatchStats
 // requests accepted before Close are served by the closing drain, and
 // every later submission gets this sentinel (dispatch with errors.Is).
 var ErrEvaluatorClosed = core.ErrEvaluatorClosed
+
+// Plan is a compiled evaluation plan: the four-pass N2S/S2S/S2N/L2L
+// traversal lowered once into a flat, replayable schedule of kernel calls
+// with pre-resolved buffer offsets. Compile one with
+// Hierarchical.CompilePlan (or set Config.CompilePlan to compile during
+// Compress); subsequent Matvec/Matmat calls replay the plan instead of
+// re-walking the tree. The tree interpreter remains available as the
+// reference path through InterpMatvecCtx/InterpMatmatCtx.
+type Plan = plan.Plan
 
 // Counting wraps an SPD oracle with an entry-evaluation counter, the
 // currency of GOFMM's O(N log N) compression claim.

@@ -36,7 +36,9 @@ type Entry struct {
 //     deadline-propagation contract (X-Deadline-Ms → evaluation context)
 //     only holds if no handler path mints a fresh root.
 //   - detorder: bit-identical determinism is promised by the numeric
-//     packages (core, linalg, hss, tree), not by tooling or telemetry.
+//     packages (core, linalg, hss, tree, plan — compiled replays must be
+//     bit-identical across runs and worker counts), not by tooling or
+//     telemetry.
 //   - errtaxonomy: internal/ except resilience (it defines the taxonomy),
 //     telemetry proper (the import cycle resilience→telemetry forbids
 //     wrapping), and analysis itself (lint infrastructure, not library
@@ -53,7 +55,8 @@ func All() []Entry {
 		{ctxcheck.Analyzer, underAny("gofmm/internal/")},
 		{detorder.Analyzer, underAny(
 			"gofmm/internal/core", "gofmm/internal/linalg",
-			"gofmm/internal/hss", "gofmm/internal/tree")},
+			"gofmm/internal/hss", "gofmm/internal/tree",
+			"gofmm/internal/plan")},
 		{errtaxonomy.Analyzer, func(path string) bool {
 			if !strings.HasPrefix(path, "gofmm/internal/") {
 				return false

@@ -22,10 +22,12 @@ package core
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"gofmm/internal/ann"
 	"gofmm/internal/linalg"
+	"gofmm/internal/plan"
 	"gofmm/internal/resilience"
 	"gofmm/internal/sched"
 	"gofmm/internal/telemetry"
@@ -208,6 +210,11 @@ type Config struct {
 	// CacheSingle stores the cached blocks in float32 (half the memory, the
 	// paper's single-precision storage regime); accumulation stays float64.
 	CacheSingle bool
+	// CompilePlan lowers the four-pass traversal into a flat execution plan
+	// at the end of CompressCtx (see CompilePlanCtx); Matvec/Matmat then
+	// replay the compiled schedule instead of re-walking the tree. The tree
+	// interpreter remains reachable through InterpMatvecCtx/InterpMatmatCtx.
+	CompilePlan bool
 	// SampleRows bounds the number of importance-sampled rows used per
 	// skeletonization (default 4·MaxRank + LeafSize).
 	SampleRows int
@@ -308,6 +315,8 @@ type Stats struct {
 	ANNTime, TreeTime, ListsTime, SkelTime, CacheTime float64
 	// CompressTime is the total of the above; EvalTime is the last Matvec.
 	CompressTime, EvalTime float64
+	// PlanTime is the cost of the last CompilePlanCtx lowering (seconds).
+	PlanTime float64
 	// Flops spent in each phase (approximate, following Table 2).
 	CompressFlops, EvalFlops float64
 	// AvgRank is the mean skeleton size over non-root nodes.
@@ -341,6 +350,18 @@ type Hierarchical struct {
 	LastTrace []sched.Event
 
 	compressFlops, evalFlops int64 // atomic counters
+
+	// statsMu serializes the "last evaluation" writes into Stats
+	// (EvalTime/EvalFlops). One Hierarchical legitimately serves many
+	// concurrent MatvecCtx/MatmatCtx replays; the cost fields are
+	// last-writer-wins by contract, but the writes themselves must not race.
+	statsMu sync.Mutex
+
+	// evalPlan is the installed compiled evaluation schedule (nil while
+	// evaluation runs through the tree interpreter); planMu serializes
+	// compilation so concurrent CompilePlanCtx calls lower at most once.
+	evalPlan atomic.Pointer[plan.Plan]
+	planMu   sync.Mutex
 
 	errMu  sync.Mutex
 	tolErr error // first StrictTolerance miss (checked after skeletonize)

@@ -79,7 +79,29 @@ func (h *Hierarchical) Matvec(W *linalg.Matrix) *linalg.Matrix {
 // executors, within) the four phases, and a panic in any task body surfaces
 // as a *resilience.PanicError instead of escaping.
 func (h *Hierarchical) MatvecCtx(ctx context.Context, W *linalg.Matrix) (*linalg.Matrix, error) {
+	if p := h.evalPlan.Load(); p != nil {
+		return h.replayBlock(ctx, p, W, "matvec")
+	}
 	return h.evalBlock(ctx, W, "matvec")
+}
+
+// InterpMatvecCtx is MatvecCtx pinned to the tree interpreter: it bypasses
+// any installed compiled plan and re-walks the four passes. It is the
+// reference path — the oracle the plan equivalence suite compares against —
+// and is also useful for A/B benchmarks (see `repro pr8`).
+func (h *Hierarchical) InterpMatvecCtx(ctx context.Context, W *linalg.Matrix) (*linalg.Matrix, error) {
+	return h.evalBlock(ctx, W, "matvec")
+}
+
+// noteEval records the cost of the evaluation that just finished into
+// Stats. EvalTime/EvalFlops describe "the last" evaluation, so concurrent
+// requests legitimately overwrite each other — but the writes themselves
+// must be serialized, since one Hierarchical serves many in-flight replays.
+func (h *Hierarchical) noteEval(seconds, flops float64) {
+	h.statsMu.Lock()
+	h.Stats.EvalTime = seconds
+	h.Stats.EvalFlops = flops
+	h.statsMu.Unlock()
 }
 
 // evalBlock is the shared four-pass block evaluation behind MatvecCtx and
@@ -177,12 +199,11 @@ func (h *Hierarchical) evalBlock(ctx context.Context, W *linalg.Matrix, op strin
 	}
 	st.Ufar.AddScaled(1, st.Unear)
 	U = st.Ufar.RowsGather(t.IPerm)
+	secs := time.Since(start).Seconds()
 	if d := root.End(); d > 0 {
-		h.Stats.EvalTime = d.Seconds()
-	} else {
-		h.Stats.EvalTime = time.Since(start).Seconds()
+		secs = d.Seconds()
 	}
-	h.Stats.EvalFlops = float64(atomic.LoadInt64(&h.evalFlops))
+	h.noteEval(secs, float64(atomic.LoadInt64(&h.evalFlops)))
 	if rec != nil {
 		rec.Counter(op + ".calls").Add(1)
 		rec.Counter(op + ".flops").Add(atomic.LoadInt64(&h.evalFlops))

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"gofmm/internal/linalg"
+	"gofmm/internal/plan"
 	"gofmm/internal/tree"
 	"gofmm/internal/workspace"
 )
@@ -25,6 +26,11 @@ type Evaluator struct {
 	st    *evalState
 	scope *workspace.Scope
 
+	// plan, when non-nil, is the compiled schedule this evaluator replays;
+	// the per-node views below stay nil (the plan's replay state carries
+	// its own prebuilt operand headers and pooled arena).
+	plan *plan.Plan
+
 	// Precomputed per-node views into the evalState buffers (nil where a
 	// node has no such role). Views are headers only — they alias st's
 	// storage and are never returned to the pool.
@@ -39,7 +45,13 @@ type Evaluator struct {
 }
 
 // NewEvaluator prepares workspaces for Matvec calls with r right-hand sides.
+// With a compiled plan installed (CompilePlanCtx) the evaluator is a thin
+// replay handle: construction is O(1) and MatvecInto replays the flat
+// schedule through a pooled arena instead of the per-node views below.
 func (h *Hierarchical) NewEvaluator(r int) *Evaluator {
+	if p := h.evalPlan.Load(); p != nil {
+		return &Evaluator{h: h, r: r, scope: h.Cfg.Workspace.NewScope(), plan: p}
+	}
 	n := h.K.Dim()
 	t := h.Tree
 	scope := h.Cfg.Workspace.NewScope()
@@ -149,6 +161,14 @@ func (e *Evaluator) MatvecInto(W, U *linalg.Matrix) {
 		panic(fmt.Sprintf("core: Evaluator.Matvec with %d×%d output, want %d×%d", U.Rows, U.Cols, n, e.r))
 	}
 	start := time.Now()
+	if e.plan != nil {
+		opts := plan.ExecOptions{Workers: 1, Pool: h.Cfg.Workspace, Telemetry: h.Cfg.Telemetry}
+		if err := e.plan.Execute(nil, W, U, opts); err != nil {
+			panic(err) // dims were validated above; replay itself cannot fail
+		}
+		h.noteEval(time.Since(start).Seconds(), e.plan.FlopsPerCol()*float64(e.r))
+		return
+	}
 	t := h.Tree
 	st := e.st
 	// Reset workspaces in place (column-wise gather for cache locality).
@@ -179,8 +199,7 @@ func (e *Evaluator) MatvecInto(W, U *linalg.Matrix) {
 	}
 	st.Ufar.AddScaled(1, st.Unear)
 	st.Ufar.RowsGatherInto(t.IPerm, U)
-	h.Stats.EvalTime = time.Since(start).Seconds()
-	h.Stats.EvalFlops = float64(atomic.LoadInt64(&h.evalFlops))
+	h.noteEval(time.Since(start).Seconds(), float64(atomic.LoadInt64(&h.evalFlops)))
 }
 
 // n2sInto is n2s with pre-allocated outputs and a pre-allocated stacking

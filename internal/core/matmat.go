@@ -32,5 +32,17 @@ func (h *Hierarchical) MatmatCtx(ctx context.Context, X *linalg.Matrix) (*linalg
 	if rec := h.Cfg.Telemetry; rec != nil && X != nil {
 		rec.Histogram("matmat.width").Observe(float64(X.Cols))
 	}
+	if p := h.evalPlan.Load(); p != nil {
+		return h.replayBlock(ctx, p, X, "matmat")
+	}
+	return h.evalBlock(ctx, X, "matmat")
+}
+
+// InterpMatmatCtx is MatmatCtx pinned to the tree interpreter, bypassing any
+// installed compiled plan — the reference path of the equivalence suite.
+func (h *Hierarchical) InterpMatmatCtx(ctx context.Context, X *linalg.Matrix) (*linalg.Matrix, error) {
+	if rec := h.Cfg.Telemetry; rec != nil && X != nil {
+		rec.Histogram("matmat.width").Observe(float64(X.Cols))
+	}
 	return h.evalBlock(ctx, X, "matmat")
 }

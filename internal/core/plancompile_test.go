@@ -1,0 +1,151 @@
+package core
+
+import (
+	"context"
+	"math/rand"
+	"testing"
+
+	"gofmm/internal/linalg"
+	"gofmm/internal/workspace"
+)
+
+// planConfig is a small compressible fixture config exercising near+far
+// lists, adaptive ranks and the dynamic executor.
+func planConfig() Config {
+	return Config{
+		LeafSize: 32, MaxRank: 48, Tol: 1e-5, Kappa: 8, Budget: 0.05,
+		Distance: Angle, Exec: Sequential, Seed: 7, CacheBlocks: true,
+	}
+}
+
+// TestCompiledPlanMatchesInterpreter is the lowering smoke test: the
+// compiled replay must reproduce the tree interpreter to near machine
+// precision on the same operator, across caching regimes (cached float64,
+// cached float32, uncached) and RHS widths.
+func TestCompiledPlanMatchesInterpreter(t *testing.T) {
+	cases := []struct {
+		name string
+		mut  func(*Config)
+	}{
+		{"cached", func(c *Config) {}},
+		{"cached32", func(c *Config) { c.CacheSingle = true }},
+		{"uncached", func(c *Config) { c.CacheBlocks = false }},
+		{"hss", func(c *Config) { c.Budget = 0 }},
+		{"pooled", func(c *Config) { c.Workspace = workspace.New() }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := planConfig()
+			tc.mut(&cfg)
+			h, _ := compressGauss(t, 384, cfg)
+			p, err := h.CompilePlan()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if h.Plan() != p {
+				t.Fatal("Plan() does not return the installed plan")
+			}
+			rng := rand.New(rand.NewSource(11))
+			for _, r := range []int{1, 3, 8} {
+				W := linalg.GaussianMatrix(rng, 384, r)
+				ref, err := h.InterpMatmatCtx(context.Background(), W)
+				if err != nil {
+					t.Fatal(err)
+				}
+				got, err := h.MatmatCtx(context.Background(), W)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if d := linalg.RelFrobDiff(got, ref); d > 1e-13 {
+					t.Fatalf("r=%d: compiled replay differs from interpreter by %g", r, d)
+				}
+			}
+		})
+	}
+}
+
+// TestCompiledPlanParallelReplayBitIdentical pins the replay determinism
+// contract at the core layer: sequential replay and worker-pool replay of
+// the same plan produce the exact same bits.
+func TestCompiledPlanParallelReplayBitIdentical(t *testing.T) {
+	cfg := planConfig()
+	h, _ := compressGauss(t, 384, cfg)
+	if _, err := h.CompilePlan(); err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(12))
+	W := linalg.GaussianMatrix(rng, 384, 4)
+	seq, err := h.MatmatCtx(context.Background(), W)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.Cfg.Exec = Dynamic
+	h.Cfg.NumWorkers = 8
+	par, err := h.MatmatCtx(context.Background(), W)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j := 0; j < seq.Cols; j++ {
+		a, b := seq.Col(j), par.Col(j)
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("replay differs at (%d,%d): %v vs %v", i, j, a[i], b[i])
+			}
+		}
+	}
+}
+
+// TestCompileViaConfigAndDropPlan covers the Config.CompilePlan compress
+// hook and the DropPlan escape hatch.
+func TestCompileViaConfigAndDropPlan(t *testing.T) {
+	cfg := planConfig()
+	cfg.CompilePlan = true
+	h, _ := compressGauss(t, 256, cfg)
+	if h.Plan() == nil {
+		t.Fatal("Config.CompilePlan did not install a plan during Compress")
+	}
+	if h.Stats.PlanTime < 0 {
+		t.Fatal("negative PlanTime")
+	}
+	h.DropPlan()
+	if h.Plan() != nil {
+		t.Fatal("DropPlan left the plan installed")
+	}
+}
+
+// TestEvaluatorReplaysPlan checks the Evaluator delegation: with a plan
+// installed the evaluator is a thin replay handle that agrees with the
+// interpreter-backed evaluator to 1e-13 (the replay uses beta-0 writes
+// where the interpreter zeroes then accumulates) and is bit-identical to
+// itself across replays.
+func TestEvaluatorReplaysPlan(t *testing.T) {
+	cfg := planConfig()
+	cfg.Workspace = workspace.New()
+	h, _ := compressGauss(t, 256, cfg)
+	rng := rand.New(rand.NewSource(13))
+	W := linalg.GaussianMatrix(rng, 256, 2)
+	ref := h.NewEvaluator(2)
+	want := ref.Matvec(W)
+	ref.Close()
+	if _, err := h.CompilePlan(); err != nil {
+		t.Fatal(err)
+	}
+	ev := h.NewEvaluator(2)
+	defer ev.Close()
+	got := linalg.NewMatrix(256, 2)
+	ev.MatvecInto(W, got)
+	if d := linalg.RelFrobDiff(got, want); d > 1e-13 {
+		t.Fatalf("plan-backed evaluator differs from interpreter evaluator by %g", d)
+	}
+	// Replays must be bit-identical to each other.
+	again := linalg.NewMatrix(256, 2)
+	ev.MatvecInto(W, again)
+	for j := 0; j < 2; j++ {
+		a, b := got.Col(j), again.Col(j)
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("evaluator replay not bit-identical at (%d,%d)", i, j)
+			}
+		}
+	}
+}

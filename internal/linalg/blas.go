@@ -131,28 +131,119 @@ func MatMul(transA, transB bool, A, B *Matrix) *Matrix {
 	return C
 }
 
-// Gemv computes y = alpha*op(A)*x + beta*y for a single vector.
+// Gemv computes y = alpha*op(A)*x + beta*y for a single vector. Both
+// orientations process four columns of A per pass so the x (or y) vector is
+// streamed once per tile instead of once per column, with four independent
+// accumulator chains; beta = 0 overwrites y outright (mirroring Gemm's
+// semantics) so stale or non-finite contents of y can never leak into the
+// result. Compiled plan replays dispatch their width-1 GEMM records here.
 func Gemv(trans bool, alpha float64, A *Matrix, x []float64, beta float64, y []float64) {
 	m, n := A.Rows, A.Cols
 	if trans {
 		if len(x) != m || len(y) != n {
 			panic("linalg: Gemv dimension mismatch")
 		}
-		for j := 0; j < n; j++ {
-			y[j] = beta*y[j] + alpha*Dot(A.Col(j), x)
+		j := 0
+		if haveFMAKernel && m >= 4 {
+			// AVX2 path: four column dots at a time over the aligned row
+			// prefix, ragged rows and alpha/beta finished in Go.
+			mm := m &^ 3
+			var d [4]float64
+			for ; j+4 <= n; j += 4 {
+				gemvDots4F64(mm, &A.Data[j*A.Stride], A.Stride, &x[0], &d[0])
+				for q := 0; q < 4; q++ {
+					s := d[q]
+					aq := A.Col(j + q)
+					for i := mm; i < m; i++ {
+						s += aq[i] * x[i]
+					}
+					if beta == 0 {
+						y[j+q] = alpha * s
+					} else {
+						y[j+q] = beta*y[j+q] + alpha*s
+					}
+				}
+			}
+		}
+		for ; j+4 <= n; j += 4 {
+			a0, a1, a2, a3 := A.Col(j), A.Col(j+1), A.Col(j+2), A.Col(j+3)
+			var s0, s1, s2, s3 float64
+			for i, xi := range x {
+				s0 += a0[i] * xi
+				s1 += a1[i] * xi
+				s2 += a2[i] * xi
+				s3 += a3[i] * xi
+			}
+			if beta == 0 {
+				y[j], y[j+1], y[j+2], y[j+3] = alpha*s0, alpha*s1, alpha*s2, alpha*s3
+			} else {
+				y[j] = beta*y[j] + alpha*s0
+				y[j+1] = beta*y[j+1] + alpha*s1
+				y[j+2] = beta*y[j+2] + alpha*s2
+				y[j+3] = beta*y[j+3] + alpha*s3
+			}
+		}
+		for ; j < n; j++ {
+			if s := alpha * Dot(A.Col(j), x); beta == 0 {
+				y[j] = s
+			} else {
+				y[j] = beta*y[j] + s
+			}
 		}
 		return
 	}
 	if len(x) != n || len(y) != m {
 		panic("linalg: Gemv dimension mismatch")
 	}
-	if beta != 1 {
+	if beta == 0 {
+		for i := range y {
+			y[i] = 0
+		}
+	} else if beta != 1 {
 		for i := range y {
 			y[i] *= beta
 		}
 	}
-	for j := 0; j < n; j++ {
-		Axpy(alpha*x[j], A.Col(j), y)
+	kk := 0
+	if haveFMAKernel && m >= 4 {
+		// AVX2 path: eight columns per kernel call over the aligned row
+		// prefix; any ragged rows get the same coefficients scalar-wise.
+		mm := m &^ 3
+		var coef [8]float64
+		for ; kk+8 <= n; kk += 8 {
+			for j := range coef {
+				coef[j] = alpha * x[kk+j]
+			}
+			gemvCols8F64(mm, &A.Data[kk*A.Stride], A.Stride, &coef[0], &y[0])
+			for j := 0; mm < m && j < 8; j++ {
+				aj := A.Col(kk + j)
+				c := coef[j]
+				for i := mm; i < m; i++ {
+					y[i] += c * aj[i]
+				}
+			}
+		}
+	}
+	for ; kk+8 <= n; kk += 8 {
+		a0, a1, a2, a3 := A.Col(kk), A.Col(kk+1), A.Col(kk+2), A.Col(kk+3)
+		a4, a5, a6, a7 := A.Col(kk+4), A.Col(kk+5), A.Col(kk+6), A.Col(kk+7)
+		b0, b1, b2, b3 := alpha*x[kk], alpha*x[kk+1], alpha*x[kk+2], alpha*x[kk+3]
+		b4, b5, b6, b7 := alpha*x[kk+4], alpha*x[kk+5], alpha*x[kk+6], alpha*x[kk+7]
+		for i := range y {
+			s0 := a0[i]*b0 + a1[i]*b1 + a2[i]*b2 + a3[i]*b3
+			s1 := a4[i]*b4 + a5[i]*b5 + a6[i]*b6 + a7[i]*b7
+			y[i] += s0 + s1
+		}
+	}
+	for ; kk+4 <= n; kk += 4 {
+		a0, a1, a2, a3 := A.Col(kk), A.Col(kk+1), A.Col(kk+2), A.Col(kk+3)
+		b0, b1, b2, b3 := alpha*x[kk], alpha*x[kk+1], alpha*x[kk+2], alpha*x[kk+3]
+		for i := range y {
+			y[i] += a0[i]*b0 + a1[i]*b1 + a2[i]*b2 + a3[i]*b3
+		}
+	}
+	for ; kk < n; kk++ {
+		Axpy(alpha*x[kk], A.Col(kk), y)
 	}
 }
 

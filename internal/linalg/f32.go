@@ -91,3 +91,80 @@ func GemmMixed(alpha float64, A *Matrix32, B *Matrix, beta float64, C *Matrix) {
 		}
 	})
 }
+
+// GemvMixed computes y = alpha·A·x + beta·y with A stored in float32 and
+// float64 accumulation — the width-1 counterpart of GemmMixed. Like Gemv it
+// blocks 8 columns per pass so y is streamed once per 8 columns instead of
+// once per column; with the column-at-a-time form the y read-modify-write
+// traffic (16 bytes per element) dwarfed the 4-byte block reads and capped
+// DRAM-resident replays. The accumulation order therefore differs from
+// GemmMixed by rounding (plan-vs-interpreter suites compare at 1e-13, not
+// bits), but replay-vs-replay stays bit-identical since the kernel is
+// deterministic. No zero-coefficient skip: A is always finite (the oracle
+// validates cached blocks), so a zero coefficient contributes exact zeros
+// either way. Compiled plan replays dispatch width-1 mixed-precision GEMM
+// records here.
+func GemvMixed(alpha float64, A *Matrix32, x []float64, beta float64, y []float64) {
+	m, k := A.Rows, A.Cols
+	if len(x) != k || len(y) != m {
+		panic("linalg: GemvMixed dimension mismatch")
+	}
+	if beta == 0 {
+		for i := range y {
+			y[i] = 0
+		}
+	} else if beta != 1 {
+		for i := range y {
+			y[i] *= beta
+		}
+	}
+	if alpha == 0 {
+		return
+	}
+	kk := 0
+	if haveFMAKernel && m >= 4 {
+		// AVX2 path: VCVTPS2PD widening feeds the float64 FMAs directly,
+		// removing the scalar conversion that otherwise dominates (one
+		// convert per element costs more than the multiply-add itself).
+		mm := m &^ 3
+		var coef [8]float64
+		for ; kk+8 <= k; kk += 8 {
+			for j := range coef {
+				coef[j] = alpha * x[kk+j]
+			}
+			gemvCols8F32(mm, &A.Data[kk*A.Stride], A.Stride, &coef[0], &y[0])
+			for j := 0; mm < m && j < 8; j++ {
+				aj := A.Col(kk + j)
+				c := coef[j]
+				for i := mm; i < m; i++ {
+					y[i] += c * float64(aj[i])
+				}
+			}
+		}
+	}
+	for ; kk+8 <= k; kk += 8 {
+		a0, a1, a2, a3 := A.Col(kk), A.Col(kk+1), A.Col(kk+2), A.Col(kk+3)
+		a4, a5, a6, a7 := A.Col(kk+4), A.Col(kk+5), A.Col(kk+6), A.Col(kk+7)
+		b0, b1, b2, b3 := alpha*x[kk], alpha*x[kk+1], alpha*x[kk+2], alpha*x[kk+3]
+		b4, b5, b6, b7 := alpha*x[kk+4], alpha*x[kk+5], alpha*x[kk+6], alpha*x[kk+7]
+		for i := range y {
+			s0 := float64(a0[i])*b0 + float64(a1[i])*b1 + float64(a2[i])*b2 + float64(a3[i])*b3
+			s1 := float64(a4[i])*b4 + float64(a5[i])*b5 + float64(a6[i])*b6 + float64(a7[i])*b7
+			y[i] += s0 + s1
+		}
+	}
+	for ; kk+4 <= k; kk += 4 {
+		a0, a1, a2, a3 := A.Col(kk), A.Col(kk+1), A.Col(kk+2), A.Col(kk+3)
+		b0, b1, b2, b3 := alpha*x[kk], alpha*x[kk+1], alpha*x[kk+2], alpha*x[kk+3]
+		for i := range y {
+			y[i] += float64(a0[i])*b0 + float64(a1[i])*b1 + float64(a2[i])*b2 + float64(a3[i])*b3
+		}
+	}
+	for ; kk < k; kk++ {
+		s := alpha * x[kk]
+		ak := A.Col(kk)
+		for i := range y {
+			y[i] += s * float64(ak[i])
+		}
+	}
+}

@@ -95,6 +95,12 @@ func (r *Registry) Register(spec OperatorSpec, lim Limits) (*Operator, error) {
 // compressions (Budget 0) — Solve through a hierarchical factorization
 // built eagerly here so the first solve request does not pay it.
 func (r *Registry) RegisterHierarchical(ctx context.Context, name string, h *core.Hierarchical, opts core.BatchOptions, lim Limits) (*Operator, error) {
+	// Compile the flat evaluation plan up front so every served matvec and
+	// matmat replays the compiled schedule instead of re-walking the tree
+	// (idempotent: a no-op when Config.CompilePlan already compiled it).
+	if _, err := h.CompilePlanCtx(ctx); err != nil {
+		return nil, fmt.Errorf("serve: operator %q: %w", name, err)
+	}
 	ev := h.NewBatchEvaluatorCtx(ctx, opts)
 	spec := OperatorSpec{
 		Name:   name,

@@ -1,0 +1,43 @@
+package workspace
+
+// Arena is one contiguous reservation drawn from a Pool — the
+// plan-replay model of scratch: a compiled evaluation plan binds a single
+// plan-sized arena per replay state instead of borrowing per-node scratch,
+// and sub-buffers are fixed offset slices of it. The zero-allocation
+// contract of replay rests on the reservation being one block: every
+// operand header is a view into the same backing array, resolved once.
+//
+// An Arena is owned by its holder until Release; it is not safe for
+// concurrent use (replay states are checked out by one evaluation at a
+// time). A nil Pool degrades to plain allocation, like every other pool
+// entry point.
+type Arena struct {
+	pool *Pool
+	data []float64
+}
+
+// GetArena reserves a zeroed arena of n floats from the pool.
+func (p *Pool) GetArena(n int) *Arena {
+	return &Arena{pool: p, data: p.Get(n)}
+}
+
+// Len returns the reservation size in floats.
+func (a *Arena) Len() int { return len(a.data) }
+
+// Slice returns the [off, off+n) window of the arena with a clamped
+// capacity, so downstream append/reslice bugs cannot silently bleed into a
+// neighbouring region.
+func (a *Arena) Slice(off, n int) []float64 {
+	return a.data[off : off+n : off+n]
+}
+
+// Release files the reservation back into the pool. The arena (and every
+// slice taken from it) must not be used afterwards; Release on an already
+// released arena is a no-op.
+func (a *Arena) Release() {
+	if a == nil || a.data == nil {
+		return
+	}
+	a.pool.Put(a.data)
+	a.data = nil
+}
