@@ -69,6 +69,7 @@ func run(args []string, out io.Writer) error {
 		structure = fs.Bool("structure", false, "print the leaf-level block structure (Figure 2 style)")
 		dotFile   = fs.String("dot", "", "write the evaluation dependency DAG (Figure 3) to this file in DOT format")
 		saveFile  = fs.String("save", "", "serialize the compressed form to this file after compression")
+		storeFile = fs.String("store", "", "write a gofmm.store/v1 operator store (flat arena + compiled plan, servable by gofmmd -store-dir) to this file after compression")
 		loadFile  = fs.String("load", "", "load a previously saved compression instead of compressing")
 		traceFile = fs.String("trace", "", "write a Chrome trace-event JSON (load in Perfetto / chrome://tracing) to this file")
 		metrics   = fs.String("metrics", "", "write the telemetry metrics snapshot (counters, histograms, spans) as JSON to this file")
@@ -269,6 +270,18 @@ func run(args []string, out io.Writer) error {
 			return err
 		}
 		fmt.Fprintf(out, "saved compressed form to %s\n", *saveFile)
+	}
+	if *storeFile != "" {
+		// Compile first so the store carries the replayable plan and a
+		// loaded operator serves without recompiling.
+		if _, err := h.CompilePlanCtx(ctx); err != nil {
+			return err
+		}
+		nb, err := h.SaveTo(*storeFile)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "wrote %d-byte operator store to %s\n", nb, *storeFile)
 	}
 	if *structure {
 		fmt.Fprintln(out, "block structure ('#' dense/near, letters = far level):")

@@ -31,6 +31,7 @@ import (
 	"log/slog"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"strconv"
 	"strings"
 	"syscall"
@@ -118,11 +119,14 @@ func run(args []string, out io.Writer) error {
 
 		flightDir = fs.String("flight-dir", "", "arm the flight recorder and write crash dumps into this directory")
 		logDest   = fs.String("log", "", "write structured JSON logs to this file, or '-' for stderr")
+
+		storeDir  = fs.String("store-dir", "", "serve operators from this directory of .store files (gofmm.store/v1, written by gofmm -store or SaveTo): every NAME.store is loaded at startup, and POST/DELETE /admin/operators/{name} hot-swap or remove operators from the same directory at runtime")
+		storeMmap = fs.Bool("store-mmap", true, "load store files with mmap for zero-copy serving (falls back to a portable read when mapping fails)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	if len(ops) == 0 {
+	if len(ops) == 0 && *storeDir == "" {
 		ops = []opSpec{{name: "main", matrix: "K02", n: 1024}}
 	}
 
@@ -171,6 +175,37 @@ func run(args []string, out io.Writer) error {
 		},
 		Breaker: serve.BreakerConfig{Threshold: *brkThreshold, Cooldown: *brkCooldown},
 	}
+	batch := core.BatchOptions{MaxBatch: *batchMax, MaxDelay: *batchWindow}
+	if *storeDir != "" {
+		entries, err := os.ReadDir(*storeDir)
+		if err != nil {
+			return fmt.Errorf("reading -store-dir: %w", err)
+		}
+		loaded := 0
+		for _, e := range entries {
+			if e.IsDir() || !strings.HasSuffix(e.Name(), ".store") {
+				continue
+			}
+			name := strings.TrimSuffix(e.Name(), ".store")
+			t0 := time.Now()
+			h, info, err := core.LoadFrom(filepath.Join(*storeDir, e.Name()), core.LoadOptions{
+				Mmap: *storeMmap, NumWorkers: *workers, Workspace: pool, Telemetry: rec,
+			})
+			if err != nil {
+				return fmt.Errorf("loading %s: %w", e.Name(), err)
+			}
+			op, err := reg.SwapHierarchical(evalCtx, name, h, batch, lim)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(out, "operator %q: loaded %d-byte store in %.0fms (N=%d, mapped=%v, plan=%v, solve=%v)\n",
+				name, info.Bytes, time.Since(t0).Seconds()*1e3, h.N(), info.Mapped, info.HasPlan, op.CanSolve())
+			loaded++
+		}
+		if loaded == 0 && len(ops) == 0 {
+			return fmt.Errorf("-store-dir %s holds no .store files and no -op was given", *storeDir)
+		}
+	}
 	for _, spec := range ops {
 		p, err := spdmat.Generate(spec.matrix, spec.n, *seed)
 		if err != nil {
@@ -186,8 +221,7 @@ func run(args []string, out io.Writer) error {
 		if err != nil {
 			return err
 		}
-		op, err := reg.RegisterHierarchical(evalCtx, spec.name, h,
-			core.BatchOptions{MaxBatch: *batchMax, MaxDelay: *batchWindow}, lim)
+		op, err := reg.RegisterHierarchical(evalCtx, spec.name, h, batch, lim)
 		if err != nil {
 			return err
 		}
@@ -195,7 +229,7 @@ func run(args []string, out io.Writer) error {
 			spec.name, p.Name, h.N(), time.Since(t0).Seconds(), op.CanSolve())
 	}
 
-	srv, err := serve.NewServer(serve.Config{
+	scfg := serve.Config{
 		Registry:        reg,
 		Telemetry:       rec,
 		Live:            lv,
@@ -204,7 +238,19 @@ func run(args []string, out io.Writer) error {
 		DefaultDeadline: *deadline,
 		MaxDeadline:     *maxDeadline,
 		ReadTimeout:     *readTimeout,
-	})
+	}
+	if *storeDir != "" {
+		scfg.Admin = &serve.AdminConfig{
+			StoreDir:   *storeDir,
+			Mmap:       *storeMmap,
+			EvalCtx:    evalCtx,
+			Batch:      batch,
+			Limits:     lim,
+			NumWorkers: *workers,
+			Workspace:  pool,
+		}
+	}
+	srv, err := serve.NewServer(scfg)
 	if err != nil {
 		return err
 	}

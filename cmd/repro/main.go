@@ -103,7 +103,7 @@ func cli(args []string, w io.Writer) error {
 	known := map[string]bool{"fig1": true, "fig2": true, "fig3": true, "fig4": true,
 		"fig5": true, "fig6": true, "fig7": true,
 		"table3": true, "table4": true, "table5": true, "scaling": true,
-		"pr3": true, "pr4": true, "pr8": true}
+		"pr3": true, "pr4": true, "pr8": true, "pr9": true}
 	run := func(name string) error {
 		fmt.Fprintf(w, "\n== %s ==\n", name)
 		var rows []experiments.Result
@@ -212,6 +212,19 @@ func cli(args []string, w io.Writer) error {
 				fmt.Fprintf(w, "wrote run record to %s\n", path)
 			}
 			return nil
+		case "pr9":
+			// On-disk operator store: cold-start-to-first-matvec via mmap
+			// load vs compress-from-oracle — feeds the CI gate requiring a
+			// ≥10× faster first served matvec with zero arena copies.
+			rr := pr9Bench(w, size(8192, 1024), *seed, rec)
+			if *benchDir != "" {
+				path, err := rr.WriteBenchFile(*benchDir)
+				if err != nil {
+					return err
+				}
+				fmt.Fprintf(w, "wrote run record to %s\n", path)
+			}
+			return nil
 		case "scaling":
 			sizes := []int{512, 1024, 2048, 4096}
 			if *quick {
@@ -255,5 +268,5 @@ func cli(args []string, w io.Writer) error {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: repro <fig1|fig2|fig3|fig4|fig5|fig6|fig7|table3|table4|table5|scaling|pr3|pr4|pr8|all> [-n N] [-quick] [-seed S] [-debug-addr HOST:PORT] [-debug-linger D]`)
+	fmt.Fprintln(os.Stderr, `usage: repro <fig1|fig2|fig3|fig4|fig5|fig6|fig7|table3|table4|table5|scaling|pr3|pr4|pr8|pr9|all> [-n N] [-quick] [-seed S] [-debug-addr HOST:PORT] [-debug-linger D]`)
 }

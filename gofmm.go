@@ -393,4 +393,23 @@ func Save(h *Hierarchical, w io.Writer) error {
 // Load reconstructs a compressed representation written by Save, attaching
 // it to the entry oracle K (the same matrix). Executor fields of the loaded
 // Cfg default to sequential; adjust before calling Matvec if desired.
+// Passing a nil oracle is allowed: the loaded operator evaluates from its
+// cached blocks alone and returns a typed error from any path that would
+// need fresh K(i,j) entries.
 func Load(r io.Reader, K SPD) (*Hierarchical, error) { return core.ReadFrom(r, K) }
+
+// LoadOptions configures LoadOperator. See core.LoadOptions.
+type LoadOptions = core.LoadOptions
+
+// StoreInfo reports how a store-backed operator was loaded.
+type StoreInfo = core.StoreInfo
+
+// LoadOperator opens a gofmm.store/v1 operator store written by
+// (*Hierarchical).SaveTo and returns a ready-to-serve oracle-free operator.
+// With opts.Mmap set the arena is mapped read-only and matvecs run zero-copy
+// straight out of the page cache; otherwise (or when mapping is unsupported)
+// the file is read and verified portably. Call ReleaseStore (or keep the
+// operator for the process lifetime) to unmap.
+func LoadOperator(path string, opts LoadOptions) (*Hierarchical, *StoreInfo, error) {
+	return core.LoadFrom(path, opts)
+}

@@ -30,6 +30,7 @@ import (
 	"gofmm/internal/plan"
 	"gofmm/internal/resilience"
 	"gofmm/internal/sched"
+	"gofmm/internal/store"
 	"gofmm/internal/telemetry"
 	"gofmm/internal/tree"
 	"gofmm/internal/workspace"
@@ -365,6 +366,12 @@ type Hierarchical struct {
 
 	errMu  sync.Mutex
 	tolErr error // first StrictTolerance miss (checked after skeletonize)
+
+	// backing is the operator-store file this representation was loaded from
+	// (nil for compressed-in-memory operators). When the file is memory-mapped,
+	// the node caches and plan constants are zero-copy views into it, so it
+	// must stay open for the operator's lifetime; ReleaseStore closes it.
+	backing *store.File
 }
 
 // recordToleranceMiss remembers the first strict-mode tolerance failure
@@ -441,6 +448,26 @@ func (h *Hierarchical) Proj(id int) *linalg.Matrix {
 // Skeleton returns a copy of node id's skeleton indices α̃.
 func (h *Hierarchical) Skeleton(id int) []int {
 	return append([]int(nil), h.nodes[id].skel...)
+}
+
+// StoreMapped reports whether this operator serves evaluations zero-copy out
+// of a memory-mapped operator-store file (LoadFrom with Mmap). False for
+// compressed-in-memory operators and for copying (portable) loads.
+func (h *Hierarchical) StoreMapped() bool {
+	return h.backing != nil && h.backing.Mapped()
+}
+
+// ReleaseStore closes the backing operator-store file, unmapping it when it
+// was memory-mapped. After ReleaseStore the operator must not be evaluated if
+// it was mapped — its block caches and plan constants were views into the
+// mapping. No-op (nil error) for operators without a backing store.
+func (h *Hierarchical) ReleaseStore() error {
+	if h.backing == nil {
+		return nil
+	}
+	f := h.backing
+	h.backing = nil
+	return f.Close()
 }
 
 // IsHSS reports whether the compressed form has no sparse correction

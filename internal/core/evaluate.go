@@ -128,6 +128,9 @@ func (h *Hierarchical) evalBlock(ctx context.Context, W *linalg.Matrix, op strin
 		return nil, fmt.Errorf("%w: core: %s with %d rows, matrix dim %d",
 			resilience.ErrInvalidInput, op, W.Rows, n)
 	}
+	if err := h.requireEvalOracle(op); err != nil {
+		return nil, err
+	}
 	if err := resilience.FromContext(ctx); err != nil {
 		return nil, err
 	}

@@ -43,6 +43,11 @@ func (h *Hierarchical) CompilePlanCtx(ctx context.Context) (*plan.Plan, error) {
 	if p := h.evalPlan.Load(); p != nil {
 		return p, nil
 	}
+	// Compiling implies caching: lowering gathers every uncached block, so
+	// an oracle-free operator can only compile when nothing needs gathering.
+	if !h.HasOracle() && h.interpNeedsOracle() {
+		return nil, fmt.Errorf("core: plan compilation needs uncached blocks: %w", ErrNoOracle)
+	}
 	rec := h.Cfg.Telemetry
 	sp := rec.StartSpan("plan.compile")
 	defer sp.End()

@@ -139,10 +139,22 @@ func (h *Hierarchical) WriteTo(w io.Writer) (int64, error) {
 }
 
 // ReadFrom reconstructs a compressed representation previously written with
-// WriteTo, attaching it to the entry oracle K (which must be the same
-// matrix; only its dimension is validated). Executor-related fields of the
-// returned Cfg (Exec, NumWorkers, WorkerSpecs) are zero — set them before
-// calling Matvec if a parallel executor is wanted.
+// WriteTo. K is the optional entry oracle:
+//
+//   - Passing the matrix that was compressed (only its dimension can be
+//     validated) restores the full API, including the paths that sample
+//     fresh entries.
+//   - Passing nil loads the operator oracle-free — the serving workflow,
+//     where only the compressed form ships. Matvec/Matmat then work exactly
+//     when every block they touch was cached into the stream (CacheBlocks
+//     at compress time); oracle-requiring paths — interpreting uncached
+//     blocks, CompilePlanCtx when compilation would gather, hss.FromGOFMM —
+//     return a typed ErrNoOracle instead. HasOracle reports the state and
+//     AttachOracle upgrades it later.
+//
+// Executor-related fields of the returned Cfg (Exec, NumWorkers,
+// WorkerSpecs) are zero — set them before calling Matvec if a parallel
+// executor is wanted.
 //
 // The stream is treated as untrusted: truncated, corrupted or adversarial
 // input yields an error (usually wrapping ErrBadFormat) — never a panic and
@@ -248,7 +260,9 @@ func ReadFrom(r io.Reader, K SPD) (*Hierarchical, error) {
 	if math.IsNaN(tol) || math.IsInf(tol, 0) || math.IsNaN(budget) || math.IsInf(budget, 0) {
 		return nil, fmt.Errorf("%w: non-finite tolerance or budget", ErrBadFormat)
 	}
-	if K.Dim() != n {
+	if K == nil {
+		K = noOracle{n: n}
+	} else if K.Dim() != n {
 		return nil, fmt.Errorf("%w: oracle dimension %d does not match stored %d",
 			resilience.ErrInvalidInput, K.Dim(), n64)
 	}

@@ -1,0 +1,310 @@
+package core
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"io"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"gofmm/internal/linalg"
+	"gofmm/internal/store"
+)
+
+// The store round-trip property: across distances, tolerance regimes and
+// cache precisions, SaveTo → LoadFrom (both the portable and the mmap path)
+// reproduces the in-memory operator bit for bit — identical Matvec and
+// Matmat results, identical reinstalled plan digest — with no oracle
+// attached to the loaded side.
+func TestStoreRoundTripProperty(t *testing.T) {
+	type variant struct {
+		name string
+		cfg  Config
+	}
+	variants := []variant{
+		{"angle-tol2-f64", Config{Distance: Angle, Tol: 1e-2, CacheBlocks: true}},
+		{"angle-tol5-f64", Config{Distance: Angle, Tol: 1e-5, CacheBlocks: true}},
+		{"kernel-tol2-f32", Config{Distance: Kernel, Tol: 1e-2, CacheBlocks: true, CacheSingle: true}},
+		{"kernel-tol5-f32", Config{Distance: Kernel, Tol: 1e-5, CacheBlocks: true, CacheSingle: true}},
+		// Fixed-rank regime: tolerance loose enough that MaxRank binds.
+		{"angle-fixedrank-f64", Config{Distance: Angle, Tol: 1e-12, MaxRank: 12, CacheBlocks: true}},
+		{"kernel-fixedrank-f32", Config{Distance: Kernel, Tol: 1e-12, MaxRank: 12, CacheBlocks: true, CacheSingle: true}},
+	}
+	for _, v := range variants {
+		v := v
+		t.Run(v.name, func(t *testing.T) {
+			cfg := v.cfg
+			cfg.LeafSize = 32
+			if cfg.MaxRank == 0 {
+				cfg.MaxRank = 24
+			}
+			cfg.Kappa = 8
+			cfg.Budget = 0.1
+			cfg.Exec = Sequential
+			cfg.Seed = 42
+			cfg.CompilePlan = true
+			h, _ := compressGauss(t, 300, cfg)
+			if h.Plan() == nil {
+				if _, err := h.CompilePlan(); err != nil {
+					t.Fatal(err)
+				}
+			}
+
+			path := filepath.Join(t.TempDir(), "op.store")
+			sz, err := h.SaveTo(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			st, err := os.Stat(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if st.Size() != sz {
+				t.Fatalf("SaveTo reported %d bytes, file has %d", sz, st.Size())
+			}
+
+			rng := rand.New(rand.NewSource(7))
+			W1 := linalg.GaussianMatrix(rng, 300, 1)
+			W4 := linalg.GaussianMatrix(rng, 300, 4)
+			wantVec := h.Matvec(W1)
+			wantMat := h.Matmat(W4)
+			wantInterp, err := h.InterpMatvecCtx(context.Background(), W1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			wantDigest := h.Plan().DigestHex()
+
+			for _, mm := range []bool{false, true} {
+				name := "open"
+				if mm {
+					name = "mmap"
+				}
+				h2, info, err := LoadFrom(path, LoadOptions{Mmap: mm})
+				if err != nil {
+					t.Fatalf("%s: %v", name, err)
+				}
+				if h2.HasOracle() {
+					t.Fatalf("%s: loaded operator claims an oracle", name)
+				}
+				if !info.HasPlan || info.PlanDigest != wantDigest {
+					t.Fatalf("%s: plan digest %q, want %q", name, info.PlanDigest, wantDigest)
+				}
+				if got := h2.Plan().DigestHex(); got != wantDigest {
+					t.Fatalf("%s: reinstalled plan digest %q, want %q", name, got, wantDigest)
+				}
+				gotVec, err := h2.MatvecCtx(context.Background(), W1)
+				if err != nil {
+					t.Fatalf("%s matvec: %v", name, err)
+				}
+				if !linalg.EqualApprox(wantVec, gotVec, 0) {
+					t.Fatalf("%s: matvec not bit-identical (max |Δ| = %g)", name, maxAbsDiff(wantVec, gotVec))
+				}
+				gotMat, err := h2.MatmatCtx(context.Background(), W4)
+				if err != nil {
+					t.Fatalf("%s matmat: %v", name, err)
+				}
+				if !linalg.EqualApprox(wantMat, gotMat, 0) {
+					t.Fatalf("%s: matmat not bit-identical (max |Δ| = %g)", name, maxAbsDiff(wantMat, gotMat))
+				}
+				// The interpreter path must agree too: the loaded caches are
+				// complete, so it runs oracle-free.
+				gotInterp, err := h2.InterpMatvecCtx(context.Background(), W1)
+				if err != nil {
+					t.Fatalf("%s interpret: %v", name, err)
+				}
+				if !linalg.EqualApprox(wantInterp, gotInterp, 0) {
+					t.Fatalf("%s: interpreted matvec differs", name)
+				}
+				if mm && !h2.StoreMapped() {
+					t.Log("mmap load fell back to portable path on this platform")
+				}
+				if err := h2.ReleaseStore(); err != nil {
+					t.Fatalf("%s release: %v", name, err)
+				}
+			}
+		})
+	}
+}
+
+// A loaded operator without caches for some blocks must refuse evaluation
+// with ErrNoOracle rather than panic or fabricate entries.
+func TestStoreLoadWithoutCachesNeedsOracle(t *testing.T) {
+	h, K := compressGauss(t, 200, Config{
+		LeafSize: 32, MaxRank: 24, Tol: 1e-5, Kappa: 8, Budget: 0.1,
+		Distance: Kernel, Exec: Sequential, Seed: 9, CacheBlocks: false,
+	})
+	path := filepath.Join(t.TempDir(), "nocache.store")
+	if _, err := h.SaveTo(path); err != nil {
+		t.Fatal(err)
+	}
+	h2, _, err := LoadFrom(path, LoadOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer h2.ReleaseStore()
+	if _, err := h2.MatvecCtx(context.Background(), linalg.NewMatrix(200, 1)); !errors.Is(err, ErrNoOracle) {
+		t.Fatalf("uncached matvec: got %v, want ErrNoOracle", err)
+	}
+	if _, err := h2.CompilePlanCtx(context.Background()); !errors.Is(err, ErrNoOracle) {
+		t.Fatalf("plan compile: got %v, want ErrNoOracle", err)
+	}
+	// Attaching the oracle restores evaluation.
+	if err := h2.AttachOracle(denseSPD{K}); err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(10))
+	W := linalg.GaussianMatrix(rng, 200, 2)
+	got, err := h2.MatvecCtx(context.Background(), W)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !linalg.EqualApprox(h.Matvec(W), got, 0) {
+		t.Fatal("post-attach matvec differs")
+	}
+}
+
+// ReadFrom with a nil oracle (the serving workflow) must evaluate from the
+// cached blocks and type-fail the oracle-requiring paths.
+func TestReadFromNilOracle(t *testing.T) {
+	h, _ := compressGauss(t, 200, Config{
+		LeafSize: 32, MaxRank: 24, Tol: 1e-5, Kappa: 8, Budget: 0.1,
+		Distance: Angle, Exec: Sequential, Seed: 11, CacheBlocks: true,
+	})
+	path := filepath.Join(t.TempDir(), "v2.bin")
+	fh, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.WriteTo(fh); err != nil {
+		t.Fatal(err)
+	}
+	if err := fh.Close(); err != nil {
+		t.Fatal(err)
+	}
+	rd, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rd.Close()
+	h2, err := ReadFrom(rd, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h2.HasOracle() {
+		t.Fatal("nil-oracle load claims an oracle")
+	}
+	rng := rand.New(rand.NewSource(12))
+	W := linalg.GaussianMatrix(rng, 200, 2)
+	got, err := h2.MatvecCtx(context.Background(), W)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !linalg.EqualApprox(h.Matvec(W), got, 0) {
+		t.Fatal("oracle-free matvec differs")
+	}
+	if err := h2.AttachOracle(nil); !errors.Is(err, ErrNoOracle) {
+		t.Fatalf("AttachOracle(nil): got %v", err)
+	}
+}
+
+// Store files are untrusted input through the core bridge as well: payload
+// corruption below the (checksummed) container layer must yield typed
+// errors, never panics.
+func TestStoreLoadRejectsCorruptPayload(t *testing.T) {
+	h, _ := compressGauss(t, 200, Config{
+		LeafSize: 32, MaxRank: 16, Tol: 1e-4, Kappa: 8, Budget: 0.1,
+		Distance: Angle, Exec: Sequential, Seed: 13, CacheBlocks: true,
+		CompilePlan: true,
+	})
+	if h.Plan() == nil {
+		if _, err := h.CompilePlan(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sections, err := h.storeSections()
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	// Mutate each payload section in turn and rewrite the container (with
+	// fresh checksums, so only the core decoder can catch it).
+	for _, target := range []store.SectionKind{store.SecMeta, store.SecTopo, store.SecPlan} {
+		for _, cut := range []bool{false, true} {
+			mutated := make([]store.Section, len(sections))
+			copy(mutated, sections)
+			for i, s := range mutated {
+				if s.Kind != target {
+					continue
+				}
+				data := append([]byte(nil), s.Data...)
+				if cut {
+					data = data[:len(data)/2]
+				} else if len(data) > 16 {
+					data[16] ^= 0xFF
+				}
+				mutated[i] = store.Section{Kind: s.Kind, Data: data}
+			}
+			path := filepath.Join(dir, "corrupt.store")
+			if _, err := store.WriteFile(path, mutated); err != nil {
+				t.Fatal(err)
+			}
+			if _, _, err := LoadFrom(path, LoadOptions{Mmap: true}); err == nil {
+				t.Fatalf("corrupted %v (cut=%v) loaded successfully", target, cut)
+			}
+		}
+	}
+	// Dropping the arenas while the topo still references them must fail too.
+	noArena := []store.Section{sections[0], sections[1], sections[2]}
+	path := filepath.Join(dir, "noarena.store")
+	if _, err := store.WriteFile(path, noArena); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := LoadFrom(path, LoadOptions{}); err == nil {
+		t.Fatal("store without arenas loaded successfully")
+	}
+}
+
+// Saving must refuse an uncompressed operator instead of writing an empty
+// container.
+func TestSaveToRejectsUncompressed(t *testing.T) {
+	h := &Hierarchical{K: noOracle{n: 10}}
+	if _, err := h.SaveTo(filepath.Join(t.TempDir(), "x.store")); err == nil {
+		t.Fatal("expected error saving uncompressed operator")
+	}
+	if _, err := h.WriteStore(io.Discard); err == nil {
+		t.Fatal("expected error streaming uncompressed operator")
+	}
+}
+
+// WriteStore streams the same bytes SaveTo lands on disk: the container is
+// deterministic for a given operator, so the two paths must agree exactly.
+func TestWriteStoreMatchesSaveTo(t *testing.T) {
+	cfg := Config{
+		LeafSize: 32, MaxRank: 16, Tol: 1e-3, Kappa: 8, Budget: 0.1,
+		Distance: Angle, Exec: Sequential, NumWorkers: 1, Seed: 7,
+		CacheBlocks: true, CompilePlan: true,
+	}
+	h, _ := compressGauss(t, 200, cfg)
+	path := filepath.Join(t.TempDir(), "w.store")
+	if _, err := h.SaveTo(path); err != nil {
+		t.Fatal(err)
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	n, err := h.WriteStore(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != int64(buf.Len()) {
+		t.Fatalf("WriteStore returned %d, wrote %d bytes", n, buf.Len())
+	}
+	if !bytes.Equal(want, buf.Bytes()) {
+		t.Fatal("WriteStore bytes differ from SaveTo file")
+	}
+}

@@ -1,0 +1,448 @@
+package core
+
+import (
+	"encoding/binary"
+	"encoding/hex"
+	"fmt"
+	"math"
+
+	"gofmm/internal/linalg"
+	"gofmm/internal/plan"
+	"gofmm/internal/store"
+	"gofmm/internal/telemetry"
+	"gofmm/internal/tree"
+	"gofmm/internal/workspace"
+)
+
+// Loading a compressed operator from the on-disk store. Two disciplines:
+//
+//   - LoadFrom with Mmap maps the file read-only and binds every constant
+//     matrix as a column-major view straight into the mapping — zero copies
+//     of arena data, first matvec limited by page faults, the mapping held
+//     until ReleaseStore. Any mmap failure (unsupported platform, filesystem
+//     without mmap, misaligned file) falls back to the portable path.
+//   - The portable path reads the file into memory and, when the host can
+//     reinterpret little-endian IEEE floats in place, still binds views into
+//     that buffer; otherwise (big-endian hosts) it decodes by copy.
+//
+// Either way the container is validated section-by-section (magic, bounds,
+// alignment, sha256 checksums) by internal/store before a byte of payload is
+// parsed, and the payload parser bounds every allocation by the bytes
+// actually present — the hardened untrusted-input discipline of ReadFrom.
+
+// LoadOptions configures LoadFrom. The zero value is a sequentialish
+// portable load: no mmap, Dynamic executor with one worker, no pooling, no
+// telemetry.
+type LoadOptions struct {
+	// Mmap requests the zero-copy mapped load. On failure of any kind the
+	// load silently falls back to the portable path; StoreInfo.Mapped reports
+	// which one served.
+	Mmap bool
+	// Exec and NumWorkers seed the returned operator's executor config.
+	Exec       ExecMode
+	NumWorkers int
+	// Workspace and Telemetry attach the evaluation scratch pool and the
+	// metrics recorder, as in Config.
+	Workspace *workspace.Pool
+	Telemetry *telemetry.Recorder
+}
+
+// StoreInfo describes how a load was served.
+type StoreInfo struct {
+	// Mapped is true when the operator evaluates out of a read-only mmap.
+	Mapped bool
+	// Bytes is the store file size.
+	Bytes int64
+	// HasPlan reports whether a compiled plan was persisted and reinstalled.
+	HasPlan bool
+	// PlanDigest is the hex digest of the reinstalled plan ("" without one).
+	PlanDigest string
+}
+
+// LoadFrom opens an operator store written by SaveTo and reconstructs the
+// operator. The result carries no entry oracle (HasOracle is false): Matvec,
+// Matmat and the persisted compiled plan work immediately, while paths that
+// must sample fresh entries return ErrNoOracle until AttachOracle provides
+// one. Close the returned operator's backing file with ReleaseStore when it
+// leaves service.
+func LoadFrom(path string, opts LoadOptions) (*Hierarchical, *StoreInfo, error) {
+	var f *store.File
+	var err error
+	if opts.Mmap {
+		f, err = store.OpenMmap(path)
+		if err != nil {
+			f, err = store.Open(path)
+		}
+	} else {
+		f, err = store.Open(path)
+	}
+	if err != nil {
+		return nil, nil, err
+	}
+	h, info, err := decodeStore(f, opts)
+	if err != nil {
+		f.Close()
+		return nil, nil, err
+	}
+	opts.Telemetry.Counter("store.loads").Add(1)
+	if info.Mapped {
+		opts.Telemetry.Counter("store.mmap_hits").Add(1)
+	}
+	return h, info, nil
+}
+
+// arenaFloats64 views (or on big-endian hosts decodes) a float64 arena
+// section. copied reports whether the data was copied out of the section.
+func arenaFloats64(b []byte) ([]float64, bool, error) {
+	if len(b)%8 != 0 {
+		return nil, false, fmt.Errorf("%w: f64 arena length %d", ErrBadFormat, len(b))
+	}
+	if len(b) == 0 {
+		return nil, false, nil
+	}
+	if v, err := store.Float64s(b); err == nil {
+		return v, false, nil
+	}
+	out := make([]float64, len(b)/8)
+	for i := range out {
+		out[i] = math.Float64frombits(binary.LittleEndian.Uint64(b[i*8:]))
+	}
+	return out, true, nil
+}
+
+// arenaFloats32 is arenaFloats64 for the single-precision arena.
+func arenaFloats32(b []byte) ([]float32, bool, error) {
+	if len(b)%4 != 0 {
+		return nil, false, fmt.Errorf("%w: f32 arena length %d", ErrBadFormat, len(b))
+	}
+	if len(b) == 0 {
+		return nil, false, nil
+	}
+	if v, err := store.Float32s(b); err == nil {
+		return v, false, nil
+	}
+	out := make([]float32, len(b)/4)
+	for i := range out {
+		out[i] = math.Float32frombits(binary.LittleEndian.Uint32(b[i*4:]))
+	}
+	return out, true, nil
+}
+
+// decodeStore parses a validated store container into an operator.
+func decodeStore(f *store.File, opts LoadOptions) (*Hierarchical, *StoreInfo, error) {
+	metab, ok := f.Section(store.SecMeta)
+	if !ok {
+		return nil, nil, fmt.Errorf("%w: store missing meta section", ErrBadFormat)
+	}
+	topob, ok := f.Section(store.SecTopo)
+	if !ok {
+		return nil, nil, fmt.Errorf("%w: store missing topo section", ErrBadFormat)
+	}
+	planb, _ := f.Section(store.SecPlan) // absent plan == no plan
+	a64b, _ := f.Section(store.SecArena64)
+	a32b, _ := f.Section(store.SecArena32)
+
+	// --- meta ---
+	mr := newSecReader("meta", metab)
+	if v := mr.i64(); mr.err() == nil && v != storePayloadVersion {
+		return nil, nil, fmt.Errorf("%w: store payload version %d (want %d)", ErrBadFormat, v, storePayloadVersion)
+	}
+	n := mr.dim()
+	leaf := mr.dim()
+	maxRank := mr.dim()
+	kappa := mr.dim()
+	sampleRows := mr.dim()
+	seed := mr.i64()
+	dist := mr.i64()
+	tol := mr.f64()
+	budget := mr.f64()
+	cacheBlocks := mr.boolean()
+	cacheSingle := mr.boolean()
+	if err := mr.finish(); err != nil {
+		return nil, nil, err
+	}
+	if n <= 0 {
+		return nil, nil, fmt.Errorf("%w: dimension %d", ErrBadFormat, n)
+	}
+	if leaf < 1 || leaf > n {
+		return nil, nil, fmt.Errorf("%w: leaf size %d for dimension %d", ErrBadFormat, leaf, n)
+	}
+	if dist < 0 || dist > int64(RandomPerm) {
+		return nil, nil, fmt.Errorf("%w: distance %d", ErrBadFormat, dist)
+	}
+	if math.IsNaN(tol) || math.IsInf(tol, 0) || math.IsNaN(budget) || math.IsInf(budget, 0) {
+		return nil, nil, fmt.Errorf("%w: non-finite tolerance or budget", ErrBadFormat)
+	}
+
+	// --- arenas ---
+	f64, cp64, err := arenaFloats64(a64b)
+	if err != nil {
+		return nil, nil, err
+	}
+	f32, cp32, err := arenaFloats32(a32b)
+	if err != nil {
+		return nil, nil, err
+	}
+	mapped := f.Mapped() && !cp64 && !cp32
+
+	// --- topo: matrix table ---
+	tr := newSecReader("topo", topob)
+	numRecs := tr.dim()
+	if tr.err() == nil && (numRecs < 0 || numRecs > tr.remaining()/32) {
+		return nil, nil, fmt.Errorf("%w: matrix table of %d records in %d bytes", ErrBadFormat, numRecs, tr.remaining())
+	}
+	mats64 := make([]*linalg.Matrix, numRecs)
+	mats32 := make([]*linalg.Matrix32, numRecs)
+	for i := 0; i < numRecs && tr.err() == nil; i++ {
+		prec, rows, cols, off := tr.i64(), tr.i64(), tr.i64(), tr.i64()
+		if tr.err() != nil {
+			break
+		}
+		if rows < 0 || rows > maxSerialDim || cols < 0 || cols > maxSerialDim || off < 0 {
+			return nil, nil, fmt.Errorf("%w: matrix record %d: %d×%d at %d", ErrBadFormat, i, rows, cols, off)
+		}
+		elems := rows * cols // ≤ 2^62, no overflow
+		switch prec {
+		case 8:
+			if off%8 != 0 || off/8+elems > int64(len(f64)) {
+				return nil, nil, fmt.Errorf("%w: matrix record %d overruns f64 arena", ErrBadFormat, i)
+			}
+			if elems == 0 {
+				mats64[i] = linalg.NewMatrix(int(rows), int(cols))
+			} else {
+				mats64[i] = linalg.FromColumnMajor(int(rows), int(cols), f64[off/8:off/8+elems])
+			}
+		case 4:
+			if off%4 != 0 || off/4+elems > int64(len(f32)) {
+				return nil, nil, fmt.Errorf("%w: matrix record %d overruns f32 arena", ErrBadFormat, i)
+			}
+			if elems == 0 {
+				mats32[i] = linalg.NewMatrix32(int(rows), int(cols))
+			} else {
+				mats32[i] = linalg.FromColumnMajor32(int(rows), int(cols), f32[off/4:off/4+elems])
+			}
+		default:
+			return nil, nil, fmt.Errorf("%w: matrix record %d precision %d", ErrBadFormat, i, prec)
+		}
+	}
+	ref64 := func(v int64) *linalg.Matrix {
+		if v == -1 {
+			return nil
+		}
+		if v < 0 || v >= int64(numRecs) || mats64[v] == nil {
+			tr.failf("f64 matrix ref %d invalid", v)
+			return nil
+		}
+		return mats64[v]
+	}
+	ref32 := func(v int64) *linalg.Matrix32 {
+		if v == -1 {
+			return nil
+		}
+		if v < 0 || v >= int64(numRecs) || mats32[v] == nil {
+			tr.failf("f32 matrix ref %d invalid", v)
+			return nil
+		}
+		return mats32[v]
+	}
+
+	// --- topo: permutation and tree ---
+	perm := tr.ints(n)
+	if err := tr.err(); err != nil {
+		return nil, nil, err
+	}
+	if len(perm) != n {
+		return nil, nil, fmt.Errorf("%w: permutation length %d for dimension %d", ErrBadFormat, len(perm), n)
+	}
+	seen := make([]bool, n)
+	for _, p := range perm {
+		if seen[p] {
+			return nil, nil, fmt.Errorf("%w: duplicate index %d in permutation", ErrBadFormat, p)
+		}
+		seen[p] = true
+	}
+	t := tree.FromPermutation(perm, leaf)
+	numNodes := tr.dim()
+	if tr.err() == nil && numNodes != len(t.Nodes) {
+		return nil, nil, fmt.Errorf("%w: %d nodes for tree of %d", ErrBadFormat, numNodes, len(t.Nodes))
+	}
+
+	// --- topo: per-node state ---
+	h := &Hierarchical{
+		K: noOracle{n: n},
+		Cfg: Config{
+			LeafSize: leaf, MaxRank: maxRank, Tol: tol, Kappa: kappa,
+			Budget: budget, Distance: Distance(dist), CacheBlocks: cacheBlocks,
+			CacheSingle: cacheSingle, SampleRows: sampleRows, Seed: seed,
+			Exec: opts.Exec, NumWorkers: max(opts.NumWorkers, 1),
+			Workspace: opts.Workspace, Telemetry: opts.Telemetry,
+		},
+		Tree: t,
+	}
+	h.nodes = make([]node, len(t.Nodes))
+	readRefList64 := func(count int) []*linalg.Matrix {
+		if !tr.boolean() || tr.err() != nil {
+			return nil
+		}
+		out := make([]*linalg.Matrix, count)
+		for k := range out {
+			out[k] = ref64(tr.i64())
+			if out[k] == nil && tr.err() == nil {
+				tr.failf("nil matrix in cache list")
+			}
+		}
+		return out
+	}
+	readRefList32 := func(count int) []*linalg.Matrix32 {
+		if !tr.boolean() || tr.err() != nil {
+			return nil
+		}
+		out := make([]*linalg.Matrix32, count)
+		for k := range out {
+			out[k] = ref32(tr.i64())
+			if out[k] == nil && tr.err() == nil {
+				tr.failf("nil matrix in cache list")
+			}
+		}
+		return out
+	}
+	for id := range h.nodes {
+		if tr.err() != nil {
+			break
+		}
+		nd := &h.nodes[id]
+		nd.skel = tr.ints(n)
+		nd.proj = ref64(tr.i64())
+		nd.near = tr.ints(len(t.Nodes))
+		nd.far = tr.ints(len(t.Nodes))
+		nd.denseFallback = tr.boolean()
+		nd.cacheNear = readRefList64(len(nd.near))
+		nd.cacheFar = readRefList64(len(nd.far))
+		nd.cacheNear32 = readRefList32(len(nd.near))
+		nd.cacheFar32 = readRefList32(len(nd.far))
+	}
+	if err := tr.finish(); err != nil {
+		return nil, nil, err
+	}
+
+	// --- plan ---
+	info := &StoreInfo{Mapped: mapped, Bytes: f.Size()}
+	if len(planb) > 0 {
+		p, err := decodeStorePlan(planb, t, mats64, mats32)
+		if err != nil {
+			return nil, nil, err
+		}
+		if p != nil {
+			if p.N() != n {
+				return nil, nil, fmt.Errorf("%w: plan dimension %d for operator %d", ErrBadFormat, p.N(), n)
+			}
+			h.evalPlan.Store(p)
+			h.Cfg.CompilePlan = true
+			info.HasPlan = true
+			info.PlanDigest = p.DigestHex()
+		}
+	}
+
+	h.backing = f
+	h.finishStats()
+	return h, info, nil
+}
+
+// decodeStorePlan parses the plan section and reassembles the compiled
+// schedule, verifying the persisted digest against the reassembled plan's.
+func decodeStorePlan(b []byte, t *tree.Tree, mats64 []*linalg.Matrix, mats32 []*linalg.Matrix32) (*plan.Plan, error) {
+	r := newSecReader("plan", b)
+	if !r.boolean() {
+		if err := r.finish(); err != nil {
+			return nil, err
+		}
+		return nil, nil
+	}
+	pn := r.dim()
+	arenaRows := r.dim()
+	numOps := r.dim()
+	// An op record is at least 105 bytes; bound the slice allocation.
+	if r.err() == nil && (numOps < 0 || numOps > r.remaining()/105) {
+		r.failf("%d ops in %d bytes", numOps, r.remaining())
+	}
+	if err := r.err(); err != nil {
+		return nil, err
+	}
+	readRef := func() plan.Ref {
+		return plan.Ref{
+			Base: r.dim(), Sub: r.dim(), Rows: r.dim(), Span: r.dim(),
+		}
+	}
+	ops := make([]plan.Op, 0, numOps)
+	for i := 0; i < numOps && r.err() == nil; i++ {
+		var op plan.Op
+		op.Kind = plan.OpKind(r.dim())
+		op.TransA = r.boolean()
+		op.Beta = r.f64()
+		aRef := r.i64()
+		a32Ref := r.i64()
+		op.B = readRef()
+		op.C = readRef()
+		if aRef != -1 {
+			if aRef < 0 || aRef >= int64(len(mats64)) || mats64[aRef] == nil {
+				r.failf("op %d: f64 operand ref %d invalid", i, aRef)
+				break
+			}
+			op.A = mats64[aRef]
+		}
+		if a32Ref != -1 {
+			if a32Ref < 0 || a32Ref >= int64(len(mats32)) || mats32[a32Ref] == nil {
+				r.failf("op %d: f32 operand ref %d invalid", i, a32Ref)
+				break
+			}
+			op.A32 = mats32[a32Ref]
+		}
+		switch sel := r.i64(); sel {
+		case idxNone:
+		case idxPerm:
+			op.Idx = t.Perm
+		case idxIPerm:
+			op.Idx = t.IPerm
+		case idxInline:
+			op.Idx = r.ints(maxSerialDim)
+		default:
+			r.failf("op %d: index selector %d", i, sel)
+		}
+		ops = append(ops, op)
+	}
+	numStages := r.dim()
+	// A stage record is at least 17 bytes.
+	if r.err() == nil && (numStages < 0 || numStages > r.remaining()/17) {
+		r.failf("%d stages in %d bytes", numStages, r.remaining())
+	}
+	specs := make([]plan.StageSpec, 0, max(numStages, 0))
+	for s := 0; s < numStages && r.err() == nil; s++ {
+		var spec plan.StageSpec
+		spec.Name = string(r.blob(256))
+		spec.Parallel = r.boolean()
+		numTasks := r.dim()
+		if r.err() == nil && (numTasks < 0 || numTasks > r.remaining()/16) {
+			r.failf("stage %d: %d tasks in %d bytes", s, numTasks, r.remaining())
+		}
+		for k := 0; k < numTasks && r.err() == nil; k++ {
+			spec.Tasks = append(spec.Tasks, [2]int{r.dim(), r.dim()})
+		}
+		specs = append(specs, spec)
+	}
+	storedDigest := r.blob(32)
+	if r.err() == nil && len(storedDigest) != 32 {
+		r.failf("digest length %d", len(storedDigest))
+	}
+	if err := r.finish(); err != nil {
+		return nil, err
+	}
+	p, err := plan.Reassemble(pn, arenaRows, ops, specs)
+	if err != nil {
+		return nil, err
+	}
+	if d := p.Digest(); string(d[:]) != string(storedDigest) {
+		return nil, fmt.Errorf("%w: plan digest mismatch: stored %s, reassembled %s",
+			ErrBadFormat, hex.EncodeToString(storedDigest), p.DigestHex())
+	}
+	return p, nil
+}

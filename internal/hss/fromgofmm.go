@@ -24,6 +24,11 @@ func FromGOFMM(g *core.Hierarchical) (*HSS, error) {
 	if !g.IsHSS() {
 		return nil, ErrNotHSS
 	}
+	// The conversion gathers diagonal and coupling blocks from the entry
+	// oracle; an operator loaded from the store has none to gather from.
+	if !g.HasOracle() {
+		return nil, fmt.Errorf("hss: conversion gathers fresh blocks: %w", core.ErrNoOracle)
+	}
 	t := g.Tree
 	h := &HSS{
 		Cfg:       Config{LeafSize: g.Cfg.LeafSize, Rank: g.Cfg.MaxRank, Tol: g.Cfg.Tol},

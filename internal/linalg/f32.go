@@ -18,6 +18,16 @@ func NewMatrix32(r, c int) *Matrix32 {
 	return &Matrix32{Rows: r, Cols: c, Stride: max(r, 1), Data: make([]float32, max(r, 1)*c)}
 }
 
+// FromColumnMajor32 wraps existing column-major float32 data (no copy) —
+// the single-precision counterpart of FromColumnMajor, used by the operator
+// store to serve cached blocks straight out of a file mapping.
+func FromColumnMajor32(r, c int, data []float32) *Matrix32 {
+	if len(data) < r*c {
+		panic("linalg: float32 data shorter than matrix")
+	}
+	return &Matrix32{Rows: r, Cols: c, Stride: max(r, 1), Data: data}
+}
+
 // ToMatrix32 converts (rounds) a float64 matrix to float32 storage.
 func ToMatrix32(m *Matrix) *Matrix32 {
 	out := NewMatrix32(m.Rows, m.Cols)

@@ -1,0 +1,172 @@
+package plan
+
+import (
+	"fmt"
+
+	"gofmm/internal/resilience"
+)
+
+// Structural export and reassembly: the operator store persists a compiled
+// plan as its op stream plus the post-batching stage/task schedule, and
+// reconstructs an equivalent Plan at load time without re-lowering or
+// re-batching. Reassemble re-validates everything the Builder would have
+// (the stored stream is untrusted input) and recomputes the digest from the
+// reconstructed structure, so a loader can prove the rebuilt plan is
+// byte-for-byte the schedule that was saved by comparing digests.
+
+// StageSpec is the exported structural description of one stage: its
+// post-batching task boundaries as [Lo, Hi) op ranges.
+type StageSpec struct {
+	Name     string
+	Parallel bool
+	Tasks    [][2]int
+}
+
+// StageSpecs returns the plan's stage schedule in replay order.
+func (p *Plan) StageSpecs() []StageSpec {
+	specs := make([]StageSpec, len(p.stages))
+	for si := range p.stages {
+		st := &p.stages[si]
+		spec := StageSpec{Name: st.Name, Parallel: st.Parallel, Tasks: make([][2]int, len(st.tasks))}
+		for ti, t := range st.tasks {
+			spec.Tasks[ti] = [2]int{t.Lo, t.Hi}
+		}
+		specs[si] = spec
+	}
+	return specs
+}
+
+// reassembleErr builds the typed validation error of Reassemble.
+func reassembleErr(format string, args ...any) error {
+	return fmt.Errorf("%w: plan: reassemble: %s", resilience.ErrInvalidInput,
+		fmt.Sprintf(format, args...))
+}
+
+// Reassemble reconstructs an executable Plan from persisted structure. The
+// input is validated as untrusted: every ref must address the declared
+// arena, every permutation index its declared range, every GEMM its operand
+// shapes, and the task ranges must exactly partition the op stream in
+// order (the shape every Builder output has). Flop accounting, batching
+// statistics and the digest are recomputed from the validated structure;
+// callers holding the originally saved digest compare it against
+// Digest() to prove the rebuilt schedule is the one that was stored.
+func Reassemble(n, arenaRows int, ops []Op, stages []StageSpec) (*Plan, error) {
+	if n < 0 || arenaRows < 0 {
+		return nil, reassembleErr("dimension %d, arena %d rows", n, arenaRows)
+	}
+	for i := range ops {
+		op := &ops[i]
+		switch op.Kind {
+		case OpGather:
+			if op.A != nil || op.A32 != nil || len(op.Idx) != op.C.Rows {
+				return nil, reassembleErr("op %d: malformed gather", i)
+			}
+			for _, v := range op.Idx {
+				if v < 0 || v >= n {
+					return nil, reassembleErr("op %d: gather index %d outside [0,%d)", i, v, n)
+				}
+			}
+		case OpScatter:
+			if op.A != nil || op.A32 != nil || len(op.Idx) != n {
+				return nil, reassembleErr("op %d: malformed scatter", i)
+			}
+			for _, v := range op.Idx {
+				if v < 0 || v >= op.B.Rows {
+					return nil, reassembleErr("op %d: scatter index %d outside [0,%d)", i, v, op.B.Rows)
+				}
+			}
+		case OpGemm:
+			if (op.A == nil) == (op.A32 == nil) {
+				return nil, reassembleErr("op %d: gemm needs exactly one constant operand", i)
+			}
+			if op.Beta != 0 && op.Beta != 1 {
+				return nil, reassembleErr("op %d: beta %g", i, op.Beta)
+			}
+			var m, k int
+			if op.A32 != nil {
+				if op.TransA {
+					return nil, reassembleErr("op %d: transposed float32 gemm", i)
+				}
+				m, k = op.A32.Rows, op.A32.Cols
+			} else {
+				m, k = op.A.Rows, op.A.Cols
+				if op.TransA {
+					m, k = k, m
+				}
+			}
+			if op.B.Rows != k || op.C.Rows != m {
+				return nil, reassembleErr("op %d: gemm %d×%d against B %d rows, C %d rows",
+					i, m, k, op.B.Rows, op.C.Rows)
+			}
+		case OpCopy, OpAdd:
+			if op.B.Rows != op.C.Rows {
+				return nil, reassembleErr("op %d: %s of %d rows into %d", i, op.Kind, op.B.Rows, op.C.Rows)
+			}
+		case OpZero:
+		default:
+			return nil, reassembleErr("op %d: unknown kind %d", i, int(op.Kind))
+		}
+		needB := op.Kind == OpGemm || op.Kind == OpCopy || op.Kind == OpAdd || op.Kind == OpScatter
+		needC := op.Kind != OpScatter
+		if needB && !op.B.valid(arenaRows) {
+			return nil, reassembleErr("op %d (%s) reads invalid ref %+v", i, op.Kind, op.B)
+		}
+		if needC && !op.C.valid(arenaRows) {
+			return nil, reassembleErr("op %d (%s) writes invalid ref %+v", i, op.Kind, op.C)
+		}
+	}
+	// The task ranges must exactly partition [0, len(ops)) in order — the
+	// invariant every Builder output satisfies, and what makes a replay
+	// execute each op exactly once.
+	p := &Plan{n: n, arenaRows: arenaRows, ops: ops, stages: make([]Stage, len(stages))}
+	next := 0
+	for si, spec := range stages {
+		st := Stage{Name: spec.Name, Parallel: spec.Parallel, tasks: make([]task, len(spec.Tasks))}
+		for ti, tr := range spec.Tasks {
+			lo, hi := tr[0], tr[1]
+			if lo != next || hi <= lo || hi > len(ops) {
+				return nil, reassembleErr("stage %d task %d range [%d,%d) breaks the partition at %d",
+					si, ti, lo, hi, next)
+			}
+			t := task{Lo: lo, Hi: hi}
+			if isBatchedGroup(ops, lo, hi) {
+				t.batched = true
+				p.batchedGemms += hi - lo
+				p.gemmBatches++
+			}
+			st.tasks[ti] = t
+			next = hi
+		}
+		p.stages[si] = st
+	}
+	if next != len(ops) {
+		return nil, reassembleErr("tasks cover %d of %d ops", next, len(ops))
+	}
+	for i := range p.ops {
+		p.flopsPerCol += p.ops[i].flopsPerCol()
+	}
+	p.digest = p.computeDigest()
+	return p, nil
+}
+
+// isBatchedGroup reports whether ops [lo, hi) form a batched dispatch unit:
+// at least two single GEMMs of identical batching signature. This recovers
+// the batching statistics without re-running the batcher — the Builder only
+// ever produces multi-op GEMM tasks through batching (hand-lowered
+// multi-GEMM tasks accumulate, so their beta bits differ).
+func isBatchedGroup(ops []Op, lo, hi int) bool {
+	if hi-lo < 2 {
+		return false
+	}
+	sig, ok := ops[lo].gemmShape()
+	if !ok {
+		return false
+	}
+	for i := lo + 1; i < hi; i++ {
+		s, k := ops[i].gemmShape()
+		if !k || s != sig {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,127 @@
+package plan
+
+import (
+	"errors"
+	"testing"
+
+	"gofmm/internal/linalg"
+	"gofmm/internal/resilience"
+)
+
+// buildTestPlan lowers a small schedule with every op kind and a batchable
+// GEMM run.
+func buildTestPlan(t *testing.T) *Plan {
+	t.Helper()
+	n := 8
+	b := NewBuilder(n)
+	in := b.Region(n)
+	mid := b.Region(n)
+	out := b.Region(n)
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = n - 1 - i
+	}
+	A := linalg.Eye(4)
+	A32 := linalg.ToMatrix32(linalg.Eye(4))
+	half := func(r Ref, lo int) Ref { return Ref{Base: r.Base, Sub: lo, Rows: 4, Span: n} }
+	b.BeginStage("gather", false)
+	b.BeginTask()
+	b.Gather(idx, in)
+	b.BeginStage("work", true)
+	// Two same-shape single-GEMM tasks: the batcher merges them.
+	b.BeginTask()
+	b.Gemm(false, A, half(in, 0), half(mid, 0), 0)
+	b.BeginTask()
+	b.Gemm(false, A, half(in, 4), half(mid, 4), 0)
+	b.BeginStage("mixed", true)
+	b.BeginTask()
+	b.GemmMixed(A32, half(mid, 0), half(out, 0), 0)
+	b.BeginTask()
+	b.Zero(half(out, 4))
+	b.BeginTask()
+	b.Add(half(mid, 4), half(out, 4))
+	b.BeginStage("finish", false)
+	b.BeginTask()
+	b.Copy(out, mid)
+	b.Scatter(mid, idx)
+	p, err := b.Build()
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	return p
+}
+
+func TestReassembleRoundTrip(t *testing.T) {
+	p := buildTestPlan(t)
+	q, err := Reassemble(p.N(), p.ArenaRows(), p.Ops(), p.StageSpecs())
+	if err != nil {
+		t.Fatalf("Reassemble: %v", err)
+	}
+	if q.Digest() != p.Digest() {
+		t.Fatalf("digest changed across reassembly:\n  %s\n  %s", p.DigestHex(), q.DigestHex())
+	}
+	if q.NumOps() != p.NumOps() || q.NumStages() != p.NumStages() || q.NumTasks() != p.NumTasks() {
+		t.Errorf("structure changed: ops %d/%d stages %d/%d tasks %d/%d",
+			q.NumOps(), p.NumOps(), q.NumStages(), p.NumStages(), q.NumTasks(), p.NumTasks())
+	}
+	if q.BatchedGemms() != p.BatchedGemms() || q.GemmBatches() != p.GemmBatches() {
+		t.Errorf("batching stats changed: %d/%d batched, %d/%d batches",
+			q.BatchedGemms(), p.BatchedGemms(), q.GemmBatches(), p.GemmBatches())
+	}
+	if q.FlopsPerCol() != p.FlopsPerCol() {
+		t.Errorf("flops changed: %g vs %g", q.FlopsPerCol(), p.FlopsPerCol())
+	}
+}
+
+func TestReassembleRejectsMalformedStructure(t *testing.T) {
+	p := buildTestPlan(t)
+	ops := p.Ops()
+	specs := p.StageSpecs()
+	check := func(name string, err error) {
+		t.Helper()
+		if err == nil {
+			t.Fatalf("%s: accepted", name)
+		}
+		if !errors.Is(err, resilience.ErrInvalidInput) {
+			t.Fatalf("%s: untyped error %v", name, err)
+		}
+	}
+	// Ref outside the arena.
+	bad := append([]Op(nil), ops...)
+	bad[1].C.Base = 1 << 40
+	_, err := Reassemble(p.N(), p.ArenaRows(), bad, specs)
+	check("oversized ref", err)
+	// Gather index out of range.
+	bad = append([]Op(nil), ops...)
+	bad[0].Idx = append([]int(nil), bad[0].Idx...)
+	bad[0].Idx[0] = p.N()
+	_, err = Reassemble(p.N(), p.ArenaRows(), bad, specs)
+	check("gather index", err)
+	// GEMM with both operands.
+	bad = append([]Op(nil), ops...)
+	for i := range bad {
+		if bad[i].Kind == OpGemm && bad[i].A != nil {
+			bad[i].A32 = linalg.NewMatrix32(4, 4)
+			break
+		}
+	}
+	_, err = Reassemble(p.N(), p.ArenaRows(), bad, specs)
+	check("double operand", err)
+	// Task ranges with a gap.
+	badSpecs := append([]StageSpec(nil), specs...)
+	badSpecs[0] = StageSpec{Name: "gather", Tasks: [][2]int{}}
+	_, err = Reassemble(p.N(), p.ArenaRows(), ops, badSpecs)
+	check("gapped tasks", err)
+	// Overlapping ranges.
+	badSpecs = append([]StageSpec(nil), specs...)
+	tasks := append([][2]int(nil), badSpecs[0].Tasks...)
+	tasks = append(tasks, tasks[len(tasks)-1])
+	badSpecs[0].Tasks = tasks
+	_, err = Reassemble(p.N(), p.ArenaRows(), ops, badSpecs)
+	check("overlap", err)
+	// Unknown op kind.
+	bad = append([]Op(nil), ops...)
+	bad[0].Kind = OpKind(42)
+	_, err = Reassemble(p.N(), p.ArenaRows(), bad, specs)
+	check("unknown kind", err)
+}

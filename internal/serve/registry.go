@@ -43,6 +43,13 @@ type Limits struct {
 // Operator is a registered operator wrapped in its protection stack:
 // breaker → admission → panic-contained evaluation. All methods are safe
 // for concurrent use.
+//
+// Every evaluation pins the operator with a reference; Swap and Deregister
+// retire it instead of closing it, so in-flight evaluations finish on the
+// operator they started on and Close (evaluator flush, store unmap) fires
+// only when the last one releases. A call entering through a stale handle
+// after retirement is forwarded to the current registration of the same
+// name, so swapping is invisible to clients.
 type Operator struct {
 	spec OperatorSpec
 	adm  *admission
@@ -50,7 +57,47 @@ type Operator struct {
 	rec  *telemetry.Recorder
 	reg  *Registry
 
+	lifeMu  sync.Mutex
+	refs    int
+	retired bool
+
 	closeOnce sync.Once
+}
+
+// acquire pins the operator for one evaluation; false once retired.
+func (o *Operator) acquire() bool {
+	o.lifeMu.Lock()
+	defer o.lifeMu.Unlock()
+	if o.retired {
+		return false
+	}
+	o.refs++
+	return true
+}
+
+// release drops one evaluation pin, firing Close if this was the last
+// in-flight evaluation of a retired operator.
+func (o *Operator) release() {
+	o.lifeMu.Lock()
+	o.refs--
+	last := o.retired && o.refs == 0
+	o.lifeMu.Unlock()
+	if last {
+		o.close()
+	}
+}
+
+// retire removes the operator from service: no new evaluations are
+// admitted, and Close fires as soon as the in-flight ones drain
+// (immediately when idle).
+func (o *Operator) retire() {
+	o.lifeMu.Lock()
+	o.retired = true
+	idle := o.refs == 0
+	o.lifeMu.Unlock()
+	if idle {
+		o.close()
+	}
 }
 
 // Registry is a named set of servable operators sharing one telemetry
@@ -69,16 +116,25 @@ func NewRegistry(rec *telemetry.Recorder) *Registry {
 	return &Registry{rec: rec, ops: map[string]*Operator{}}
 }
 
-// Register adds an operator under spec.Name. Re-registering a live name is
-// an error: replacing a serving operator mid-flight needs an explicit
-// deregistration story, not a silent swap.
-func (r *Registry) Register(spec OperatorSpec, lim Limits) (*Operator, error) {
+// newOperator validates spec and builds the protection stack.
+func (r *Registry) newOperator(spec OperatorSpec, lim Limits) (*Operator, error) {
 	if spec.Name == "" || spec.Matvec == nil || spec.Dim <= 0 {
 		return nil, fmt.Errorf("%w: serve: operator needs a name, a positive dim and a Matvec",
 			resilience.ErrInvalidInput)
 	}
 	op := &Operator{spec: spec, adm: newAdmission(lim.Admission), rec: r.rec, reg: r}
 	op.brk = newBreaker(lim.Breaker, nil, func(BreakerState) { r.publishBreakerState() })
+	return op, nil
+}
+
+// Register adds an operator under spec.Name. Re-registering a live name is
+// an error — replacing a serving operator is Swap's job, and removal is
+// Deregister's.
+func (r *Registry) Register(spec OperatorSpec, lim Limits) (*Operator, error) {
+	op, err := r.newOperator(spec, lim)
+	if err != nil {
+		return nil, err
+	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	if _, dup := r.ops[spec.Name]; dup {
@@ -89,17 +145,62 @@ func (r *Registry) Register(spec OperatorSpec, lim Limits) (*Operator, error) {
 	return op, nil
 }
 
-// RegisterHierarchical registers a compressed operator with the standard
-// wiring: Matvec through a coalescing BatchEvaluator (the admission gate's
-// concurrency becomes Matmat width), Matmat direct, and — for HSS-shaped
-// compressions (Budget 0) — Solve through a hierarchical factorization
-// built eagerly here so the first solve request does not pay it.
-func (r *Registry) RegisterHierarchical(ctx context.Context, name string, h *core.Hierarchical, opts core.BatchOptions, lim Limits) (*Operator, error) {
+// Swap atomically installs spec under spec.Name, replacing any current
+// registration. The old operator is retired, not closed: evaluations
+// already running on it finish and its Close (evaluator flush, and for
+// store-loaded operators the munmap) fires only after the last one
+// releases. Requests that raced the swap through a stale handle forward to
+// the replacement. Installing a previously unused name is allowed — Swap
+// then behaves like Register.
+func (r *Registry) Swap(spec OperatorSpec, lim Limits) (*Operator, error) {
+	op, err := r.newOperator(spec, lim)
+	if err != nil {
+		return nil, err
+	}
+	r.mu.Lock()
+	old := r.ops[spec.Name]
+	r.ops[spec.Name] = op
+	r.mu.Unlock()
+	swaps := r.rec.Counter("store.swaps") // created eagerly so the metric is always exposed
+	if old != nil {
+		old.retire()
+		swaps.Add(1)
+	}
+	return op, nil
+}
+
+// Deregister removes name from service. In-flight evaluations finish on the
+// removed operator before its Close fires; subsequent requests get
+// ErrUnknownOperator.
+func (r *Registry) Deregister(name string) error {
+	r.mu.Lock()
+	op, ok := r.ops[name]
+	delete(r.ops, name)
+	r.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrUnknownOperator, name)
+	}
+	op.retire()
+	return nil
+}
+
+// hierarchicalSpec builds the standard serving wiring for a compressed
+// operator: Matvec through a coalescing BatchEvaluator (the admission
+// gate's concurrency becomes Matmat width), Matmat direct, and — for
+// HSS-shaped compressions (Budget 0) with a live entry oracle — Solve
+// through a hierarchical factorization built eagerly here so the first
+// solve request does not pay it. Operators loaded from the store have no
+// oracle to factor from, so they serve matvec/matmat only. The spec's
+// Close flushes the evaluator and releases the operator's backing store
+// file (unmapping it, when the load was mmap-served) — an operator whose
+// Close has fired has left service for good.
+func (r *Registry) hierarchicalSpec(ctx context.Context, name string, h *core.Hierarchical, opts core.BatchOptions) (OperatorSpec, error) {
 	// Compile the flat evaluation plan up front so every served matvec and
 	// matmat replays the compiled schedule instead of re-walking the tree
-	// (idempotent: a no-op when Config.CompilePlan already compiled it).
+	// (idempotent: a no-op when a plan is already installed, including one
+	// reinstalled by core.LoadFrom).
 	if _, err := h.CompilePlanCtx(ctx); err != nil {
-		return nil, fmt.Errorf("serve: operator %q: %w", name, err)
+		return OperatorSpec{}, fmt.Errorf("serve: operator %q: %w", name, err)
 	}
 	ev := h.NewBatchEvaluatorCtx(ctx, opts)
 	spec := OperatorSpec{
@@ -107,24 +208,59 @@ func (r *Registry) RegisterHierarchical(ctx context.Context, name string, h *cor
 		Dim:    h.N(),
 		Matvec: ev.Matvec,
 		Matmat: h.MatmatCtx,
-		Close:  ev.Close,
+		Close: func() {
+			ev.Close()
+			if err := h.ReleaseStore(); err != nil {
+				if l := r.rec.Logger(); l != nil {
+					l.Warn("serve: releasing operator store failed", "operator", name, "err", err.Error())
+				}
+			}
+		},
 	}
-	if h.IsHSS() {
+	if h.IsHSS() && h.HasOracle() {
 		hs, err := hss.FromGOFMM(h)
 		if err != nil {
 			ev.Close()
-			return nil, fmt.Errorf("serve: operator %q: %w", name, err)
+			return OperatorSpec{}, fmt.Errorf("serve: operator %q: %w", name, err)
 		}
 		f, err := hs.FactorCtx(ctx)
 		if err != nil {
 			ev.Close()
-			return nil, fmt.Errorf("serve: operator %q: %w", name, err)
+			return OperatorSpec{}, fmt.Errorf("serve: operator %q: %w", name, err)
 		}
 		spec.Solve = f.SolveCtx
 	}
+	return spec, nil
+}
+
+// RegisterHierarchical registers a compressed operator with the standard
+// wiring (see hierarchicalSpec). Re-registering a live name is an error;
+// use SwapHierarchical to replace one in flight.
+func (r *Registry) RegisterHierarchical(ctx context.Context, name string, h *core.Hierarchical, opts core.BatchOptions, lim Limits) (*Operator, error) {
+	spec, err := r.hierarchicalSpec(ctx, name, h, opts)
+	if err != nil {
+		return nil, err
+	}
 	op, err := r.Register(spec, lim)
 	if err != nil {
-		ev.Close()
+		spec.Close()
+		return nil, err
+	}
+	return op, nil
+}
+
+// SwapHierarchical hot-swaps a compressed operator into the name with the
+// standard wiring (see hierarchicalSpec and Swap): the previous operator
+// keeps serving its in-flight evaluations and is closed — flushing its
+// evaluator and unmapping its store file — only after the last one ends.
+func (r *Registry) SwapHierarchical(ctx context.Context, name string, h *core.Hierarchical, opts core.BatchOptions, lim Limits) (*Operator, error) {
+	spec, err := r.hierarchicalSpec(ctx, name, h, opts)
+	if err != nil {
+		return nil, err
+	}
+	op, err := r.Swap(spec, lim)
+	if err != nil {
+		spec.Close()
 		return nil, err
 	}
 	return op, nil
@@ -153,7 +289,9 @@ func (r *Registry) Names() []string {
 	return names
 }
 
-// Close drains every operator's evaluator (idempotent per operator).
+// Close retires every operator: each one's evaluator drains and flushes as
+// soon as its in-flight evaluations end (immediately when idle). Idempotent
+// per operator.
 func (r *Registry) Close() {
 	r.mu.RLock()
 	ops := make([]*Operator, 0, len(r.ops))
@@ -162,7 +300,7 @@ func (r *Registry) Close() {
 	}
 	r.mu.RUnlock()
 	for _, op := range ops {
-		op.close()
+		op.retire()
 	}
 }
 
@@ -217,25 +355,62 @@ func (o *Operator) close() {
 
 // Matvec serves one matvec request through the protection stack.
 func (o *Operator) Matvec(ctx context.Context, W *linalg.Matrix) (*linalg.Matrix, error) {
-	return o.do(ctx, "matvec", o.spec.Matvec, W)
+	return o.dispatch(ctx, "matvec", W)
 }
 
 // Matmat serves one multi-RHS request through the protection stack.
 func (o *Operator) Matmat(ctx context.Context, X *linalg.Matrix) (*linalg.Matrix, error) {
-	return o.do(ctx, "matmat", o.spec.Matmat, X)
+	return o.dispatch(ctx, "matmat", X)
 }
 
 // Solve serves one solve request through the protection stack.
 func (o *Operator) Solve(ctx context.Context, B *linalg.Matrix) (*linalg.Matrix, error) {
-	return o.do(ctx, "solve", o.spec.Solve, B)
+	return o.dispatch(ctx, "solve", B)
 }
 
-// do runs one evaluation through breaker → admission → contained eval,
-// maintaining the serve.{admitted,shed} counters and feeding every outcome
-// back to the breaker. Exactly one brk.record is paired with each
+// dispatch pins an operator and runs the evaluation on it. When the handle
+// is already retired (the caller resolved it just before a Swap or
+// Deregister landed), the call follows the registry to the current
+// registration of the same name — a swap never fails a request, and only
+// a deregistered name surfaces ErrUnknownOperator.
+func (o *Operator) dispatch(ctx context.Context, what string, W *linalg.Matrix) (*linalg.Matrix, error) {
+	cur := o
+	for hop := 0; hop < 8; hop++ {
+		if cur.acquire() {
+			return cur.do(ctx, what, W)
+		}
+		if cur.reg == nil {
+			break
+		}
+		next, err := cur.reg.Get(cur.spec.Name)
+		if err != nil {
+			return nil, err
+		}
+		if next == cur {
+			break
+		}
+		cur = next
+	}
+	return nil, fmt.Errorf("%w: %q (retired)", ErrUnknownOperator, o.spec.Name)
+}
+
+// do runs one pinned evaluation through breaker → admission → contained
+// eval, maintaining the serve.{admitted,shed} counters and feeding every
+// outcome back to the breaker. Exactly one brk.record is paired with each
 // successful brk.allow, including on the shed and cancellation paths
-// (those outcomes are neutral to the breaker's health accounting).
-func (o *Operator) do(ctx context.Context, what string, eval EvalFunc, W *linalg.Matrix) (U *linalg.Matrix, err error) {
+// (those outcomes are neutral to the breaker's health accounting). The
+// caller must have pinned o with acquire; do releases the pin.
+func (o *Operator) do(ctx context.Context, what string, W *linalg.Matrix) (U *linalg.Matrix, err error) {
+	defer o.release()
+	var eval EvalFunc
+	switch what {
+	case "matvec":
+		eval = o.spec.Matvec
+	case "matmat":
+		eval = o.spec.Matmat
+	case "solve":
+		eval = o.spec.Solve
+	}
 	if eval == nil {
 		return nil, fmt.Errorf("%w: operator %q has no %s", ErrUnsupported, o.spec.Name, what)
 	}

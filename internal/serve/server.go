@@ -49,6 +49,9 @@ type Config struct {
 	ReadTimeout time.Duration
 	// Now is the quota clock (tests inject a fake; nil means time.Now).
 	Now func() time.Time
+	// Admin, when set, mounts the store-backed operator administration
+	// endpoints (POST/DELETE /admin/operators/{name}) — see AdminConfig.
+	Admin *AdminConfig
 }
 
 func (c Config) withDefaults() Config {
@@ -117,6 +120,14 @@ func NewServer(cfg Config) (*Server, error) {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /v1/operators", s.handleList)
 	mux.HandleFunc("POST /v1/operators/{name}/{op}", s.handleEval)
+	if cfg.Admin != nil {
+		if cfg.Admin.StoreDir == "" || cfg.Admin.EvalCtx == nil {
+			return nil, fmt.Errorf("%w: serve: AdminConfig needs StoreDir and EvalCtx",
+				resilience.ErrInvalidInput)
+		}
+		mux.HandleFunc("POST /admin/operators/{name}", s.handleAdminLoad)
+		mux.HandleFunc("DELETE /admin/operators/{name}", s.handleAdminDelete)
+	}
 	if cfg.Live != nil {
 		cfg.Live.AddReadyCheck("serving", s.ReadyCheck)
 		mux.Handle("/metrics", cfg.Live.Handler())

@@ -44,6 +44,13 @@ func compressedOperator(t *testing.T) *core.Hierarchical {
 			LeafSize: 32, MaxRank: 32, Tol: 1e-6, Kappa: 8, Budget: 0,
 			Exec: core.Sequential, NumWorkers: 2, Seed: 1, CacheBlocks: true,
 		})
+		if testOpErr == nil {
+			// Compile the plan up front: registered operators always serve
+			// the compiled replay (hierarchicalSpec compiles eagerly), so
+			// direct h.Matvec references in tests must take the same path
+			// regardless of which test touches the shared operator first.
+			_, testOpErr = testOpH.CompilePlan()
+		}
 	})
 	if testOpErr != nil {
 		t.Fatalf("compressing test operator: %v", testOpErr)

@@ -1,0 +1,192 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"path/filepath"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"gofmm/internal/core"
+	"gofmm/internal/linalg"
+	"gofmm/internal/telemetry"
+)
+
+// The hot-swap contract under fire: 64 goroutines hammer Matvec through the
+// registry while the main goroutine cycles Swap and Deregister over
+// mmap-loaded operators. Every request must either succeed with the correct
+// result or — only once deregistration begins — fail with the typed
+// ErrUnknownOperator; each retired generation's store mapping is released
+// only after its last in-flight evaluation; and the serving goroutines all
+// drain. Run it under -race.
+func TestHotSwapRaceUnderLoad(t *testing.T) {
+	h := compressedOperator(t)
+	path := filepath.Join(t.TempDir(), "hot.store")
+	if _, err := h.SaveTo(path); err != nil {
+		t.Fatal(err)
+	}
+
+	baseGoroutines := runtime.NumGoroutine()
+	rec := telemetry.New()
+	reg := NewRegistry(rec)
+	ctx := context.Background()
+
+	// Admission sized for the storm: 64 hammering goroutines must never be
+	// shed — this test is about swap correctness, not load shedding.
+	lim := Limits{Admission: AdmissionConfig{MaxConcurrent: 64, MaxQueue: 256}}
+
+	var genMu sync.Mutex
+	var generations []*core.Hierarchical
+	swapIn := func() {
+		t.Helper()
+		h2, _, err := core.LoadFrom(path, core.LoadOptions{Mmap: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		genMu.Lock()
+		generations = append(generations, h2)
+		genMu.Unlock()
+		if _, err := reg.SwapHierarchical(ctx, "hot", h2,
+			core.BatchOptions{MaxBatch: 8, MaxDelay: 50 * time.Microsecond}, lim); err != nil {
+			t.Fatal(err)
+		}
+	}
+	swapIn()
+
+	rng := rand.New(rand.NewSource(5))
+	W := linalg.GaussianMatrix(rng, h.N(), 1)
+	want := h.Matvec(W)
+
+	const workers = 64
+	stop := make(chan struct{})
+	var deregPhase atomic.Bool
+	var served, unknown atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				op, err := reg.Get("hot")
+				if err == nil {
+					_, err = op.Matvec(context.Background(), W)
+					if err == nil {
+						served.Add(1)
+						continue
+					}
+				}
+				if errors.Is(err, ErrUnknownOperator) {
+					if !deregPhase.Load() {
+						t.Errorf("ErrUnknownOperator before any deregistration: %v", err)
+						return
+					}
+					unknown.Add(1)
+					continue
+				}
+				t.Errorf("request failed: %v", err)
+				return
+			}
+		}()
+	}
+
+	// Phase 1: pure swaps. No request may fail for any reason.
+	for i := 0; i < 20; i++ {
+		swapIn()
+		time.Sleep(time.Millisecond)
+	}
+	// Phase 2: deregister/reinstall cycles. ErrUnknownOperator is now legal.
+	deregPhase.Store(true)
+	for i := 0; i < 10; i++ {
+		if err := reg.Deregister("hot"); err != nil {
+			t.Fatal(err)
+		}
+		time.Sleep(time.Millisecond)
+		swapIn()
+	}
+	time.Sleep(5 * time.Millisecond)
+	close(stop)
+	wg.Wait()
+
+	if served.Load() == 0 {
+		t.Fatal("no requests served during the swap storm")
+	}
+	// Only true replacements count as swaps: the 20 phase-1 cycles. The
+	// initial install and the phase-2 reinstalls land on an empty name.
+	if got := rec.Counter("store.swaps").Value(); got != 20 {
+		t.Fatalf("store.swaps = %d, want 20", got)
+	}
+
+	// One correctness probe on the final generation, then shut down.
+	op, err := reg.Get("hot")
+	if err != nil {
+		t.Fatal(err)
+	}
+	U, err := op.Matvec(ctx, W)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !linalg.EqualApprox(want, U, 0) {
+		t.Fatal("post-storm matvec differs from the in-memory operator")
+	}
+	reg.Close()
+
+	// Every retired generation must have released its mapping (the live one
+	// was just retired by Close with zero in-flight evaluations, so it too).
+	genMu.Lock()
+	for i, g := range generations {
+		if g.StoreMapped() {
+			t.Errorf("generation %d still holds its store mapping after retirement", i)
+		}
+	}
+	genMu.Unlock()
+
+	// And the evaluator goroutines must drain.
+	deadline := time.Now().Add(5 * time.Second)
+	for runtime.NumGoroutine() > baseGoroutines+2 && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if got := runtime.NumGoroutine(); got > baseGoroutines+2 {
+		t.Errorf("goroutine leak: %d running, started with %d", got, baseGoroutines)
+	}
+}
+
+// A stale handle resolved before a swap forwards to the replacement; one
+// resolved before a deregistration surfaces the typed error.
+func TestStaleHandleForwarding(t *testing.T) {
+	h := compressedOperator(t)
+	rec := telemetry.New()
+	reg := NewRegistry(rec)
+	ctx := context.Background()
+	stale, err := reg.RegisterHierarchical(ctx, "fwd", h, core.BatchOptions{}, Limits{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := reg.SwapHierarchical(ctx, "fwd", h, core.BatchOptions{}, Limits{}); err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(6))
+	W := linalg.GaussianMatrix(rng, h.N(), 1)
+	U, err := stale.Matvec(ctx, W)
+	if err != nil {
+		t.Fatalf("stale handle after swap: %v", err)
+	}
+	if !linalg.EqualApprox(h.Matvec(W), U, 0) {
+		t.Fatal("forwarded matvec differs")
+	}
+	if err := reg.Deregister("fwd"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := stale.Matvec(ctx, W); !errors.Is(err, ErrUnknownOperator) {
+		t.Fatalf("stale handle after deregister: got %v, want ErrUnknownOperator", err)
+	}
+	reg.Close()
+}

@@ -1,0 +1,17 @@
+//go:build !unix
+
+package store
+
+// OpenMmap is unavailable on this platform; it returns ErrMmapUnsupported
+// and callers fall back to the copying Open path.
+func OpenMmap(path string) (*File, error) {
+	return nil, ErrMmapUnsupported
+}
+
+// unmap is unreachable on this platform (no File is ever mapped), kept so
+// Close compiles everywhere.
+func (f *File) unmap() error {
+	f.data = nil
+	f.sections = nil
+	return nil
+}

@@ -1,0 +1,59 @@
+package store
+
+import (
+	"fmt"
+	"unsafe"
+)
+
+// Zero-copy numeric views. The arena sections hold little-endian IEEE-754
+// data; on a little-endian host a []byte range can be reinterpreted as a
+// float slice in place. The writer's 64-byte section alignment plus the
+// page alignment of mappings (and Go's 8-byte heap alignment for the Open
+// copy) guarantee the element alignment these views require, but the checks
+// stay: a hand-built buffer with a stray offset must fail typed, not crash.
+
+// hostLittleEndian reports the byte order of this machine, settled once at
+// init. Big-endian hosts cannot reinterpret the little-endian file payload
+// in place and must take the copying decode path.
+var hostLittleEndian = func() bool {
+	x := uint16(1)
+	return *(*byte)(unsafe.Pointer(&x)) == 1
+}()
+
+// viewable returns a typed error when b cannot back an in-place view with
+// elemSize-byte elements.
+func viewable(b []byte, elemSize uintptr) error {
+	if !hostLittleEndian {
+		return fmt.Errorf("%w (big-endian host needs the copying decode)", ErrMmapUnsupported)
+	}
+	if uintptr(len(b))%elemSize != 0 {
+		return fmt.Errorf("%w: %d bytes is not a whole number of %d-byte elements",
+			ErrBadStore, len(b), elemSize)
+	}
+	if len(b) > 0 && uintptr(unsafe.Pointer(unsafe.SliceData(b)))%elemSize != 0 {
+		return fmt.Errorf("%w: buffer base breaks %d-byte element alignment", ErrBadStore, elemSize)
+	}
+	return nil
+}
+
+// Float64s reinterprets b as a []float64 without copying.
+func Float64s(b []byte) ([]float64, error) {
+	if err := viewable(b, 8); err != nil {
+		return nil, err
+	}
+	if len(b) == 0 {
+		return nil, nil
+	}
+	return unsafe.Slice((*float64)(unsafe.Pointer(unsafe.SliceData(b))), len(b)/8), nil
+}
+
+// Float32s reinterprets b as a []float32 without copying.
+func Float32s(b []byte) ([]float32, error) {
+	if err := viewable(b, 4); err != nil {
+		return nil, err
+	}
+	if len(b) == 0 {
+		return nil, nil
+	}
+	return unsafe.Slice((*float32)(unsafe.Pointer(unsafe.SliceData(b))), len(b)/4), nil
+}
