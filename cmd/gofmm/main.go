@@ -382,9 +382,9 @@ func run(args []string, out io.Writer) error {
 		if err != nil {
 			return err
 		}
-		st = h.Stats
+		evalS, evalFlops := h.LastEval()
 		fmt.Fprintf(out, "evaluation (%d rhs): %.4fs, %.2f GFLOP, %.2f GFLOPS\n",
-			*r, st.EvalTime, st.EvalFlops/1e9, st.EvalFlops/st.EvalTime/1e9)
+			*r, evalS, evalFlops/1e9, evalFlops/evalS/1e9)
 	}
 
 	if ws != nil {

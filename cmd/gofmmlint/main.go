@@ -29,7 +29,7 @@ import (
 // whenever analyzer behavior changes so stale cached verdicts are not
 // reused. The -V=full reply must have ≥3 fields with f[1]=="version" and
 // f[2] != "devel" (cmd/go/internal/work/buildid.go).
-const version = "gofmm-pr5"
+const version = "gofmm-pr10"
 
 func main() {
 	args := os.Args[1:]
@@ -50,8 +50,15 @@ func main() {
 }
 
 // standalone loads patterns (default ./...) via `go list -export` and
-// prints findings ourselves — no cmd/go driver required.
-func standalone(patterns []string) int {
+// prints findings ourselves — no cmd/go driver required. A leading
+// `-sarif <path>` additionally writes the findings as a SARIF 2.1.0 log
+// so CI renders them as code annotations.
+func standalone(args []string) int {
+	sarifPath := ""
+	if len(args) >= 2 && args[0] == "-sarif" {
+		sarifPath, args = args[1], args[2:]
+	}
+	patterns := args
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
 	}
@@ -61,15 +68,23 @@ func standalone(patterns []string) int {
 		return 1
 	}
 	found := 0
+	var all []suite.Finding
 	for _, pkg := range pkgs {
 		findings, err := suite.Run(pkg)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "gofmmlint: %s: %v\n", pkg.ImportPath, err)
 			return 1
 		}
+		all = append(all, findings...)
 		for _, f := range findings {
 			fmt.Fprintf(os.Stderr, "%s: %s (%s)\n", f.Position, f.Diagnostic.Message, f.Analyzer)
 			found++
+		}
+	}
+	if sarifPath != "" {
+		if err := writeSARIF(sarifPath, all); err != nil {
+			fmt.Fprintln(os.Stderr, "gofmmlint: writing sarif:", err)
+			return 1
 		}
 	}
 	if found > 0 {

@@ -1,0 +1,124 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"gofmm/internal/analysis/suite"
+)
+
+// Minimal SARIF 2.1.0 writer: one run, one rule per analyzer, one result
+// per finding, file paths relative to the working directory so CI viewers
+// anchor annotations inside the checkout. Only the fields GitHub's SARIF
+// ingestion requires are emitted.
+
+type sarifLog struct {
+	Schema  string     `json:"$schema"`
+	Version string     `json:"version"`
+	Runs    []sarifRun `json:"runs"`
+}
+
+type sarifRun struct {
+	Tool    sarifTool     `json:"tool"`
+	Results []sarifResult `json:"results"`
+}
+
+type sarifTool struct {
+	Driver sarifDriver `json:"driver"`
+}
+
+type sarifDriver struct {
+	Name           string      `json:"name"`
+	Version        string      `json:"semanticVersion,omitempty"`
+	InformationURI string      `json:"informationUri,omitempty"`
+	Rules          []sarifRule `json:"rules"`
+}
+
+type sarifRule struct {
+	ID   string `json:"id"`
+	Name string `json:"name"`
+	Desc struct {
+		Text string `json:"text"`
+	} `json:"shortDescription"`
+}
+
+type sarifResult struct {
+	RuleID  string `json:"ruleId"`
+	Level   string `json:"level"`
+	Message struct {
+		Text string `json:"text"`
+	} `json:"message"`
+	Locations []sarifLocation `json:"locations"`
+}
+
+type sarifLocation struct {
+	PhysicalLocation struct {
+		ArtifactLocation struct {
+			URI string `json:"uri"`
+		} `json:"artifactLocation"`
+		Region struct {
+			StartLine   int `json:"startLine"`
+			StartColumn int `json:"startColumn,omitempty"`
+		} `json:"region"`
+	} `json:"physicalLocation"`
+}
+
+// writeSARIF renders findings to path. The rule table always carries the
+// full registered suite, findings or not, so the artifact doubles as a
+// manifest of what ran.
+func writeSARIF(path string, findings []suite.Finding) error {
+	wd, _ := os.Getwd()
+	run := sarifRun{
+		Tool:    sarifTool{Driver: sarifDriver{Name: "gofmmlint", Version: version}},
+		Results: []sarifResult{},
+	}
+	for _, e := range suite.All() {
+		var r sarifRule
+		r.ID = e.Analyzer.Name
+		r.Name = e.Analyzer.Name
+		r.Desc.Text = e.Analyzer.Doc
+		run.Tool.Driver.Rules = append(run.Tool.Driver.Rules, r)
+	}
+	// The synthetic "suppression" analyzer (reasonless ignore directives)
+	// needs a rule entry too, or its results dangle.
+	var supp sarifRule
+	supp.ID = "suppression"
+	supp.Name = "suppression"
+	supp.Desc.Text = "gofmmlint:ignore directives must carry a non-empty reason"
+	run.Tool.Driver.Rules = append(run.Tool.Driver.Rules, supp)
+	sort.Slice(run.Tool.Driver.Rules, func(i, j int) bool {
+		return run.Tool.Driver.Rules[i].ID < run.Tool.Driver.Rules[j].ID
+	})
+
+	for _, f := range findings {
+		var res sarifResult
+		res.RuleID = f.Analyzer
+		res.Level = "error"
+		res.Message.Text = f.Diagnostic.Message
+		var loc sarifLocation
+		uri := f.Position.Filename
+		if wd != "" {
+			if rel, err := filepath.Rel(wd, uri); err == nil && !filepath.IsAbs(rel) {
+				uri = filepath.ToSlash(rel)
+			}
+		}
+		loc.PhysicalLocation.ArtifactLocation.URI = uri
+		loc.PhysicalLocation.Region.StartLine = f.Position.Line
+		loc.PhysicalLocation.Region.StartColumn = f.Position.Column
+		res.Locations = []sarifLocation{loc}
+		run.Results = append(run.Results, res)
+	}
+
+	log := sarifLog{
+		Schema:  "https://json.schemastore.org/sarif-2.1.0.json",
+		Version: "2.1.0",
+		Runs:    []sarifRun{run},
+	}
+	data, err := json.MarshalIndent(log, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o666)
+}

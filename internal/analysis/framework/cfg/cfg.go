@@ -1,0 +1,404 @@
+// Package cfg builds intraprocedural control-flow graphs over go/ast
+// function bodies and solves forward dataflow problems over them. It is the
+// flow-sensitive layer of the gofmmlint framework: the PR 5 analyzers are
+// syntactic (one ast.Inspect walk answers them), but lifetime and locking
+// disciplines — "is the mutex held *here*", "is the reference released on
+// *every* exit" — are path properties, and path properties need a graph.
+//
+// The graph is deliberately modest: basic blocks of statements, edges for
+// branches, loops (including labeled break/continue), goto, switch/select
+// dispatch and fallthrough, with `return` and explicit `panic(...)` both
+// terminating into one synthetic Exit block. Two deliberate modeling
+// choices keep the client analyses simple:
+//
+//   - defer is NOT edge-expanded. A *ast.DeferStmt appears in the block
+//     where it executes (where the call is *registered*), and a forward
+//     analysis treats it as "scheduled from here to every exit" — which is
+//     exactly defer's semantics on the paths that pass the statement.
+//   - implicit panics (any call may unwind) are NOT edges either. The
+//     solver records the fact before every node, so an analyzer that cares
+//     about unwinding (refcount does) checks call-carrying nodes directly
+//     instead of paying for an exploded graph.
+//
+// Function literals are not descended into: a closure body is its own
+// function with its own graph.
+package cfg
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// A Block is one straight-line run of statements. Nodes holds the
+// statements (and, for branching blocks, the condition as the final node)
+// in execution order. When Cond is non-nil the block ends on that
+// condition and Succs[0] is the true edge, Succs[1] the false edge;
+// otherwise every successor is an unconditional alternative (switch and
+// select dispatch produce several).
+type Block struct {
+	Index int
+	Nodes []ast.Node
+	Cond  ast.Expr
+	Succs []*Block
+	Preds []*Block
+}
+
+// A Graph is the control-flow graph of one function body. Entry starts the
+// body; Exit is the single synthetic sink every return, explicit panic and
+// normal fall-off reaches. Blocks unreachable from Entry (code after an
+// unconditional return) remain in Blocks but are never visited by Solve.
+type Graph struct {
+	Entry  *Block
+	Exit   *Block
+	Blocks []*Block
+}
+
+// New builds the graph of body. A nil body (declaration without a body,
+// e.g. an assembly shim) yields a graph whose Entry flows straight to Exit.
+func New(body *ast.BlockStmt) *Graph {
+	b := &builder{g: &Graph{}}
+	b.g.Entry = b.newBlock()
+	b.g.Exit = b.newBlock()
+	b.cur = b.g.Entry
+	if body != nil {
+		b.stmtList(body.List)
+	}
+	b.jump(b.g.Exit)
+	return b.g
+}
+
+// builder carries the under-construction graph plus the lexical targets
+// break/continue/goto resolve against.
+type builder struct {
+	g   *Graph
+	cur *Block
+
+	// loops is the stack of enclosing breakable/continuable constructs.
+	loops []loopCtx
+	// labels maps a label name to the block a goto (or labeled
+	// break/continue via loops) jumps to. Forward gotos allocate the block
+	// at first mention.
+	labels map[string]*Block
+	// pendingLabel is the label attached to the statement being built, so
+	// for/switch/select can register labeled break/continue targets.
+	pendingLabel string
+}
+
+type loopCtx struct {
+	label     string
+	breakTo   *Block
+	continue_ *Block // nil for switch/select (no continue target)
+}
+
+func (b *builder) newBlock() *Block {
+	blk := &Block{Index: len(b.g.Blocks)}
+	b.g.Blocks = append(b.g.Blocks, blk)
+	return blk
+}
+
+// edge links b.cur → to.
+func (b *builder) edge(from, to *Block) {
+	from.Succs = append(from.Succs, to)
+	to.Preds = append(to.Preds, from)
+}
+
+// jump ends the current block with an unconditional edge to `to` and makes
+// a fresh (initially unreachable) block current — the builder's way of
+// expressing "control left; anything textually next is a new block".
+func (b *builder) jump(to *Block) {
+	b.edge(b.cur, to)
+	b.cur = b.newBlock()
+}
+
+// branch ends the current block on cond with true edge → t, false → f.
+func (b *builder) branch(cond ast.Expr, t, f *Block) {
+	b.cur.Nodes = append(b.cur.Nodes, cond)
+	b.cur.Cond = cond
+	b.edge(b.cur, t)
+	b.edge(b.cur, f)
+	b.cur = b.newBlock()
+}
+
+func (b *builder) labelBlock(name string) *Block {
+	if b.labels == nil {
+		b.labels = map[string]*Block{}
+	}
+	if blk, ok := b.labels[name]; ok {
+		return blk
+	}
+	blk := b.newBlock()
+	b.labels[name] = blk
+	return blk
+}
+
+func (b *builder) stmtList(list []ast.Stmt) {
+	for _, s := range list {
+		b.stmt(s)
+	}
+}
+
+// takeLabel consumes the label attached to the construct being entered.
+func (b *builder) takeLabel() string {
+	l := b.pendingLabel
+	b.pendingLabel = ""
+	return l
+}
+
+// findLoop resolves a break/continue target; label "" means innermost.
+// wantContinue restricts to constructs that accept continue.
+func (b *builder) findLoop(label string, wantContinue bool) *loopCtx {
+	for i := len(b.loops) - 1; i >= 0; i-- {
+		lc := &b.loops[i]
+		if wantContinue && lc.continue_ == nil {
+			continue
+		}
+		if label == "" || lc.label == label {
+			return lc
+		}
+	}
+	return nil
+}
+
+func (b *builder) stmt(s ast.Stmt) {
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		b.stmtList(s.List)
+
+	case *ast.LabeledStmt:
+		// The label is a join point (goto may target it); route control
+		// through its block, then build the labeled statement with the
+		// label pending so loops/switches register break targets under it.
+		lb := b.labelBlock(s.Label.Name)
+		b.edge(b.cur, lb)
+		b.cur = lb
+		b.pendingLabel = s.Label.Name
+		b.stmt(s.Stmt)
+		b.pendingLabel = ""
+
+	case *ast.ReturnStmt:
+		b.cur.Nodes = append(b.cur.Nodes, s)
+		b.jump(b.g.Exit)
+
+	case *ast.BranchStmt:
+		switch s.Tok {
+		case token.BREAK:
+			label := ""
+			if s.Label != nil {
+				label = s.Label.Name
+			}
+			if lc := b.findLoop(label, false); lc != nil {
+				b.jump(lc.breakTo)
+			}
+		case token.CONTINUE:
+			label := ""
+			if s.Label != nil {
+				label = s.Label.Name
+			}
+			if lc := b.findLoop(label, true); lc != nil {
+				b.jump(lc.continue_)
+			}
+		case token.GOTO:
+			b.jump(b.labelBlock(s.Label.Name))
+		case token.FALLTHROUGH:
+			// Handled by the switch builder (the next clause body follows);
+			// nothing to record here.
+		}
+
+	case *ast.IfStmt:
+		if s.Init != nil {
+			b.cur.Nodes = append(b.cur.Nodes, s.Init)
+		}
+		then := b.newBlock()
+		els := b.newBlock()
+		join := b.newBlock()
+		b.branch(s.Cond, then, els)
+		b.cur = then
+		b.stmtList(s.Body.List)
+		b.edge(b.cur, join)
+		b.cur = els
+		if s.Else != nil {
+			b.stmt(s.Else)
+		}
+		b.edge(b.cur, join)
+		b.cur = join
+
+	case *ast.ForStmt:
+		label := b.takeLabel()
+		if s.Init != nil {
+			b.cur.Nodes = append(b.cur.Nodes, s.Init)
+		}
+		head := b.newBlock()
+		body := b.newBlock()
+		post := b.newBlock()
+		exit := b.newBlock()
+		b.edge(b.cur, head)
+		b.cur = head
+		if s.Cond != nil {
+			b.branch(s.Cond, body, exit)
+		} else {
+			b.edge(b.cur, body)
+			b.cur = b.newBlock()
+		}
+		b.loops = append(b.loops, loopCtx{label: label, breakTo: exit, continue_: post})
+		b.cur = body
+		b.stmtList(s.Body.List)
+		b.loops = b.loops[:len(b.loops)-1]
+		b.edge(b.cur, post)
+		b.cur = post
+		if s.Post != nil {
+			b.cur.Nodes = append(b.cur.Nodes, s.Post)
+		}
+		b.edge(b.cur, head)
+		b.cur = exit
+
+	case *ast.RangeStmt:
+		label := b.takeLabel()
+		head := b.newBlock()
+		body := b.newBlock()
+		exit := b.newBlock()
+		b.edge(b.cur, head)
+		// The RangeStmt node itself stands for the per-iteration key/value
+		// binding; it lives in the head so a forward analysis sees it before
+		// every iteration.
+		head.Nodes = append(head.Nodes, s)
+		b.edge(head, body)
+		b.edge(head, exit)
+		b.loops = append(b.loops, loopCtx{label: label, breakTo: exit, continue_: head})
+		b.cur = body
+		b.stmtList(s.Body.List)
+		b.loops = b.loops[:len(b.loops)-1]
+		b.edge(b.cur, head)
+		b.cur = exit
+
+	case *ast.SwitchStmt:
+		label := b.takeLabel()
+		if s.Init != nil {
+			b.cur.Nodes = append(b.cur.Nodes, s.Init)
+		}
+		if s.Tag != nil {
+			b.cur.Nodes = append(b.cur.Nodes, s.Tag)
+		}
+		b.switchClauses(label, s.Body.List, nil)
+
+	case *ast.TypeSwitchStmt:
+		label := b.takeLabel()
+		if s.Init != nil {
+			b.cur.Nodes = append(b.cur.Nodes, s.Init)
+		}
+		b.cur.Nodes = append(b.cur.Nodes, s.Assign)
+		b.switchClauses(label, s.Body.List, nil)
+
+	case *ast.SelectStmt:
+		label := b.takeLabel()
+		b.switchClauses(label, s.Body.List, func(clause ast.Stmt) ast.Stmt {
+			return clause.(*ast.CommClause).Comm
+		})
+
+	case *ast.DeferStmt, *ast.GoStmt, *ast.ExprStmt, *ast.AssignStmt,
+		*ast.DeclStmt, *ast.IncDecStmt, *ast.SendStmt:
+		b.cur.Nodes = append(b.cur.Nodes, s)
+		if isPanicStmt(s) {
+			b.jump(b.g.Exit)
+		}
+
+	case *ast.EmptyStmt:
+		// nothing
+	default:
+		// Unknown statement kinds flow through as opaque nodes.
+		b.cur.Nodes = append(b.cur.Nodes, s)
+	}
+}
+
+// switchClauses builds the shared dispatch shape of switch, type switch and
+// select: the head fans out to every clause body (and to the join when no
+// default exists); fallthrough chains a clause into the next. comm extracts
+// the clause's communication statement for select (nil otherwise).
+func (b *builder) switchClauses(label string, clauses []ast.Stmt, comm func(ast.Stmt) ast.Stmt) {
+	head := b.cur
+	join := b.newBlock()
+	b.loops = append(b.loops, loopCtx{label: label, breakTo: join})
+
+	bodies := make([]*Block, len(clauses))
+	hasDefault := false
+	for i := range clauses {
+		bodies[i] = b.newBlock()
+	}
+	for i, c := range clauses {
+		var list []ast.Stmt
+		isDefault := false
+		switch cl := c.(type) {
+		case *ast.CaseClause:
+			list = cl.Body
+			isDefault = cl.List == nil
+			for _, e := range cl.List {
+				head.Nodes = append(head.Nodes, e)
+			}
+		case *ast.CommClause:
+			list = cl.Body
+			isDefault = cl.Comm == nil
+		}
+		hasDefault = hasDefault || isDefault
+		b.edge(head, bodies[i])
+		b.cur = bodies[i]
+		if comm != nil {
+			if cs := comm(c); cs != nil {
+				b.cur.Nodes = append(b.cur.Nodes, cs)
+			}
+		}
+		b.stmtList(list)
+		if fallsThrough(list) && i+1 < len(clauses) {
+			b.edge(b.cur, bodies[i+1])
+			b.cur = b.newBlock()
+		}
+		b.edge(b.cur, join)
+	}
+	if !hasDefault && comm == nil {
+		// A switch without a default may match no case: the head skips
+		// straight to the join. A select without a default, by contrast,
+		// blocks until some clause runs — no skip edge, so a fact
+		// established in every clause survives the join.
+		b.edge(head, join)
+	}
+	b.loops = b.loops[:len(b.loops)-1]
+	b.cur = join
+}
+
+// fallsThrough reports whether a case body ends in a fallthrough statement.
+func fallsThrough(list []ast.Stmt) bool {
+	if len(list) == 0 {
+		return false
+	}
+	br, ok := list[len(list)-1].(*ast.BranchStmt)
+	return ok && br.Tok == token.FALLTHROUGH
+}
+
+// isPanicStmt reports whether s is a bare `panic(...)` call statement.
+func isPanicStmt(s ast.Stmt) bool {
+	es, ok := s.(*ast.ExprStmt)
+	if !ok {
+		return false
+	}
+	call, ok := es.X.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	return ok && id.Name == "panic"
+}
+
+// Walk visits the parts of a graph node that execute when the node does,
+// in ast.Inspect order. It differs from ast.Inspect in one place: a
+// *ast.RangeStmt carried in a loop-head block stands only for its range
+// expression and per-iteration key/value binding — its Body belongs to the
+// loop's own blocks — so Walk does not descend into it. Analyses whose
+// Transfer inspects node subtrees should use Walk, or they will attribute
+// loop-body effects to the loop head.
+func Walk(n ast.Node, f func(ast.Node) bool) {
+	rs, _ := n.(*ast.RangeStmt)
+	ast.Inspect(n, func(x ast.Node) bool {
+		if rs != nil && x == ast.Node(rs.Body) {
+			return false
+		}
+		return f(x)
+	})
+}

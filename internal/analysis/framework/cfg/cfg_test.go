@@ -1,0 +1,383 @@
+package cfg
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// The test analyses track which mark("...") calls a path has executed: the
+// "may" variant merges by union (some path reached it), the "must" variant
+// by intersection (every path reached it). Between them they pin down the
+// edge structure of each construct: a missing edge inflates "must", a
+// spurious edge deflates it.
+
+type markSet map[string]bool
+
+func (m markSet) clone() markSet {
+	out := markSet{}
+	for k := range m {
+		out[k] = true
+	}
+	return out
+}
+
+func (m markSet) names() string {
+	var ns []string
+	for k := range m {
+		ns = append(ns, k)
+	}
+	sort.Strings(ns)
+	return strings.Join(ns, ",")
+}
+
+type markAnalysis struct {
+	must bool // intersection merge when true, union otherwise
+}
+
+func (markAnalysis) EntryFact() Fact { return markSet{} }
+
+func (markAnalysis) Transfer(f Fact, n ast.Node) Fact {
+	set := f.(markSet)
+	var found []string
+	Walk(n, func(x ast.Node) bool {
+		if _, ok := x.(*ast.FuncLit); ok {
+			return false
+		}
+		call, ok := x.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "mark" && len(call.Args) == 1 {
+			if lit, ok := call.Args[0].(*ast.BasicLit); ok {
+				s, err := strconv.Unquote(lit.Value)
+				if err == nil {
+					found = append(found, s)
+				}
+			}
+		}
+		return true
+	})
+	if len(found) == 0 {
+		return set
+	}
+	out := set.clone()
+	for _, s := range found {
+		out[s] = true
+	}
+	return out
+}
+
+func (a markAnalysis) Merge(x, y Fact) Fact {
+	xs, ys := x.(markSet), y.(markSet)
+	out := markSet{}
+	for k := range xs {
+		if !a.must || ys[k] {
+			out[k] = true
+		}
+	}
+	if !a.must {
+		for k := range ys {
+			out[k] = true
+		}
+	}
+	return out
+}
+
+func (markAnalysis) Equal(x, y Fact) bool {
+	xs, ys := x.(markSet), y.(markSet)
+	if len(xs) != len(ys) {
+		return false
+	}
+	for k := range xs {
+		if !ys[k] {
+			return false
+		}
+	}
+	return true
+}
+
+// branchMarks additionally records "T"/"F" along the edges of every `c`
+// condition, exercising TransferBranch.
+type branchMarks struct{ markAnalysis }
+
+func (b branchMarks) TransferBranch(f Fact, cond ast.Expr, branch bool) Fact {
+	if id, ok := cond.(*ast.Ident); !ok || id.Name != "c" {
+		return f
+	}
+	out := f.(markSet).clone()
+	if branch {
+		out["T"] = true
+	} else {
+		out["F"] = true
+	}
+	return out
+}
+
+const testSrc = `package p
+
+func ifelse(c bool) {
+	if c {
+		mark("then")
+	} else {
+		mark("else")
+	}
+	mark("after")
+}
+
+func labeledBreak(xs []int) {
+outer:
+	for i := 0; i < 3; i++ {
+		for {
+			mark("inner")
+			break outer
+		}
+	}
+	mark("done")
+}
+
+func labeledContinue() {
+outer:
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 3; j++ {
+			mark("body")
+			continue outer
+		}
+		mark("unreached")
+	}
+	mark("done")
+}
+
+func rangeLoop(xs []int) {
+	for _, x := range xs {
+		_ = x
+		mark("body")
+	}
+	mark("after")
+}
+
+func selectBoth(c bool, ch chan int) {
+	select {
+	case <-ch:
+		mark("m")
+		mark("recv")
+	case ch <- 1:
+		mark("m")
+		mark("send")
+	}
+	mark("after")
+}
+
+func selectDefault(ch chan int) {
+	select {
+	case <-ch:
+		mark("recv")
+	default:
+	}
+	mark("after")
+}
+
+func gotoLoop() {
+	i := 0
+loop:
+	mark("top")
+	i++
+	if i < 3 {
+		goto loop
+	}
+	mark("done")
+}
+
+func fallth(x int) {
+	switch x {
+	case 1:
+		mark("one")
+		fallthrough
+	case 2:
+		mark("two")
+	default:
+		mark("def")
+	}
+	mark("after")
+}
+
+func switchNoDefault(x int) {
+	switch x {
+	case 1:
+		mark("one")
+	}
+	mark("after")
+}
+
+func panics(bad bool) {
+	if bad {
+		mark("pre")
+		panic("boom")
+	}
+	mark("main")
+}
+
+func deadCode() {
+	mark("live")
+	panic("boom")
+	mark("dead")
+}
+
+func deferred(c bool) {
+	if c {
+		defer mark("d")
+	}
+	mark("after")
+}
+
+func branchRefine(c bool) {
+	if c {
+		mark("then")
+	}
+	mark("after")
+}
+
+func closureOpaque() {
+	f := func() { mark("inside") }
+	f()
+	mark("after")
+}
+
+func mark(string) {}
+`
+
+func parseFuncs(t *testing.T) map[string]*ast.FuncDecl {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "p.go", testSrc, parser.SkipObjectResolution)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := map[string]*ast.FuncDecl{}
+	for _, d := range f.Decls {
+		if fd, ok := d.(*ast.FuncDecl); ok {
+			out[fd.Name.Name] = fd
+		}
+	}
+	return out
+}
+
+// exitMarks solves fn under the may/must mark analyses and returns the two
+// exit sets rendered as comma-joined sorted names.
+func exitMarks(t *testing.T, fn *ast.FuncDecl) (may, must string) {
+	t.Helper()
+	g := New(fn.Body)
+	for _, mode := range []bool{false, true} {
+		res := Solve(g, markAnalysis{must: mode})
+		f, ok := res.Exit(g)
+		if !ok {
+			t.Fatalf("%s: exit unreachable", fn.Name.Name)
+		}
+		if mode {
+			must = f.(markSet).names()
+		} else {
+			may = f.(markSet).names()
+		}
+	}
+	return may, must
+}
+
+func TestControlFlow(t *testing.T) {
+	funcs := parseFuncs(t)
+	cases := []struct {
+		fn        string
+		may, must string
+	}{
+		// Both arms execute their mark; the join keeps only the common part.
+		{"ifelse", "after,else,then", "after"},
+		// break outer leaves both loops: "inner" runs only if the outer
+		// condition admits an iteration, "done" runs always.
+		{"labeledBreak", "done,inner", "done"},
+		// continue outer re-enters the outer post. The inner tail stays
+		// may-reachable through the inner head's exit edge — the CFG cannot
+		// prove j<3 holds on entry — but is never a must.
+		{"labeledContinue", "body,done,unreached", "done"},
+		// A range body may run zero times.
+		{"rangeLoop", "after,body", "after"},
+		// A select without default always runs some clause: the shared mark
+		// is a must, the per-clause ones are not.
+		{"selectBoth", "after,m,recv,send", "after,m"},
+		// With a default, the recv clause may be skipped entirely.
+		{"selectDefault", "after,recv", "after"},
+		// goto loop: top executes at least once on the fall-in path.
+		{"gotoLoop", "done,top", "done,top"},
+		// fallthrough chains case 1 into case 2; no single mark is common
+		// to all three dispatch paths.
+		{"fallth", "after,def,one,two", "after"},
+		// A tagless-match switch may skip every case.
+		{"switchNoDefault", "after,one", "after"},
+		// The panic path and the normal path merge at exit.
+		{"panics", "main,pre", ""},
+		// Statements after an unconditional panic never execute.
+		{"deadCode", "live", "live"},
+		// A conditionally registered defer is not a must.
+		{"deferred", "after,d", "after"},
+		// Function literal bodies are opaque: "inside" never surfaces.
+		{"closureOpaque", "after", "after"},
+	}
+	for _, tc := range cases {
+		fn, ok := funcs[tc.fn]
+		if !ok {
+			t.Fatalf("no function %s in test source", tc.fn)
+		}
+		may, must := exitMarks(t, fn)
+		if may != tc.may {
+			t.Errorf("%s: may-reach at exit = %q, want %q", tc.fn, may, tc.may)
+		}
+		if must != tc.must {
+			t.Errorf("%s: must-reach at exit = %q, want %q", tc.fn, must, tc.must)
+		}
+	}
+}
+
+// TestTransferBranch pins the edge refinement: inside the then-branch the
+// true fact "T" holds, and the join after the if discards it.
+func TestTransferBranch(t *testing.T) {
+	fn := parseFuncs(t)["branchRefine"]
+	g := New(fn.Body)
+	res := Solve(g, branchMarks{markAnalysis{must: true}})
+
+	var thenStmt, afterStmt ast.Node
+	for _, b := range g.Blocks {
+		for _, n := range b.Nodes {
+			set := markAnalysis{}.Transfer(markSet{}, n).(markSet)
+			if set["then"] {
+				thenStmt = n
+			} else if set["after"] {
+				afterStmt = n
+			}
+		}
+	}
+	if thenStmt == nil || afterStmt == nil {
+		t.Fatal("mark statements not found in graph")
+	}
+	f, ok := res.Before(thenStmt)
+	if !ok || !f.(markSet)["T"] {
+		t.Errorf("before mark(then): fact %v, want T held", f)
+	}
+	f, ok = res.Before(afterStmt)
+	if !ok {
+		t.Fatal("after-statement unreachable")
+	}
+	if set := f.(markSet); set["T"] || set["F"] {
+		t.Errorf("after the if-join: branch facts %v survived, want neither", set)
+	}
+}
+
+// TestNilBody covers bodiless declarations (assembly shims).
+func TestNilBody(t *testing.T) {
+	g := New(nil)
+	res := Solve(g, markAnalysis{must: true})
+	if f, ok := res.Exit(g); !ok || f.(markSet).names() != "" {
+		t.Errorf("nil body: exit fact %v, want empty reachable set", f)
+	}
+}

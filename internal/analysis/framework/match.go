@@ -3,6 +3,7 @@ package framework
 import (
 	"go/ast"
 	"go/types"
+	"strings"
 )
 
 // CalleeFunc resolves a call expression to the *types.Func it invokes, or
@@ -105,4 +106,34 @@ func HasContextParam(sig *types.Signature) (*types.Var, bool) {
 		return p, true
 	}
 	return nil, false
+}
+
+// Chain flattens a pure ident/selector expression (`q.mu`, `s.reg.ops`) to
+// its root object and dotted field path ("" for a bare identifier). ok is
+// false for anything else — calls, index expressions, literals — which the
+// flow-sensitive analyzers treat as "cannot tie this access to a lock or
+// reference owner".
+func Chain(info *types.Info, e ast.Expr) (root types.Object, path string, ok bool) {
+	var names []string
+	for {
+		switch x := ast.Unparen(e).(type) {
+		case *ast.SelectorExpr:
+			names = append(names, x.Sel.Name)
+			e = x.X
+		case *ast.Ident:
+			obj := info.Uses[x]
+			if obj == nil {
+				obj = info.Defs[x]
+			}
+			if obj == nil {
+				return nil, "", false
+			}
+			for i, j := 0, len(names)-1; i < j; i, j = i+1, j-1 {
+				names[i], names[j] = names[j], names[i]
+			}
+			return obj, strings.Join(names, "."), true
+		default:
+			return nil, "", false
+		}
+	}
 }

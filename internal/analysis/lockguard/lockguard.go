@@ -1,0 +1,587 @@
+// Package lockguard enforces `// guarded by <mu>` field annotations with a
+// flow-sensitive must-hold analysis over the cfg layer.
+//
+// Annotation grammar (on a struct field's doc or line comment):
+//
+//	// guarded by <mu>
+//	// guarded by <mu> for <F1>, <F2>
+//
+// where <mu> names a sibling field of sync.Mutex or sync.RWMutex type. The
+// plain form guards every access to the field; the `for` form guards only
+// the named subfield selectors (for structs like core.Stats where one
+// mutex covers two hot fields and the rest are written single-threaded
+// during compression).
+//
+// A function (typically one documented "callers hold the lock") may carry
+//
+//	// called with <recv>.<mu> held
+//
+// in its doc comment, which seeds the analysis entry fact with that lock.
+//
+// The analysis tracks, per control-flow point, the set of locks that are
+// must-held: x.mu.Lock() adds a write-mode fact, x.mu.RLock() a read-mode
+// fact, explicit Unlock/RUnlock removes it, and `defer x.mu.Unlock()`
+// removes nothing (the lock is held to every exit of the function, which
+// is exactly what the deferred unlock guarantees). Path merges intersect:
+// a lock is held at a join only if it is held on every incoming path, and
+// a join of write- and read-mode holds weakens to read. Each read of a
+// guarded field then requires at least read mode, and each write — an
+// assignment, ++/--, map store or delete through the field, or taking its
+// address — requires write mode.
+//
+// Function literals are analyzed as their own functions with an empty
+// entry fact: a closure inherits no locks from its creation site, because
+// nothing ties its execution to the window where the lock was held.
+// Composite literals and accesses in _test.go files are exempt.
+//
+// Annotations are honored across package boundaries: when an accessed
+// field belongs to another package, its declaring source file (recovered
+// from the field object's position) is parsed once and its annotation
+// applied. An exported guarded field with an unexported mutex is therefore
+// unreadable directly from other packages — exactly the pressure that
+// forces a locked accessor onto the owning type.
+package lockguard
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"strings"
+	"unicode"
+
+	"gofmm/internal/analysis/framework"
+	"gofmm/internal/analysis/framework/cfg"
+)
+
+// Analyzer is the lockguard analyzer.
+var Analyzer = &framework.Analyzer{
+	Name: "lockguard",
+	Doc: "enforce `// guarded by <mu>` field annotations: every read or write " +
+		"of a guarded field must be dominated by Lock/RLock of the named mutex " +
+		"(writes require the write lock), checked flow-sensitively across " +
+		"branches, loops and defers",
+	Run: run,
+}
+
+// guardInfo is one parsed field annotation.
+type guardInfo struct {
+	mu  string          // sibling field name of the guarding mutex
+	sub map[string]bool // non-nil: only these subfield selectors are guarded
+}
+
+// lockKey identifies one lock instance: the root object of the selector
+// chain that reaches it plus the dotted field path ("mu", "reg.mu").
+type lockKey struct {
+	root types.Object
+	path string
+}
+
+// lockMode is the strength of a held lock.
+type lockMode int
+
+const (
+	modeRead  lockMode = 1
+	modeWrite lockMode = 2
+)
+
+// lockFact is the must-held lock set. Facts are immutable (the solver
+// aliases them); transfer clones before changing.
+type lockFact map[lockKey]lockMode
+
+func (f lockFact) clone() lockFact {
+	out := make(lockFact, len(f)+1)
+	for k, v := range f {
+		out[k] = v
+	}
+	return out
+}
+
+func run(pass *framework.Pass) error {
+	// No early-out on an annotation-free package: fields of *imported*
+	// structs may still be guarded (see foreignGuard).
+	c := &checker{
+		pass:    pass,
+		guards:  collectGuards(pass),
+		foreign: map[*types.Var]foreignGuard{},
+		files:   map[string]map[int]guardInfo{},
+	}
+	for _, file := range pass.Syntax {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			c.checkFunc(fd.Body, entryFact(pass, fd))
+		}
+	}
+	return nil
+}
+
+// collectGuards parses field annotations into a map from the guarded
+// field's *types.Var to its guard.
+func collectGuards(pass *framework.Pass) map[*types.Var]guardInfo {
+	guards := map[*types.Var]guardInfo{}
+	for _, file := range pass.Syntax {
+		ast.Inspect(file, func(n ast.Node) bool {
+			st, ok := n.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			for _, field := range st.Fields.List {
+				gi, ok := parseGuard(fieldComment(field))
+				if !ok {
+					continue
+				}
+				for _, name := range field.Names {
+					if v, ok := pass.TypesInfo.Defs[name].(*types.Var); ok {
+						guards[v] = gi
+					}
+				}
+			}
+			return true
+		})
+	}
+	return guards
+}
+
+// fieldComment joins a field's doc and trailing line comments.
+func fieldComment(f *ast.Field) string {
+	var parts []string
+	if f.Doc != nil {
+		parts = append(parts, f.Doc.Text())
+	}
+	if f.Comment != nil {
+		parts = append(parts, f.Comment.Text())
+	}
+	return strings.Join(parts, "\n")
+}
+
+// parseGuard extracts `guarded by <mu>` / `guarded by <mu> for <F1>, <F2>`
+// from a comment.
+func parseGuard(text string) (guardInfo, bool) {
+	for _, line := range strings.Split(text, "\n") {
+		rest, found := strings.CutPrefix(strings.TrimSpace(line), "guarded by ")
+		if !found {
+			continue
+		}
+		mu, subs, hasFor := strings.Cut(rest, " for ")
+		// The annotation may share its line with ordinary prose — e.g.
+		// `// guarded by mu (next slot to overwrite)` — so the mutex name
+		// is the first token only, and the sub-field list ends at the
+		// first entry that is not a plain identifier.
+		muFields := strings.Fields(mu)
+		if len(muFields) == 0 {
+			continue
+		}
+		gi := guardInfo{mu: strings.TrimSuffix(muFields[0], ".")}
+		if !isIdent(gi.mu) {
+			continue
+		}
+		if hasFor {
+			gi.sub = map[string]bool{}
+			for _, s := range strings.Split(subs, ",") {
+				fields := strings.Fields(s)
+				if len(fields) == 0 {
+					continue
+				}
+				name := strings.TrimSuffix(fields[0], ".")
+				if !isIdent(name) {
+					break
+				}
+				gi.sub[name] = true
+			}
+		}
+		return gi, true
+	}
+	return guardInfo{}, false
+}
+
+// isIdent reports whether s is a plain Go identifier — the only shape a
+// mutex or field name in an annotation can take.
+func isIdent(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, r := range s {
+		if r == '_' || unicode.IsLetter(r) || (i > 0 && unicode.IsDigit(r)) {
+			continue
+		}
+		return false
+	}
+	return true
+}
+
+// entryFact seeds the analysis for fd: empty unless the doc comment says
+// `called with <recv>.<mu> held`.
+func entryFact(pass *framework.Pass, fd *ast.FuncDecl) lockFact {
+	f := lockFact{}
+	if fd.Doc == nil || fd.Recv == nil || len(fd.Recv.List) == 0 || len(fd.Recv.List[0].Names) == 0 {
+		return f
+	}
+	recvName := fd.Recv.List[0].Names[0]
+	recvObj := pass.TypesInfo.Defs[recvName]
+	if recvObj == nil {
+		return f
+	}
+	for _, line := range strings.Split(fd.Doc.Text(), "\n") {
+		i := strings.Index(line, "called with ")
+		if i < 0 {
+			continue
+		}
+		rest := line[i+len("called with "):]
+		spec, _, _ := strings.Cut(rest, " held")
+		base, path, ok := strings.Cut(strings.TrimSpace(spec), ".")
+		if ok && base == recvName.Name && path != "" {
+			f[lockKey{root: recvObj, path: path}] = modeWrite
+		}
+	}
+	return f
+}
+
+// checker runs the analysis over one function body (and, recursively, the
+// function literals it contains).
+type checker struct {
+	pass   *framework.Pass
+	guards map[*types.Var]guardInfo
+
+	// Cross-package annotation caches: resolved foreign fields (negative
+	// results included) and parsed per-file annotation tables keyed by the
+	// declaration line of the field name.
+	foreign map[*types.Var]foreignGuard
+	files   map[string]map[int]guardInfo
+}
+
+type foreignGuard struct {
+	gi guardInfo
+	ok bool
+}
+
+// guardOf looks up the annotation guarding field, consulting the current
+// package's syntax first and the field's declaring file otherwise.
+func (c *checker) guardOf(field *types.Var) (guardInfo, bool) {
+	if gi, ok := c.guards[field]; ok {
+		return gi, true
+	}
+	if !field.IsField() || field.Pkg() == nil || field.Pkg() == c.pass.Pkg {
+		return guardInfo{}, false
+	}
+	if fg, ok := c.foreign[field]; ok {
+		return fg.gi, fg.ok
+	}
+	var fg foreignGuard
+	if pos := c.pass.Fset.Position(field.Pos()); pos.IsValid() && strings.HasSuffix(pos.Filename, ".go") {
+		fg.gi, fg.ok = c.fileGuards(pos.Filename)[pos.Line]
+	}
+	c.foreign[field] = fg
+	return fg.gi, fg.ok
+}
+
+// fileGuards parses filename (once) and indexes its struct-field guard
+// annotations by the line each field name is declared on. Positions from
+// the unified export data point at real source, so this recovers comments
+// the type checker never sees. Unreadable or unparseable files yield an
+// empty table — the analysis degrades to in-package-only, it never fails.
+func (c *checker) fileGuards(filename string) map[int]guardInfo {
+	if m, ok := c.files[filename]; ok {
+		return m
+	}
+	m := map[int]guardInfo{}
+	c.files[filename] = m
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, filename, nil, parser.ParseComments|parser.SkipObjectResolution)
+	if err != nil {
+		return m
+	}
+	ast.Inspect(f, func(n ast.Node) bool {
+		st, ok := n.(*ast.StructType)
+		if !ok {
+			return true
+		}
+		for _, field := range st.Fields.List {
+			gi, ok := parseGuard(fieldComment(field))
+			if !ok {
+				continue
+			}
+			for _, name := range field.Names {
+				m[fset.Position(name.Pos()).Line] = gi
+			}
+		}
+		return true
+	})
+	return m
+}
+
+// lockAnalysis adapts lockFact to the cfg solver.
+type lockAnalysis struct {
+	c     *checker
+	entry lockFact
+}
+
+func (a lockAnalysis) EntryFact() cfg.Fact { return a.entry }
+
+func (a lockAnalysis) Transfer(f cfg.Fact, n ast.Node) cfg.Fact {
+	set := f.(lockFact)
+	if _, isDefer := n.(*ast.DeferStmt); isDefer {
+		// A deferred Unlock runs at function exit, not here: the lock
+		// stays held on every path past this statement. Deferred Locks
+		// would be bugs; neither mutates the fact.
+		return set
+	}
+	out := set
+	cfg.Walk(n, func(x ast.Node) bool {
+		if _, ok := x.(*ast.FuncLit); ok {
+			return false // closures are their own functions
+		}
+		call, ok := x.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		key, mode, unlock, ok := a.c.lockEvent(call)
+		if !ok {
+			return true
+		}
+		out = out.clone()
+		if unlock {
+			delete(out, key)
+		} else {
+			out[key] = mode
+		}
+		return true
+	})
+	return out
+}
+
+func (a lockAnalysis) Merge(x, y cfg.Fact) cfg.Fact {
+	xs, ys := x.(lockFact), y.(lockFact)
+	out := lockFact{}
+	for k, mx := range xs {
+		if my, ok := ys[k]; ok {
+			m := mx
+			if my < m {
+				m = my
+			}
+			out[k] = m
+		}
+	}
+	return out
+}
+
+func (a lockAnalysis) Equal(x, y cfg.Fact) bool {
+	xs, ys := x.(lockFact), y.(lockFact)
+	if len(xs) != len(ys) {
+		return false
+	}
+	for k, v := range xs {
+		if ys[k] != v {
+			return false
+		}
+	}
+	return true
+}
+
+// lockEvent classifies call as a Lock/RLock/Unlock/RUnlock on a
+// sync.Mutex/RWMutex reached through a flattenable selector chain.
+func (c *checker) lockEvent(call *ast.CallExpr) (key lockKey, mode lockMode, unlock, ok bool) {
+	sel, isSel := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !isSel {
+		return key, 0, false, false
+	}
+	switch sel.Sel.Name {
+	case "Lock":
+		mode = modeWrite
+	case "RLock":
+		mode = modeRead
+	case "Unlock", "RUnlock":
+		unlock = true
+	default:
+		return key, 0, false, false
+	}
+	fn, _ := c.pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return key, 0, false, false
+	}
+	key, ok = c.flatten(sel.X)
+	return key, mode, unlock, ok
+}
+
+// flatten resolves an ident/selector chain (`q.mu`, `s.reg.mu`) to a
+// lockKey; ok is false for anything else (calls, index expressions).
+func (c *checker) flatten(e ast.Expr) (lockKey, bool) {
+	root, path, ok := framework.Chain(c.pass.TypesInfo, e)
+	if !ok {
+		return lockKey{}, false
+	}
+	return lockKey{root: root, path: path}, true
+}
+
+// checkFunc solves the lock analysis over body and reports guarded-field
+// accesses not covered by their mutex. Function literals found inside are
+// checked recursively with empty entry facts.
+func (c *checker) checkFunc(body *ast.BlockStmt, entry lockFact) {
+	g := cfg.New(body)
+	res := cfg.Solve(g, lockAnalysis{c: c, entry: entry})
+	for _, b := range g.Blocks {
+		for _, n := range b.Nodes {
+			before, reachable := res.Before(n)
+			if !reachable {
+				continue
+			}
+			c.checkNode(n, before.(lockFact))
+		}
+	}
+	// Closures: own graphs, no inherited locks.
+	ast.Inspect(body, func(n ast.Node) bool {
+		if fl, ok := n.(*ast.FuncLit); ok {
+			c.checkFunc(fl.Body, lockFact{})
+			return false
+		}
+		return true
+	})
+}
+
+// checkNode scans one graph node for guarded accesses under the fact that
+// holds immediately before it.
+func (c *checker) checkNode(n ast.Node, held lockFact) {
+	if c.pass.InTestFile(n.Pos()) {
+		return
+	}
+	writes := writeTargets(n)
+	cfg.Walk(n, func(x ast.Node) bool {
+		switch x := x.(type) {
+		case *ast.FuncLit:
+			return false // checked separately by checkFunc
+		case *ast.CompositeLit:
+			return false // construction precedes sharing
+		case *ast.SelectorExpr:
+			c.checkSelector(x, held, writes)
+		}
+		return true
+	})
+}
+
+// checkSelector reports sel if it accesses a guarded field without the
+// required lock mode.
+func (c *checker) checkSelector(sel *ast.SelectorExpr, held lockFact, writes map[ast.Expr]bool) {
+	field, _ := c.pass.TypesInfo.Uses[sel.Sel].(*types.Var)
+	if field == nil {
+		return
+	}
+	gi, guarded := c.guardOf(field)
+	isSub := false
+	if !guarded || gi.sub != nil {
+		// In the `for` form the guarded access is the enclosing
+		// subfield selector, handled here when we see it.
+		if !c.subfieldAccess(sel, &gi, &field) {
+			return
+		}
+		isSub = true
+	}
+	// Access expression whose write/read-ness we classify: the outermost
+	// selector involved (the subfield one in the `for` form).
+	need := modeRead
+	what := "read"
+	if writes[ast.Expr(sel)] {
+		need = modeWrite
+		what = "write"
+	}
+	// The guard mutex is a sibling of the annotated field: for x.y.f
+	// (plain form on f) it is x.y.mu, for h.Stats.EvalTime (subfield
+	// form on Stats) it is h.statsMu.
+	base := sel.X
+	if isSub {
+		base = ast.Unparen(sel.X).(*ast.SelectorExpr).X
+	}
+	key, ok := c.flatten(base)
+	if !ok {
+		c.pass.Reportf(sel.Pos(),
+			"access to %s-guarded field %s through an expression the analysis cannot tie to a lock; hold %s via a named variable",
+			gi.mu, sel.Sel.Name, gi.mu)
+		return
+	}
+	key.path = joinPath(key.path, gi.mu)
+	if m := held[key]; m >= need {
+		return
+	}
+	c.pass.Reportf(sel.Pos(),
+		"%s of %s without holding %s (field is marked `guarded by %s`)",
+		what, sel.Sel.Name, gi.mu, gi.mu)
+}
+
+// subfieldAccess rewrites (sel, gi, field) when sel is the subfield
+// selector of a `guarded by <mu> for ...` annotation: sel.X must itself
+// select the annotated field and sel.Sel must be in the list.
+func (c *checker) subfieldAccess(sel *ast.SelectorExpr, gi *guardInfo, field **types.Var) bool {
+	inner, ok := ast.Unparen(sel.X).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	innerField, _ := c.pass.TypesInfo.Uses[inner.Sel].(*types.Var)
+	if innerField == nil {
+		return false
+	}
+	igi, ok := c.guardOf(innerField)
+	if !ok || igi.sub == nil || !igi.sub[sel.Sel.Name] {
+		return false
+	}
+	*gi, *field = igi, innerField
+	return true
+}
+
+func joinPath(prefix, name string) string {
+	if prefix == "" {
+		return name
+	}
+	return prefix + "." + name
+}
+
+// writeTargets collects the expressions written by node n: assignment
+// left-hand sides, ++/-- operands, the map operand of delete, and the
+// base of a map-index store. Taking a field's address (&x.f) outside a
+// sync/atomic call argument also counts as a write — the pointer escapes
+// the locked region.
+func writeTargets(n ast.Node) map[ast.Expr]bool {
+	w := map[ast.Expr]bool{}
+	mark := func(e ast.Expr) {
+		e = ast.Unparen(e)
+		w[e] = true
+		// A store through an index/slice of a field mutates the field's
+		// referent: r.ops[k] = v writes the map held in r.ops.
+		for {
+			switch x := e.(type) {
+			case *ast.IndexExpr:
+				e = ast.Unparen(x.X)
+			case *ast.SliceExpr:
+				e = ast.Unparen(x.X)
+			case *ast.StarExpr:
+				e = ast.Unparen(x.X)
+			default:
+				w[e] = true
+				return
+			}
+			w[e] = true
+		}
+	}
+	cfg.Walk(n, func(x ast.Node) bool {
+		switch x := x.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.AssignStmt:
+			for _, lhs := range x.Lhs {
+				mark(lhs)
+			}
+		case *ast.IncDecStmt:
+			mark(x.X)
+		case *ast.UnaryExpr:
+			if x.Op == token.AND {
+				mark(x.X)
+			}
+		case *ast.CallExpr:
+			if id, ok := ast.Unparen(x.Fun).(*ast.Ident); ok && id.Name == "delete" && len(x.Args) > 0 {
+				mark(x.Args[0])
+			}
+		}
+		return true
+	})
+	return w
+}

@@ -1,0 +1,12 @@
+package lockguard_test
+
+import (
+	"testing"
+
+	"gofmm/internal/analysis/analyzertest"
+	"gofmm/internal/analysis/lockguard"
+)
+
+func TestLockGuard(t *testing.T) {
+	analyzertest.Run(t, analyzertest.TestData(), lockguard.Analyzer, "lockguard")
+}

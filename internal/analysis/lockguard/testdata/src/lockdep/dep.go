@@ -1,0 +1,33 @@
+// Package lockdep is a dependency stub: its guarded fields must be
+// enforced in importing packages too (cross-package annotation lookup).
+package lockdep
+
+import "sync"
+
+// Meter exposes counters the way core.Hierarchical exposes Stats: an
+// exported struct field whose hot subfields are guarded by an unexported
+// mutex, plus a locked accessor.
+type Meter struct {
+	mu sync.Mutex
+	// guarded by mu for Hits, Misses
+	Counts Counts
+
+	// Total is guarded in the plain form; Mu is exported so callers can
+	// legitimately hold it themselves.
+	Mu sync.Mutex
+	// guarded by Mu
+	Total int
+}
+
+// Counts is the payload struct (no annotations of its own).
+type Counts struct {
+	Hits, Misses int
+	Label        string
+}
+
+// Snapshot returns the counters under the lock.
+func (m *Meter) Snapshot() Counts {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.Counts
+}

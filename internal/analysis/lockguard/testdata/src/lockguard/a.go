@@ -1,0 +1,179 @@
+package lockguard
+
+import (
+	"sync"
+
+	"lockdep"
+)
+
+type counter struct {
+	mu sync.Mutex
+	// guarded by mu
+	n int
+
+	rw sync.RWMutex
+	// guarded by rw
+	table map[string]int
+
+	free int // guarded by mu (prose after the annotation is ignored)
+}
+
+func (c *counter) sharedLineForm() {
+	c.mu.Lock()
+	c.free++ // ok: annotation parses despite the trailing prose
+	c.mu.Unlock()
+	c.free-- // want `write of free without holding mu`
+}
+
+func (c *counter) lockedWrite() {
+	c.mu.Lock()
+	c.n++ // ok: write lock held
+	c.mu.Unlock()
+}
+
+func (c *counter) deferredUnlock() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.n // ok: held to every exit
+}
+
+func (c *counter) unlockedRead() int {
+	return c.n // want `read of n without holding mu`
+}
+
+func (c *counter) unlockedWrite() {
+	c.n = 7 // want `write of n without holding mu`
+}
+
+func (c *counter) afterUnlock() int {
+	c.mu.Lock()
+	c.n++
+	c.mu.Unlock()
+	return c.n // want `read of n without holding mu`
+}
+
+func (c *counter) oneBranchOnly(b bool) {
+	if b {
+		c.mu.Lock()
+	}
+	c.n++ // want `write of n without holding mu`
+	if b {
+		c.mu.Unlock()
+	}
+}
+
+func (c *counter) everyBranch(b bool) {
+	if b {
+		c.mu.Lock()
+	} else {
+		c.mu.Lock()
+	}
+	c.n++ // ok: held on both incoming paths
+	c.mu.Unlock()
+}
+
+func (c *counter) readLockRead(k string) int {
+	c.rw.RLock()
+	defer c.rw.RUnlock()
+	return c.table[k] // ok: reads need only RLock
+}
+
+func (c *counter) readLockWrite(k string) {
+	c.rw.RLock()
+	defer c.rw.RUnlock()
+	c.table[k] = 1 // want `write of table without holding rw`
+}
+
+func (c *counter) mapStore(k string) {
+	c.rw.Lock()
+	defer c.rw.Unlock()
+	c.table[k] = 1 // ok: map store under the write lock
+	delete(c.table, k)
+}
+
+func (c *counter) mapDeleteUnlocked(k string) {
+	delete(c.table, k) // want `write of table without holding rw`
+}
+
+// bump is documented as called with c.mu held.
+//
+// called with c.mu held.
+func (c *counter) bump() {
+	c.n++ // ok: entry fact seeded by the annotation
+}
+
+func (c *counter) escapeInClosure() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	go func() {
+		c.n++ // want `write of n without holding mu`
+	}()
+}
+
+func newCounter() *counter {
+	return &counter{table: map[string]int{}} // ok: composite literal construction
+}
+
+type stats struct {
+	EvalTime  float64
+	EvalFlops float64
+	Ranks     int
+}
+
+type holder struct {
+	statsMu sync.Mutex
+	// guarded by statsMu for EvalTime, EvalFlops
+	Stats stats
+}
+
+func (h *holder) noteEval(t, f float64) {
+	h.statsMu.Lock()
+	h.Stats.EvalTime = t // ok
+	h.Stats.EvalFlops = f
+	h.statsMu.Unlock()
+}
+
+func (h *holder) raceyRead() float64 {
+	return h.Stats.EvalTime // want `read of EvalTime without holding statsMu`
+}
+
+func (h *holder) unguardedSibling() int {
+	return h.Stats.Ranks // ok: Ranks is outside the `for` list
+}
+
+type outer struct {
+	c *counter
+}
+
+func (o *outer) chained() {
+	o.c.mu.Lock()
+	o.c.n++ // ok: lock reached through the same chain
+	o.c.mu.Unlock()
+	o.c.n++ // want `write of n without holding mu`
+}
+
+func escapes(cs []*counter) int {
+	return cs[0].n // want `guarded field n through an expression the analysis cannot tie to a lock`
+}
+
+// Cross-package enforcement: lockdep.Meter's annotations live in the
+// imported package's source, not in this package's syntax.
+
+func foreignSubfieldRace(m *lockdep.Meter) int {
+	return m.Counts.Hits // want `read of Hits without holding mu`
+}
+
+func foreignSubfieldOK(m *lockdep.Meter) int {
+	c := m.Snapshot()
+	return c.Hits + len(m.Counts.Label) // ok: Label is outside the `for` list
+}
+
+func foreignPlainRace(m *lockdep.Meter) {
+	m.Total++ // want `write of Total without holding Mu`
+}
+
+func foreignPlainOK(m *lockdep.Meter) int {
+	m.Mu.Lock()
+	defer m.Mu.Unlock()
+	return m.Total // ok: exported mutex held by the caller
+}

@@ -1,0 +1,313 @@
+// Package mmaplife flags store-view escapes: slices obtained from
+// store.Float64s / store.Float32s / (*store.File).Section are zero-copy
+// windows into a memory-mapped operator file, valid only while the owning
+// mapping is open. Storing one into a struct field, a global, or a channel,
+// returning it, or capturing it in a goroutine lets it outlive the
+// release path (ReleaseStore / last-ref unmap) and turns into a fault on
+// first touch. The fix is to copy the data out — or, when zero-copy
+// retention is the point, to tie the value's lifetime to the mapping
+// owner and say so in a `//gofmmlint:ignore mmaplife <reason>` directive.
+//
+// The analysis is a flow-sensitive may-taint over the cfg layer: view
+// results taint their variables, slicing and (for reference-typed
+// elements) indexing propagate, reassignment kills, and the sinks above
+// report. Plain call arguments do not report — passing a view down a call
+// stack is borrowing, and the repo's kernels do it pervasively.
+package mmaplife
+
+import (
+	"go/ast"
+	"go/types"
+
+	"gofmm/internal/analysis/framework"
+	"gofmm/internal/analysis/framework/cfg"
+)
+
+// Analyzer is the mmaplife analyzer.
+var Analyzer = &framework.Analyzer{
+	Name: "mmaplife",
+	Doc: "flag store-view slices (store.Float64s/Float32s, File.Section) " +
+		"escaping their mapping's lifetime: returned, stored into fields, " +
+		"globals or channels, or captured by goroutines — copy the data " +
+		"or keep the mapping owner alive instead",
+	Run: run,
+}
+
+// taintFact is the set of may-tainted objects. Immutable; clone to change.
+type taintFact map[types.Object]bool
+
+func (f taintFact) clone() taintFact {
+	out := make(taintFact, len(f)+1)
+	for k := range f {
+		out[k] = true
+	}
+	return out
+}
+
+func run(pass *framework.Pass) error {
+	c := &checker{pass: pass}
+	for _, file := range pass.Syntax {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || pass.InTestFile(fd.Pos()) {
+				continue
+			}
+			c.checkFunc(fd.Body)
+		}
+	}
+	return nil
+}
+
+type checker struct {
+	pass *framework.Pass
+}
+
+// isSource reports whether call produces a store view (in its first
+// result). Matching is by package name so golden stubs qualify.
+func (c *checker) isSource(call *ast.CallExpr) bool {
+	if framework.IsMethod(c.pass.TypesInfo, call, "store", "File", "Section") {
+		return true
+	}
+	fn := framework.CalleeFunc(c.pass.TypesInfo, call)
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Name() != "store" {
+		return false
+	}
+	if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+		return false
+	}
+	return fn.Name() == "Float64s" || fn.Name() == "Float32s"
+}
+
+// tainted reports whether expression e evaluates to a view under fact f:
+// a tainted variable, a slice of one, an index into one with a
+// reference-typed element, or a direct source call.
+func (c *checker) tainted(f taintFact, e ast.Expr) bool {
+	switch x := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		obj := c.pass.TypesInfo.Uses[x]
+		if obj == nil {
+			obj = c.pass.TypesInfo.Defs[x]
+		}
+		return obj != nil && f[obj]
+	case *ast.SliceExpr:
+		return c.tainted(f, x.X)
+	case *ast.IndexExpr:
+		return c.tainted(f, x.X) && isRefType(c.pass.TypesInfo.Types[x].Type)
+	case *ast.CallExpr:
+		return c.isSource(x)
+	}
+	return false
+}
+
+// isRefType reports whether t aliases underlying storage (slices and
+// pointers); scalar loads out of a view are copies and safe.
+func isRefType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	switch t.Underlying().(type) {
+	case *types.Slice, *types.Pointer:
+		return true
+	}
+	return false
+}
+
+type taintAnalysis struct{ c *checker }
+
+func (a taintAnalysis) EntryFact() cfg.Fact { return taintFact{} }
+
+func (a taintAnalysis) Merge(x, y cfg.Fact) cfg.Fact {
+	xs, ys := x.(taintFact), y.(taintFact)
+	out := xs.clone()
+	for k := range ys {
+		out[k] = true
+	}
+	return out
+}
+
+func (a taintAnalysis) Equal(x, y cfg.Fact) bool {
+	xs, ys := x.(taintFact), y.(taintFact)
+	if len(xs) != len(ys) {
+		return false
+	}
+	for k := range xs {
+		if !ys[k] {
+			return false
+		}
+	}
+	return true
+}
+
+func (a taintAnalysis) Transfer(f cfg.Fact, n ast.Node) cfg.Fact {
+	in := f.(taintFact)
+	c := a.c
+	switch s := n.(type) {
+	case *ast.AssignStmt:
+		// Multi-value form `v, err := source(b)`: the view is result 0.
+		if len(s.Rhs) == 1 && len(s.Lhs) > 1 {
+			if call, ok := ast.Unparen(s.Rhs[0]).(*ast.CallExpr); ok {
+				return c.setTaint(in, s.Lhs[0], c.isSource(call))
+			}
+			return in
+		}
+		out := in
+		for i, lhs := range s.Lhs {
+			if i < len(s.Rhs) {
+				out = c.setTaint(out, lhs, c.tainted(out, s.Rhs[i]))
+			}
+		}
+		return out
+	case *ast.RangeStmt:
+		// Ranging over a tainted slice-of-slices taints the element; over
+		// a flat float view it yields scalars, which are copies.
+		if s.Value != nil && c.tainted(in, s.X) {
+			if id, ok := s.Value.(*ast.Ident); ok && isRefType(c.pass.TypesInfo.TypeOf(id)) {
+				return c.setTaint(in, id, true)
+			}
+		}
+		return in
+	}
+	return in
+}
+
+// setTaint marks or clears the object named by lhs.
+func (c *checker) setTaint(f taintFact, lhs ast.Expr, taint bool) taintFact {
+	id, ok := ast.Unparen(lhs).(*ast.Ident)
+	if !ok || id.Name == "_" {
+		return f
+	}
+	obj := c.pass.TypesInfo.Defs[id]
+	if obj == nil {
+		obj = c.pass.TypesInfo.Uses[id]
+	}
+	if obj == nil {
+		return f
+	}
+	if f[obj] == taint {
+		return f
+	}
+	out := f.clone()
+	if taint {
+		out[obj] = true
+	} else {
+		delete(out, obj)
+	}
+	return out
+}
+
+// checkFunc solves the taint analysis over body and reports the sinks.
+// Closures are analyzed separately — with the taints captured from the
+// enclosing scope at the goroutine check, and fresh otherwise.
+func (c *checker) checkFunc(body *ast.BlockStmt) {
+	g := cfg.New(body)
+	res := cfg.Solve(g, taintAnalysis{c: c})
+	for _, b := range g.Blocks {
+		for _, n := range b.Nodes {
+			before, ok := res.Before(n)
+			if !ok {
+				continue
+			}
+			c.checkNode(n, before.(taintFact))
+		}
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		if fl, ok := n.(*ast.FuncLit); ok {
+			c.checkFunc(fl.Body)
+			return false
+		}
+		return true
+	})
+}
+
+func (c *checker) checkNode(n ast.Node, f taintFact) {
+	switch s := n.(type) {
+	case *ast.ReturnStmt:
+		for _, r := range s.Results {
+			if c.tainted(f, r) {
+				c.pass.Reportf(r.Pos(),
+					"returning a store view: the caller outlives the mapping owner's release; copy the data or transfer mapping ownership explicitly")
+			}
+		}
+	case *ast.AssignStmt:
+		for i, lhs := range s.Lhs {
+			rhs := s.Rhs[0]
+			if len(s.Rhs) == len(s.Lhs) {
+				rhs = s.Rhs[i]
+			} else if i > 0 {
+				break // multi-value call: only result 0 is a view
+			}
+			if !c.tainted(f, rhs) {
+				continue
+			}
+			switch target := ast.Unparen(lhs).(type) {
+			case *ast.SelectorExpr:
+				c.pass.Reportf(lhs.Pos(),
+					"storing a store view into a field: the struct can outlive the mapping's release; copy the data or keep the owning store.File open for the struct's lifetime")
+			case *ast.IndexExpr:
+				c.pass.Reportf(lhs.Pos(),
+					"storing a store view into a container: it can outlive the mapping's release; copy the data instead")
+			case *ast.Ident:
+				if obj := c.pass.TypesInfo.Uses[target]; obj != nil && obj.Parent() == c.pass.Pkg.Scope() {
+					c.pass.Reportf(lhs.Pos(),
+						"storing a store view into a package-level variable: it outlives the mapping's release; copy the data instead")
+				}
+			}
+		}
+	case *ast.SendStmt:
+		if c.tainted(f, s.Value) {
+			c.pass.Reportf(s.Value.Pos(),
+				"sending a store view over a channel: the receiver can outlive the mapping's release; copy the data instead")
+		}
+	case *ast.GoStmt:
+		c.checkGoCapture(s, f)
+	}
+	// Composite literals store views into escaping values wherever they
+	// appear in the node.
+	cfg.Walk(n, func(x ast.Node) bool {
+		if _, ok := x.(*ast.FuncLit); ok {
+			return false
+		}
+		cl, ok := x.(*ast.CompositeLit)
+		if !ok {
+			return true
+		}
+		for _, elt := range cl.Elts {
+			v := elt
+			if kv, ok := elt.(*ast.KeyValueExpr); ok {
+				v = kv.Value
+			}
+			if c.tainted(f, v) {
+				c.pass.Reportf(v.Pos(),
+					"building a composite literal around a store view: the value can outlive the mapping's release; copy the data instead")
+			}
+		}
+		return true
+	})
+}
+
+// checkGoCapture reports views reaching a goroutine, by closure capture or
+// by argument: the goroutine's lifetime is unbounded relative to the
+// mapping owner's.
+func (c *checker) checkGoCapture(s *ast.GoStmt, f taintFact) {
+	for _, arg := range s.Call.Args {
+		if c.tainted(f, arg) {
+			c.pass.Reportf(arg.Pos(),
+				"passing a store view to a goroutine: it can outlive the mapping's release; copy the data instead")
+		}
+	}
+	fl, ok := ast.Unparen(s.Call.Fun).(*ast.FuncLit)
+	if !ok {
+		return
+	}
+	ast.Inspect(fl.Body, func(x ast.Node) bool {
+		id, ok := x.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		if obj := c.pass.TypesInfo.Uses[id]; obj != nil && f[obj] {
+			c.pass.Reportf(id.Pos(),
+				"goroutine captures store view %s: it can outlive the mapping's release; copy the data or pass a copy in", id.Name)
+		}
+		return true
+	})
+}

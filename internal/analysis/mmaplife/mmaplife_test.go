@@ -1,0 +1,12 @@
+package mmaplife_test
+
+import (
+	"testing"
+
+	"gofmm/internal/analysis/analyzertest"
+	"gofmm/internal/analysis/mmaplife"
+)
+
+func TestMmapLife(t *testing.T) {
+	analyzertest.Run(t, analyzertest.TestData(), mmaplife.Analyzer, "mmaplife")
+}

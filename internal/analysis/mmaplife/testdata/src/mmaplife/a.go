@@ -1,0 +1,114 @@
+package mmaplife
+
+import "store"
+
+type holder struct {
+	cache []float64
+	raw   []byte
+}
+
+var global []float64
+
+func borrowIsFine(f *store.File) float64 {
+	b, _ := f.Section(store.SecArena64)
+	v, err := store.Float64s(b)
+	if err != nil {
+		return 0
+	}
+	return sum(v) // ok: passing a view down the stack borrows it
+}
+
+func sum(v []float64) float64 {
+	var s float64
+	for _, x := range v {
+		s += x
+	}
+	return s
+}
+
+func copyIsFine(b []byte) []float64 {
+	v, err := store.Float64s(b)
+	if err != nil {
+		return nil
+	}
+	out := make([]float64, len(v))
+	copy(out, v)
+	return out // ok: the copy owns its memory
+}
+
+func returnsView(b []byte) []float64 {
+	v, err := store.Float64s(b)
+	if err != nil {
+		return nil
+	}
+	return v // want `returning a store view`
+}
+
+func returnsSlicedView(b []byte) []float64 {
+	v, _ := store.Float64s(b)
+	return v[1:3] // want `returning a store view`
+}
+
+func returnsSection(f *store.File) []byte {
+	b, _ := f.Section(store.SecMeta)
+	return b // want `returning a store view`
+}
+
+func storesField(h *holder, b []byte) {
+	v, err := store.Float64s(b)
+	if err != nil {
+		return
+	}
+	h.cache = v // want `storing a store view into a field`
+}
+
+func storesGlobal(b []byte) {
+	v, _ := store.Float64s(b)
+	global = v // want `storing a store view into a package-level variable`
+}
+
+func sendsView(ch chan []float64, b []byte) {
+	v, _ := store.Float64s(b)
+	ch <- v // want `sending a store view over a channel`
+}
+
+func goroutineCapture(b []byte) {
+	v, _ := store.Float64s(b)
+	go func() {
+		sum(v) // want `goroutine captures store view v`
+	}()
+}
+
+func goroutineArg(b []byte) {
+	v, _ := store.Float64s(b)
+	go consume(v) // want `passing a store view to a goroutine`
+}
+
+func consume([]float64) {}
+
+func compositeLit(b []byte) {
+	v, _ := store.Float64s(b)
+	_ = holder{cache: v} // want `building a composite literal around a store view`
+}
+
+func killOnReassign(b []byte) []float64 {
+	v, _ := store.Float64s(b)
+	sum(v)
+	v = make([]float64, 4)
+	return v // ok: reassigned to owned memory before escaping
+}
+
+func branchTaint(b []byte, useView bool) []float64 {
+	var v []float64
+	if useView {
+		v, _ = store.Float64s(b)
+	} else {
+		v = make([]float64, 8)
+	}
+	return v // want `returning a store view`
+}
+
+func scalarLoadIsFine(b []byte) float64 {
+	v, _ := store.Float64s(b)
+	return v[0] // ok: a float is a copy, not a window
+}

@@ -1,0 +1,35 @@
+// Package store is a stub of gofmm/internal/store for the mmaplife golden
+// suite: same names, same shapes, no unsafe.
+package store
+
+import "errors"
+
+type SectionKind uint32
+
+const (
+	SecMeta    SectionKind = 1
+	SecArena64 SectionKind = 4
+)
+
+type File struct {
+	sections map[SectionKind][]byte
+}
+
+func (f *File) Section(kind SectionKind) ([]byte, bool) {
+	b, ok := f.sections[kind]
+	return b, ok
+}
+
+func Float64s(b []byte) ([]float64, error) {
+	if len(b)%8 != 0 {
+		return nil, errors.New("misaligned")
+	}
+	return make([]float64, len(b)/8), nil
+}
+
+func Float32s(b []byte) ([]float32, error) {
+	if len(b)%4 != 0 {
+		return nil, errors.New("misaligned")
+	}
+	return make([]float32, len(b)/4), nil
+}

@@ -1,0 +1,557 @@
+// Package refcount checks acquire/release pairing on the serving layer's
+// reference-counted objects across every exit path, panic unwinds included.
+//
+// Pairs are discovered structurally, per package: a named type with methods
+// `acquire` and `release` (the Operator/admission pin protocol) or `allow`
+// and `record` (the breaker protocol) forms a pair. Three acquire shapes
+// are understood:
+//
+//   - bool-returning: `if x.acquire() { ... }` — the reference exists only
+//     on the true edge;
+//   - error-returning: `if err := x.acquire(ctx); err != nil { return }` —
+//     the reference exists only on the err == nil edge;
+//   - unconditional: `x.acquire()` as a bare statement.
+//
+// Once live, a reference must be retired on every path by one of:
+//
+//   - a direct release call (`x.release()`, `x.record(err)`);
+//   - a deferred release — `defer x.release()` or a deferred closure whose
+//     body releases — which covers both normal exits and panics;
+//   - passing the object to a releaser method: a same-package method of the
+//     paired type whose body begins by deferring the release
+//     (Operator.do's `defer o.release()`), i.e. an ownership transfer.
+//
+// A reference still live at function exit is reported at its acquire site.
+// A reference live across a call that can panic (any non-builtin,
+// non-conversion call that is not part of the pairing protocol) is also
+// reported: the unwind would leak it, and the fix is `defer`. Stray
+// releases are not flagged — callers releasing on behalf of a caller-side
+// acquire are the protocol working as designed.
+package refcount
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"gofmm/internal/analysis/framework"
+	"gofmm/internal/analysis/framework/cfg"
+)
+
+// Analyzer is the refcount analyzer.
+var Analyzer = &framework.Analyzer{
+	Name: "refcount",
+	Doc: "check acquire/release (and allow/record) pairing on refcounted " +
+		"serve objects across all exits: every acquired reference must be " +
+		"released on every path, with defer covering panic unwinds",
+	Run: run,
+}
+
+// pairNames lists the acquire→release method-name protocols.
+var pairNames = [][2]string{
+	{"acquire", "release"},
+	{"allow", "record"},
+}
+
+// pairing describes the discovered protocol of one named type.
+type pairing struct {
+	acquire *types.Func
+	release *types.Func
+	// releasers are same-type methods that begin with `defer recv.release()`
+	// — calling one transfers ownership of the reference.
+	releasers map[*types.Func]bool
+}
+
+// refKey identifies a refcounted object: root object + selector path
+// (`o.adm` → {o, "adm"}).
+type refKey struct {
+	root types.Object
+	path string
+}
+
+// site is one live, unprotected acquisition.
+type site struct {
+	pos token.Pos
+	key refKey
+	p   *pairing
+}
+
+// refFact maps acquire position → live site. An entry means "on some path,
+// this acquisition has neither a release nor a scheduled (deferred) one".
+// Bindings track not-yet-branched acquire results: condition variables
+// (bool or error) whose branch decides whether the reference exists.
+type refFact struct {
+	live map[token.Pos]site
+	bind map[types.Object]site
+}
+
+func emptyFact() refFact {
+	return refFact{live: map[token.Pos]site{}, bind: map[types.Object]site{}}
+}
+
+func (f refFact) clone() refFact {
+	out := refFact{
+		live: make(map[token.Pos]site, len(f.live)),
+		bind: make(map[types.Object]site, len(f.bind)),
+	}
+	for k, v := range f.live {
+		out.live[k] = v
+	}
+	for k, v := range f.bind {
+		out.bind[k] = v
+	}
+	return out
+}
+
+func run(pass *framework.Pass) error {
+	pairs := collectPairs(pass)
+	if len(pairs) == 0 {
+		return nil
+	}
+	c := &checker{pass: pass, pairs: pairs}
+	for _, file := range pass.Syntax {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || pass.InTestFile(fd.Pos()) {
+				continue
+			}
+			c.checkFunc(fd.Body)
+		}
+	}
+	return nil
+}
+
+// collectPairs discovers the per-package pairing protocols and their
+// releaser methods.
+func collectPairs(pass *framework.Pass) map[*types.Func]*pairing {
+	// Group methods by receiver base type.
+	type typeMethods struct {
+		byName map[string]*types.Func
+		decls  map[*types.Func]*ast.FuncDecl
+	}
+	byType := map[types.Object]*typeMethods{}
+	for _, file := range pass.Syntax {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Recv == nil {
+				continue
+			}
+			fn, _ := pass.TypesInfo.Defs[fd.Name].(*types.Func)
+			if fn == nil {
+				continue
+			}
+			sig := fn.Type().(*types.Signature)
+			recv := recvTypeObj(sig)
+			if recv == nil {
+				continue
+			}
+			tm := byType[recv]
+			if tm == nil {
+				tm = &typeMethods{byName: map[string]*types.Func{}, decls: map[*types.Func]*ast.FuncDecl{}}
+				byType[recv] = tm
+			}
+			tm.byName[fn.Name()] = fn
+			tm.decls[fn] = fd
+		}
+	}
+	// Acquire method → pairing, for every type exposing a full protocol.
+	pairs := map[*types.Func]*pairing{}
+	for _, tm := range byType {
+		for _, names := range pairNames {
+			acq, rel := tm.byName[names[0]], tm.byName[names[1]]
+			if acq == nil || rel == nil {
+				continue
+			}
+			p := &pairing{acquire: acq, release: rel, releasers: map[*types.Func]bool{}}
+			for fn, fd := range tm.decls {
+				if fn != acq && fn != rel && startsWithDeferredRelease(pass, fd, rel) {
+					p.releasers[fn] = true
+				}
+			}
+			pairs[acq] = p
+		}
+	}
+	return pairs
+}
+
+// recvTypeObj returns the defining object of the receiver's named base
+// type.
+func recvTypeObj(sig *types.Signature) types.Object {
+	if sig.Recv() == nil {
+		return nil
+	}
+	t := sig.Recv().Type()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	if n, ok := t.(*types.Named); ok {
+		return n.Obj()
+	}
+	return nil
+}
+
+// startsWithDeferredRelease reports whether fd's body has a top-level
+// `defer recv.release()` — first statement in practice, any top-level
+// position accepted.
+func startsWithDeferredRelease(pass *framework.Pass, fd *ast.FuncDecl, rel *types.Func) bool {
+	if fd.Body == nil {
+		return false
+	}
+	for _, stmt := range fd.Body.List {
+		if ds, ok := stmt.(*ast.DeferStmt); ok &&
+			framework.CalleeFunc(pass.TypesInfo, ds.Call) == rel {
+			return true
+		}
+	}
+	return false
+}
+
+// checker runs the reference analysis over one function body.
+type checker struct {
+	pass  *framework.Pass
+	pairs map[*types.Func]*pairing
+}
+
+type refAnalysis struct{ c *checker }
+
+func (a refAnalysis) EntryFact() cfg.Fact { return emptyFact() }
+
+func (a refAnalysis) Merge(x, y cfg.Fact) cfg.Fact {
+	xs, ys := x.(refFact), y.(refFact)
+	out := xs.clone()
+	for k, v := range ys.live {
+		out.live[k] = v
+	}
+	for k, v := range ys.bind {
+		out.bind[k] = v
+	}
+	return out
+}
+
+func (a refAnalysis) Equal(x, y cfg.Fact) bool {
+	xs, ys := x.(refFact), y.(refFact)
+	if len(xs.live) != len(ys.live) || len(xs.bind) != len(ys.bind) {
+		return false
+	}
+	for k := range xs.live {
+		if _, ok := ys.live[k]; !ok {
+			return false
+		}
+	}
+	for k := range xs.bind {
+		if _, ok := ys.bind[k]; !ok {
+			return false
+		}
+	}
+	return true
+}
+
+func (a refAnalysis) Transfer(f cfg.Fact, n ast.Node) cfg.Fact {
+	in := f.(refFact)
+	out := in
+	mutable := false
+	mut := func() refFact {
+		if !mutable {
+			out = out.clone()
+			mutable = true
+		}
+		return out
+	}
+
+	// Deferred releases cover their reference for good: normal exit and
+	// panic unwind both run them.
+	if ds, ok := n.(*ast.DeferStmt); ok {
+		for _, key := range a.c.releasedKeys(ds.Call, true) {
+			dropKey(mut(), key)
+		}
+		return out
+	}
+
+	// Binding form: `err := x.acquire(ctx)` / `ok := x.acquire()`.
+	if as, ok := n.(*ast.AssignStmt); ok && len(as.Lhs) == 1 && len(as.Rhs) == 1 {
+		if call, ok := ast.Unparen(as.Rhs[0]).(*ast.CallExpr); ok {
+			if s, ok := a.c.acquireSite(call); ok {
+				if id, ok := ast.Unparen(as.Lhs[0]).(*ast.Ident); ok && id.Name != "_" {
+					obj := a.c.pass.TypesInfo.Defs[id]
+					if obj == nil {
+						obj = a.c.pass.TypesInfo.Uses[id]
+					}
+					if obj != nil {
+						mut().bind[obj] = s
+						return out
+					}
+				}
+				// Result discarded: treat as unconditionally acquired.
+				mut().live[s.pos] = s
+				return out
+			}
+		}
+	}
+
+	cfg.Walk(n, func(x ast.Node) bool {
+		if _, ok := x.(*ast.FuncLit); ok {
+			return false
+		}
+		call, ok := x.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if s, ok := a.c.acquireSite(call); ok {
+			if !a.c.conditionCall(n, call) {
+				mut().live[s.pos] = s
+			}
+			return true
+		}
+		for _, key := range a.c.releasedKeys(call, false) {
+			dropKey(mut(), key)
+		}
+		return true
+	})
+	return out
+}
+
+// TransferBranch realizes conditional acquisition: on the edge where the
+// acquire succeeded the reference becomes live, on the other it never
+// existed.
+func (a refAnalysis) TransferBranch(f cfg.Fact, cond ast.Expr, branch bool) cfg.Fact {
+	in := f.(refFact)
+	// `if x.acquire() { ... }` — the call is the condition.
+	if call, ok := ast.Unparen(cond).(*ast.CallExpr); ok {
+		if s, ok := a.c.acquireSite(call); ok && isBool(a.c.pass, call) {
+			if branch {
+				out := in.clone()
+				out.live[s.pos] = s
+				return out
+			}
+			return in
+		}
+	}
+	// `if ok { ... }` over a bound bool.
+	if id, ok := ast.Unparen(cond).(*ast.Ident); ok {
+		if obj := a.c.pass.TypesInfo.Uses[id]; obj != nil {
+			if s, bound := in.bind[obj]; bound && branch {
+				out := in.clone()
+				delete(out.bind, obj)
+				out.live[s.pos] = s
+				return out
+			}
+		}
+	}
+	// `if err != nil { return }` / `if err == nil { ... }` over a bound
+	// error: the reference exists on the nil edge.
+	if be, ok := ast.Unparen(cond).(*ast.BinaryExpr); ok && (be.Op == token.EQL || be.Op == token.NEQ) {
+		if id := errCompare(be); id != nil {
+			if obj := a.c.pass.TypesInfo.Uses[id]; obj != nil {
+				if s, bound := in.bind[obj]; bound {
+					out := in.clone()
+					delete(out.bind, obj)
+					acquired := (be.Op == token.EQL && branch) || (be.Op == token.NEQ && !branch)
+					if acquired {
+						out.live[s.pos] = s
+					}
+					return out
+				}
+			}
+		}
+	}
+	return in
+}
+
+// errCompare matches `ident op nil` / `nil op ident` and returns the
+// non-nil side.
+func errCompare(be *ast.BinaryExpr) *ast.Ident {
+	xid, _ := ast.Unparen(be.X).(*ast.Ident)
+	yid, _ := ast.Unparen(be.Y).(*ast.Ident)
+	if xid != nil && yid != nil && yid.Name == "nil" {
+		return xid
+	}
+	if xid != nil && yid != nil && xid.Name == "nil" {
+		return yid
+	}
+	return nil
+}
+
+func isBool(pass *framework.Pass, call *ast.CallExpr) bool {
+	tv, ok := pass.TypesInfo.Types[call]
+	return ok && tv.Type != nil && types.Identical(tv.Type, types.Typ[types.Bool])
+}
+
+// dropKey removes every live site and binding of key.
+func dropKey(f refFact, key refKey) {
+	for pos, s := range f.live {
+		if s.key == key {
+			delete(f.live, pos)
+		}
+	}
+	for obj, s := range f.bind {
+		if s.key == key {
+			delete(f.bind, obj)
+		}
+	}
+}
+
+// acquireSite classifies call as an acquire of a known pairing on a
+// flattenable receiver chain.
+func (c *checker) acquireSite(call *ast.CallExpr) (site, bool) {
+	fn := framework.CalleeFunc(c.pass.TypesInfo, call)
+	if fn == nil {
+		return site{}, false
+	}
+	p, ok := c.pairs[fn]
+	if !ok {
+		return site{}, false
+	}
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return site{}, false
+	}
+	root, path, ok := framework.Chain(c.pass.TypesInfo, sel.X)
+	if !ok {
+		return site{}, false
+	}
+	return site{pos: call.Pos(), key: refKey{root: root, path: path}, p: p}, true
+}
+
+// releasedKeys returns the refKeys that call retires: a direct release or
+// releaser-method call on a chain receiver, or (when deferred) a closure
+// whose body contains one.
+func (c *checker) releasedKeys(call *ast.CallExpr, deferred bool) []refKey {
+	var keys []refKey
+	collect := func(call *ast.CallExpr) {
+		fn := framework.CalleeFunc(c.pass.TypesInfo, call)
+		if fn == nil {
+			return
+		}
+		isRelease := false
+		for _, p := range c.pairs {
+			if fn == p.release || p.releasers[fn] {
+				isRelease = true
+				break
+			}
+		}
+		if !isRelease {
+			return
+		}
+		sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok {
+			return
+		}
+		if root, path, ok := framework.Chain(c.pass.TypesInfo, sel.X); ok {
+			keys = append(keys, refKey{root: root, path: path})
+		}
+	}
+	collect(call)
+	if deferred {
+		if fl, ok := ast.Unparen(call.Fun).(*ast.FuncLit); ok {
+			ast.Inspect(fl.Body, func(x ast.Node) bool {
+				if inner, ok := x.(*ast.CallExpr); ok {
+					collect(inner)
+				}
+				return true
+			})
+		}
+	}
+	return keys
+}
+
+// conditionCall reports whether call is the branch condition of n (an
+// IfStmt/ForStmt condition handled by TransferBranch, not by Transfer).
+func (c *checker) conditionCall(n ast.Node, call *ast.CallExpr) bool {
+	e, ok := n.(ast.Expr)
+	return ok && ast.Unparen(e) == ast.Expr(call)
+}
+
+// checkFunc solves the analysis and reports leaks at exit and across
+// panic-capable calls. Closures are checked as their own functions.
+func (c *checker) checkFunc(body *ast.BlockStmt) {
+	g := cfg.New(body)
+	res := cfg.Solve(g, refAnalysis{c: c})
+
+	// One report per acquire site; the exit leak subsumes the panic window.
+	reported := map[token.Pos]bool{}
+	if exit, ok := res.Exit(g); ok {
+		for _, s := range exit.(refFact).live {
+			reported[s.pos] = true
+			c.pass.Reportf(s.pos,
+				"%s acquired here is not released on every path; pair it with %s (or defer it)",
+				s.p.acquire.Name(), s.p.release.Name())
+		}
+	}
+
+	// Panic windows: a live (non-deferred) reference crossing a call that
+	// can unwind leaks on panic.
+	for _, b := range g.Blocks {
+		for _, n := range b.Nodes {
+			before, ok := res.Before(n)
+			if !ok {
+				continue
+			}
+			live := before.(refFact).live
+			if len(live) == 0 {
+				continue
+			}
+			if !c.hasPanicCapableCall(n) {
+				continue
+			}
+			for _, s := range live {
+				if reported[s.pos] {
+					continue
+				}
+				reported[s.pos] = true
+				c.pass.Reportf(s.pos,
+					"%s acquired here may leak if a later call panics; use `defer %s`",
+					s.p.acquire.Name(), s.p.release.Name())
+			}
+		}
+	}
+
+	ast.Inspect(body, func(n ast.Node) bool {
+		if fl, ok := n.(*ast.FuncLit); ok {
+			c.checkFunc(fl.Body)
+			return false
+		}
+		return true
+	})
+}
+
+// hasPanicCapableCall reports whether node n performs a call that can
+// unwind: any resolved function call outside the pairing protocol, or a
+// call through a function value. Conversions and builtins do not count.
+func (c *checker) hasPanicCapableCall(n ast.Node) bool {
+	if _, ok := n.(*ast.DeferStmt); ok {
+		// The deferred call runs at exit, not here; by then the reference
+		// is either released or reported by the exit check.
+		return false
+	}
+	found := false
+	cfg.Walk(n, func(x ast.Node) bool {
+		if found {
+			return false
+		}
+		if _, ok := x.(*ast.FuncLit); ok {
+			return false
+		}
+		call, ok := x.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if tv, ok := c.pass.TypesInfo.Types[call.Fun]; ok && tv.IsType() {
+			return true // conversion
+		}
+		if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+			if _, isBuiltin := c.pass.TypesInfo.Uses[id].(*types.Builtin); isBuiltin {
+				return true
+			}
+		}
+		if fn := framework.CalleeFunc(c.pass.TypesInfo, call); fn != nil {
+			for _, p := range c.pairs {
+				if fn == p.acquire || fn == p.release || p.releasers[fn] {
+					return true // protocol calls manage the reference themselves
+				}
+			}
+		}
+		found = true
+		return false
+	})
+	return found
+}

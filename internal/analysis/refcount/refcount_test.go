@@ -1,0 +1,12 @@
+package refcount_test
+
+import (
+	"testing"
+
+	"gofmm/internal/analysis/analyzertest"
+	"gofmm/internal/analysis/refcount"
+)
+
+func TestRefCount(t *testing.T) {
+	analyzertest.Run(t, analyzertest.TestData(), refcount.Analyzer, "refcount")
+}

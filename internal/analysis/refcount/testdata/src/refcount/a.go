@@ -1,0 +1,138 @@
+package refcount
+
+import "context"
+
+type operator struct {
+	name string
+}
+
+// acquire pins the operator; false once retired.
+func (o *operator) acquire() bool { return o.name != "" }
+
+// release drops one pin.
+func (o *operator) release() {}
+
+// do is a releaser method: ownership of the pin transfers to it.
+func (o *operator) do(ctx context.Context) error {
+	defer o.release()
+	return work(ctx)
+}
+
+type gate struct{ ch chan struct{} }
+
+func (g *gate) acquire(ctx context.Context) error {
+	select {
+	case g.ch <- struct{}{}:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+func (g *gate) release() { <-g.ch }
+
+type breaker struct{ open bool }
+
+func (b *breaker) allow() error {
+	if b.open {
+		return errOpen
+	}
+	return nil
+}
+
+func (b *breaker) record(err error) {}
+
+var errOpen = errorString("open")
+
+type errorString string
+
+func (e errorString) Error() string { return string(e) }
+
+func work(ctx context.Context) error { return ctx.Err() }
+
+// --- correct pairings ---
+
+func deferPair(ctx context.Context, g *gate) error {
+	if err := g.acquire(ctx); err != nil {
+		return err
+	}
+	defer g.release()
+	return work(ctx)
+}
+
+func directPair(ctx context.Context, g *gate) {
+	if err := g.acquire(ctx); err != nil {
+		return
+	}
+	g.release()
+}
+
+func transferOwnership(ctx context.Context, o *operator) error {
+	if o.acquire() {
+		return o.do(ctx)
+	}
+	return errOpen
+}
+
+func boundBool(ctx context.Context, o *operator) error {
+	ok := o.acquire()
+	if ok {
+		return o.do(ctx)
+	}
+	return errOpen
+}
+
+func deferredClosure(ctx context.Context, b *breaker) (err error) {
+	if err := b.allow(); err != nil {
+		return err
+	}
+	defer func() { b.record(err) }()
+	return work(ctx)
+}
+
+func failedAcquireNeedsNoRelease(ctx context.Context, g *gate) error {
+	if err := g.acquire(ctx); err != nil {
+		return err // ok: the reference never existed on this path
+	}
+	defer g.release()
+	return nil
+}
+
+// --- violations ---
+
+func leakOnEarlyReturn(ctx context.Context, g *gate) error {
+	if err := g.acquire(ctx); err != nil { // want `acquire acquired here is not released on every path`
+		return err
+	}
+	if ctx.Err() != nil {
+		return ctx.Err() // leaks: no release on this exit
+	}
+	g.release()
+	return nil
+}
+
+func leakEverywhere(o *operator) {
+	if o.acquire() { // want `acquire acquired here is not released on every path`
+		_ = o.name
+	}
+}
+
+func panicWindow(ctx context.Context, g *gate) error {
+	if err := g.acquire(ctx); err != nil { // want `acquire acquired here may leak if a later call panics; use .defer release.`
+		return err
+	}
+	err := work(ctx) // a panic here unwinds past the manual release
+	g.release()
+	return err
+}
+
+func allowWithoutRecord(ctx context.Context, b *breaker) error {
+	if err := b.allow(); err != nil { // want `allow acquired here is not released on every path`
+		return err
+	}
+	return work(ctx)
+}
+
+func strayReleaseIsFine(g *gate) {
+	g.release() // ok: releasing on behalf of a caller-side acquire
+}

@@ -15,8 +15,12 @@ import (
 	"gofmm/internal/analysis/errtaxonomy"
 	"gofmm/internal/analysis/framework"
 	"gofmm/internal/analysis/load"
+	"gofmm/internal/analysis/lockguard"
+	"gofmm/internal/analysis/mmaplife"
+	"gofmm/internal/analysis/refcount"
 	"gofmm/internal/analysis/scopecheck"
 	"gofmm/internal/analysis/spancheck"
+	"gofmm/internal/analysis/unsafeview"
 )
 
 // Entry pairs an analyzer with the import paths it is meant for.
@@ -48,6 +52,15 @@ type Entry struct {
 //     falls under the default internal/ rule: its 429-vs-503 status mapping
 //     dispatches on errors.Is, so every error it returns must wrap a
 //     sentinel.
+//   - lockguard: `// guarded by` annotations are a repo-wide contract;
+//     the analyzer is inert in packages that carry none.
+//   - mmaplife: view-escape discipline applies everywhere except
+//     internal/store itself, whose view constructors must hand the view
+//     out (its callers own the mapping lifetime).
+//   - refcount: the acquire/release protocols it understands live in
+//     internal/serve; applying it there keeps golden-style stub types in
+//     other packages from accidentally matching.
+//   - unsafeview: the allowlist is the point — it must see every package.
 func All() []Entry {
 	return []Entry{
 		{scopecheck.Analyzer, everywhere},
@@ -67,6 +80,12 @@ func All() []Entry {
 			return !underAny("gofmm/internal/resilience", "gofmm/internal/telemetry",
 				"gofmm/internal/analysis")(path)
 		}},
+		{lockguard.Analyzer, everywhere},
+		{mmaplife.Analyzer, func(path string) bool {
+			return path != "gofmm/internal/store"
+		}},
+		{refcount.Analyzer, underAny("gofmm/internal/serve")},
+		{unsafeview.Analyzer, everywhere},
 	}
 }
 
@@ -94,10 +113,12 @@ type Finding struct {
 // Run applies every registered analyzer whose filter accepts pkg and
 // returns the surviving findings in file/line order. Diagnostics on a line
 // carrying (or directly below) a matching `//gofmmlint:ignore <analyzer>
-// <reason>` comment are dropped.
+// <reason>` comment are dropped. The reason is mandatory: a directive
+// without one suppresses nothing and is itself reported (analyzer
+// "suppression") — an unexplained suppression is just a violation with
+// better camouflage.
 func Run(pkg *load.Package) ([]Finding, error) {
-	ignores := ignoreIndex(pkg)
-	var out []Finding
+	ignores, out := ignoreIndex(pkg)
 	for _, e := range All() {
 		if !e.AppliesTo(pkg.ImportPath) {
 			continue
@@ -142,8 +163,12 @@ const ignoreDirective = "//gofmmlint:ignore"
 
 type ignoreSet map[string]map[int]map[string]bool // file → line → analyzers
 
-func ignoreIndex(pkg *load.Package) ignoreSet {
+// ignoreIndex collects the well-formed directives and, as findings, the
+// malformed ones: a directive must name an analyzer (or `all`) AND give a
+// non-empty reason to suppress anything.
+func ignoreIndex(pkg *load.Package) (ignoreSet, []Finding) {
 	set := ignoreSet{}
+	var bad []Finding
 	for _, f := range pkg.Syntax {
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
@@ -151,10 +176,19 @@ func ignoreIndex(pkg *load.Package) ignoreSet {
 					continue
 				}
 				fields := strings.Fields(strings.TrimPrefix(c.Text, ignoreDirective))
-				if len(fields) == 0 {
+				pos := pkg.Fset.Position(c.Pos())
+				if len(fields) < 2 {
+					bad = append(bad, Finding{
+						Analyzer: "suppression",
+						Position: pos,
+						Diagnostic: framework.Diagnostic{
+							Pos: c.Pos(),
+							Message: "gofmmlint:ignore directive without a reason suppresses nothing; " +
+								"write `//gofmmlint:ignore <analyzer> <why this is sanctioned>`",
+						},
+					})
 					continue
 				}
-				pos := pkg.Fset.Position(c.Pos())
 				if set[pos.Filename] == nil {
 					set[pos.Filename] = map[int]map[string]bool{}
 				}
@@ -165,7 +199,7 @@ func ignoreIndex(pkg *load.Package) ignoreSet {
 			}
 		}
 	}
-	return set
+	return set, bad
 }
 
 // suppressed honors a directive on the diagnostic's own line (trailing

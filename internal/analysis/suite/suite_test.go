@@ -70,6 +70,53 @@ func TestIgnoreDirective(t *testing.T) {
 	}
 }
 
+const reasonlessSrc = `package core
+
+func collect(m map[int]int) []int {
+	var out []int
+	for k := range m {
+		//gofmmlint:ignore detorder
+		out = append(out, k)
+	}
+	return out
+}
+`
+
+// A directive without a reason suppresses nothing and is itself reported.
+func TestReasonlessDirective(t *testing.T) {
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "core.go", reasonlessSrc, parser.ParseComments|parser.SkipObjectResolution)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info := framework.NewInfo()
+	tpkg, err := (&types.Config{}).Check("gofmm/internal/core", fset, []*ast.File{f}, info)
+	if err != nil {
+		t.Fatal(err)
+	}
+	findings, err := suite.Run(&load.Package{
+		ImportPath: "gofmm/internal/core",
+		Fset:       fset,
+		Syntax:     []*ast.File{f},
+		Types:      tpkg,
+		TypesInfo:  info,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	byAnalyzer := map[string]int{}
+	for _, f := range findings {
+		byAnalyzer[f.Analyzer]++
+	}
+	if byAnalyzer["suppression"] != 1 {
+		t.Errorf("got %d suppression findings, want 1: %v", byAnalyzer["suppression"], findings)
+	}
+	if byAnalyzer["detorder"] != 1 {
+		t.Errorf("got %d detorder findings, want 1 (reasonless directive must not suppress): %v",
+			byAnalyzer["detorder"], findings)
+	}
+}
+
 // Outside detorder's package set the same code is not checked at all.
 func TestPathFilter(t *testing.T) {
 	if findings := checkAs(t, "gofmm/cmd/gofmm"); len(findings) != 0 {

@@ -1,0 +1,81 @@
+// Package store mirrors the real view layer: this file is allowlisted
+// (suffix store/view.go), so unsafe may appear but must follow the idiom.
+package store
+
+import (
+	"errors"
+	"unsafe"
+)
+
+var errBad = errors.New("bad buffer")
+
+// viewable is the blessed checker: alignment test on a slice parameter.
+func viewable(b []byte, elemSize uintptr) error {
+	if uintptr(len(b))%elemSize != 0 {
+		return errBad
+	}
+	if len(b) > 0 && uintptr(unsafe.Pointer(unsafe.SliceData(b)))%elemSize != 0 {
+		return errBad
+	}
+	return nil
+}
+
+// Float64s is the correct idiom: checker call dominates the cast.
+func Float64s(b []byte) ([]float64, error) {
+	if err := viewable(b, 8); err != nil {
+		return nil, err
+	}
+	if len(b) == 0 {
+		return nil, nil
+	}
+	return unsafe.Slice((*float64)(unsafe.Pointer(unsafe.SliceData(b))), len(b)/8), nil
+}
+
+// inlineCheck performs the alignment test without a helper; also fine.
+func inlineCheck(b []byte) []uint32 {
+	if uintptr(unsafe.Pointer(unsafe.SliceData(b)))%4 != 0 {
+		return nil
+	}
+	return unsafe.Slice((*uint32)(unsafe.Pointer(unsafe.SliceData(b))), len(b)/4)
+}
+
+// uncheckedCast never tests alignment.
+func uncheckedCast(b []byte) []float64 {
+	return unsafe.Slice((*float64)(unsafe.Pointer(unsafe.SliceData(b))), len(b)/8) // want `reinterpreting b without an alignment check on every path`
+}
+
+// checkOnOneBranch only validates b on one path to the cast.
+func checkOnOneBranch(b []byte, trust bool) []float64 {
+	if !trust {
+		if err := viewable(b, 8); err != nil {
+			return nil
+		}
+	}
+	return unsafe.Slice((*float64)(unsafe.Pointer(unsafe.SliceData(b))), len(b)/8) // want `reinterpreting b without an alignment check on every path`
+}
+
+// byteView needs no alignment check: byte has none.
+func byteView(p unsafe.Pointer, n int) []byte {
+	return unsafe.Slice((*byte)(p), n) // ok, though not the SliceData idiom
+}
+
+var hostLittleEndian = func() bool {
+	x := uint16(1)
+	return *(*byte)(unsafe.Pointer(&x)) == 1 // ok: *byte casts are exempt
+}()
+
+// roundTrip smuggles a pointer through an integer.
+func roundTrip(b []byte) unsafe.Pointer {
+	addr := uintptr(unsafe.Pointer(unsafe.SliceData(b)))
+	return unsafe.Pointer(addr) // want `uintptr-to-unsafe.Pointer round-trip`
+}
+
+// strayCast reinterprets without the unsafe.Slice idiom.
+func strayCast(b []byte) *float64 {
+	return (*float64)(unsafe.Pointer(unsafe.SliceData(b))) // want `unsafe.Pointer cast to \*float64 outside the view idiom`
+}
+
+// notTheIdiom builds the slice from a raw pointer parameter.
+func notTheIdiom(p unsafe.Pointer, n int) []float64 {
+	return unsafe.Slice((*float64)(p), n) // want `unsafe.Slice operand is not the view idiom`
+}

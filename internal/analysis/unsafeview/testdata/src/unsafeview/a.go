@@ -1,0 +1,10 @@
+// Package unsafeview is NOT allowlisted: importing unsafe at all is the
+// finding, regardless of how carefully it is then used.
+package unsafeview
+
+import "unsafe" // want `import of unsafe outside the view-layer allowlist`
+
+// Size is careful, correct — and still not allowed here.
+func Size(x int) uintptr {
+	return unsafe.Sizeof(x)
+}

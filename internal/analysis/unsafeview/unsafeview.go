@@ -1,0 +1,361 @@
+// Package unsafeview confines unsafe to the zero-copy view layer and
+// checks that the code there follows the one blessed idiom.
+//
+// Rule 1 — allowlist. Only internal/store/view.go and the linalg
+// accelerator shims may import unsafe; an import anywhere else is a
+// diagnostic. Growing the allowlist is a deliberate review decision, not a
+// side effect of a convenient cast.
+//
+// Rule 2 — no uintptr round-trips. Converting a uintptr back to
+// unsafe.Pointer is forbidden everywhere, allowlist included: the GC may
+// move or free the object between the two conversions. (The forward
+// direction — uintptr(unsafe.Pointer(p)) for an alignment comparison — is
+// fine; the integer never comes back.)
+//
+// Rule 3 — alignment check before cast. Inside the allowlist, a
+// reinterpreting cast must be the view idiom:
+//
+//	unsafe.Slice((*T)(unsafe.Pointer(unsafe.SliceData(b))), len(b)/size)
+//
+// where every path to the cast passes b through an alignment check — an
+// inline `uintptr(unsafe.Pointer(unsafe.SliceData(b))) % size` test or a
+// call to a same-package checker function built around one (store's
+// `viewable`). The must-reach condition is solved on the control-flow
+// graph, so a branch that skips the check is caught even when another
+// path performs it. Casts to *byte are exempt (byte has no alignment),
+// and any unsafe.Pointer cast outside the idiom is a diagnostic.
+package unsafeview
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"gofmm/internal/analysis/framework"
+	"gofmm/internal/analysis/framework/cfg"
+)
+
+// Analyzer is the unsafeview analyzer.
+var Analyzer = &framework.Analyzer{
+	Name: "unsafeview",
+	Doc: "confine unsafe to the view-layer allowlist (store/view.go, linalg " +
+		"shims); inside it require the alignment-check-before-cast idiom and " +
+		"forbid uintptr-to-pointer round-trips",
+	Run: run,
+}
+
+// allowlisted reports whether filename may import unsafe.
+func allowlisted(filename string) bool {
+	return strings.HasSuffix(filename, "store/view.go") ||
+		strings.Contains(filename, "/linalg/")
+}
+
+func run(pass *framework.Pass) error {
+	c := &checker{pass: pass, checkers: collectCheckers(pass)}
+	for _, file := range pass.Syntax {
+		filename := pass.Fset.File(file.Pos()).Name()
+		usesUnsafe := false
+		for _, imp := range file.Imports {
+			if imp.Path.Value == `"unsafe"` {
+				usesUnsafe = true
+				if !allowlisted(filename) && !pass.InTestFile(imp.Pos()) {
+					pass.Reportf(imp.Pos(),
+						"import of unsafe outside the view-layer allowlist (store/view.go, linalg shims); copy data through safe APIs or extend the allowlist deliberately")
+				}
+			}
+		}
+		if !usesUnsafe {
+			continue
+		}
+		for _, decl := range file.Decls {
+			switch d := decl.(type) {
+			case *ast.FuncDecl:
+				if d.Body != nil {
+					c.checkFunc(d.Body)
+				}
+			case *ast.GenDecl:
+				// Package-level var initializers (hostLittleEndian).
+				ast.Inspect(d, func(n ast.Node) bool {
+					if fl, ok := n.(*ast.FuncLit); ok {
+						c.checkFunc(fl.Body)
+						return false
+					}
+					return true
+				})
+			}
+		}
+	}
+	return nil
+}
+
+type checker struct {
+	pass *framework.Pass
+	// checkers are same-package functions that alignment-check a slice
+	// parameter, mapped to the index of that parameter.
+	checkers map[*types.Func]int
+}
+
+// collectCheckers finds functions whose body applies the alignment test to
+// one of their slice parameters.
+func collectCheckers(pass *framework.Pass) map[*types.Func]int {
+	out := map[*types.Func]int{}
+	for _, file := range pass.Syntax {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			fn, _ := pass.TypesInfo.Defs[fd.Name].(*types.Func)
+			if fn == nil {
+				continue
+			}
+			params := fn.Type().(*types.Signature).Params()
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				obj := alignmentCheckedObj(pass.TypesInfo, n)
+				if obj == nil {
+					return true
+				}
+				for i := 0; i < params.Len(); i++ {
+					if params.At(i) == obj {
+						out[fn] = i
+					}
+				}
+				return true
+			})
+		}
+	}
+	return out
+}
+
+// alignmentCheckedObj matches the inline alignment test
+// `uintptr(unsafe.Pointer(unsafe.SliceData(x))) % k` and returns x's
+// object.
+func alignmentCheckedObj(info *types.Info, n ast.Node) types.Object {
+	be, ok := n.(*ast.BinaryExpr)
+	if !ok || be.Op != token.REM {
+		return nil
+	}
+	conv, ok := ast.Unparen(be.X).(*ast.CallExpr)
+	if !ok || len(conv.Args) != 1 {
+		return nil
+	}
+	if tv, ok := info.Types[conv.Fun]; !ok || !tv.IsType() || !types.Identical(tv.Type, types.Typ[types.Uintptr]) {
+		return nil
+	}
+	ptr, ok := ast.Unparen(conv.Args[0]).(*ast.CallExpr)
+	if !ok || !isUnsafeCall(info, ptr, "Pointer") || len(ptr.Args) != 1 {
+		return nil
+	}
+	sd, ok := ast.Unparen(ptr.Args[0]).(*ast.CallExpr)
+	if !ok || !isUnsafeCall(info, sd, "SliceData") || len(sd.Args) != 1 {
+		return nil
+	}
+	return framework.ObjectOf(info, sd.Args[0])
+}
+
+// isUnsafeCall matches unsafe.<name>(...): both the builtin-like members
+// (Pointer is a type, Slice/SliceData are builtins) resolve through the
+// unsafe package selector.
+func isUnsafeCall(info *types.Info, call *ast.CallExpr, name string) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != name {
+		return false
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	pkg, ok := info.Uses[id].(*types.PkgName)
+	return ok && pkg.Imported().Path() == "unsafe"
+}
+
+// checkedFact is the must-alignment-checked object set.
+type checkedFact map[types.Object]bool
+
+func (f checkedFact) clone() checkedFact {
+	out := make(checkedFact, len(f)+1)
+	for k := range f {
+		out[k] = true
+	}
+	return out
+}
+
+type checkedAnalysis struct{ c *checker }
+
+func (a checkedAnalysis) EntryFact() cfg.Fact { return checkedFact{} }
+
+func (a checkedAnalysis) Transfer(f cfg.Fact, n ast.Node) cfg.Fact {
+	in := f.(checkedFact)
+	out := in
+	cfg.Walk(n, func(x ast.Node) bool {
+		if _, ok := x.(*ast.FuncLit); ok {
+			return false
+		}
+		if obj := alignmentCheckedObj(a.c.pass.TypesInfo, x); obj != nil {
+			out = out.clone()
+			out[obj] = true
+			return true
+		}
+		if call, ok := x.(*ast.CallExpr); ok {
+			if fn := framework.CalleeFunc(a.c.pass.TypesInfo, call); fn != nil {
+				if idx, ok := a.c.checkers[fn]; ok && idx < len(call.Args) {
+					if obj := framework.ObjectOf(a.c.pass.TypesInfo, call.Args[idx]); obj != nil {
+						out = out.clone()
+						out[obj] = true
+					}
+				}
+			}
+		}
+		return true
+	})
+	return out
+}
+
+func (a checkedAnalysis) Merge(x, y cfg.Fact) cfg.Fact {
+	xs, ys := x.(checkedFact), y.(checkedFact)
+	out := checkedFact{}
+	for k := range xs {
+		if ys[k] {
+			out[k] = true
+		}
+	}
+	return out
+}
+
+func (a checkedAnalysis) Equal(x, y cfg.Fact) bool {
+	xs, ys := x.(checkedFact), y.(checkedFact)
+	if len(xs) != len(ys) {
+		return false
+	}
+	for k := range xs {
+		if !ys[k] {
+			return false
+		}
+	}
+	return true
+}
+
+// checkFunc validates every unsafe use in body under the must-checked
+// facts.
+func (c *checker) checkFunc(body *ast.BlockStmt) {
+	g := cfg.New(body)
+	res := cfg.Solve(g, checkedAnalysis{c: c})
+	for _, b := range g.Blocks {
+		for _, n := range b.Nodes {
+			before, ok := res.Before(n)
+			if !ok {
+				continue
+			}
+			c.checkNode(n, before.(checkedFact))
+		}
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		if fl, ok := n.(*ast.FuncLit); ok {
+			c.checkFunc(fl.Body)
+			return false
+		}
+		return true
+	})
+}
+
+func (c *checker) checkNode(n ast.Node, checked checkedFact) {
+	info := c.pass.TypesInfo
+	// Conversions consumed by a validated unsafe.Slice are not re-reported.
+	blessed := map[ast.Expr]bool{}
+	cfg.Walk(n, func(x ast.Node) bool {
+		if _, ok := x.(*ast.FuncLit); ok {
+			return false
+		}
+		call, ok := x.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		// Rule 2: uintptr → unsafe.Pointer.
+		if isUnsafeCall(info, call, "Pointer") && len(call.Args) == 1 {
+			if t := info.TypeOf(call.Args[0]); t != nil && types.Identical(t.Underlying(), types.Typ[types.Uintptr]) {
+				c.pass.Reportf(call.Pos(),
+					"uintptr-to-unsafe.Pointer round-trip: the object may move or be freed between the conversions; keep the unsafe.Pointer form throughout")
+			}
+			return true
+		}
+		// Rule 3: unsafe.Slice over the blessed idiom.
+		if isUnsafeCall(info, call, "Slice") && len(call.Args) == 2 {
+			c.checkSliceCast(call, checked, blessed)
+			return true
+		}
+		// Stray reinterpreting casts: (*T)(p) for unsafe.Pointer p.
+		if conv, elem := pointerConversion(info, call); conv != nil && !blessed[conv] {
+			if !types.Identical(elem, types.Typ[types.Byte]) {
+				c.pass.Reportf(call.Pos(),
+					"unsafe.Pointer cast to %s outside the view idiom; use unsafe.Slice over an alignment-checked buffer (or copy)", "*"+elem.String())
+			}
+		}
+		return true
+	})
+}
+
+// checkSliceCast validates `unsafe.Slice((*T)(unsafe.Pointer(unsafe.SliceData(b))), n)`.
+func (c *checker) checkSliceCast(call *ast.CallExpr, checked checkedFact, blessed map[ast.Expr]bool) {
+	info := c.pass.TypesInfo
+	arg := ast.Unparen(call.Args[0])
+	conv, ok := arg.(*ast.CallExpr)
+	var elem types.Type
+	if ok {
+		var cexpr *ast.CallExpr
+		cexpr, elem = pointerConversion(info, conv)
+		if cexpr == nil {
+			ok = false
+		}
+	}
+	if !ok {
+		c.pass.Reportf(call.Pos(),
+			"unsafe.Slice operand is not the view idiom (*T)(unsafe.Pointer(unsafe.SliceData(buf)))")
+		return
+	}
+	blessed[ast.Expr(conv)] = true
+	if types.Identical(elem, types.Typ[types.Byte]) {
+		return // byte views need no alignment, whatever the pointer's origin
+	}
+	ptr, pok := ast.Unparen(conv.Args[0]).(*ast.CallExpr)
+	if !pok || !isUnsafeCall(info, ptr, "Pointer") || len(ptr.Args) != 1 {
+		c.pass.Reportf(call.Pos(),
+			"unsafe.Slice operand is not the view idiom (*T)(unsafe.Pointer(unsafe.SliceData(buf)))")
+		return
+	}
+	sd, sok := ast.Unparen(ptr.Args[0]).(*ast.CallExpr)
+	if !sok || !isUnsafeCall(info, sd, "SliceData") || len(sd.Args) != 1 {
+		c.pass.Reportf(call.Pos(),
+			"unsafe.Slice operand is not the view idiom (*T)(unsafe.Pointer(unsafe.SliceData(buf)))")
+		return
+	}
+	obj := framework.ObjectOf(info, sd.Args[0])
+	if obj == nil || !checked[obj] {
+		name := "the buffer"
+		if obj != nil {
+			name = obj.Name()
+		}
+		c.pass.Reportf(call.Pos(),
+			"reinterpreting %s without an alignment check on every path to this cast; test uintptr(unsafe.Pointer(unsafe.SliceData(%s))) %% elemSize first (store.viewable style)",
+			name, name)
+	}
+}
+
+// pointerConversion matches a conversion call `(*T)(x)` returning the call
+// and T; nil when call is not a pointer-type conversion of an
+// unsafe.Pointer-typed operand.
+func pointerConversion(info *types.Info, call *ast.CallExpr) (*ast.CallExpr, types.Type) {
+	tv, ok := info.Types[call.Fun]
+	if !ok || !tv.IsType() || len(call.Args) != 1 {
+		return nil, nil
+	}
+	pt, ok := tv.Type.Underlying().(*types.Pointer)
+	if !ok {
+		return nil, nil
+	}
+	at := info.TypeOf(call.Args[0])
+	if at == nil || !types.Identical(at.Underlying(), types.Typ[types.UnsafePointer]) {
+		return nil, nil
+	}
+	return call, pt.Elem()
+}

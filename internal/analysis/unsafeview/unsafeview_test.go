@@ -1,0 +1,12 @@
+package unsafeview_test
+
+import (
+	"testing"
+
+	"gofmm/internal/analysis/analyzertest"
+	"gofmm/internal/analysis/unsafeview"
+)
+
+func TestUnsafeView(t *testing.T) {
+	analyzertest.Run(t, analyzertest.TestData(), unsafeview.Analyzer, "unsafeview", "store")
+}

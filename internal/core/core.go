@@ -343,7 +343,12 @@ type Hierarchical struct {
 	// without neighbors).
 	Neighbors *ann.List
 	nodes     []node
-	Stats     Stats
+	// Stats aggregates compression- and evaluation-cost counters. The
+	// compression fields are written once, before Compress returns; the
+	// last-evaluation fields are rewritten by every replay, so concurrent
+	// readers must go through LastEval.
+	// guarded by statsMu for EvalTime, EvalFlops
+	Stats Stats
 	// LastTrace holds the most recent traced task execution. It is
 	// populated when Config.CaptureTrace is set or a Telemetry recorder is
 	// attached (the recorder's TaskEvents carry the same executions plus
@@ -364,8 +369,10 @@ type Hierarchical struct {
 	evalPlan atomic.Pointer[plan.Plan]
 	planMu   sync.Mutex
 
-	errMu  sync.Mutex
-	tolErr error // first StrictTolerance miss (checked after skeletonize)
+	errMu sync.Mutex
+	// tolErr is the first StrictTolerance miss (checked after skeletonize).
+	// guarded by errMu
+	tolErr error
 
 	// backing is the operator-store file this representation was loaded from
 	// (nil for compressed-in-memory operators). When the file is memory-mapped,

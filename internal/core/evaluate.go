@@ -104,6 +104,16 @@ func (h *Hierarchical) noteEval(seconds, flops float64) {
 	h.statsMu.Unlock()
 }
 
+// LastEval returns the wall time and flop count of the most recent
+// evaluation, consistent as a pair. Readers outside this package must use
+// it instead of Stats.EvalTime/EvalFlops: those fields are rewritten by
+// every concurrent replay, so direct reads race with noteEval.
+func (h *Hierarchical) LastEval() (seconds, flops float64) {
+	h.statsMu.Lock()
+	defer h.statsMu.Unlock()
+	return h.Stats.EvalTime, h.Stats.EvalFlops
+}
+
 // evalBlock is the shared four-pass block evaluation behind MatvecCtx and
 // MatmatCtx: one symbolic traversal and one workspace scope serve the whole
 // n×r block, so the per-pass kernels are r-wide GEMMs. op names the

@@ -101,6 +101,7 @@ func arenaFloats64(b []byte) ([]float64, bool, error) {
 		return nil, false, nil
 	}
 	if v, err := store.Float64s(b); err == nil {
+		//gofmmlint:ignore mmaplife sanctioned ownership transfer: the caller stores the view behind Hierarchical.backing, which keeps the mapping open until ReleaseStore
 		return v, false, nil
 	}
 	out := make([]float64, len(b)/8)
@@ -119,6 +120,7 @@ func arenaFloats32(b []byte) ([]float32, bool, error) {
 		return nil, false, nil
 	}
 	if v, err := store.Float32s(b); err == nil {
+		//gofmmlint:ignore mmaplife sanctioned ownership transfer: the caller stores the view behind Hierarchical.backing, which keeps the mapping open until ReleaseStore
 		return v, false, nil
 	}
 	out := make([]float32, len(b)/4)

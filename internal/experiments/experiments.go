@@ -86,6 +86,7 @@ func Run(p Problem, cfg core.Config, r int, seed int64) Result {
 	W := linalg.GaussianMatrix(rng, p.K.Dim(), r)
 	U := h.Matvec(W)
 	eps := h.SampleRelErr(W, U, 100, seed+1)
+	evalS, evalFlops := h.LastEval()
 	res := Result{
 		Case:       p.Name,
 		N:          p.K.Dim(),
@@ -94,15 +95,15 @@ func Run(p Problem, cfg core.Config, r int, seed int64) Result {
 		Budget:     cfg.Budget,
 		Eps:        eps,
 		CompressS:  h.Stats.CompressTime,
-		EvalS:      h.Stats.EvalTime,
+		EvalS:      evalS,
 		AvgRank:    h.Stats.AvgRank,
 		DirectFrac: h.Stats.DirectFrac,
 	}
 	if h.Stats.CompressTime > 0 {
 		res.CompressGF = h.Stats.CompressFlops / h.Stats.CompressTime / 1e9
 	}
-	if h.Stats.EvalTime > 0 {
-		res.EvalGF = h.Stats.EvalFlops / h.Stats.EvalTime / 1e9
+	if evalS > 0 {
+		res.EvalGF = evalFlops / evalS / 1e9
 	}
 	return res
 }

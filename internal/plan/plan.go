@@ -379,7 +379,7 @@ type Plan struct {
 
 	// states caches replay bindings per RHS width (see replay.go).
 	statesMu sync.Mutex
-	states   map[int]*sync.Pool
+	states   map[int]*sync.Pool // guarded by statesMu
 }
 
 // batchGemms merges runs of consecutive single-GEMM tasks with identical

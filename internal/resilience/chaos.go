@@ -47,8 +47,8 @@ type Chaos struct {
 	rec *telemetry.Recorder
 
 	mu       sync.Mutex
-	streams  map[string]*rand.Rand
-	injected map[string]int64
+	streams  map[string]*rand.Rand // guarded by mu
+	injected map[string]int64      // guarded by mu
 }
 
 // NewChaos builds a harness. rec may be nil; when attached, every injection

@@ -178,17 +178,17 @@ type Engine struct {
 
 	mu      sync.Mutex
 	cond    *sync.Cond
-	queues  [][]*Task // per-worker for HEFT; queues[0] shared for FIFO
-	backlog []float64 // estimated queued work per worker (HEFT)
-	pending int       // tasks not yet finished
+	queues  [][]*Task // guarded by mu (per-worker for HEFT; queues[0] shared for FIFO)
+	backlog []float64 // guarded by mu (estimated queued work per worker, HEFT)
+	pending int       // guarded by mu (tasks not yet finished)
 
-	// Resilience state (all under mu unless noted).
-	curGraph    *Graph
-	running     int   // tasks currently inside exec
-	completions int64 // tasks finished this Run (watchdog progress signal)
-	retries     int64 // failed attempts redelivered this Run
-	cancelled   bool  // stop dispatching; workers drain and exit
-	runErr      error // first fatal error of the Run
+	// Resilience state.
+	curGraph    *Graph // guarded by mu
+	running     int    // guarded by mu (tasks currently inside exec)
+	completions int64  // guarded by mu (tasks finished this Run; watchdog progress signal)
+	retries     int64  // guarded by mu (failed attempts redelivered this Run)
+	cancelled   bool   // guarded by mu (stop dispatching; workers drain and exit)
+	runErr      error  // guarded by mu (first fatal error of the Run)
 
 	// Resilience configuration (set before Run).
 	failTask       func(label string) bool     // fault-injection hook (may be nil)
@@ -450,7 +450,8 @@ func (e *Engine) watchdog(fired, stop chan struct{}) {
 
 // frontierLocked describes the unfinished tasks blocking progress: running
 // and ready tasks first, then blocked ones with their open-predecessor
-// counts. Caller holds e.mu.
+// counts.
+// called with e.mu held.
 func (e *Engine) frontierLocked() string {
 	if e.curGraph == nil {
 		return "(unknown)"
@@ -479,7 +480,7 @@ func (e *Engine) frontierLocked() string {
 }
 
 // dispatchLocked places a ready task on a queue according to the policy.
-// Caller holds e.mu.
+// called with e.mu held.
 func (e *Engine) dispatchLocked(t *Task) {
 	if e.traceOn {
 		t.readyAt = time.Now()
@@ -502,7 +503,8 @@ func (e *Engine) dispatchLocked(t *Task) {
 	e.enqueueLocked(q, t)
 }
 
-// enqueueLocked appends t to queue q and wakes the pool. Caller holds e.mu.
+// enqueueLocked appends t to queue q and wakes the pool.
+// called with e.mu held.
 func (e *Engine) enqueueLocked(q int, t *Task) {
 	e.queues[q] = append(e.queues[q], t)
 	e.backlog[q] += t.Cost
@@ -591,6 +593,7 @@ func (e *Engine) allQueuesEmptyLocked() bool {
 }
 
 // stealLocked takes one task from the back of the most-loaded other queue.
+// called with e.mu held.
 func (e *Engine) stealLocked(self int) *Task {
 	victim, best := -1, 0.0
 	for w := range e.queues {

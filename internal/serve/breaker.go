@@ -74,11 +74,11 @@ type breaker struct {
 	onState func(BreakerState) // telemetry hook, called outside mu
 
 	mu          sync.Mutex
-	state       BreakerState
-	consecFails int
-	openedAt    time.Time
-	probeBusy   bool
-	probeOK     int
+	state       BreakerState // guarded by mu
+	consecFails int          // guarded by mu
+	openedAt    time.Time    // guarded by mu
+	probeBusy   bool         // guarded by mu
+	probeOK     int          // guarded by mu
 }
 
 func newBreaker(cfg BreakerConfig, now func() time.Time, onState func(BreakerState)) *breaker {

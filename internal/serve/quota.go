@@ -51,7 +51,7 @@ type quotas struct {
 	now func() time.Time
 
 	mu      sync.Mutex
-	buckets map[string]*bucket
+	buckets map[string]*bucket // guarded by mu
 }
 
 func newQuotas(cfg QuotaConfig, now func() time.Time) *quotas {
@@ -102,8 +102,9 @@ func (q *quotas) allow(tenant string, cost float64) error {
 		wait)
 }
 
-// evictStalest removes the bucket with the oldest refill stamp (callers
-// hold q.mu). Linear scan: eviction only runs at the MaxTenants bound.
+// evictStalest removes the bucket with the oldest refill stamp. Linear
+// scan: eviction only runs at the MaxTenants bound.
+// called with q.mu held.
 func (q *quotas) evictStalest() {
 	var stalest string
 	var when time.Time

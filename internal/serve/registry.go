@@ -58,8 +58,8 @@ type Operator struct {
 	reg  *Registry
 
 	lifeMu  sync.Mutex
-	refs    int
-	retired bool
+	refs    int  // guarded by lifeMu
+	retired bool // guarded by lifeMu
 
 	closeOnce sync.Once
 }
@@ -107,7 +107,7 @@ type Registry struct {
 	rec *telemetry.Recorder
 
 	mu  sync.RWMutex
-	ops map[string]*Operator
+	ops map[string]*Operator // guarded by mu
 }
 
 // NewRegistry builds an empty registry publishing serve.* metrics to rec

@@ -94,14 +94,14 @@ type Server struct {
 	mux    *http.ServeMux
 
 	mu       sync.Mutex
-	draining bool
-	inflight int
+	draining bool          // guarded by mu
+	inflight int           // guarded by mu
 	idle     chan struct{} // closed when draining and inflight == 0
 
 	lifeMu sync.Mutex
-	srv    *http.Server
-	ln     net.Listener
-	done   chan struct{}
+	srv    *http.Server  // guarded by lifeMu
+	ln     net.Listener  // guarded by lifeMu
+	done   chan struct{} // guarded by lifeMu
 }
 
 // NewServer builds the serving mux over cfg.Registry.

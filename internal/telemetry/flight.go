@@ -22,15 +22,16 @@ import (
 type FlightRecorder struct {
 	rec *Recorder
 
+	// The rings and dump bookkeeping below are all guarded by mu.
 	mu      sync.Mutex
-	spans   []SpanEvent // circular, len == cap once full
-	next    int         // next slot to overwrite
-	wrapped bool
-	errs    []FlightError // circular, same discipline
-	errNext int
-	errWrap bool
-	dumpDir string
-	dumpSeq int
+	spans   []SpanEvent   // guarded by mu (circular, len == cap once full)
+	next    int           // guarded by mu (next slot to overwrite)
+	wrapped bool          // guarded by mu
+	errs    []FlightError // guarded by mu (circular, same discipline)
+	errNext int           // guarded by mu
+	errWrap bool          // guarded by mu
+	dumpDir string        // guarded by mu
+	dumpSeq int           // guarded by mu
 }
 
 // flightErrKeep bounds the error ring (errors are rarer and more precious

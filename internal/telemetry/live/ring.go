@@ -18,9 +18,9 @@ import (
 // contract Recorder.OnSpanEnd demands of its observers.
 type spanFeed struct {
 	mu     sync.Mutex
-	subs   map[int]*feedSub
-	nextID int
-	closed bool
+	subs   map[int]*feedSub // guarded by mu
+	nextID int              // guarded by mu
+	closed bool             // guarded by mu
 }
 
 type feedSub struct {

@@ -45,14 +45,14 @@ type Server struct {
 	feed   *spanFeed
 
 	checkMu      sync.Mutex
-	healthChecks map[string]Check
-	readyChecks  map[string]Check
+	healthChecks map[string]Check // guarded by checkMu
+	readyChecks  map[string]Check // guarded by checkMu
 	ready        atomic.Bool
 
 	lifeMu sync.Mutex
-	srv    *http.Server
-	ln     net.Listener
-	done   chan struct{}
+	srv    *http.Server  // guarded by lifeMu
+	ln     net.Listener  // guarded by lifeMu
+	done   chan struct{} // guarded by lifeMu
 }
 
 // Option configures a Server at construction.
@@ -216,19 +216,24 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	s.runChecks(w, r, s.snapshotChecks(&s.healthChecks), true)
+	s.runChecks(w, r, s.snapshotChecks(true), true)
 }
 
 func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
-	s.runChecks(w, r, s.snapshotChecks(&s.readyChecks), s.ready.Load())
+	s.runChecks(w, r, s.snapshotChecks(false), s.ready.Load())
 }
 
-// snapshotChecks copies a check map under the lock so probes run unlocked.
-func (s *Server) snapshotChecks(m *map[string]Check) map[string]Check {
+// snapshotChecks copies the health (or, for health=false, readiness) check
+// map under the lock so probes run unlocked.
+func (s *Server) snapshotChecks(health bool) map[string]Check {
 	s.checkMu.Lock()
 	defer s.checkMu.Unlock()
-	out := make(map[string]Check, len(*m))
-	for k, v := range *m {
+	m := s.readyChecks
+	if health {
+		m = s.healthChecks
+	}
+	out := make(map[string]Check, len(m))
+	for k, v := range m {
 		out[k] = v
 	}
 	return out

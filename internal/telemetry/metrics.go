@@ -56,11 +56,11 @@ const histBuckets = 64
 // distribution without storing every sample).
 type Histogram struct {
 	mu      sync.Mutex
-	count   int64
-	sum     float64
-	min     float64
-	max     float64
-	buckets [histBuckets]int64
+	count   int64              // guarded by mu
+	sum     float64            // guarded by mu
+	min     float64            // guarded by mu
+	max     float64            // guarded by mu
+	buckets [histBuckets]int64 // guarded by mu
 }
 
 // Observe records one sample (no-op on nil).

@@ -33,17 +33,17 @@ type Recorder struct {
 	epoch time.Time
 
 	mu     sync.Mutex
-	roots  []*Span
-	events []TaskEvent
+	roots  []*Span     // guarded by mu
+	events []TaskEvent // guarded by mu
 
 	metricsMu sync.Mutex
-	counters  map[string]*Counter
-	gauges    map[string]*Gauge
-	hists     map[string]*Histogram
+	counters  map[string]*Counter   // guarded by metricsMu
+	gauges    map[string]*Gauge     // guarded by metricsMu
+	hists     map[string]*Histogram // guarded by metricsMu
 
 	// Live-introspection hooks (see OnSpanEnd, SetLogger, ReportCrash).
 	obsMu     sync.RWMutex
-	observers []func(SpanEvent)
+	observers []func(SpanEvent) // guarded by obsMu
 	logger    atomic.Pointer[slog.Logger]
 	flight    atomic.Pointer[FlightRecorder]
 }
